@@ -1,0 +1,30 @@
+# cloudscope — reproduction of He et al., IMC 2013.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments world clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Generate a world with shareable artifacts (pcap, zone files, CSVs).
+world:
+	$(GO) run ./cmd/worldgen -out world
+
+clean:
+	rm -rf world plots

@@ -1,0 +1,230 @@
+// Package cloudscope reproduces the measurement study "Next Stop, the
+// Cloud: Understanding Modern Web Service Deployment in EC2 and Azure"
+// (He et al., IMC 2013) as a runnable system: a synthetic Internet
+// (DNS, two IaaS clouds, a wide-area network, a campus border tap)
+// whose ground truth follows the paper's published distributions, and
+// the paper's full measurement methodology executed against it.
+//
+// The entry point is a Study:
+//
+//	study := cloudscope.NewStudy(cloudscope.DefaultConfig().WithDomains(5000))
+//	ds := study.Dataset()            // §2.1 discovery pipeline
+//	fmt.Print(study.Breakdown().Table3())
+//
+// Every numbered table and figure of the paper has a registered
+// experiment; see Experiments and cmd/experiments.
+package cloudscope
+
+import (
+	"bytes"
+	"sync"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/cartography"
+	"cloudscope/internal/core/classify"
+	"cloudscope/internal/core/dataset"
+	"cloudscope/internal/core/patterns"
+	"cloudscope/internal/core/regions"
+	"cloudscope/internal/core/wanperf"
+	"cloudscope/internal/core/zones"
+	"cloudscope/internal/deploy"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/pcapio"
+)
+
+// Config parameterizes a Study. Zero values are filled from
+// DefaultConfig; construct with DefaultConfig and the With* helpers.
+type Config struct {
+	// Seed drives every generator; identical configs are bit-for-bit
+	// reproducible.
+	Seed int64
+	// Domains is the ranked-list size ("top 1M" scaled; default 20000).
+	Domains int
+	// Vantages is the distributed-resolution vantage count (paper: 200).
+	Vantages int
+	// CaptureFlows sizes the synthetic border capture (default 30000).
+	CaptureFlows int
+	// WANClients is the PlanetLab client count for §5 (paper: 80).
+	WANClients int
+}
+
+// DefaultConfig returns a library-scale configuration: large enough for
+// every distribution to be visible, small enough to run in seconds.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Domains: 20000, Vantages: 200, CaptureFlows: 30000, WANClients: 80}
+}
+
+// WithDomains returns the config with a different list size.
+func (c Config) WithDomains(n int) Config { c.Domains = n; return c }
+
+// WithSeed returns the config reseeded.
+func (c Config) WithSeed(seed int64) Config { c.Seed = seed; return c }
+
+// Study runs the paper's pipeline over one generated world. All stages
+// are computed lazily and memoized; a Study is safe for concurrent use.
+type Study struct {
+	Cfg Config
+
+	worldOnce sync.Once
+	world     *deploy.World
+
+	dsOnce sync.Once
+	ds     *dataset.Dataset
+
+	detOnce sync.Once
+	det     *patterns.Result
+
+	regOnce sync.Once
+	reg     *regions.Analysis
+
+	zoneOnce sync.Once
+	zone     *zones.Study
+
+	capOnce  sync.Once
+	capTruth *capture.Truth
+	capAn    *capture.Analysis
+
+	nsOnce sync.Once
+	ns     *patterns.NSAnalysis
+
+	campaignOnce sync.Once
+	campaign     *wanperf.Campaign
+}
+
+// NewStudy creates a Study; the world is generated on first use.
+func NewStudy(cfg Config) *Study {
+	def := DefaultConfig()
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Domains == 0 {
+		cfg.Domains = def.Domains
+	}
+	if cfg.Vantages == 0 {
+		cfg.Vantages = def.Vantages
+	}
+	if cfg.CaptureFlows == 0 {
+		cfg.CaptureFlows = def.CaptureFlows
+	}
+	if cfg.WANClients == 0 {
+		cfg.WANClients = def.WANClients
+	}
+	return &Study{Cfg: cfg}
+}
+
+// World returns the generated ground-truth world.
+func (s *Study) World() *deploy.World {
+	s.worldOnce.Do(func() {
+		wcfg := deploy.DefaultConfig().Scaled(s.Cfg.Domains)
+		wcfg.Seed = s.Cfg.Seed
+		s.world = deploy.Generate(wcfg)
+	})
+	return s.world
+}
+
+// Dataset runs the §2.1 discovery pipeline (memoized).
+func (s *Study) Dataset() *dataset.Dataset {
+	s.dsOnce.Do(func() {
+		w := s.World()
+		names := make([]string, 0, len(w.Domains))
+		for _, d := range w.Domains {
+			names = append(names, d.Name)
+		}
+		s.ds = dataset.Build(dataset.Config{
+			Fabric:   w.Fabric,
+			Registry: w.Registry,
+			Ranges:   w.Ranges,
+			Domains:  names,
+			Vantages: s.Cfg.Vantages,
+		})
+	})
+	return s.ds
+}
+
+// Detection runs §4.1's pattern heuristics (memoized).
+func (s *Study) Detection() *patterns.Result {
+	s.detOnce.Do(func() { s.det = patterns.DetectAll(s.Dataset()) })
+	return s.det
+}
+
+// Breakdown computes Table 3.
+func (s *Study) Breakdown() *classify.Breakdown { return classify.Classify(s.Dataset()) }
+
+// Regions runs §4.2's region mapping (memoized).
+func (s *Study) Regions() *regions.Analysis {
+	s.regOnce.Do(func() { s.reg = regions.Analyze(s.Dataset(), s.Detection()) })
+	return s.reg
+}
+
+// Zones runs §4.3's cartography study (memoized).
+func (s *Study) Zones() *zones.Study {
+	s.zoneOnce.Do(func() {
+		cfg := zones.DefaultConfig()
+		cfg.Seed = s.Cfg.Seed
+		s.zone = zones.Run(s.Dataset(), s.Detection(), s.World().EC2, cfg)
+	})
+	return s.zone
+}
+
+// NameServers runs §4.1's DNS-hosting analysis (memoized).
+func (s *Study) NameServers() *patterns.NSAnalysis {
+	s.nsOnce.Do(func() {
+		w := s.World()
+		s.ns = patterns.AnalyzeNS(s.Dataset(), w.Fabric, w.Registry, 50)
+	})
+	return s.ns
+}
+
+// Capture generates and analyzes the border trace (memoized). The pcap
+// bytes are ephemeral; use WriteCapture to keep them.
+func (s *Study) Capture() (*capture.Truth, *capture.Analysis) {
+	s.capOnce.Do(func() {
+		ccfg := capture.DefaultConfig()
+		ccfg.Seed = s.Cfg.Seed
+		ccfg.Flows = s.Cfg.CaptureFlows
+		var buf bytes.Buffer
+		g := capture.NewGenerator(ccfg, s.World())
+		truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
+		if err != nil {
+			panic(err) // bytes.Buffer writes cannot fail
+		}
+		an, err := capture.Analyze(&buf, s.World().Ranges)
+		if err != nil {
+			panic(err)
+		}
+		s.capTruth, s.capAn = truth, an
+	})
+	return s.capTruth, s.capAn
+}
+
+// WriteCapture streams a fresh pcap of the study's capture to w.
+type pcapWriter interface{ Write(p []byte) (int, error) }
+
+// WriteCapture writes the synthetic border capture in pcap format.
+func (s *Study) WriteCapture(w pcapWriter) (*capture.Truth, error) {
+	ccfg := capture.DefaultConfig()
+	ccfg.Seed = s.Cfg.Seed
+	ccfg.Flows = s.Cfg.CaptureFlows
+	g := capture.NewGenerator(ccfg, s.World())
+	return g.Generate(pcapio.NewWriter(w, ccfg.Snaplen))
+}
+
+// Campaign returns the §5 wide-area measurement campaign (memoized).
+func (s *Study) Campaign() *wanperf.Campaign {
+	s.campaignOnce.Do(func() {
+		s.campaign = wanperf.NewCampaign(s.Cfg.Seed, s.Cfg.WANClients, ipranges.EC2Regions)
+	})
+	return s.campaign
+}
+
+// RankOf implements the classify and regions Ranker interfaces against
+// the study's ranked list.
+func (s *Study) RankOf(domain string) int {
+	if d, ok := s.World().List.Lookup(domain); ok {
+		return d.Rank
+	}
+	return 0
+}
+
+// ZoneIdentification re-exports the combined cartography result.
+func (s *Study) ZoneIdentification() *cartography.CombinedResult { return s.Zones().Combined }

@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper
+// in one run.
+//
+// Usage:
+//
+//	experiments [-domains N] [-seed S] [-flows N] [-only table9,figure12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cloudscope"
+	"cloudscope/internal/stats"
+)
+
+func main() {
+	domains := flag.Int("domains", 20000, "ranked-list size (the paper's top 1M, scaled)")
+	seed := flag.Int64("seed", 1, "world seed")
+	flows := flag.Int("flows", 30000, "border-capture flows")
+	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
+	flag.Parse()
+
+	study := cloudscope.NewStudy(cloudscope.Config{
+		Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages,
+	})
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	ran := 0
+	for _, e := range cloudscope.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		out := e.Run(study)
+		fmt.Printf("==== %s: %s (%.1fs) ====\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
+		ran++
+		if *plotdata != "" {
+			if series, ok := study.FigureSeries(e.ID); ok {
+				if err := writeTSV(*plotdata, e.ID, series); err != nil {
+					fmt.Fprintln(os.Stderr, "plotdata:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only; known IDs:")
+		for _, e := range cloudscope.Experiments() {
+			fmt.Fprintln(os.Stderr, "  "+e.ID)
+		}
+		os.Exit(1)
+	}
+}
+
+func writeTSV(dir, id string, series map[string][]stats.Point) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + id + ".tsv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return cloudscope.WriteSeriesTSV(f, series)
+}

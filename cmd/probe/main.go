@@ -1,0 +1,103 @@
+// Command probe is the interactive measurement toolkit: dig, NS
+// location, traceroute, and wide-area RTT/throughput against a
+// generated world.
+//
+// Usage:
+//
+//	probe -domains 2000 dig www.pinterest.com
+//	probe ns pinterest.com
+//	probe traceroute ec2.eu-west-1 0
+//	probe rtt ec2.us-east-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"cloudscope"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/probes"
+	"cloudscope/internal/wan"
+)
+
+func main() {
+	domains := flag.Int("domains", 2000, "world size")
+	seed := flag.Int64("seed", 1, "world seed")
+	vantage := flag.Int("vantage", 0, "vantage index (0 = Seattle)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains})
+	world := study.World()
+	p := probes.New(probes.Config{
+		Fabric:       world.Fabric,
+		Registry:     world.Registry,
+		Ranges:       world.Ranges,
+		EC2:          world.EC2,
+		WAN:          wan.New(*seed, 80, ipranges.EC2Regions),
+		VantageIndex: *vantage,
+		Seed:         *seed,
+	})
+	fmt.Printf("probing from %s (%s)\n\n", p.Vantage().Name, p.Vantage().ID)
+
+	switch args[0] {
+	case "dig":
+		need(args, 2)
+		answers, err := p.Dig(args[1])
+		check(err)
+		fmt.Print(probes.FormatDig(args[1], answers))
+	case "ns":
+		need(args, 2)
+		locs, err := p.DigNS(args[1])
+		check(err)
+		for ns, loc := range locs {
+			fmt.Printf("%-40s %s\n", ns, loc)
+		}
+	case "traceroute":
+		need(args, 3)
+		zone, err := strconv.Atoi(args[2])
+		check(err)
+		hops, err := p.Traceroute(args[1], zone)
+		check(err)
+		fmt.Print(probes.FormatTraceroute(hops))
+	case "rtt":
+		need(args, 2)
+		at := time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC)
+		for i := 0; i < 5; i++ {
+			v, err := p.RTT(args[1], at.Add(time.Duration(i)*time.Minute))
+			check(err)
+			fmt.Printf("rtt to %s: %.1f ms\n", args[1], v)
+		}
+	case "get":
+		need(args, 2)
+		v, err := p.Get(args[1], time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC))
+		check(err)
+		fmt.Printf("throughput from %s: %.0f KB/s\n", args[1], v)
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: probe [flags] dig <name> | ns <domain> | traceroute <region> <zone> | rtt <region> | get <region>")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probe:", err)
+		os.Exit(1)
+	}
+}

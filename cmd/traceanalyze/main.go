@@ -1,0 +1,40 @@
+// Command traceanalyze runs the Bro-style analyzer over a pcap file
+// (e.g. one written by worldgen) and prints the §3 tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/core/traffic"
+	"cloudscope/internal/ipranges"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze <capture.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	an, err := capture.Analyze(f, ipranges.Published())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("flows: %d (decode errors: %d)\n\n", len(an.Flows), an.DecodeErrs)
+	fmt.Println(traffic.Table1(an))
+	fmt.Println(traffic.Table2(an))
+	fmt.Println(traffic.Table5(an, 15))
+	fmt.Println(traffic.Table6(an, 10))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+	os.Exit(1)
+}

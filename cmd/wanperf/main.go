@@ -1,0 +1,31 @@
+// Command wanperf runs the §5 wide-area measurement campaign and
+// prints the latency/throughput matrices, the Boulder time series, the
+// optimal-k analysis, and the ISP-diversity and RTT tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cloudscope"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed")
+	clients := flag.Int("clients", 80, "PlanetLab clients")
+	flag.Parse()
+
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients})
+	for _, id := range []string{"figure9", "figure10", "figure11", "figure12", "table11", "table16"} {
+		out, err := study.RunExperiment(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(out)
+	}
+	res := study.Campaign().Outages(3, 50)
+	fmt.Println("Route-outage simulation (mean fraction of clients cut off):")
+	for k := 1; k <= 3; k++ {
+		fmt.Printf("  k=%d regions: %.4f\n", k, res.MeanUnreachable[k])
+	}
+}

@@ -1,0 +1,112 @@
+// Command worldgen generates a synthetic Internet and writes its
+// shareable artifacts to disk: the published cloud IP ranges, the
+// ranked domain list with ground truth, and a border packet capture —
+// the reproduction's analogue of the paper's released datasets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cloudscope"
+)
+
+func main() {
+	domains := flag.Int("domains", 10000, "ranked-list size")
+	seed := flag.Int64("seed", 1, "world seed")
+	flows := flag.Int("flows", 20000, "capture flows")
+	outDir := flag.String("out", "world", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows})
+	world := study.World()
+
+	// Published IP ranges.
+	f, err := os.Create(filepath.Join(*outDir, "ipranges.txt"))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := world.Ranges.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+
+	// Ranked list with ground truth summary.
+	f, err = os.Create(filepath.Join(*outDir, "domains.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(f, "rank,domain,cloud_using,home_region,customer_country,cloud_subdomains")
+	for _, d := range world.Domains {
+		fmt.Fprintf(f, "%d,%s,%t,%s,%s,%d\n",
+			d.Rank, d.Name, d.CloudUsing(), d.HomeRegion, d.CustomerCountry, len(d.CloudSubdomains()))
+	}
+	f.Close()
+
+	// Ground-truth subdomain inventory.
+	f, err = os.Create(filepath.Join(*outDir, "subdomains.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(f, "fqdn,pattern,provider,regions")
+	for _, d := range world.CloudDomains {
+		for _, s := range d.CloudSubdomains() {
+			fmt.Fprintf(f, "%s,%s,%s,%s\n", s.FQDN, s.Pattern, s.Provider, join(s.Regions))
+		}
+	}
+	f.Close()
+
+	// Sample zone files for the ten highest-ranked cloud domains.
+	zoneDir := filepath.Join(*outDir, "zones")
+	if err := os.MkdirAll(zoneDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, d := range world.CloudDomains {
+		if i >= 10 {
+			break
+		}
+		zf, err := os.Create(filepath.Join(zoneDir, d.Name+".zone"))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := d.Zone.WriteTo(zf, 0); err != nil {
+			fatal(err)
+		}
+		zf.Close()
+	}
+
+	// Border capture.
+	f, err = os.Create(filepath.Join(*outDir, "border.pcap"))
+	if err != nil {
+		fatal(err)
+	}
+	truth, err := study.WriteCapture(f)
+	if err != nil {
+		fatal(err)
+	}
+	f.Close()
+
+	fmt.Printf("wrote %s: %d domains (%d cloud-using), %d-flow capture (%d bytes of app traffic)\n",
+		*outDir, len(world.Domains), len(world.CloudDomains), truth.TotalFlows, truth.TotalBytes)
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ";"
+		}
+		out += s
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "worldgen:", err)
+	os.Exit(1)
+}

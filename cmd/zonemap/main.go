@@ -1,0 +1,29 @@
+// Command zonemap runs the §4.3 availability-zone cartography over a
+// generated world's dataset and prints Tables 12–15 and the Figure 7/8
+// summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cloudscope"
+)
+
+func main() {
+	domains := flag.Int("domains", 8000, "ranked-list size")
+	seed := flag.Int64("seed", 1, "world seed")
+	flag.Parse()
+
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains})
+	z := study.Zones()
+	fmt.Printf("targets: %d physical EC2 instances; combined coverage %.1f%%\n\n",
+		len(z.Targets), 100*z.Combined.Coverage())
+	for _, id := range []string{"table12", "table13", "table14", "table15", "figure7", "figure8"} {
+		out, err := study.RunExperiment(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,3 @@
+module cloudscope
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package alexa generates the ranked web population standing in for
+// Alexa's top-1M list, plus the Alexa Web Information Service's
+// per-domain client geography (used by the paper's §4.2 customer-country
+// analysis).
+//
+// The list can embed "anchor" domains — real names at their real 2013
+// ranks (amazon.com at 9, linkedin.com at 13, ...) — so the top-domain
+// tables read like the paper's. Everything else is synthetic, with
+// popularity skew and a US/CN-heavy client geography matching the
+// 2013 web.
+package alexa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudscope/internal/xrand"
+)
+
+// CountryShare is one country's fraction of a domain's client base.
+type CountryShare struct {
+	Country string
+	Share   float64
+}
+
+// Domain is one ranked website.
+type Domain struct {
+	Rank    int // 1-based Alexa rank
+	Name    string
+	Clients []CountryShare // descending by share; sums to ~1
+}
+
+// CustomerCountry returns the country contributing the largest client
+// share — the paper's "customer country" definition.
+func (d *Domain) CustomerCountry() string {
+	if len(d.Clients) == 0 {
+		return ""
+	}
+	return d.Clients[0].Country
+}
+
+// List is a ranked population of domains.
+type List struct {
+	Domains []*Domain // index i holds rank i+1
+	byName  map[string]*Domain
+}
+
+// Anchor pins a real domain name at a real rank.
+type Anchor struct {
+	Rank int
+	Name string
+}
+
+// DefaultAnchors reproduces the paper's top cloud-using domains
+// (Tables 4, 8, 10, 15) at their published Alexa ranks.
+var DefaultAnchors = []Anchor{
+	{7, "live.com"}, {9, "amazon.com"}, {13, "linkedin.com"}, {18, "msn.com"},
+	{20, "bing.com"}, {29, "163.com"}, {31, "microsoft.com"}, {35, "pinterest.com"},
+	{36, "fc2.com"}, {38, "conduit.com"}, {42, "ask.com"}, {47, "apple.com"},
+	{48, "imdb.com"}, {51, "hao123.com"}, {59, "go.com"},
+	{75, "instagram.com"}, {92, "netflix.com"}, {119, "dropbox.com"}, {137, "vimeo.com"},
+	{615, "foursquare.com"}, {799, "zynga.com"},
+}
+
+// globalWebPopulation weights countries by their 2013 share of web
+// users; domains draw their dominant client country from it.
+var globalWebPopulation = []CountryShare{
+	{"US", 0.26}, {"CN", 0.15}, {"IN", 0.08}, {"JP", 0.05}, {"BR", 0.05},
+	{"DE", 0.045}, {"GB", 0.04}, {"RU", 0.04}, {"FR", 0.035}, {"KR", 0.025},
+	{"MX", 0.02}, {"IT", 0.02}, {"ES", 0.018}, {"CA", 0.018}, {"ID", 0.018},
+	{"TW", 0.012}, {"AU", 0.012}, {"NL", 0.012}, {"PL", 0.012}, {"AR", 0.01},
+	{"TH", 0.01}, {"SG", 0.006}, {"HK", 0.006}, {"ZA", 0.006}, {"EG", 0.006},
+	{"NG", 0.005}, {"CL", 0.005}, {"NZ", 0.003}, {"IE", 0.003},
+}
+
+var tlds = []string{".com", ".net", ".org", ".info", ".co", ".io", ".ru", ".de", ".cn", ".jp", ".co.uk", ".com.br", ".fr", ".in"}
+var tldWeights = []float64{52, 10, 8, 3, 2, 2, 5, 4, 4, 3, 2.5, 2, 1.5, 1}
+
+var syllables = []string{
+	"ka", "mo", "ra", "ti", "zen", "lu", "vex", "net", "blu", "pix",
+	"sol", "mar", "qui", "ta", "ren", "go", "fy", "hub", "sta", "dex",
+	"cло", "no", "mi", "ve", "press", "shop", "media", "tech", "soft", "ware",
+}
+
+// Generate builds an n-domain list with anchors pinned at their ranks.
+// Synthetic names are deterministic in seed.
+func Generate(n int, seed int64, anchors []Anchor) *List {
+	rng := xrand.SplitSeeded(seed, "alexa")
+	nameRNG := rng.Split("names")
+	geoRNG := rng.Split("geo")
+	pop := xrand.NewWeighted(geoRNG, shares(globalWebPopulation))
+	tldPick := xrand.NewWeighted(nameRNG, tldWeights)
+
+	l := &List{byName: make(map[string]*Domain, n)}
+	anchored := make(map[int]string)
+	for _, a := range anchors {
+		if a.Rank >= 1 && a.Rank <= n {
+			anchored[a.Rank] = a.Name
+		}
+	}
+	used := make(map[string]bool, n)
+	for rank := 1; rank <= n; rank++ {
+		name, isAnchor := anchored[rank]
+		if !isAnchor {
+			for tries := 0; ; tries++ {
+				name = synthName(nameRNG, tldPick)
+				if tries >= 4 {
+					// The syllable space is finite; guarantee progress
+					// at large list sizes.
+					dot := strings.IndexByte(name, '.')
+					name = fmt.Sprintf("%s%d%s", name[:dot], rank, name[dot:])
+				}
+				if !used[name] {
+					break
+				}
+			}
+		}
+		used[name] = true
+		d := &Domain{Rank: rank, Name: name}
+		d.Clients = clientMix(geoRNG, pop)
+		l.Domains = append(l.Domains, d)
+		l.byName[name] = d
+	}
+	return l
+}
+
+func shares(cs []CountryShare) []float64 {
+	out := make([]float64, len(cs))
+	for i, c := range cs {
+		out[i] = c.Share
+	}
+	return out
+}
+
+func synthName(rng *xrand.Rand, tldPick *xrand.Weighted) string {
+	var sb strings.Builder
+	k := 2 + rng.Intn(3)
+	for i := 0; i < k; i++ {
+		s := syllables[rng.Intn(len(syllables))]
+		if !isASCII(s) {
+			s = "lo"
+		}
+		sb.WriteString(s)
+	}
+	if rng.Bool(0.15) {
+		sb.WriteString(fmt.Sprintf("%d", rng.Intn(100)))
+	}
+	return sb.String() + tlds[tldPick.Next()]
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// clientMix draws a dominant country plus a long tail.
+func clientMix(rng *xrand.Rand, pop *xrand.Weighted) []CountryShare {
+	top := globalWebPopulation[pop.Next()].Country
+	topShare := 0.30 + rng.Float64()*0.35
+	remaining := 1 - topShare
+	others := 3 + rng.Intn(6)
+	mix := []CountryShare{{Country: top, Share: topShare}}
+	seen := map[string]bool{top: true}
+	for i := 0; i < others && remaining > 0.01; i++ {
+		c := globalWebPopulation[pop.Next()].Country
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		share := remaining * (0.2 + rng.Float64()*0.5)
+		if i == others-1 {
+			share = remaining
+		}
+		mix = append(mix, CountryShare{Country: c, Share: share})
+		remaining -= share
+	}
+	// Duplicate draws can leave mass unassigned; fold it into the
+	// dominant country so shares always sum to 1.
+	if remaining > 0 {
+		mix[0].Share += remaining
+	}
+	sort.SliceStable(mix, func(i, j int) bool { return mix[i].Share > mix[j].Share })
+	return mix
+}
+
+// Lookup returns the domain with the given name.
+func (l *List) Lookup(name string) (*Domain, bool) {
+	d, ok := l.byName[name]
+	return d, ok
+}
+
+// Len returns the number of ranked domains.
+func (l *List) Len() int { return len(l.Domains) }
+
+// Rank returns the domain at a 1-based rank.
+func (l *List) Rank(r int) *Domain {
+	if r < 1 || r > len(l.Domains) {
+		return nil
+	}
+	return l.Domains[r-1]
+}
+
+// WebInfoService answers customer-country queries the way the paper used
+// the Alexa Web Information Service: per domain, with a configurable
+// coverage rate (the paper could identify ~75% of subdomains' customer
+// country).
+type WebInfoService struct {
+	list     *List
+	coverage float64
+	rng      *xrand.Rand
+}
+
+// NewWebInfoService wraps list with the given coverage probability.
+func NewWebInfoService(list *List, coverage float64, seed int64) *WebInfoService {
+	return &WebInfoService{list: list, coverage: coverage, rng: xrand.SplitSeeded(seed, "awis")}
+}
+
+// CustomerCountry returns the dominant client country for domain, with
+// ok=false for unknown domains or the uncovered fraction.
+func (w *WebInfoService) CustomerCountry(domain string) (string, bool) {
+	d, found := w.list.Lookup(domain)
+	if !found {
+		return "", false
+	}
+	// Coverage is deterministic per domain name, not per call.
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	if float64(h%10000)/10000 > w.coverage {
+		return "", false
+	}
+	return d.CustomerCountry(), true
+}

@@ -1,0 +1,145 @@
+package alexa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	l := Generate(1000, 1, DefaultAnchors)
+	if l.Len() != 1000 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	seen := map[string]bool{}
+	for i, d := range l.Domains {
+		if d.Rank != i+1 {
+			t.Fatalf("rank %d at index %d", d.Rank, i)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate domain %s", d.Name)
+		}
+		seen[d.Name] = true
+		if !strings.Contains(d.Name, ".") {
+			t.Fatalf("bad name %q", d.Name)
+		}
+	}
+}
+
+func TestAnchorsPlaced(t *testing.T) {
+	l := Generate(1000, 2, DefaultAnchors)
+	for _, a := range DefaultAnchors {
+		if a.Rank > 1000 {
+			continue
+		}
+		if got := l.Rank(a.Rank).Name; got != a.Name {
+			t.Errorf("rank %d = %q, want %q", a.Rank, got, a.Name)
+		}
+		d, ok := l.Lookup(a.Name)
+		if !ok || d.Rank != a.Rank {
+			t.Errorf("Lookup(%q) = %+v, %v", a.Name, d, ok)
+		}
+	}
+}
+
+func TestAnchorBeyondNIgnored(t *testing.T) {
+	l := Generate(50, 3, []Anchor{{Rank: 100, Name: "toolate.com"}})
+	if _, ok := l.Lookup("toolate.com"); ok {
+		t.Fatal("out-of-range anchor placed")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(500, 42, DefaultAnchors)
+	b := Generate(500, 42, DefaultAnchors)
+	for i := range a.Domains {
+		if a.Domains[i].Name != b.Domains[i].Name {
+			t.Fatalf("name differs at rank %d", i+1)
+		}
+		if a.Domains[i].CustomerCountry() != b.Domains[i].CustomerCountry() {
+			t.Fatalf("client mix differs at rank %d", i+1)
+		}
+	}
+	c := Generate(500, 43, DefaultAnchors)
+	diff := 0
+	for i := range a.Domains {
+		if a.Domains[i].Name != c.Domains[i].Name {
+			diff++
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("different seeds produced near-identical lists (%d diffs)", diff)
+	}
+}
+
+func TestClientMixSumsToOne(t *testing.T) {
+	l := Generate(300, 4, nil)
+	for _, d := range l.Domains {
+		sum := 0.0
+		for i, c := range d.Clients {
+			if c.Share <= 0 {
+				t.Fatalf("%s client %d share %f", d.Name, i, c.Share)
+			}
+			sum += c.Share
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Fatalf("%s client shares sum to %f", d.Name, sum)
+		}
+		for i := 1; i < len(d.Clients); i++ {
+			if d.Clients[i].Share > d.Clients[i-1].Share {
+				t.Fatalf("%s client shares unsorted", d.Name)
+			}
+		}
+	}
+}
+
+func TestCustomerCountryDistribution(t *testing.T) {
+	l := Generate(2000, 5, nil)
+	counts := map[string]int{}
+	for _, d := range l.Domains {
+		counts[d.CustomerCountry()]++
+	}
+	if counts["US"] < counts["SG"] {
+		t.Fatalf("US (%d) should dominate SG (%d)", counts["US"], counts["SG"])
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d customer countries", len(counts))
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	l := Generate(10, 6, nil)
+	if l.Rank(0) != nil || l.Rank(11) != nil {
+		t.Fatal("out-of-range Rank should be nil")
+	}
+	if l.Rank(1) == nil || l.Rank(10) == nil {
+		t.Fatal("in-range Rank nil")
+	}
+}
+
+func TestWebInfoService(t *testing.T) {
+	l := Generate(1000, 7, DefaultAnchors)
+	w := NewWebInfoService(l, 0.75, 7)
+	covered := 0
+	for _, d := range l.Domains {
+		cc, ok := w.CustomerCountry(d.Name)
+		if ok {
+			covered++
+			if cc != d.CustomerCountry() {
+				t.Fatalf("%s: CC %q != %q", d.Name, cc, d.CustomerCountry())
+			}
+		}
+		// Determinism per domain.
+		cc2, ok2 := w.CustomerCountry(d.Name)
+		if ok != ok2 || cc != cc2 {
+			t.Fatal("coverage not deterministic per domain")
+		}
+	}
+	frac := float64(covered) / float64(l.Len())
+	if frac < 0.68 || frac > 0.82 {
+		t.Fatalf("coverage = %.2f, want ~0.75", frac)
+	}
+	if _, ok := w.CustomerCountry("not-a-domain.zz"); ok {
+		t.Fatal("unknown domain covered")
+	}
+}

@@ -1,0 +1,408 @@
+package capture
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"time"
+
+	"cloudscope/internal/httpwire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/packet"
+	"cloudscope/internal/pcapio"
+	"cloudscope/internal/tlswire"
+)
+
+// FlowRecord is the analyzer's per-connection summary — the conn.log
+// row of the Bro stand-in.
+type FlowRecord struct {
+	Client, Server netaddr.IP
+	ServerPort     uint16
+	Proto          uint8
+	Cloud          ipranges.Provider
+	Kind           Kind
+	First, Last    time.Time
+	Packets        int
+
+	// Sequence-number bookkeeping for TCP volume recovery.
+	isnC, isnS uint32
+	haveSynC   bool
+	haveSynS   bool
+	finC, finS uint32
+	haveFinC   bool
+	haveFinS   bool
+
+	udpBytes int64 // orig-len accounting for non-TCP
+
+	// Application-layer extractions.
+	Host          string // HTTP Host or TLS SNI
+	CertCN        string // TLS certificate common name
+	ContentType   string
+	ContentLength int64
+
+	sawClientPayload bool
+	sawServerPayload bool
+}
+
+// Bytes returns the connection's application byte volume: for TCP the
+// SYN/FIN sequence delta per direction (Bro's method), otherwise the
+// wire bytes observed.
+func (f *FlowRecord) Bytes() int64 {
+	if f.Proto == packet.ProtoTCP && f.haveSynC && f.haveFinC && f.haveSynS && f.haveFinS {
+		up := int64(f.finC - f.isnC - 1) // uint32 arithmetic handles wrap
+		down := int64(f.finS - f.isnS - 1)
+		if up >= 0 && down >= 0 {
+			return up + down
+		}
+	}
+	return f.udpBytes
+}
+
+// Duration returns the observed flow duration.
+func (f *FlowRecord) Duration() time.Duration { return f.Last.Sub(f.First) }
+
+// Domain returns the registered domain the flow is attributed to: the
+// HTTP hostname or TLS SNI when present, the certificate CN otherwise.
+func (f *FlowRecord) Domain() string {
+	name := f.Host
+	if name == "" {
+		name = f.CertCN
+	}
+	if name == "" {
+		return ""
+	}
+	if name[0] == '*' && len(name) > 2 {
+		name = name[2:]
+	}
+	return DomainOf(name)
+}
+
+// Analysis aggregates a full capture.
+type Analysis struct {
+	Flows      []*FlowRecord
+	NonIPv4    int
+	UnknownIP  int // unknown transports (Bro's "other")
+	DecodeErrs int
+}
+
+// flowKey identifies a connection with the client side first.
+type flowKey struct {
+	client, server netaddr.IP
+	cport, sport   uint16
+	proto          uint8
+}
+
+// Analyze reads a pcap stream and builds per-flow records. Only flows
+// whose non-campus endpoint is inside the published cloud ranges are
+// kept — the same filter the border tap applied.
+func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
+	rd, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{}
+	table := map[flowKey]*FlowRecord{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p, derr := packet.Decode(rec.Data)
+		if derr != nil && !errors.Is(derr, packet.ErrUnknownTransport) {
+			if p == nil {
+				a.DecodeErrs++
+				continue
+			}
+		}
+		if p == nil {
+			a.DecodeErrs++
+			continue
+		}
+		clientToServer := InCampus(p.IPv4.Src)
+		var client, server netaddr.IP
+		var cport, sport uint16
+		fl := p.Flow()
+		if clientToServer {
+			client, server, cport, sport = fl.Src, fl.Dst, fl.SrcPort, fl.DstPort
+		} else {
+			client, server, cport, sport = fl.Dst, fl.Src, fl.DstPort, fl.SrcPort
+		}
+		entry, okRange := ranges.Lookup(server)
+		if !okRange {
+			continue // not cloud traffic; the tap would not have kept it
+		}
+		cloud := entry.Provider
+		if cloud == ipranges.CloudFront {
+			cloud = ipranges.EC2
+		}
+		key := flowKey{client: client, server: server, cport: cport, sport: sport, proto: p.IPv4.Protocol}
+		fr := table[key]
+		if fr == nil {
+			fr = &FlowRecord{
+				Client: client, Server: server, ServerPort: sport,
+				Proto: p.IPv4.Protocol, Cloud: cloud,
+				First: rec.Time, Last: rec.Time,
+				ContentLength: -1,
+			}
+			fr.Kind = classify(p.IPv4.Protocol, sport)
+			table[key] = fr
+			a.Flows = append(a.Flows, fr)
+		}
+		if rec.Time.Before(fr.First) {
+			fr.First = rec.Time
+		}
+		if rec.Time.After(fr.Last) {
+			fr.Last = rec.Time
+		}
+		fr.Packets++
+		if errors.Is(derr, packet.ErrUnknownTransport) {
+			a.UnknownIP++
+			fr.udpBytes += int64(rec.OrigLen)
+			continue
+		}
+		switch p.IPv4.Protocol {
+		case packet.ProtoTCP:
+			analyzeTCP(fr, p, clientToServer)
+		default:
+			fr.udpBytes += int64(rec.OrigLen)
+		}
+	}
+	return a, nil
+}
+
+func classify(proto uint8, serverPort uint16) Kind {
+	switch proto {
+	case packet.ProtoICMP:
+		return KindICMP
+	case packet.ProtoUDP:
+		if serverPort == 53 {
+			return KindDNS
+		}
+		return KindOtherUDP
+	case packet.ProtoTCP:
+		switch serverPort {
+		case 80:
+			return KindHTTP
+		case 443:
+			return KindHTTPS
+		default:
+			return KindOtherTCP
+		}
+	}
+	return KindOtherUDP
+}
+
+func analyzeTCP(fr *FlowRecord, p *packet.Packet, clientToServer bool) {
+	t := p.TCP
+	if t.Flags&packet.FlagSYN != 0 {
+		if clientToServer {
+			fr.isnC, fr.haveSynC = t.Seq, true
+		} else {
+			fr.isnS, fr.haveSynS = t.Seq, true
+		}
+	}
+	if t.Flags&packet.FlagFIN != 0 {
+		if clientToServer {
+			fr.finC, fr.haveFinC = t.Seq, true
+		} else {
+			fr.finS, fr.haveFinS = t.Seq, true
+		}
+	}
+	if len(p.Payload) == 0 {
+		return
+	}
+	if clientToServer && !fr.sawClientPayload {
+		fr.sawClientPayload = true
+		if fr.Kind == KindHTTPS {
+			if sni, ok := tlswire.SNI(p.Payload); ok {
+				fr.Host = sni
+			}
+		} else if req, ok := httpwire.ParseRequest(p.Payload); ok {
+			fr.Host = req.Host
+			if fr.Kind == KindOtherTCP {
+				fr.Kind = KindHTTP // HTTP on a nonstandard port
+			}
+		}
+	}
+	if !clientToServer && !fr.sawServerPayload {
+		fr.sawServerPayload = true
+		switch fr.Kind {
+		case KindHTTPS:
+			// Walk the server's handshake flight looking for the
+			// certificate.
+			rest := p.Payload
+			for len(rest) > 5 {
+				if cn, ok := tlswire.CertificateCN(rest); ok {
+					fr.CertCN = cn
+					break
+				}
+				_, _, next, err := tlswire.ParseRecord(rest)
+				if err != nil || next == nil {
+					break
+				}
+				rest = next
+			}
+		default:
+			if resp, ok := httpwire.ParseResponse(p.Payload); ok {
+				fr.ContentType = resp.ContentType
+				fr.ContentLength = resp.ContentLength
+			}
+		}
+	}
+}
+
+// ---- Aggregations the paper's tables report ----
+
+// CloudShare is Table 1: per-cloud byte and flow percentages.
+func (a *Analysis) CloudShare() (bytesPct, flowsPct map[ipranges.Provider]float64) {
+	bytesPct = map[ipranges.Provider]float64{}
+	flowsPct = map[ipranges.Provider]float64{}
+	var totalBytes float64
+	for _, f := range a.Flows {
+		bytesPct[f.Cloud] += float64(f.Bytes())
+		flowsPct[f.Cloud]++
+		totalBytes += float64(f.Bytes())
+	}
+	for c := range bytesPct {
+		bytesPct[c] = 100 * bytesPct[c] / totalBytes
+		flowsPct[c] = 100 * flowsPct[c] / float64(len(a.Flows))
+	}
+	return bytesPct, flowsPct
+}
+
+// ProtocolShare is Table 2: per-protocol byte/flow percentages for one
+// cloud ("" for the whole capture).
+func (a *Analysis) ProtocolShare(cloud ipranges.Provider) (bytesPct, flowsPct map[Kind]float64) {
+	bytesPct = map[Kind]float64{}
+	flowsPct = map[Kind]float64{}
+	var totalBytes, totalFlows float64
+	for _, f := range a.Flows {
+		if cloud != "" && f.Cloud != cloud {
+			continue
+		}
+		bytesPct[f.Kind] += float64(f.Bytes())
+		flowsPct[f.Kind]++
+		totalBytes += float64(f.Bytes())
+		totalFlows++
+	}
+	for k := range bytesPct {
+		bytesPct[k] = 100 * bytesPct[k] / totalBytes
+	}
+	for k := range flowsPct {
+		flowsPct[k] = 100 * flowsPct[k] / totalFlows
+	}
+	return bytesPct, flowsPct
+}
+
+// DomainVolume is one row of Table 5.
+type DomainVolume struct {
+	Domain string
+	Cloud  ipranges.Provider
+	Bytes  int64
+	Flows  int
+}
+
+// TopDomains returns HTTP(S) domains by volume for one cloud.
+func (a *Analysis) TopDomains(cloud ipranges.Provider, n int) []DomainVolume {
+	agg := map[string]*DomainVolume{}
+	for _, f := range a.Flows {
+		if f.Cloud != cloud || (f.Kind != KindHTTP && f.Kind != KindHTTPS) {
+			continue
+		}
+		d := f.Domain()
+		if d == "" {
+			continue
+		}
+		dv := agg[d]
+		if dv == nil {
+			dv = &DomainVolume{Domain: d, Cloud: cloud}
+			agg[d] = dv
+		}
+		dv.Bytes += f.Bytes()
+		dv.Flows++
+	}
+	out := make([]DomainVolume, 0, len(agg))
+	for _, dv := range agg {
+		out = append(out, *dv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// HTTPTotalBytes returns total HTTP(S) volume across both clouds.
+func (a *Analysis) HTTPTotalBytes() int64 {
+	var total int64
+	for _, f := range a.Flows {
+		if f.Kind == KindHTTP || f.Kind == KindHTTPS {
+			total += f.Bytes()
+		}
+	}
+	return total
+}
+
+// ContentTypeRow is one row of Table 6.
+type ContentTypeRow struct {
+	Type  string
+	Bytes int64
+	Count int
+	Mean  float64
+	Max   int64
+}
+
+// ContentTypes aggregates HTTP response bodies by Content-Type.
+func (a *Analysis) ContentTypes() []ContentTypeRow {
+	agg := map[string]*ContentTypeRow{}
+	for _, f := range a.Flows {
+		if f.Kind != KindHTTP || f.ContentType == "" || f.ContentLength < 0 {
+			continue
+		}
+		row := agg[f.ContentType]
+		if row == nil {
+			row = &ContentTypeRow{Type: f.ContentType}
+			agg[f.ContentType] = row
+		}
+		row.Bytes += f.ContentLength
+		row.Count++
+		if f.ContentLength > row.Max {
+			row.Max = f.ContentLength
+		}
+	}
+	out := make([]ContentTypeRow, 0, len(agg))
+	for _, row := range agg {
+		row.Mean = float64(row.Bytes) / float64(row.Count)
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out
+}
+
+// FlowStats returns per-domain flow counts and individual flow sizes
+// for one (cloud, kind) pair — the inputs to Figure 3's CDFs.
+func (a *Analysis) FlowStats(cloud ipranges.Provider, kind Kind) (flowsPerDomain []float64, flowSizes []float64) {
+	perDomain := map[string]int{}
+	for _, f := range a.Flows {
+		if f.Cloud != cloud || f.Kind != kind {
+			continue
+		}
+		if d := f.Domain(); d != "" {
+			perDomain[d]++
+		}
+		flowSizes = append(flowSizes, float64(f.Bytes()))
+	}
+	for _, n := range perDomain {
+		flowsPerDomain = append(flowsPerDomain, float64(n))
+	}
+	return flowsPerDomain, flowSizes
+}

@@ -1,0 +1,557 @@
+package capture
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"cloudscope/internal/deploy"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/httpwire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/packet"
+	"cloudscope/internal/pcapio"
+	"cloudscope/internal/tlswire"
+	"cloudscope/internal/xrand"
+)
+
+// host is one server endpoint flows can target.
+type host struct {
+	name   string
+	domain string
+	cloud  ipranges.Provider
+	ip     netaddr.IP
+}
+
+// Generator synthesizes a border capture for a world.
+type Generator struct {
+	cfg    Config
+	world  *deploy.World
+	rng    *xrand.Rand
+	ranges *ipranges.List
+
+	anchorHosts map[string][]host // anchor domain → hosts
+	background  map[ipranges.Provider][]host
+	bgZipf      map[ipranges.Provider]*xrand.Zipf
+
+	// synthetic server-IP allocation cursors per cloud
+	ipCursor map[ipranges.Provider]uint64
+
+	truth Truth
+}
+
+// NewGenerator builds a generator over world. The world supplies real
+// front-end IPs for Alexa domains; capture-only domains (the half of
+// captured domains outside the top list) get synthetic cloud addresses.
+func NewGenerator(cfg Config, world *deploy.World) *Generator {
+	g := &Generator{
+		cfg:         cfg,
+		world:       world,
+		rng:         xrand.SplitSeeded(cfg.Seed, "capture"),
+		ranges:      world.Ranges,
+		anchorHosts: map[string][]host{},
+		background:  map[ipranges.Provider][]host{},
+		bgZipf:      map[ipranges.Provider]*xrand.Zipf{},
+		ipCursor:    map[ipranges.Provider]uint64{ipranges.EC2: 977, ipranges.Azure: 1409},
+	}
+	g.truth = Truth{
+		FlowsByCloud:       map[ipranges.Provider]int{},
+		BytesByCloud:       map[ipranges.Provider]int64{},
+		BytesByKind:        map[ipranges.Provider]map[Kind]int64{ipranges.EC2: {}, ipranges.Azure: {}},
+		FlowsByKind:        map[ipranges.Provider]map[Kind]int{ipranges.EC2: {}, ipranges.Azure: {}},
+		HTTPVolumeByDomain: map[string]int64{},
+		ContentTypeBytes:   map[string]int64{},
+	}
+	g.buildCatalog()
+	return g
+}
+
+// syntheticIP allocates a stable address inside a provider's ranges.
+func (g *Generator) syntheticIP(p ipranges.Provider) netaddr.IP {
+	var cidrs []netaddr.CIDR
+	for _, region := range g.ranges.Regions(p) {
+		cidrs = append(cidrs, g.ranges.RegionCIDRs(region)...)
+	}
+	g.ipCursor[p] += 2654435761 % 10007
+	total := uint64(0)
+	for _, c := range cidrs {
+		total += c.Size()
+	}
+	off := g.ipCursor[p] % total
+	for _, c := range cidrs {
+		if off < c.Size() {
+			return c.Nth(off)
+		}
+		off -= c.Size()
+	}
+	panic("unreachable")
+}
+
+// buildCatalog assembles anchor and background host lists.
+func (g *Generator) buildCatalog() {
+	for _, a := range trafficAnchors {
+		for _, label := range a.hosts {
+			fqdn := label + "." + a.domain
+			h := host{name: fqdn, domain: a.domain, cloud: a.cloud}
+			if sub, ok := g.world.Subdomain(fqdn); ok && len(sub.VMs) > 0 {
+				h.ip = sub.VMs[0].PublicIP
+			} else {
+				h.ip = g.syntheticIP(a.cloud)
+			}
+			g.anchorHosts[a.domain] = append(g.anchorHosts[a.domain], h)
+		}
+	}
+	// Background: every cloud-using subdomain in the world with a
+	// resolvable front end, plus capture-only synthetic domains (the
+	// paper found ~half the captured domains outside the Alexa list).
+	anchorDomains := map[string]bool{}
+	for _, a := range trafficAnchors {
+		anchorDomains[a.domain] = true
+	}
+	for _, d := range g.world.CloudDomains {
+		if anchorDomains[d.Name] {
+			continue
+		}
+		for _, s := range d.CloudSubdomains() {
+			h := host{name: s.FQDN, domain: d.Name, cloud: s.Provider}
+			switch {
+			case len(s.VMs) > 0:
+				h.ip = s.VMs[0].PublicIP
+			case s.ELB != nil && len(s.ELB.Proxies) > 0:
+				h.ip = s.ELB.Proxies[0].PublicIP
+			case s.CS != nil:
+				h.ip = s.CS.Node.PublicIP
+			default:
+				continue
+			}
+			g.background[s.Provider] = append(g.background[s.Provider], h)
+		}
+	}
+	// Capture-only domains.
+	nExtra := len(g.background[ipranges.EC2]) / 2
+	if nExtra < 20 {
+		nExtra = 20
+	}
+	for i := 0; i < nExtra; i++ {
+		p := ipranges.EC2
+		if g.rng.Bool(0.065) {
+			p = ipranges.Azure
+		}
+		domain := fmt.Sprintf("captureonly%04d.com", i)
+		h := host{name: "api." + domain, domain: domain, cloud: p, ip: g.syntheticIP(p)}
+		g.background[p] = append(g.background[p], h)
+	}
+	for _, p := range []ipranges.Provider{ipranges.EC2, ipranges.Azure} {
+		if len(g.background[p]) == 0 {
+			// Degenerate tiny worlds: invent one host.
+			g.background[p] = []host{{name: "api.filler.com", domain: "filler.com", cloud: p, ip: g.syntheticIP(p)}}
+		}
+		// Zipf with s≈1.3 concentrates ~80% of flows in the top 100
+		// domains, as §3.3 observed.
+		g.bgZipf[p] = xrand.NewZipf(g.rng.Split("zipf/"+string(p)), len(g.background[p]), 1.3)
+	}
+}
+
+// event is one packet scheduled for the pcap.
+type event struct {
+	t    time.Time
+	data []byte
+	orig int
+}
+
+// anchorShareTotal is the fraction of HTTP(S) bytes Table 5's anchor
+// domains carry.
+func anchorShareTotal() float64 {
+	s := 0.0
+	for _, a := range trafficAnchors {
+		s += a.share
+	}
+	return s
+}
+
+// Generate writes the capture to w and returns the ground truth.
+//
+// Calibration works in two passes. Background flows are generated first
+// to fill the per-cloud protocol mix; their actual HTTP(S) byte mass is
+// tallied. Anchor flows are then sized so each anchor domain's share of
+// the resulting total matches Table 5 exactly in expectation: with the
+// anchors jointly holding fraction S of all HTTP(S) bytes, the anchor
+// byte pool is B_bg * S / (1 - S).
+func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
+	var events []event
+	shareS := anchorShareTotal()
+
+	// Anchors get a fixed ~6% of the flow budget, split ∝ √share so
+	// heavy domains get more flows without dominating counts; their
+	// per-flow sizes (set in pass B) carry the byte shares. meanObject
+	// acts only as a shape hint for the √share split.
+	sqrtSum := 0.0
+	for _, a := range trafficAnchors {
+		sqrtSum += math.Sqrt(a.share)
+	}
+	anchorBudget := float64(g.cfg.Flows) * 0.06
+	anchorN := make([]int, len(trafficAnchors))
+	estAnchorFlows := map[ipranges.Provider]int{}
+	for i, a := range trafficAnchors {
+		n := int(math.Round(anchorBudget * math.Sqrt(a.share) / sqrtSum))
+		if n < 1 {
+			n = 1
+		}
+		anchorN[i] = n
+		estAnchorFlows[a.cloud] += n
+	}
+	clouds := []ipranges.Provider{ipranges.EC2, ipranges.Azure}
+	bgBudget := map[ipranges.Provider]int{}
+	for _, c := range clouds {
+		bgBudget[c] = int(float64(g.cfg.Flows)*cloudFlowSplit[c]) - estAnchorFlows[c]
+		if bgBudget[c] < 0 {
+			bgBudget[c] = 0
+		}
+	}
+
+	// Pass A: background flows fill the protocol mix.
+	ctWeights := contentCountWeights()
+	idx := 0
+	for _, cloud := range clouds {
+		kindPick := xrand.NewWeighted(g.rng, flowKindWeights[cloud])
+		for i := 0; i < bgBudget[cloud]; i++ {
+			idx++
+			kind := Kinds[kindPick.Next()]
+			switch kind {
+			case KindHTTP, KindHTTPS:
+				h := g.background[cloud][g.bgZipf[cloud].Next()]
+				var size int64
+				var ctype string
+				if kind == KindHTTP {
+					ct := contentTypes[xrand.NewWeighted(g.rng, ctWeights).Next()]
+					size = g.lognormalMean(ct.meanBytes, 1.2, ct.maxBytes)
+					ctype = ct.name
+				} else {
+					median := 10 << 10
+					if cloud == ipranges.Azure {
+						median = 8 << 10
+					}
+					size = g.lognormalMedian(float64(median), 1.4, 500_000_000)
+				}
+				events = append(events, g.tcpFlowTyped(idx, kind, h, size, ctype)...)
+			case KindDNS:
+				h := g.background[cloud][g.bgZipf[cloud].Next()]
+				events = append(events, g.dnsFlow(idx, cloud, h)...)
+			case KindICMP:
+				events = append(events, g.icmpFlow(idx, cloud)...)
+			case KindOtherTCP:
+				h := g.background[cloud][g.bgZipf[cloud].Next()]
+				size := g.lognormalMedian(30_000, 1.5, 100_000_000)
+				events = append(events, g.otherTCPFlow(idx, cloud, h, size)...)
+			case KindOtherUDP:
+				events = append(events, g.otherUDPFlow(idx, cloud)...)
+			}
+		}
+	}
+
+	// Pass B: anchors sized from the actual background HTTP(S) mass.
+	var bgHTTPBytes float64
+	for _, c := range clouds {
+		bgHTTPBytes += float64(g.truth.BytesByKind[c][KindHTTP] + g.truth.BytesByKind[c][KindHTTPS])
+	}
+	anchorPool := bgHTTPBytes * shareS / (1 - shareS)
+	for ai, a := range trafficAnchors {
+		bytes := a.share / shareS * anchorPool
+		n := anchorN[ai]
+		per := bytes / float64(n)
+		for i := 0; i < n; i++ {
+			idx++
+			kind := KindHTTP
+			if g.rng.Bool(a.httpsBias) {
+				kind = KindHTTPS
+			}
+			h := xrand.PickUniform(g.rng, g.anchorHosts[a.domain])
+			size := g.lognormalMean(per, 1.1, 2_000_000_000)
+			events = append(events, g.tcpFlow(idx, kind, h, size)...)
+		}
+	}
+
+	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	for _, ev := range events {
+		if err := w.WriteRecord(pcapio.Record{Time: ev.t, Data: ev.data, OrigLen: ev.orig}); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	t := g.truth
+	return &t, nil
+}
+
+// lognormalMean draws a heavy-tailed size with the given mean.
+func (g *Generator) lognormalMean(mean, sigma float64, max int64) int64 {
+	mu := math.Log(mean) - sigma*sigma/2
+	v := int64(g.rng.LogNormal(mu, sigma))
+	if v < 64 {
+		v = 64
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// lognormalMedian draws a heavy-tailed size with the given median.
+func (g *Generator) lognormalMedian(median, sigma float64, max int64) int64 {
+	v := int64(g.rng.LogNormal(math.Log(median), sigma))
+	if v < 64 {
+		v = 64
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// flowTiming picks a diurnal start time and a transfer duration.
+func (g *Generator) flowTiming(bytes int64) (start time.Time, dur time.Duration) {
+	day := g.rng.Intn(g.cfg.Days)
+	hour := g.diurnalHour()
+	offset := time.Duration(day)*24*time.Hour +
+		time.Duration(hour)*time.Hour +
+		time.Duration(g.rng.Intn(3600*1000))*time.Millisecond
+	start = g.cfg.Start.Add(offset)
+	rate := g.rng.LogNormal(math.Log(400_000), 1.0) // bytes/sec
+	dur = time.Duration(float64(bytes) / rate * float64(time.Second))
+	if dur < 10*time.Millisecond {
+		dur = 10 * time.Millisecond
+	}
+	// A thin tail of long-lived sessions (notification long-polls, sync
+	// channels) keeps connections open for hours — the paper observed
+	// flows "that last for a few hours".
+	if g.rng.Bool(0.004) {
+		dur = 30*time.Minute + time.Duration(g.rng.Float64()*float64(3*time.Hour))
+	}
+	if dur > 4*time.Hour {
+		dur = 4 * time.Hour
+	}
+	return start, dur
+}
+
+func (g *Generator) diurnalHour() int {
+	// Campus traffic peaks mid-afternoon.
+	weights := make([]float64, 24)
+	for h := 0; h < 24; h++ {
+		weights[h] = 1 + 0.8*math.Sin(float64(h-8)/24*2*math.Pi)
+	}
+	return xrand.NewWeighted(g.rng, weights).Next()
+}
+
+// clientEndpoint derives a unique campus client address/port per flow.
+func clientEndpoint(idx int) (netaddr.IP, uint16) {
+	ip := campusNet.Nth(uint64(1 + idx%65000))
+	port := uint16(1024 + (idx/65000*7919+idx)%60000)
+	return ip, port
+}
+
+func (g *Generator) account(cloud ipranges.Provider, kind Kind, domain string, bytes int64) {
+	g.truth.TotalFlows++
+	g.truth.TotalBytes += bytes
+	g.truth.FlowsByCloud[cloud]++
+	g.truth.BytesByCloud[cloud] += bytes
+	g.truth.FlowsByKind[cloud][kind]++
+	g.truth.BytesByKind[cloud][kind] += bytes
+	if domain != "" && (kind == KindHTTP || kind == KindHTTPS) {
+		g.truth.HTTPVolumeByDomain[domain] += bytes
+	}
+}
+
+// tcpFlow emits an HTTP or HTTPS flow, drawing a size-appropriate
+// content type (anchor flows carry calibrated sizes, so their type must
+// follow the size or Table 6's type/size correlations break).
+func (g *Generator) tcpFlow(idx int, kind Kind, h host, size int64) []event {
+	return g.tcpFlowTyped(idx, kind, h, size, g.contentTypeForSize(size))
+}
+
+// contentTypeForSize picks a Content-Type for a transfer of the given
+// size by Table 6's byte shares, restricted to types whose observed
+// maximum accommodates the size (a 20 MB object can be text/plain — the
+// paper saw 24 MB ones — but not text/xml).
+func (g *Generator) contentTypeForSize(size int64) string {
+	names := make([]string, 0, len(contentTypes))
+	weights := make([]float64, 0, len(contentTypes))
+	for _, ct := range contentTypes {
+		if ct.maxBytes >= size {
+			names = append(names, ct.name)
+			weights = append(weights, ct.byteShare)
+		}
+	}
+	if len(names) == 0 {
+		return "application/octet-stream"
+	}
+	return xrand.Pick(g.rng, names, weights)
+}
+
+// tcpFlowTyped emits a full TCP exchange: handshake, application heads,
+// representative data packets, and FINs whose sequence numbers encode
+// the transferred volume.
+func (g *Generator) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype string) []event {
+	clientIP, clientPort := clientEndpoint(idx)
+	serverPort := uint16(80)
+	if kind == KindHTTPS {
+		serverPort = 443
+	}
+	var reqPayload, respPayload []byte
+	if kind == KindHTTP {
+		req := httpwire.Request{Host: h.name, Path: "/" + ctype[strings.IndexByte(ctype, '/')+1:], Headers: map[string]string{"User-Agent": "Mozilla/5.0 (cloudscope)"}}
+		reqPayload = req.SerializeRequest()
+		resp := httpwire.Response{StatusCode: 200, ContentType: ctype, ContentLength: size}
+		respPayload = resp.SerializeResponse()
+		if kind == KindHTTP && ctype != "" {
+			g.truth.ContentTypeBytes[ctype] += size
+		}
+	} else {
+		reqPayload = tlswire.ClientHello(h.name)
+		respPayload = append(tlswire.ServerHello(), tlswire.Certificate("*."+h.domain)...)
+	}
+	reqBytes := int64(len(reqPayload)) + 300 // request head + client app data
+	respBytes := int64(len(respPayload)) + size
+	g.account(h.cloud, kind, h.domain, reqBytes+respBytes)
+	return g.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, reqPayload, respPayload, reqBytes, respBytes)
+}
+
+// otherTCPFlow emits a non-HTTP TCP exchange (SMTP/SSH/FTP-ish).
+func (g *Generator) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size int64) []event {
+	clientIP, clientPort := clientEndpoint(idx)
+	ports := []uint16{25, 22, 21, 6667, 8080}
+	serverPort := ports[g.rng.Intn(len(ports))]
+	banner := []byte("220 service ready\r\n")
+	g.account(cloud, KindOtherTCP, "", size)
+	return g.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, []byte("EHLO campus\r\n"), banner, 200, size)
+}
+
+// emitTCP produces the packet series for one connection.
+func (g *Generator) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) []event {
+	start, dur := g.flowTiming(respBytes)
+	isnC := uint32(g.rng.Intn(1 << 30))
+	isnS := uint32(g.rng.Intn(1 << 30))
+	rtt := time.Duration(20+g.rng.Intn(60)) * time.Millisecond
+
+	mac := packet.MAC{0x00, 0x16, 0x3e, byte(idx >> 16), byte(idx >> 8), byte(idx)}
+	rmac := packet.MAC{0x00, 0x0c, 0x29, 1, 2, 3}
+	frame := func(src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) event {
+		seg := tcp.Serialize(src, dst, payload)
+		ip := &packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: dst, ID: uint16(idx)}
+		if origTotal > 0 {
+			ip.TotalLength = uint16(min64(int64(origTotal), 65535))
+		}
+		eth := &packet.Ethernet{Src: mac, Dst: rmac, EtherType: packet.EtherTypeIPv4}
+		data := eth.Serialize(ip.Serialize(seg))
+		orig := len(data)
+		if origTotal > 0 && origTotal+14 > orig {
+			orig = origTotal + 14
+		}
+		return event{data: data, orig: orig}
+	}
+
+	var evs []event
+	at := func(d time.Duration, ev event) {
+		ev.t = start.Add(d)
+		evs = append(evs, ev)
+	}
+	// Handshake.
+	at(0, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC, Flags: packet.FlagSYN}, nil, 0))
+	at(rtt/2, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS, Ack: isnC + 1, Flags: packet.FlagSYN | packet.FlagACK}, nil, 0))
+	at(rtt, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK}, nil, 0))
+	// Application heads.
+	at(rtt+time.Millisecond, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK | packet.FlagPSH}, reqPayload, 0))
+	at(rtt*3/2+time.Millisecond, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS + 1, Ack: isnC + 1 + uint32(len(reqPayload)), Flags: packet.FlagACK | packet.FlagPSH}, respPayload, 0))
+	// Representative data packets (full-size on the wire; snap applies).
+	remaining := respBytes - int64(len(respPayload))
+	dataSeq := isnS + 1 + uint32(len(respPayload))
+	for i := 0; i < 2 && remaining > 1460; i++ {
+		at(rtt*2+dur*time.Duration(i+1)/4,
+			frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: dataSeq, Ack: isnC + 1 + uint32(reqBytes), Flags: packet.FlagACK}, nil, 1500))
+		dataSeq += 1460
+		remaining -= 1460
+	}
+	// Teardown carrying final sequence numbers.
+	finS := isnS + 1 + uint32(respBytes)
+	finC := isnC + 1 + uint32(reqBytes)
+	at(rtt+dur, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS, Ack: finC, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0))
+	at(rtt+dur+time.Millisecond, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: finC, Ack: finS + 1, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0))
+	at(rtt+dur+2*time.Millisecond, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS + 1, Ack: finC + 1, Flags: packet.FlagACK}, nil, 0))
+	return evs
+}
+
+// dnsFlow emits a UDP query/response pair to a cloud-hosted resolver.
+func (g *Generator) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
+	clientIP, clientPort := clientEndpoint(idx)
+	serverIP := g.syntheticIP(cloud)
+	q := dnswire.NewQuery(uint16(idx), h.name, dnswire.TypeA)
+	qbuf, _ := q.Pack()
+	r := q.Reply()
+	r.Answers = []dnswire.RR{{Name: h.name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: h.ip}}
+	rbuf, _ := r.Pack()
+	start, _ := g.flowTiming(int64(len(rbuf)))
+
+	build := func(src, dst netaddr.IP, sp, dp uint16, payload []byte) []byte {
+		udp := &packet.UDP{SrcPort: sp, DstPort: dp}
+		ip := &packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst}
+		eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		return eth.Serialize(ip.Serialize(udp.Serialize(src, dst, payload)))
+	}
+	qf := build(clientIP, serverIP, clientPort, 53, qbuf)
+	rf := build(serverIP, clientIP, 53, clientPort, rbuf)
+	g.account(cloud, KindDNS, "", int64(len(qf)+len(rf)))
+	return []event{
+		{t: start, data: qf, orig: len(qf)},
+		{t: start.Add(15 * time.Millisecond), data: rf, orig: len(rf)},
+	}
+}
+
+// icmpFlow emits an echo request/reply pair.
+func (g *Generator) icmpFlow(idx int, cloud ipranges.Provider) []event {
+	clientIP, _ := clientEndpoint(idx)
+	serverIP := g.syntheticIP(cloud)
+	start, _ := g.flowTiming(100)
+	build := func(src, dst netaddr.IP, typ uint8) []byte {
+		ic := &packet.ICMP{Type: typ}
+		ip := &packet.IPv4{Protocol: packet.ProtoICMP, Src: src, Dst: dst}
+		eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		return eth.Serialize(ip.Serialize(ic.Serialize(make([]byte, 56))))
+	}
+	req := build(clientIP, serverIP, 8)
+	rep := build(serverIP, clientIP, 0)
+	g.account(cloud, KindICMP, "", int64(len(req)+len(rep)))
+	return []event{
+		{t: start, data: req, orig: len(req)},
+		{t: start.Add(30 * time.Millisecond), data: rep, orig: len(rep)},
+	}
+}
+
+// otherUDPFlow emits a small unclassified UDP exchange.
+func (g *Generator) otherUDPFlow(idx int, cloud ipranges.Provider) []event {
+	clientIP, clientPort := clientEndpoint(idx)
+	serverIP := g.syntheticIP(cloud)
+	start, _ := g.flowTiming(500)
+	payload := make([]byte, 48+g.rng.Intn(400))
+	udp := &packet.UDP{SrcPort: clientPort, DstPort: 3544}
+	ip := &packet.IPv4{Protocol: packet.ProtoUDP, Src: clientIP, Dst: serverIP}
+	eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	f1 := eth.Serialize(ip.Serialize(udp.Serialize(clientIP, serverIP, payload)))
+	udp2 := &packet.UDP{SrcPort: 3544, DstPort: clientPort}
+	ip2 := &packet.IPv4{Protocol: packet.ProtoUDP, Src: serverIP, Dst: clientIP}
+	f2 := eth.Serialize(ip2.Serialize(udp2.Serialize(serverIP, clientIP, payload[:32])))
+	g.account(cloud, KindOtherUDP, "", int64(len(f1)+len(f2)))
+	return []event{
+		{t: start, data: f1, orig: len(f1)},
+		{t: start.Add(40 * time.Millisecond), data: f2, orig: len(f2)},
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

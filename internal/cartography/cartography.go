@@ -1,0 +1,442 @@
+// Package cartography implements the two availability-zone
+// identification techniques of §4.3 (after Ristenpart et al.):
+//
+//   - Latency method: probe instances in each zone TCP-ping a target;
+//     the minimum RTT identifies the probe's zone as the target's when
+//     it falls below a threshold T and is uniquely smallest.
+//   - Address-proximity method: instances sampled under many accounts
+//     give (internal /16 → zone label) evidence; because EC2 permutes
+//     zone labels per account, samples are merged by finding, for each
+//     account pair, the label permutation maximizing shared-/16
+//     agreement. Targets are then identified by their internal /16.
+//
+// The package also implements the combined estimator (proximity first,
+// latency for the remainder) and the veracity comparison of Table 13.
+package cartography
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/xrand"
+)
+
+// LatencyConfig parameterizes the latency method.
+type LatencyConfig struct {
+	// ThresholdMs is T: a minimum probe RTT above it means "unknown".
+	ThresholdMs float64
+	// ProbesPerInstance is the TCP pings per probe instance (10).
+	ProbesPerInstance int
+	// Repeats is how many probe instances' measurements are pooled per
+	// zone (the paper repeated the process 5 times).
+	Repeats int
+	// MissingProbeZones marks (region → zone indexes) where no probe
+	// instance could be launched, as happened to the authors in
+	// ap-northeast-1's second zone.
+	MissingProbeZones map[string][]int
+	// BusyFraction is the share of targets whose host is loaded enough
+	// to inflate even minimum RTTs past useful thresholds — the noise
+	// source behind Table 12's 10–30% unknown rates.
+	BusyFraction float64
+}
+
+// DefaultLatencyConfig mirrors the paper: T = 1.1 ms, 10 pings, 5
+// repeats, and no probes in ap-northeast-1 zone 1.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		ThresholdMs:       1.1,
+		ProbesPerInstance: 10,
+		Repeats:           5,
+		MissingProbeZones: map[string][]int{"ec2.ap-northeast-1": {1}},
+		BusyFraction:      0.13,
+	}
+}
+
+// LatencyOutcome is the latency method's verdict for one target.
+type LatencyOutcome struct {
+	Target *cloud.Instance
+	Zone   int // -1 when unknown
+}
+
+// LatencyRegionResult aggregates one region's identification run.
+type LatencyRegionResult struct {
+	Region     string
+	Targets    int
+	Responding int
+	ZoneCounts map[int]int // zone → identified targets
+	Unknown    int
+	Outcomes   []LatencyOutcome
+}
+
+// UnknownRate returns unknown / responding.
+func (r *LatencyRegionResult) UnknownRate() float64 {
+	if r.Responding == 0 {
+		return 0
+	}
+	return float64(r.Unknown) / float64(r.Responding)
+}
+
+// IdentifyByLatency runs the latency method over targets grouped by
+// region. Probe instances are launched under acct, so the returned zone
+// indexes are in acct's label space ('a' = 0, ...) — the same space the
+// proximity method reports in when acct is its reference, exactly as in
+// the paper where both methods ran from the authors' accounts. A small
+// fraction of targets (2%) are treated as unresponsive, like filtered
+// hosts in the wild.
+func IdentifyByLatency(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64) map[string]*LatencyRegionResult {
+	rng := xrand.SplitSeeded(seed, "cartography/latency")
+	byRegion := map[string][]*cloud.Instance{}
+	for _, t := range targets {
+		byRegion[t.Region] = append(byRegion[t.Region], t)
+	}
+	results := map[string]*LatencyRegionResult{}
+	for region, regionTargets := range byRegion {
+		res := &LatencyRegionResult{Region: region, ZoneCounts: map[int]int{}}
+		results[region] = res
+		missing := map[int]bool{}
+		for _, z := range cfg.MissingProbeZones[region] {
+			missing[z] = true
+		}
+		// Launch probe instances per account-visible zone label.
+		probes := map[int][]*cloud.Instance{}
+		for li, label := range acct.ZoneLabels(region) {
+			if missing[li] {
+				continue
+			}
+			for r := 0; r < cfg.Repeats; r++ {
+				probes[li] = append(probes[li], acct.Launch(region, label, "m1.medium"))
+			}
+		}
+		for _, target := range regionTargets {
+			res.Targets++
+			if rng.Bool(0.02) {
+				continue // unresponsive
+			}
+			res.Responding++
+			zone := identifyOne(c, rng, probes, target, cfg)
+			res.Outcomes = append(res.Outcomes, LatencyOutcome{Target: target, Zone: zone})
+			if zone < 0 {
+				res.Unknown++
+			} else {
+				res.ZoneCounts[zone]++
+			}
+		}
+	}
+	return results
+}
+
+// identifyOne applies the paper's decision rule to one target.
+func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes map[int][]*cloud.Instance, target *cloud.Instance, cfg LatencyConfig) int {
+	// Loaded targets answer slowly no matter who probes them: a stable
+	// per-instance floor that min-of-N cannot strip.
+	busyMs := 0.0
+	if h := idHash(target.ID); float64(h%1000)/1000 < cfg.BusyFraction {
+		busyMs = 0.4 + float64(h%977)/977*2.6
+	}
+	type zt struct {
+		zone int
+		ms   float64
+	}
+	var times []zt
+	for zone, insts := range probes {
+		min := time.Duration(1<<62 - 1)
+		for _, p := range insts {
+			if d := c.MinProbeRTT(rng, p, target, cfg.ProbesPerInstance); d < min {
+				min = d
+			}
+		}
+		times = append(times, zt{zone, busyMs + float64(min)/float64(time.Millisecond)})
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].ms < times[j].ms })
+	if len(times) == 0 {
+		return -1
+	}
+	best := times[0]
+	// Tie: indistinguishable minima.
+	if len(times) > 1 && times[1].ms-best.ms < 0.02 {
+		return -1
+	}
+	if best.ms >= cfg.ThresholdMs {
+		return -1
+	}
+	return best.zone
+}
+
+// idHash folds an instance ID into a stable value.
+func idHash(id string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- Address-proximity method ----------------------------------------
+
+// Sample is one instance launched under a measurement account.
+type Sample struct {
+	Account    string
+	Region     string
+	Label      string // account-visible zone label ("a", "b", ...)
+	InternalIP netaddr.IP
+}
+
+// SampleAccounts launches perZone instances in every zone of every
+// region under the reference account plus nExtra others, and records
+// the account-labelled placements (the paper accumulated 5,096 samples
+// over several accounts and years). The reference account's samples
+// come first, making it MergeAccounts' label anchor.
+func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64) []Sample {
+	var samples []Sample
+	accounts := []*cloud.Account{ref}
+	for ai := 0; ai < nExtra; ai++ {
+		accounts = append(accounts, c.NewAccount(fmt.Sprintf("carto-%03d", ai)))
+	}
+	for _, acct := range accounts {
+		for _, region := range c.Regions() {
+			for _, label := range acct.ZoneLabels(region) {
+				for i := 0; i < perZone; i++ {
+					inst := acct.Launch(region, label, "t1.micro")
+					samples = append(samples, Sample{
+						Account:    acct.Name,
+						Region:     region,
+						Label:      label,
+						InternalIP: inst.InternalIP,
+					})
+				}
+			}
+		}
+	}
+	return samples
+}
+
+// refSample is one sample with its zone resolved into the reference
+// account's label space.
+type refSample struct {
+	ip   netaddr.IP
+	zone int
+}
+
+// ProximityMap holds merged samples: per region, internal /16 → zone
+// index in the reference account's label space.
+type ProximityMap struct {
+	// ZoneOf16[region][/16 prefix] = reference zone index.
+	ZoneOf16 map[string]map[netaddr.IP]int
+	// Reference is the account whose labels index zones.
+	Reference string
+	// Permutations[account][region][labelIndex] = reference label index.
+	Permutations map[string]map[string][]int
+
+	// samples retains merged per-region samples for non-default
+	// granularities (the prefix-bits ablation).
+	samples map[string][]refSample
+}
+
+// MergeAccounts aligns all accounts' labels to the first account's by
+// maximizing shared-/16 agreement pairwise, then builds the /16 → zone
+// map. This is the label-permutation merge of §4.3.
+func MergeAccounts(samples []Sample) *ProximityMap {
+	if len(samples) == 0 {
+		return &ProximityMap{ZoneOf16: map[string]map[netaddr.IP]int{}, Permutations: map[string]map[string][]int{}}
+	}
+	// Group: account → region → label → set of /16s.
+	type key struct{ account, region, label string }
+	groups := map[key]map[netaddr.IP]bool{}
+	accounts := []string{}
+	seenAcct := map[string]bool{}
+	regions := map[string]bool{}
+	labelsOf := map[string]map[string][]string{} // account → region → labels
+	for _, s := range samples {
+		k := key{s.Account, s.Region, s.Label}
+		if groups[k] == nil {
+			groups[k] = map[netaddr.IP]bool{}
+		}
+		groups[k][s.InternalIP.Prefix(16)] = true
+		if !seenAcct[s.Account] {
+			seenAcct[s.Account] = true
+			accounts = append(accounts, s.Account)
+		}
+		regions[s.Region] = true
+		if labelsOf[s.Account] == nil {
+			labelsOf[s.Account] = map[string][]string{}
+		}
+		found := false
+		for _, l := range labelsOf[s.Account][s.Region] {
+			if l == s.Label {
+				found = true
+			}
+		}
+		if !found {
+			labelsOf[s.Account][s.Region] = append(labelsOf[s.Account][s.Region], s.Label)
+		}
+	}
+	ref := accounts[0]
+	pm := &ProximityMap{
+		ZoneOf16:     map[string]map[netaddr.IP]int{},
+		Reference:    ref,
+		Permutations: map[string]map[string][]int{},
+		samples:      map[string][]refSample{},
+	}
+	// Raw sample IPs per (account, region, label) for sample retention.
+	rawIPs := map[key][]netaddr.IP{}
+	for _, s := range samples {
+		k := key{s.Account, s.Region, s.Label}
+		rawIPs[k] = append(rawIPs[k], s.InternalIP)
+	}
+	for region := range regions {
+		pm.ZoneOf16[region] = map[netaddr.IP]int{}
+		refLabels := labelsOf[ref][region]
+		sort.Strings(refLabels)
+		// Seed the map from the reference account.
+		for li, label := range refLabels {
+			for p16 := range groups[key{ref, region, label}] {
+				pm.ZoneOf16[region][p16] = li
+			}
+			for _, ip := range rawIPs[key{ref, region, label}] {
+				pm.samples[region] = append(pm.samples[region], refSample{ip: ip, zone: li})
+			}
+		}
+		// Fold the other accounts in, always merging the account with
+		// the strongest /16 overlap against the accumulated map next.
+		// Accounts with no overlapping evidence are left unmerged
+		// rather than guessed at — a wrong permutation would poison
+		// the map for every later target in those /16s.
+		pending := append([]string(nil), accounts[1:]...)
+		for len(pending) > 0 {
+			bestAcct, bestScore := -1, 0
+			var bestPerm []int
+			for pi, acct := range pending {
+				labels := labelsOf[acct][region]
+				sort.Strings(labels)
+				score := 0
+				perm := bestPermutation(labels, refLabels, func(label string, refIdx int) int {
+					agree := 0
+					for p16 := range groups[key{acct, region, label}] {
+						if zi, ok := pm.ZoneOf16[region][p16]; ok && zi == refIdx {
+							agree++
+						}
+					}
+					return agree
+				})
+				for li, label := range labels {
+					for p16 := range groups[key{acct, region, label}] {
+						if zi, ok := pm.ZoneOf16[region][p16]; ok && zi == perm[li] {
+							score++
+						}
+					}
+				}
+				if score > bestScore {
+					bestAcct, bestScore, bestPerm = pi, score, perm
+				}
+			}
+			if bestAcct < 0 {
+				break // no remaining account shares evidence
+			}
+			acct := pending[bestAcct]
+			pending = append(pending[:bestAcct], pending[bestAcct+1:]...)
+			labels := labelsOf[acct][region]
+			sort.Strings(labels)
+			if pm.Permutations[acct] == nil {
+				pm.Permutations[acct] = map[string][]int{}
+			}
+			pm.Permutations[acct][region] = bestPerm
+			for li, label := range labels {
+				refIdx := bestPerm[li]
+				for p16 := range groups[key{acct, region, label}] {
+					if _, ok := pm.ZoneOf16[region][p16]; !ok {
+						pm.ZoneOf16[region][p16] = refIdx
+					}
+				}
+				for _, ip := range rawIPs[key{acct, region, label}] {
+					pm.samples[region] = append(pm.samples[region], refSample{ip: ip, zone: refIdx})
+				}
+			}
+		}
+	}
+	return pm
+}
+
+// bestPermutation assigns each label an exclusive reference index
+// maximizing total agreement (exhaustive over ≤5 labels — regions have
+// at most a handful of zones).
+func bestPermutation(labels, refLabels []string, agreement func(label string, refIdx int) int) []int {
+	n := len(labels)
+	m := len(refLabels)
+	if m < n {
+		m = n
+	}
+	best := make([]int, n)
+	for i := range best {
+		best[i] = i
+	}
+	bestScore := -1
+	perm := make([]int, n)
+	used := make([]bool, m)
+	var rec func(depth, score int)
+	rec = func(depth, score int) {
+		if depth == n {
+			if score > bestScore {
+				bestScore = score
+				copy(best, perm)
+			}
+			return
+		}
+		for idx := 0; idx < m; idx++ {
+			if used[idx] {
+				continue
+			}
+			used[idx] = true
+			perm[depth] = idx
+			rec(depth+1, score+agreement(labels[depth], idx))
+			used[idx] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Identify returns the zone (reference label space) for a target's
+// internal IP, or ok=false when no sampled /16 matches.
+func (pm *ProximityMap) Identify(region string, internal netaddr.IP) (int, bool) {
+	m := pm.ZoneOf16[region]
+	if m == nil {
+		return 0, false
+	}
+	z, ok := m[internal.Prefix(16)]
+	return z, ok
+}
+
+// Index builds a prefix → zone map at an arbitrary granularity for the
+// proximity ablation: coarser prefixes match more targets but mix
+// zones (majority vote), finer prefixes match fewer.
+func (pm *ProximityMap) Index(region string, prefixBits int) map[netaddr.IP]int {
+	votes := map[netaddr.IP]map[int]int{}
+	for _, s := range pm.samples[region] {
+		p := s.ip.Prefix(prefixBits)
+		if votes[p] == nil {
+			votes[p] = map[int]int{}
+		}
+		votes[p][s.zone]++
+	}
+	out := make(map[netaddr.IP]int, len(votes))
+	for p, vs := range votes {
+		bestZ, bestN := -1, 0
+		for z, n := range vs {
+			if n > bestN {
+				bestZ, bestN = z, n
+			}
+		}
+		out[p] = bestZ
+	}
+	return out
+}
+
+// IdentifyAt identifies via an Index built at prefixBits.
+func IdentifyAt(index map[netaddr.IP]int, internal netaddr.IP, prefixBits int) (int, bool) {
+	z, ok := index[internal.Prefix(prefixBits)]
+	return z, ok
+}

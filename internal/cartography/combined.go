@@ -1,0 +1,136 @@
+package cartography
+
+import (
+	"sort"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/netaddr"
+)
+
+// Combined identification: address proximity where a sampled /16
+// matches, latency for the rest — §4.3's final estimator, which covered
+// 87% of the dataset's instances. Both methods' zones live in the same
+// reference account's label space (the proximity map's reference is the
+// account the latency probes launched under), so verdicts compose
+// directly, as they did for the paper's authors.
+
+// Identification is one target's final verdict.
+type Identification struct {
+	Target *cloud.Instance
+	Zone   int    // reference-label zone index; -1 unknown
+	Method string // "proximity" | "latency" | ""
+}
+
+// CombinedResult aggregates a full run.
+type CombinedResult struct {
+	ByIP       map[netaddr.IP]Identification // keyed by public IP
+	Identified int
+	Total      int
+}
+
+// Coverage returns identified / total.
+func (r *CombinedResult) Coverage() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Identified) / float64(r.Total)
+}
+
+// IdentifyCombined merges the two methods, preferring proximity.
+func IdentifyCombined(targets []*cloud.Instance, pm *ProximityMap, lat map[string]*LatencyRegionResult) *CombinedResult {
+	res := &CombinedResult{ByIP: map[netaddr.IP]Identification{}}
+	latZone := map[netaddr.IP]int{}
+	for _, rr := range lat {
+		for _, o := range rr.Outcomes {
+			if o.Zone >= 0 {
+				latZone[o.Target.PublicIP] = o.Zone
+			}
+		}
+	}
+	for _, t := range targets {
+		res.Total++
+		id := Identification{Target: t, Zone: -1}
+		if z, ok := pm.Identify(t.Region, t.InternalIP); ok {
+			id.Zone, id.Method = z, "proximity"
+		} else if z, ok := latZone[t.PublicIP]; ok {
+			id.Zone, id.Method = z, "latency"
+		}
+		if id.Zone >= 0 {
+			res.Identified++
+		}
+		res.ByIP[t.PublicIP] = id
+	}
+	return res
+}
+
+// VeracityRow is one region's row of Table 13: latency-method accuracy
+// judged against proximity identifications.
+type VeracityRow struct {
+	Region   string
+	Count    int // latency-probed instances
+	Match    int
+	Unknown  int // one or both methods silent
+	Mismatch int
+}
+
+// ErrorRate is mismatch / (count - unknown).
+func (v VeracityRow) ErrorRate() float64 {
+	denom := v.Count - v.Unknown
+	if denom <= 0 {
+		return 0
+	}
+	return float64(v.Mismatch) / float64(denom)
+}
+
+// Veracity compares the latency method against proximity as ground
+// truth, per region plus an "all" summary row (Table 13).
+func Veracity(targets []*cloud.Instance, pm *ProximityMap, lat map[string]*LatencyRegionResult) []VeracityRow {
+	latZone := map[netaddr.IP]int{}
+	latSeen := map[netaddr.IP]bool{}
+	for _, rr := range lat {
+		for _, o := range rr.Outcomes {
+			latSeen[o.Target.PublicIP] = true
+			if o.Zone >= 0 {
+				latZone[o.Target.PublicIP] = o.Zone
+			}
+		}
+	}
+	rows := map[string]*VeracityRow{}
+	all := &VeracityRow{Region: "all"}
+	for _, t := range targets {
+		if !latSeen[t.PublicIP] {
+			continue
+		}
+		row := rows[t.Region]
+		if row == nil {
+			row = &VeracityRow{Region: t.Region}
+			rows[t.Region] = row
+		}
+		row.Count++
+		all.Count++
+		lz, hasLat := latZone[t.PublicIP]
+		pz, hasProx := pm.Identify(t.Region, t.InternalIP)
+		if !hasLat || !hasProx {
+			row.Unknown++
+			all.Unknown++
+			continue
+		}
+		if pz == lz {
+			row.Match++
+			all.Match++
+		} else {
+			row.Mismatch++
+			all.Mismatch++
+		}
+	}
+	out := []VeracityRow{*all}
+	regions := make([]string, 0, len(rows))
+	for r := range rows {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, r := range regions {
+		out = append(out, *rows[r])
+	}
+	return out
+}

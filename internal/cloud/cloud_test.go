@@ -1,0 +1,475 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/xrand"
+)
+
+func TestRegionsAndZones(t *testing.T) {
+	c := NewEC2(1)
+	if got := len(c.Regions()); got != 8 {
+		t.Fatalf("regions = %d", got)
+	}
+	if got := c.ZoneCount("ec2.us-east-1"); got != 3 {
+		t.Fatalf("us-east zones = %d", got)
+	}
+	if got := c.ZoneCount("ec2.us-west-1"); got != 2 {
+		t.Fatalf("us-west-1 zones = %d", got)
+	}
+	az := NewAzure(1)
+	for _, r := range az.Regions() {
+		if got := az.ZoneCount(r); got != 1 {
+			t.Fatalf("azure %s zones = %d", r, got)
+		}
+	}
+}
+
+func TestLaunchAllocatesConsistently(t *testing.T) {
+	c := NewEC2(2)
+	ranges := ipranges.Published()
+	seen := map[netaddr.IP]bool{}
+	for i := 0; i < 200; i++ {
+		inst := c.Launch("ec2.eu-west-1", i%3, "m1.medium", KindVM)
+		if seen[inst.PublicIP] {
+			t.Fatalf("duplicate public IP %v", inst.PublicIP)
+		}
+		seen[inst.PublicIP] = true
+		if got := ranges.Region(inst.PublicIP); got != "ec2.eu-west-1" {
+			t.Fatalf("public IP %v classified as %q", inst.PublicIP, got)
+		}
+		if inst.InternalIP.Prefix(8) != netaddr.MustParseIP("10.0.0.0") {
+			t.Fatalf("internal IP %v not in 10/8", inst.InternalIP)
+		}
+		if inst.ZoneIndex != i%3 {
+			t.Fatalf("zone = %d, want %d", inst.ZoneIndex, i%3)
+		}
+	}
+	if c.NumInstances() != 200 {
+		t.Fatalf("NumInstances = %d", c.NumInstances())
+	}
+}
+
+func TestInternalBlocksSegregateZones(t *testing.T) {
+	// Two instances in the same /16 must be in the same zone — the
+	// invariant address-proximity cartography depends on.
+	c := NewEC2(3)
+	zoneOf := map[netaddr.IP]int{}
+	for i := 0; i < 600; i++ {
+		inst := c.Launch("ec2.us-east-1", i%3, "m1.small", KindVM)
+		p16 := inst.InternalIP.Prefix(16)
+		if prev, ok := zoneOf[p16]; ok && prev != inst.ZoneIndex {
+			t.Fatalf("/16 %v hosts zones %d and %d", p16, prev, inst.ZoneIndex)
+		}
+		zoneOf[p16] = inst.ZoneIndex
+	}
+	if len(zoneOf) < 6 {
+		t.Fatalf("only %d /16 blocks used; expected spread", len(zoneOf))
+	}
+}
+
+func TestInternalForAndInstanceAt(t *testing.T) {
+	c := NewEC2(4)
+	inst := c.Launch("ec2.us-west-2", 1, "m1.xlarge", KindVM)
+	internal, ok := c.InternalFor(inst.PublicIP)
+	if !ok || internal != inst.InternalIP {
+		t.Fatalf("InternalFor = %v ok=%v", internal, ok)
+	}
+	got, ok := c.InstanceAt(inst.PublicIP)
+	if !ok || got != inst {
+		t.Fatal("InstanceAt wrong")
+	}
+	if _, ok := c.InternalFor(netaddr.MustParseIP("8.8.8.8")); ok {
+		t.Fatal("InternalFor hit for foreign IP")
+	}
+}
+
+func TestAzureHasNoInternalAddressing(t *testing.T) {
+	c := NewAzure(5)
+	inst := c.Launch("az.us-south", -1, "azure.cs", KindCSNode)
+	if inst.InternalIP != 0 {
+		t.Fatalf("azure instance has internal IP %v", inst.InternalIP)
+	}
+	if _, ok := c.InternalFor(inst.PublicIP); ok {
+		t.Fatal("azure InternalFor should fail")
+	}
+}
+
+func TestAccountPermutations(t *testing.T) {
+	c := NewEC2(6)
+	// Distinct accounts eventually get distinct permutations.
+	diff := false
+	a := c.NewAccount("acct-a")
+	for i := 0; i < 20 && !diff; i++ {
+		b := c.NewAccount(string(rune('b' + i)))
+		for _, label := range a.ZoneLabels("ec2.us-east-1") {
+			if a.TrueZone("ec2.us-east-1", label) != b.TrueZone("ec2.us-east-1", label) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("all account permutations identical")
+	}
+	// Permutation is a bijection.
+	seen := map[int]bool{}
+	for _, label := range a.ZoneLabels("ec2.us-east-1") {
+		z := a.TrueZone("ec2.us-east-1", label)
+		if seen[z] {
+			t.Fatalf("zone %d mapped twice", z)
+		}
+		seen[z] = true
+	}
+	// Determinism: same name → same permutation.
+	a2 := c.NewAccount("acct-a")
+	for _, label := range a.ZoneLabels("ec2.us-east-1") {
+		if a.TrueZone("ec2.us-east-1", label) != a2.TrueZone("ec2.us-east-1", label) {
+			t.Fatal("account permutation not deterministic")
+		}
+	}
+	inst := a.Launch("ec2.us-east-1", "a", "t1.micro")
+	if inst.ZoneIndex != a.TrueZone("ec2.us-east-1", "a") {
+		t.Fatal("account launch ignored permutation")
+	}
+}
+
+func TestELBCreation(t *testing.T) {
+	c := NewEC2(7)
+	e := c.CreateELB("web", "ec2.us-east-1", []int{0, 1}, 0)
+	if len(e.Proxies) != 2 {
+		t.Fatalf("proxies = %d", len(e.Proxies))
+	}
+	if e.Proxies[0].Kind != KindELBProxy {
+		t.Fatalf("kind = %s", e.Proxies[0].Kind)
+	}
+	if e.Proxies[0].ZoneIndex != 0 || e.Proxies[1].ZoneIndex != 1 {
+		t.Fatal("proxy zones wrong")
+	}
+	// DNS record resolves with rotation.
+	zone := c.ProviderZone(ZoneAmazonAWS)
+	a1, found := zone.Lookup(1, e.Name, dnswire.TypeA)
+	if !found || len(a1) != 2 {
+		t.Fatalf("lookup = %v %v", a1, found)
+	}
+	a2, _ := zone.Lookup(1, e.Name, dnswire.TypeA)
+	if a1[0].IP == a2[0].IP {
+		t.Fatal("ELB answers not rotating")
+	}
+}
+
+func TestELBProxySharing(t *testing.T) {
+	c := NewEC2(8)
+	proxyUse := map[netaddr.IP]int{}
+	for i := 0; i < 200; i++ {
+		e := c.CreateELB("app", "ec2.us-east-1", []int{0}, 0.75)
+		for _, p := range e.Proxies {
+			proxyUse[p.PublicIP]++
+		}
+	}
+	if len(proxyUse) >= 200 {
+		t.Fatal("no proxy sharing at reuse=0.75")
+	}
+	max := 0
+	for _, n := range proxyUse {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 5 {
+		t.Fatalf("max proxy sharing = %d; expected heavy sharing", max)
+	}
+}
+
+func TestHeroku(t *testing.T) {
+	c := NewEC2(9)
+	h := NewHeroku(c, 10)
+	if len(h.Pool) != 10 {
+		t.Fatalf("pool = %d", len(h.Pool))
+	}
+	proxyApp := h.CreateApp("withproxy", true, false)
+	zone := c.ProviderZone(ZoneHerokuApp)
+	rrs, found := zone.Lookup(1, proxyApp.Name, dnswire.TypeA)
+	if !found || len(rrs) == 0 || rrs[0].Type != dnswire.TypeCNAME || rrs[0].Target != "proxy.heroku.com" {
+		t.Fatalf("proxy app records: %v", rrs)
+	}
+	directApp := h.CreateApp("direct", false, false)
+	rrs, _ = zone.Lookup(1, directApp.Name, dnswire.TypeA)
+	if len(rrs) == 0 || rrs[0].Type != dnswire.TypeA {
+		t.Fatalf("direct app records: %v", rrs)
+	}
+	elbApp := h.CreateApp("withelb", false, true)
+	if elbApp.ELB == nil {
+		t.Fatal("ELB app has no ELB")
+	}
+	rrs, _ = zone.Lookup(1, elbApp.Name, dnswire.TypeA)
+	if rrs[0].Type != dnswire.TypeCNAME || rrs[0].Target != elbApp.ELB.Name {
+		t.Fatalf("elb app records: %v", rrs)
+	}
+	// proxy.heroku.com resolves to pool IPs.
+	hz := c.ProviderZone(ZoneHeroku)
+	prrs, found := hz.Lookup(7, "proxy.heroku.com", dnswire.TypeA)
+	if !found || len(prrs) == 0 {
+		t.Fatal("proxy.heroku.com unresolvable")
+	}
+}
+
+func TestBeanstalk(t *testing.T) {
+	c := NewEC2(10)
+	env := c.CreateBeanstalk("myapp", "ec2.us-east-1", []int{0, 1})
+	if env.ELB == nil {
+		t.Fatal("beanstalk without ELB")
+	}
+	zone := c.ProviderZone(ZoneAmazonAWS)
+	rrs, found := zone.Lookup(1, env.Name, dnswire.TypeA)
+	if !found || rrs[0].Type != dnswire.TypeCNAME {
+		t.Fatalf("beanstalk records: %v", rrs)
+	}
+	// The in-zone CNAME chase should reach the ELB's A records.
+	last := rrs[len(rrs)-1]
+	if last.Type != dnswire.TypeA {
+		t.Fatalf("chain did not reach A records: %v", rrs)
+	}
+}
+
+func TestCloudFrontDistribution(t *testing.T) {
+	c := NewEC2(11)
+	ranges := ipranges.Published()
+	d := c.CreateDistribution(3)
+	if len(d.IPs) != 3 {
+		t.Fatalf("edges = %d", len(d.IPs))
+	}
+	for _, ip := range d.IPs {
+		if e, ok := ranges.Lookup(ip); !ok || e.Provider != ipranges.CloudFront {
+			t.Fatalf("edge %v not in CloudFront range", ip)
+		}
+	}
+	zone := c.ProviderZone(ZoneCloudFront)
+	rrs, found := zone.Lookup(1, d.Name, dnswire.TypeA)
+	if !found || len(rrs) != 3 {
+		t.Fatalf("distribution records: %v", rrs)
+	}
+}
+
+func TestRoute53NS(t *testing.T) {
+	c := NewEC2(12)
+	ranges := ipranges.Published()
+	fqdn, ip := c.Route53NS()
+	if e, ok := ranges.Lookup(ip); !ok || e.Provider != ipranges.CloudFront {
+		t.Fatalf("route53 NS %v not in CloudFront range", ip)
+	}
+	rrs, found := c.ProviderZone(ZoneAWSDNS).Lookup(1, fqdn, dnswire.TypeA)
+	if !found || rrs[0].IP != ip {
+		t.Fatalf("route53 records: %v", rrs)
+	}
+}
+
+func TestCloudService(t *testing.T) {
+	c := NewAzure(13)
+	ranges := ipranges.Published()
+	cs := c.CreateCloudService("svc", "az.us-south", "paas")
+	if got := ranges.Region(cs.Node.PublicIP); got != "az.us-south" {
+		t.Fatalf("CS IP region = %q", got)
+	}
+	rrs, found := c.ProviderZone(ZoneCloudApp).Lookup(1, cs.Name, dnswire.TypeA)
+	if !found || rrs[0].IP != cs.Node.PublicIP {
+		t.Fatalf("CS records: %v", rrs)
+	}
+}
+
+func TestTrafficManagerPolicies(t *testing.T) {
+	c := NewAzure(14)
+	var members []*CloudService
+	for i, r := range []string{"az.us-east", "az.eu-west", "az.ap-east"} {
+		members = append(members, c.CreateCloudService(string(rune('a'+i)), r, "vm"))
+	}
+	tmz := c.ProviderZone(ZoneTrafficManager)
+
+	rr := c.CreateTrafficManager("svc", "round-robin", members)
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		rrs, _ := tmz.Lookup(1, rr.Name, dnswire.TypeANY)
+		seen[rrs[0].Target] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round-robin covered %d members", len(seen))
+	}
+
+	perf := c.CreateTrafficManager("svc2", "performance", members)
+	first, _ := tmz.Lookup(netaddr.MustParseIP("1.2.3.4"), perf.Name, dnswire.TypeANY)
+	again, _ := tmz.Lookup(netaddr.MustParseIP("1.2.3.4"), perf.Name, dnswire.TypeANY)
+	if first[0].Target != again[0].Target {
+		t.Fatal("performance policy not stable per client")
+	}
+
+	fo := c.CreateTrafficManager("svc3", "failover", members)
+	rrs, _ := tmz.Lookup(9, fo.Name, dnswire.TypeANY)
+	if rrs[0].Target != members[0].Name {
+		t.Fatal("failover should pick first member")
+	}
+}
+
+func TestAzureCDN(t *testing.T) {
+	c := NewAzure(15)
+	ranges := ipranges.Published()
+	ep := c.CreateAzureCDN("az.us-north")
+	if e, ok := ranges.Lookup(ep.Node.PublicIP); !ok || e.Provider != ipranges.Azure {
+		t.Fatal("Azure CDN IP outside Azure ranges")
+	}
+}
+
+func TestRTTStructure(t *testing.T) {
+	c := NewEC2(16)
+	rng := xrand.New(1)
+	a0 := c.Launch("ec2.us-east-1", 0, "t1.micro", KindVM)
+	b0 := c.Launch("ec2.us-east-1", 0, "m1.medium", KindVM)
+	b1 := c.Launch("ec2.us-east-1", 1, "m1.medium", KindVM)
+	b2 := c.Launch("ec2.us-east-1", 2, "m1.medium", KindVM)
+	west := c.Launch("ec2.us-west-1", 0, "m1.medium", KindVM)
+
+	same := c.MinProbeRTT(rng, a0, b0, 10)
+	cross1 := c.MinProbeRTT(rng, a0, b1, 10)
+	cross2 := c.MinProbeRTT(rng, a0, b2, 10)
+	far := c.MinProbeRTT(rng, a0, west, 10)
+
+	if same < 300*time.Microsecond || same > 800*time.Microsecond {
+		t.Fatalf("same-zone min RTT = %v", same)
+	}
+	if cross1 < time.Millisecond || cross1 > 3*time.Millisecond {
+		t.Fatalf("cross-zone RTT = %v", cross1)
+	}
+	if cross2 < time.Millisecond || cross2 > 3*time.Millisecond {
+		t.Fatalf("cross-zone RTT = %v", cross2)
+	}
+	if same >= cross1 || same >= cross2 {
+		t.Fatal("same-zone RTT not smallest")
+	}
+	if far < 30*time.Millisecond {
+		t.Fatalf("cross-region RTT = %v", far)
+	}
+	// Zone-pair baseline is stable: repeated min-probes agree closely.
+	again := c.MinProbeRTT(rng, a0, b1, 10)
+	if d := cross1 - again; d < -300*time.Microsecond || d > 300*time.Microsecond {
+		t.Fatalf("zone-pair baseline unstable: %v vs %v", cross1, again)
+	}
+}
+
+func TestLaunchUnknownRegionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown region did not panic")
+		}
+	}()
+	NewEC2(17).Launch("ec2.nowhere", 0, "t1.micro", KindVM)
+}
+
+func TestFeatureProviderGuards(t *testing.T) {
+	az := NewAzure(18)
+	for name, fn := range map[string]func(){
+		"elb":        func() { az.CreateELB("x", "az.us-east", []int{0}, 0) },
+		"cloudfront": func() { az.CreateDistribution(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on Azure did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	ec2 := NewEC2(18)
+	for name, fn := range map[string]func(){
+		"cs": func() { ec2.CreateCloudService("x", "ec2.us-east-1", "vm") },
+		"tm": func() { ec2.CreateTrafficManager("x", "failover", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on EC2 did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterministicWorld(t *testing.T) {
+	a, b := NewEC2(99), NewEC2(99)
+	for i := 0; i < 50; i++ {
+		ia := a.Launch("ec2.us-east-1", i%3, "m1.small", KindVM)
+		ib := b.Launch("ec2.us-east-1", i%3, "m1.small", KindVM)
+		if ia.PublicIP != ib.PublicIP || ia.InternalIP != ib.InternalIP {
+			t.Fatalf("instance %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestEuWestAnomalyPlanted(t *testing.T) {
+	// The modeled Europe West fabric anomaly (DESIGN.md §6): zone 1's
+	// internal RTT runs near 1 ms while the 0↔1 path is shorter —
+	// exactly the structure that defeats latency-based cartography.
+	c := NewEC2(40)
+	same1 := c.BaseRTT("ec2.eu-west-1", 1, "ec2.eu-west-1", 1)
+	cross01 := c.BaseRTT("ec2.eu-west-1", 0, "ec2.eu-west-1", 1)
+	same0 := c.BaseRTT("ec2.eu-west-1", 0, "ec2.eu-west-1", 0)
+	if cross01 >= same1 {
+		t.Fatalf("anomaly missing: cross(0,1)=%v >= same(1)=%v", cross01, same1)
+	}
+	if same0 >= cross01 {
+		t.Fatalf("zone 0 should still be identifiable: same(0)=%v cross=%v", same0, cross01)
+	}
+	// Other regions keep the normal ordering.
+	for _, region := range []string{"ec2.us-east-1", "ec2.us-west-2"} {
+		for z := 0; z < c.ZoneCount(region); z++ {
+			same := c.BaseRTT(region, z, region, z)
+			for z2 := 0; z2 < c.ZoneCount(region); z2++ {
+				if z2 == z {
+					continue
+				}
+				if cross := c.BaseRTT(region, z, region, z2); cross <= same {
+					t.Fatalf("%s: cross(%d,%d)=%v <= same(%d)=%v", region, z, z2, cross, z, same)
+				}
+			}
+		}
+	}
+}
+
+func TestBaseRTTSymmetric(t *testing.T) {
+	c := NewEC2(41)
+	for _, region := range c.Regions() {
+		zc := c.ZoneCount(region)
+		for a := 0; a < zc; a++ {
+			for b := 0; b < zc; b++ {
+				ab := c.BaseRTT(region, a, region, b)
+				ba := c.BaseRTT(region, b, region, a)
+				if ab != ba {
+					t.Fatalf("%s: RTT(%d,%d)=%v != RTT(%d,%d)=%v", region, a, b, ab, b, a, ba)
+				}
+			}
+		}
+	}
+}
+
+func TestPublicAllocatorDensePass(t *testing.T) {
+	// The scattered first pass covers only ~1/4 of a region's space;
+	// allocation beyond that must fall back to the dense pass instead
+	// of panicking, and never hand out duplicates.
+	c := NewEC2(50)
+	region := "ec2.ap-southeast-2" // one /16: 65536 addresses
+	seen := map[netaddr.IP]bool{}
+	const n = 30000 // well past the scattered pass's ~16k capacity
+	for i := 0; i < n; i++ {
+		inst := c.Launch(region, i%2, "t1.micro", KindVM)
+		if seen[inst.PublicIP] {
+			t.Fatalf("duplicate IP %v at launch %d", inst.PublicIP, i)
+		}
+		seen[inst.PublicIP] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("allocated %d distinct IPs, want %d", len(seen), n)
+	}
+}

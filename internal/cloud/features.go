@@ -1,0 +1,361 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cloudscope/internal/dnssrv"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+)
+
+// Provider DNS zone origins.
+const (
+	ZoneAmazonAWS      = "amazonaws.com"  // ELB and Beanstalk CNAME targets
+	ZoneCloudFront     = "cloudfront.net" // CDN distribution names
+	ZoneHeroku         = "heroku.com"     // proxy.heroku.com
+	ZoneHerokuApp      = "herokuapp.com"  // per-app names
+	ZoneAWSDNS         = "awsdns.com"     // route53 name-server host names
+	ZoneCloudApp       = "cloudapp.net"   // Azure Cloud Services
+	ZoneTrafficManager = "trafficmanager.net"
+	ZoneMSECN          = "msecnd.net" // Azure CDN
+)
+
+// features holds the feature state lazily attached to a Cloud.
+type features struct {
+	mu       sync.Mutex
+	zones    map[string]*dnssrv.Zone
+	elbPools map[string][]*Instance // region/zone → shared physical proxies
+	counter  atomic.Uint64
+}
+
+// newFeatures builds the feature state for a provider, including its
+// provider-operated DNS zones.
+func newFeatures(provider ipranges.Provider) *features {
+	f := &features{zones: make(map[string]*dnssrv.Zone), elbPools: make(map[string][]*Instance)}
+	var origins []string
+	if provider == ipranges.Azure {
+		origins = []string{ZoneCloudApp, ZoneTrafficManager, ZoneMSECN}
+	} else {
+		origins = []string{ZoneAmazonAWS, ZoneCloudFront, ZoneHeroku, ZoneHerokuApp, ZoneAWSDNS}
+	}
+	for _, o := range origins {
+		f.zones[o] = dnssrv.NewZone(o)
+	}
+	return f
+}
+
+func (c *Cloud) feat() *features { return c.feats }
+
+// ProviderZones returns the provider-operated DNS zones (amazonaws.com
+// etc. for EC2; cloudapp.net etc. for Azure). Deploy them on a fabric to
+// make feature CNAME targets resolvable.
+func (c *Cloud) ProviderZones() []*dnssrv.Zone {
+	f := c.feat()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*dnssrv.Zone, 0, len(f.zones))
+	for _, z := range f.zones {
+		out = append(out, z)
+	}
+	return out
+}
+
+// ProviderZone returns one provider zone by origin, or nil.
+func (c *Cloud) ProviderZone(origin string) *dnssrv.Zone {
+	f := c.feat()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.zones[origin]
+}
+
+func (c *Cloud) nextFeatureID() uint64 { return c.feat().counter.Add(1) }
+
+// ELB is a logical Elastic Load Balancer: a DNS name that resolves, with
+// rotation, to shared physical proxy instances in one or more zones.
+type ELB struct {
+	Name    string // FQDN under elb.amazonaws.com
+	Region  string
+	Proxies []*Instance
+	rot     atomic.Uint64
+}
+
+// CreateELB provisions a logical ELB in region across trueZones. Each
+// zone's proxy comes from a region/zone-shared pool: with probability
+// reuse an existing proxy is picked (rank-weighted, so a few proxies
+// serve many subdomains, as observed), otherwise a fresh proxy instance
+// is launched. The ELB's rotating DNS record is installed in the
+// provider's amazonaws.com zone.
+func (c *Cloud) CreateELB(base, region string, trueZones []int, reuse float64) *ELB {
+	if c.Provider != ipranges.EC2 {
+		panic("cloud: ELB is an EC2 feature")
+	}
+	f := c.feat()
+	id := c.nextFeatureID()
+	e := &ELB{
+		Name:   fmt.Sprintf("%s-%08d.%s.elb.amazonaws.com", base, id, regionShort(region)),
+		Region: region,
+	}
+	for _, z := range trueZones {
+		key := fmt.Sprintf("%s/%d", region, z)
+		f.mu.Lock()
+		pool := f.elbPools[key]
+		var proxy *Instance
+		if len(pool) > 0 && c.rng.Bool(reuse) {
+			// Rank-weighted reuse: earlier proxies are proportionally
+			// more likely, giving the observed heavy sharing of a few
+			// physical ELB IPs.
+			i := int(float64(len(pool)) * c.rng.Float64() * c.rng.Float64())
+			if i >= len(pool) {
+				i = len(pool) - 1
+			}
+			proxy = pool[i]
+			f.mu.Unlock()
+		} else {
+			f.mu.Unlock()
+			proxy = c.Launch(region, z, "elb.proxy", KindELBProxy)
+			f.mu.Lock()
+			f.elbPools[key] = append(f.elbPools[key], proxy)
+			f.mu.Unlock()
+		}
+		e.Proxies = append(e.Proxies, proxy)
+	}
+	zone := c.ProviderZone(ZoneAmazonAWS)
+	zone.SetDynamic(e.Name, func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		return e.records(qtype)
+	})
+	return e
+}
+
+// records builds the rotated answer set: ELB round-robins traffic across
+// zones by rotating the order of proxy IPs in DNS replies.
+func (e *ELB) records(qtype dnswire.Type) []dnswire.RR {
+	if qtype != dnswire.TypeA && qtype != dnswire.TypeANY {
+		return nil
+	}
+	n := len(e.Proxies)
+	start := int(e.rot.Add(1)) % n
+	out := make([]dnswire.RR, 0, n)
+	for i := 0; i < n; i++ {
+		p := e.Proxies[(start+i)%n]
+		out = append(out, dnswire.RR{
+			Name: e.Name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: p.PublicIP,
+		})
+	}
+	return out
+}
+
+func regionShort(region string) string {
+	const pfx = "ec2."
+	if len(region) > len(pfx) && region[:len(pfx)] == pfx {
+		return region[len(pfx):]
+	}
+	return region
+}
+
+// Heroku models the Heroku PaaS of 2013: a pool of shared front-end
+// routing nodes in us-east-1 multiplexing a large number of apps, a
+// shared proxy.heroku.com name, and optional ELB fronting.
+type Heroku struct {
+	cloud *Cloud
+	Pool  []*Instance
+}
+
+// NewHeroku provisions the shared routing pool (poolSize nodes spread
+// across us-east-1's zones) and publishes proxy.heroku.com.
+func NewHeroku(c *Cloud, poolSize int) *Heroku {
+	h := &Heroku{cloud: c}
+	for i := 0; i < poolSize; i++ {
+		h.Pool = append(h.Pool, c.Launch("ec2.us-east-1", i%c.ZoneCount("ec2.us-east-1"), "m1.small", KindPaaSNode))
+	}
+	hz := c.ProviderZone(ZoneHeroku)
+	hz.SetDynamic("proxy.heroku.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		if qtype != dnswire.TypeA && qtype != dnswire.TypeANY {
+			return nil
+		}
+		// A handful of pool IPs, rotated by source for spread.
+		out := make([]dnswire.RR, 0, 2)
+		start := int(src) % len(h.Pool)
+		for i := 0; i < 2 && i < len(h.Pool); i++ {
+			out = append(out, dnswire.RR{
+				Name: "proxy.heroku.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 30,
+				IP: h.Pool[(start+i)%len(h.Pool)].PublicIP,
+			})
+		}
+		return out
+	})
+	return h
+}
+
+// HerokuApp is one deployed application.
+type HerokuApp struct {
+	Name     string // FQDN under herokuapp.com
+	UseProxy bool   // CNAME to proxy.heroku.com instead of own records
+	ELB      *ELB   // non-nil when fronted by an ELB
+	Nodes    []*Instance
+}
+
+// CreateApp deploys app "name". Exactly one of three DNS shapes results:
+// CNAME to proxy.heroku.com (useProxy), CNAME to an ELB (withELB), or
+// direct A records to shared pool nodes.
+func (h *Heroku) CreateApp(name string, useProxy, withELB bool) *HerokuApp {
+	c := h.cloud
+	app := &HerokuApp{Name: name + ".herokuapp.com", UseProxy: useProxy}
+	zone := c.ProviderZone(ZoneHerokuApp)
+	switch {
+	case withELB:
+		app.ELB = c.CreateELB("heroku-"+name, "ec2.us-east-1", []int{0, 1}, 0.5)
+		zone.MustAdd(dnswire.RR{Name: app.Name, Type: dnswire.TypeCNAME, TTL: 300, Target: app.ELB.Name})
+	case useProxy:
+		zone.MustAdd(dnswire.RR{Name: app.Name, Type: dnswire.TypeCNAME, TTL: 300, Target: "proxy.heroku.com"})
+	default:
+		n := 1 + int(c.nextFeatureID())%2
+		for i := 0; i < n; i++ {
+			node := h.Pool[int(c.nextFeatureID())%len(h.Pool)]
+			app.Nodes = append(app.Nodes, node)
+			zone.MustAdd(dnswire.RR{Name: app.Name, Type: dnswire.TypeA, TTL: 30, IP: node.PublicIP})
+		}
+	}
+	return app
+}
+
+// BeanstalkEnv is an Elastic Beanstalk environment: always fronted by an
+// ELB (deployment pattern P2 with PaaS nodes).
+type BeanstalkEnv struct {
+	Name string // FQDN under <region>.elasticbeanstalk.com — kept inside amazonaws.com zone for resolution
+	ELB  *ELB
+}
+
+// CreateBeanstalk provisions an environment in region. The environment
+// CNAME lives under amazonaws.com ("<name>.<region>.elasticbeanstalk...")
+// is modelled as a CNAME record inside the amazonaws.com zone pointing
+// at the environment's ELB.
+func (c *Cloud) CreateBeanstalk(name, region string, trueZones []int) *BeanstalkEnv {
+	env := &BeanstalkEnv{}
+	env.ELB = c.CreateELB("awseb-"+name, region, trueZones, 0.3)
+	env.Name = fmt.Sprintf("%s.%s.elasticbeanstalk.amazonaws.com", name, regionShort(region))
+	c.ProviderZone(ZoneAmazonAWS).MustAdd(dnswire.RR{Name: env.Name, Type: dnswire.TypeCNAME, TTL: 300, Target: env.ELB.Name})
+	return env
+}
+
+// Distribution is a CloudFront distribution: a *.cloudfront.net name
+// resolving to edge addresses in the CloudFront range.
+type Distribution struct {
+	Name string
+	IPs  []netaddr.IP
+}
+
+// CreateDistribution provisions a CloudFront distribution with n edges.
+func (c *Cloud) CreateDistribution(n int) *Distribution {
+	if c.Provider != ipranges.EC2 {
+		panic("cloud: CloudFront is an EC2-side feature")
+	}
+	d := &Distribution{Name: fmt.Sprintf("d%010d.cloudfront.net", c.nextFeatureID())}
+	zone := c.ProviderZone(ZoneCloudFront)
+	for i := 0; i < n; i++ {
+		ip := c.AllocCloudFrontIP()
+		d.IPs = append(d.IPs, ip)
+		zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeA, TTL: 60, IP: ip})
+	}
+	return d
+}
+
+// Route53NS allocates a route53-style name server: a host name under
+// awsdns.com with an address in the CloudFront range (where the paper
+// observed Amazon's route53 fleet).
+func (c *Cloud) Route53NS() (fqdn string, ip netaddr.IP) {
+	id := c.nextFeatureID()
+	fqdn = fmt.Sprintf("ns-%d.route53.awsdns.com", id)
+	ip = c.AllocCloudFrontIP()
+	c.ProviderZone(ZoneAWSDNS).MustAdd(dnswire.RR{Name: fqdn, Type: dnswire.TypeA, TTL: 3600, IP: ip})
+	return fqdn, ip
+}
+
+// CloudService is an Azure Cloud Service: one *.cloudapp.net name, one
+// public IP behind a transparent proxy; clients cannot tell whether a
+// VM, VM collection, or PaaS environment is inside.
+type CloudService struct {
+	Name     string // FQDN under cloudapp.net
+	Node     *Instance
+	Contents string // "vm" | "vm-collection" | "paas" — ground truth only
+}
+
+// CreateCloudService provisions a CS in region.
+func (c *Cloud) CreateCloudService(name, region, contents string) *CloudService {
+	if c.Provider != ipranges.Azure {
+		panic("cloud: CloudService is an Azure feature")
+	}
+	cs := &CloudService{
+		Name:     fmt.Sprintf("%s-%06d.cloudapp.net", name, c.nextFeatureID()),
+		Node:     c.Launch(region, -1, "azure.cs", KindCSNode),
+		Contents: contents,
+	}
+	c.ProviderZone(ZoneCloudApp).MustAdd(dnswire.RR{Name: cs.Name, Type: dnswire.TypeA, TTL: 60, IP: cs.Node.PublicIP})
+	return cs
+}
+
+// TrafficManager is Azure TM: a *.trafficmanager.net name that resolves,
+// purely in DNS, to a CNAME for one member Cloud Service according to a
+// policy.
+type TrafficManager struct {
+	Name    string
+	Policy  string // "performance" | "failover" | "round-robin"
+	Members []*CloudService
+	rot     atomic.Uint64
+}
+
+// CreateTrafficManager publishes a TM over members.
+func (c *Cloud) CreateTrafficManager(name, policy string, members []*CloudService) *TrafficManager {
+	if c.Provider != ipranges.Azure {
+		panic("cloud: TrafficManager is an Azure feature")
+	}
+	tm := &TrafficManager{
+		Name:    fmt.Sprintf("%s-%06d.trafficmanager.net", name, c.nextFeatureID()),
+		Policy:  policy,
+		Members: append([]*CloudService(nil), members...),
+	}
+	if len(tm.Members) == 0 {
+		panic("cloud: TrafficManager needs members")
+	}
+	c.ProviderZone(ZoneTrafficManager).SetDynamic(tm.Name, func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		m := tm.pick(src)
+		return []dnswire.RR{{Name: tm.Name, Type: dnswire.TypeCNAME, Class: dnswire.ClassIN, TTL: 30, Target: m.Name}}
+	})
+	return tm
+}
+
+func (tm *TrafficManager) pick(src netaddr.IP) *CloudService {
+	switch tm.Policy {
+	case "performance":
+		// Stable per-client choice standing in for nearest-CS selection.
+		return tm.Members[int(src>>8)%len(tm.Members)]
+	case "failover":
+		return tm.Members[0]
+	default: // round-robin
+		return tm.Members[int(tm.rot.Add(1))%len(tm.Members)]
+	}
+}
+
+// AzureCDNEndpoint is an Azure CDN name under msecnd.net, resolving to
+// addresses inside the ordinary Azure ranges (unlike CloudFront, Azure's
+// CDN shares the cloud's published ranges — the paper's heuristic must
+// use the msecnd.net CNAME instead of an IP range).
+type AzureCDNEndpoint struct {
+	Name string
+	Node *Instance
+}
+
+// CreateAzureCDN provisions a CDN endpoint homed in region.
+func (c *Cloud) CreateAzureCDN(region string) *AzureCDNEndpoint {
+	if c.Provider != ipranges.Azure {
+		panic("cloud: Azure CDN is an Azure feature")
+	}
+	ep := &AzureCDNEndpoint{
+		Name: fmt.Sprintf("az%06d.vo.msecnd.net", c.nextFeatureID()),
+		Node: c.Launch(region, -1, "azure.cdn", KindEdge),
+	}
+	c.ProviderZone(ZoneMSECN).MustAdd(dnswire.RR{Name: ep.Name, Type: dnswire.TypeA, TTL: 60, IP: ep.Node.PublicIP})
+	return ep
+}

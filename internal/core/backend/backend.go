@@ -1,0 +1,118 @@
+// Package backend is the reproduction's take on the paper's explicit
+// future-work item: "we leave an exploration of deployment/usage
+// patterns covering the later steps (e.g. back-end processing) for
+// future work" (§2).
+//
+// Back-end tiers are invisible to DNS, so unlike the rest of
+// internal/core this analysis runs on ground truth — it asks what a
+// future measurement study *would* find: how back ends are placed
+// relative to front ends, what the placement costs in request-path
+// latency, and how it changes zone-failure blast radius.
+package backend
+
+import (
+	"sort"
+	"time"
+
+	"cloudscope/internal/deploy"
+	"cloudscope/internal/stats"
+)
+
+// PolicyStats aggregates one placement policy's properties.
+type PolicyStats struct {
+	Policy     string
+	Subdomains int
+	// MeanFrontBackRTTms is the mean front-end→back-end round trip a
+	// request pays per tier hop.
+	MeanFrontBackRTTms float64
+	// SameZoneShare is the share of (front, back) pairs in one zone.
+	SameZoneShare float64
+	// SurvivesFrontZoneLoss is the share of subdomains whose back ends
+	// keep at least one instance outside the front ends' zones.
+	SurvivesFrontZoneLoss float64
+}
+
+// Analysis is the full back-end study.
+type Analysis struct {
+	// WithBackends / Total front-end subdomains examined.
+	WithBackends, Total int
+	Policies            []PolicyStats
+}
+
+// Analyze computes the back-end placement study over a world.
+func Analyze(w *deploy.World) *Analysis {
+	a := &Analysis{}
+	type acc struct {
+		subs      int
+		rttSum    float64
+		pairs     int
+		samePairs int
+		survive   int
+	}
+	per := map[string]*acc{}
+	for _, d := range w.CloudDomains {
+		for _, s := range d.CloudSubdomains() {
+			if len(s.VMs) == 0 {
+				continue
+			}
+			a.Total++
+			if len(s.Backends) == 0 {
+				continue
+			}
+			a.WithBackends++
+			st := per[s.BackendPolicy]
+			if st == nil {
+				st = &acc{}
+				per[s.BackendPolicy] = st
+			}
+			st.subs++
+			frontZones := map[[2]interface{}]bool{}
+			for _, f := range s.VMs {
+				frontZones[[2]interface{}{f.Region, f.ZoneIndex}] = true
+			}
+			survives := false
+			for _, b := range s.Backends {
+				if !frontZones[[2]interface{}{b.Region, b.ZoneIndex}] {
+					survives = true
+				}
+				for _, f := range s.VMs {
+					rtt := w.EC2.BaseRTT(f.Region, f.ZoneIndex, b.Region, b.ZoneIndex)
+					st.rttSum += float64(rtt) / float64(time.Millisecond)
+					st.pairs++
+					if f.Region == b.Region && f.ZoneIndex == b.ZoneIndex {
+						st.samePairs++
+					}
+				}
+			}
+			if survives {
+				st.survive++
+			}
+		}
+	}
+	for policy, st := range per {
+		a.Policies = append(a.Policies, PolicyStats{
+			Policy:                policy,
+			Subdomains:            st.subs,
+			MeanFrontBackRTTms:    st.rttSum / float64(st.pairs),
+			SameZoneShare:         stats.Frac(float64(st.samePairs), float64(st.pairs)),
+			SurvivesFrontZoneLoss: stats.Frac(float64(st.survive), float64(st.subs)),
+		})
+	}
+	sort.Slice(a.Policies, func(i, j int) bool { return a.Policies[i].Policy < a.Policies[j].Policy })
+	return a
+}
+
+// Table renders the study.
+func (a *Analysis) Table() *stats.Table {
+	t := &stats.Table{
+		Title:  "Extension: back-end placement (ground-truth study; future work in the paper)",
+		Header: []string{"Policy", "# Subdom", "front-back RTT (ms)", "same-zone pairs", "survives front-zone loss"},
+	}
+	for _, p := range a.Policies {
+		t.AddRow(p.Policy, p.Subdomains,
+			p.MeanFrontBackRTTms,
+			stats.Pct(p.SameZoneShare, 1),
+			stats.Pct(p.SurvivesFrontZoneLoss, 1))
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+// Package classify implements §3.2's analyses of the Alexa subdomains
+// dataset: the provider breakdown of domains and subdomains (Table 3),
+// the top EC2-using domains by rank (Table 4), the rank skew of cloud
+// adoption, and the most common subdomain prefixes.
+package classify
+
+import (
+	"sort"
+	"strings"
+
+	"cloudscope/internal/core/dataset"
+	"cloudscope/internal/stats"
+)
+
+// Category is a Table 3 row.
+type Category int
+
+// Table 3 categories.
+const (
+	EC2Only Category = iota
+	EC2Other
+	AzureOnly
+	AzureOther
+	EC2Azure
+	NumCategories
+)
+
+// String names the category as Table 3 does.
+func (c Category) String() string {
+	switch c {
+	case EC2Only:
+		return "EC2 only"
+	case EC2Other:
+		return "EC2 + Other"
+	case AzureOnly:
+		return "Azure only"
+	case AzureOther:
+		return "Azure + Other"
+	case EC2Azure:
+		return "EC2 + Azure"
+	}
+	return "?"
+}
+
+// Breakdown is the Table 3 result.
+type Breakdown struct {
+	Domains    [NumCategories]int
+	Subdomains [NumCategories]int
+	// Totals across categories.
+	TotalDomains    int
+	TotalSubdomains int
+	// Provider totals (EC2 total / Azure total rows; overlapping).
+	EC2Domains, AzureDomains       int
+	EC2Subdomains, AzureSubdomains int
+}
+
+// Ranker maps a domain name to its Alexa rank (0 = unranked).
+type Ranker interface {
+	RankOf(domain string) int
+}
+
+// Classify computes Table 3 from a dataset.
+//
+// Subdomain categories follow the paper: a subdomain is "EC2 only" if
+// it always resolved only to EC2 addresses; "EC2 + Other" if it mixed
+// EC2 and non-cloud addresses; similarly for Azure and for the
+// EC2+Azure overlap. Domain categories aggregate subdomains, with
+// "Other" meaning the domain also has non-cloud-resolving subdomains —
+// approximated here, as in the paper, by whether any cloud-using
+// subdomain mixes providers or the domain's discovered subdomains are
+// not all cloud-using.
+func Classify(ds *dataset.Dataset) *Breakdown {
+	b := &Breakdown{}
+	for domain, obsList := range ds.ByDomain {
+		if len(obsList) == 0 {
+			continue
+		}
+		var domEC2, domAzure, domOther bool
+		for _, o := range obsList {
+			ec2, azure, other := o.ProviderOf(ds.Ranges)
+			domEC2 = domEC2 || ec2
+			domAzure = domAzure || azure
+			domOther = domOther || other
+			b.Subdomains[categorize(ec2, azure, other)]++
+			b.TotalSubdomains++
+			if ec2 {
+				b.EC2Subdomains++
+			}
+			if azure {
+				b.AzureSubdomains++
+			}
+		}
+		// Domains with non-cloud subdomains (or apex) count as +Other;
+		// the discovery summary tells us whether more subdomains exist
+		// than are cloud-using.
+		if sum := ds.Domains[domain]; sum != nil && sum.SubdomainsSeen > len(obsList) {
+			domOther = true
+		}
+		b.Domains[categorize(domEC2, domAzure, domOther)]++
+		b.TotalDomains++
+		if domEC2 {
+			b.EC2Domains++
+		}
+		if domAzure {
+			b.AzureDomains++
+		}
+	}
+	return b
+}
+
+func categorize(ec2, azure, other bool) Category {
+	switch {
+	case ec2 && azure:
+		return EC2Azure
+	case ec2 && other:
+		return EC2Other
+	case ec2:
+		return EC2Only
+	case azure && other:
+		return AzureOther
+	default:
+		return AzureOnly
+	}
+}
+
+// TopDomainRow is a Table 4 row.
+type TopDomainRow struct {
+	Rank      int
+	Domain    string
+	TotalSubs int // all discovered subdomains
+	CloudSubs int // cloud-using subdomains
+}
+
+// TopEC2Domains returns the n highest-ranked EC2-using domains,
+// excluding Azure-dominated ones (as Table 4 excludes live.com etc.).
+func TopEC2Domains(ds *dataset.Dataset, ranker Ranker, n int) []TopDomainRow {
+	var rows []TopDomainRow
+	for domain, obsList := range ds.ByDomain {
+		usesEC2 := false
+		azureOnly := true
+		cloudSubs := 0
+		for _, o := range obsList {
+			ec2, azure, _ := o.ProviderOf(ds.Ranges)
+			if ec2 {
+				usesEC2 = true
+				azureOnly = false
+			}
+			if !azure {
+				azureOnly = false
+			}
+			cloudSubs++
+		}
+		if !usesEC2 || azureOnly {
+			continue
+		}
+		rank := ranker.RankOf(domain)
+		if rank == 0 {
+			continue
+		}
+		total := cloudSubs
+		if sum := ds.Domains[domain]; sum != nil {
+			total = sum.SubdomainsSeen
+		}
+		rows = append(rows, TopDomainRow{Rank: rank, Domain: domain, TotalSubs: total, CloudSubs: cloudSubs})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Rank < rows[j].Rank })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// TopCloudDomains returns the n highest-ranked cloud-using domains of
+// either provider.
+func TopCloudDomains(ds *dataset.Dataset, ranker Ranker, n int) []TopDomainRow {
+	var rows []TopDomainRow
+	for domain, obsList := range ds.ByDomain {
+		if len(obsList) == 0 {
+			continue
+		}
+		rank := ranker.RankOf(domain)
+		if rank == 0 {
+			continue
+		}
+		total := len(obsList)
+		if sum := ds.Domains[domain]; sum != nil {
+			total = sum.SubdomainsSeen
+		}
+		rows = append(rows, TopDomainRow{Rank: rank, Domain: domain, TotalSubs: total, CloudSubs: len(obsList)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Rank < rows[j].Rank })
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// RankSkew reports the fraction of cloud-using domains in the top
+// quarter and bottom quarter of the ranking.
+func RankSkew(ds *dataset.Dataset, ranker Ranker, listSize int) (topQuarter, bottomQuarter float64) {
+	var top, bottom, total int
+	for _, domain := range ds.CloudDomains() {
+		rank := ranker.RankOf(domain)
+		if rank == 0 {
+			continue
+		}
+		total++
+		if rank <= listSize/4 {
+			top++
+		}
+		if rank > listSize*3/4 {
+			bottom++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(top) / float64(total), float64(bottom) / float64(total)
+}
+
+// PrefixShare is one subdomain-prefix popularity row.
+type PrefixShare struct {
+	Prefix string
+	Count  int
+	Share  float64
+}
+
+// TopPrefixes returns the most common first labels of cloud-using
+// subdomains (§3.2 found www first at 3.3%, then m, ftp, cdn, ...).
+func TopPrefixes(ds *dataset.Dataset, n int) []PrefixShare {
+	counts := map[string]int{}
+	total := 0
+	for fqdn := range ds.Subdomains {
+		label := fqdn
+		if dot := strings.IndexByte(fqdn, '.'); dot > 0 {
+			label = fqdn[:dot]
+		}
+		counts[label]++
+		total++
+	}
+	out := make([]PrefixShare, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PrefixShare{Prefix: p, Count: c, Share: stats.Frac(float64(c), float64(total))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Prefix < out[j].Prefix
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Table3 renders the breakdown as the paper's Table 3.
+func (b *Breakdown) Table3() *stats.Table {
+	t := &stats.Table{
+		Title:  "Table 3: domains and subdomains by provider use",
+		Header: []string{"Provider", "# Domains", "(%)", "# Subdomains", "(%)"},
+	}
+	for c := Category(0); c < NumCategories; c++ {
+		t.AddRow(c.String(), b.Domains[c], stats.Pct(float64(b.Domains[c]), float64(b.TotalDomains)),
+			b.Subdomains[c], stats.Pct(float64(b.Subdomains[c]), float64(b.TotalSubdomains)))
+	}
+	t.AddRow("Total", b.TotalDomains, "100.0%", b.TotalSubdomains, "100.0%")
+	t.AddRow("EC2 total", b.EC2Domains, stats.Pct(float64(b.EC2Domains), float64(b.TotalDomains)),
+		b.EC2Subdomains, stats.Pct(float64(b.EC2Subdomains), float64(b.TotalSubdomains)))
+	t.AddRow("Azure total", b.AzureDomains, stats.Pct(float64(b.AzureDomains), float64(b.TotalDomains)),
+		b.AzureSubdomains, stats.Pct(float64(b.AzureSubdomains), float64(b.TotalSubdomains)))
+	return t
+}

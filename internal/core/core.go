@@ -1,0 +1,17 @@
+// Package core's subpackages implement the paper's contribution — the
+// measurement and analysis pipeline of He et al., IMC 2013 — against
+// the simulated substrates:
+//
+//	dataset   §2.1  the Alexa-subdomains discovery pipeline
+//	classify  §3.2  provider breakdowns and rank analyses
+//	traffic   §3.1, §3.3  border-capture tables and figures
+//	patterns  §4.1  front-end deployment-pattern heuristics
+//	regions   §4.2  region mapping and customer-country analysis
+//	zones     §4.3  availability-zone cartography
+//	wanperf   §5    wide-area performance and fault tolerance
+//	backend   §2 (future work)  the back-end placement extension
+//
+// Every analysis consumes only measurement-visible data (DNS messages,
+// published IP ranges, packets, probes); ground truth appears solely in
+// tests and the explicitly ground-truth-side backend extension.
+package core

@@ -1,0 +1,309 @@
+// Package dataset builds the paper's primary dataset — the Alexa
+// subdomains dataset (§2.1) — by running the published discovery
+// pipeline against the simulated DNS:
+//
+//  1. attempt a zone transfer (AXFR) for each ranked domain;
+//  2. fall back to dnsmap/knock-style wordlist brute forcing from
+//     distributed vantage points;
+//  3. resolve every discovered subdomain once and keep those whose
+//     records contain an address inside the published cloud ranges;
+//  4. re-resolve the cloud-using subdomains from every vantage point
+//     (cache flushed, recursion off) to capture geo-dependent records.
+//
+// The pipeline sees only what a real measurer saw: DNS messages and the
+// published range lists. Ground truth from the generator is never
+// consulted here — tests compare the output against it afterwards.
+package dataset
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudscope/internal/dnssrv"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/simnet"
+	"cloudscope/internal/wordlist"
+)
+
+// Observation is everything learned about one cloud-using subdomain.
+type Observation struct {
+	FQDN   string
+	Domain string
+	// RRs is the deduplicated union of records seen across vantages,
+	// in first-seen order: CNAME chains and terminal A records.
+	RRs []dnswire.RR
+	// IPs is the deduplicated set of terminal A answers.
+	IPs []netaddr.IP
+}
+
+// HasCNAME reports whether any observed record is a CNAME.
+func (o *Observation) HasCNAME() bool {
+	for _, rr := range o.RRs {
+		if rr.Type == dnswire.TypeCNAME {
+			return true
+		}
+	}
+	return false
+}
+
+// CNAMETargets returns the distinct CNAME targets observed.
+func (o *Observation) CNAMETargets() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rr := range o.RRs {
+		if rr.Type == dnswire.TypeCNAME && !seen[rr.Target] {
+			seen[rr.Target] = true
+			out = append(out, rr.Target)
+		}
+	}
+	return out
+}
+
+// DirectA reports whether the lookup directly returned A records (no
+// CNAME on the first-seen chain) — the paper's VM-front-end test.
+func (o *Observation) DirectA() bool {
+	return len(o.RRs) > 0 && o.RRs[0].Type == dnswire.TypeA
+}
+
+// DomainSummary tracks discovery totals for one ranked domain.
+type DomainSummary struct {
+	Domain         string
+	AXFRWorked     bool
+	SubdomainsSeen int // all valid subdomains discovered (cloud or not)
+	CloudUsing     int
+}
+
+// Stats counts pipeline work.
+type Stats struct {
+	DomainsScanned  int
+	AXFRSuccesses   int
+	QueriesIssued   int64
+	SubdomainsSeen  int
+	CloudSubdomains int
+	// SerialProbeTime is the total simulated network time the campaign's
+	// queries consumed end-to-end (the paper spread its three-day
+	// campaign over 150 PlanetLab nodes; divide accordingly).
+	SerialProbeTime time.Duration
+}
+
+// Dataset is the pipeline's output.
+type Dataset struct {
+	Ranges     *ipranges.List
+	Domains    map[string]*DomainSummary
+	Subdomains map[string]*Observation // cloud-using only
+	ByDomain   map[string][]*Observation
+	Stats      Stats
+}
+
+// CloudDomains returns the domains with at least one cloud-using
+// subdomain, sorted.
+func (d *Dataset) CloudDomains() []string {
+	var out []string
+	for name, obs := range d.ByDomain {
+		if len(obs) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	Fabric   *simnet.Fabric
+	Registry *dnssrv.Registry
+	Ranges   *ipranges.List
+	// Domains is the ranked list to scan (names only — ranks are public
+	// Alexa metadata handled by the classify package).
+	Domains []string
+	// Wordlist is the brute-force dictionary; nil means wordlist.Common.
+	Wordlist []string
+	// Vantages is the number of distributed resolvers for the full
+	// re-resolution pass (200 in the paper).
+	Vantages int
+	// Parallelism bounds concurrent domain scans.
+	Parallelism int
+}
+
+// vantageIP derives the i-th vantage's source address.
+func vantageIP(i int) netaddr.IP {
+	return netaddr.MustParseIP("193.5.0.0") + netaddr.IP(i*131+7)
+}
+
+// Build runs the full pipeline.
+func Build(cfg Config) *Dataset {
+	if cfg.Wordlist == nil {
+		cfg.Wordlist = wordlist.Common()
+	}
+	if cfg.Vantages <= 0 {
+		cfg.Vantages = 200
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	ds := &Dataset{
+		Ranges:     cfg.Ranges,
+		Domains:    map[string]*DomainSummary{},
+		Subdomains: map[string]*Observation{},
+		ByDomain:   map[string][]*Observation{},
+	}
+	campaignStart := cfg.Fabric.Clock().Now()
+
+	// Shared resolver pools: 150 brute-force nodes and cfg.Vantages
+	// re-resolution nodes. Resolvers are safe for concurrent use and,
+	// with NoRecurse set, stateless between queries.
+	brute := make([]*dnssrv.Resolver, 150)
+	for i := range brute {
+		brute[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
+		brute[i].NoRecurse = true
+	}
+	vantages := make([]*dnssrv.Resolver, cfg.Vantages)
+	for i := range vantages {
+		vantages[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
+		vantages[i].NoRecurse = true
+	}
+
+	type domainResult struct {
+		summary *DomainSummary
+		obs     []*Observation
+		queries int64
+	}
+	results := make([]domainResult, len(cfg.Domains))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for i, domain := range cfg.Domains {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, domain string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = scanDomain(cfg, brute[i%len(brute)], vantages, domain)
+		}(i, domain)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		ds.Stats.DomainsScanned++
+		ds.Stats.QueriesIssued += r.queries
+		ds.Stats.SubdomainsSeen += r.summary.SubdomainsSeen
+		if r.summary.AXFRWorked {
+			ds.Stats.AXFRSuccesses++
+		}
+		ds.Domains[r.summary.Domain] = r.summary
+		for _, o := range r.obs {
+			ds.Subdomains[o.FQDN] = o
+			ds.ByDomain[o.Domain] = append(ds.ByDomain[o.Domain], o)
+			ds.Stats.CloudSubdomains++
+		}
+	}
+	ds.Stats.SerialProbeTime = cfg.Fabric.Clock().Now().Sub(campaignStart)
+	return ds
+}
+
+// scanDomain runs steps 1–4 for one domain.
+func scanDomain(cfg Config, bruteRV *dnssrv.Resolver, vantages []*dnssrv.Resolver, domain string) (r struct {
+	summary *DomainSummary
+	obs     []*Observation
+	queries int64
+}) {
+	r.summary = &DomainSummary{Domain: domain}
+
+	// Step 1: zone transfer.
+	var names []string
+	if rrs, err := bruteRV.AXFR(domain); err == nil {
+		r.summary.AXFRWorked = true
+		r.queries++
+		seen := map[string]bool{}
+		for _, rr := range rrs {
+			n := dnswire.CanonicalName(rr.Name)
+			if n != domain && !seen[n] && rr.Type != dnswire.TypeNS {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	} else {
+		r.queries++
+		// Step 2: wordlist brute force.
+		for _, w := range cfg.Wordlist {
+			fqdn := w + "." + domain
+			r.queries++
+			if _, err := bruteRV.Query(fqdn, dnswire.TypeA); err == nil {
+				names = append(names, fqdn)
+			}
+		}
+	}
+	r.summary.SubdomainsSeen = len(names)
+
+	// Step 3: single lookup; keep cloud-using names.
+	var cloudNames []string
+	for _, fqdn := range names {
+		chain, err := bruteRV.LookupA(fqdn)
+		r.queries++
+		if err != nil {
+			continue
+		}
+		if containsCloudIP(cfg.Ranges, chain) {
+			cloudNames = append(cloudNames, fqdn)
+		}
+	}
+
+	// Step 4: distributed re-resolution of cloud-using subdomains.
+	for _, fqdn := range cloudNames {
+		o := &Observation{FQDN: fqdn, Domain: domain}
+		seenRR := map[string]bool{}
+		seenIP := map[netaddr.IP]bool{}
+		for _, rv := range vantages {
+			chain, err := rv.LookupA(fqdn)
+			r.queries++
+			if err != nil {
+				continue
+			}
+			for _, rr := range chain {
+				k := rr.String()
+				if !seenRR[k] {
+					seenRR[k] = true
+					o.RRs = append(o.RRs, rr)
+				}
+				if rr.Type == dnswire.TypeA && !seenIP[rr.IP] {
+					seenIP[rr.IP] = true
+					o.IPs = append(o.IPs, rr.IP)
+				}
+			}
+		}
+		if len(o.RRs) > 0 {
+			r.obs = append(r.obs, o)
+			r.summary.CloudUsing++
+		}
+	}
+	return r
+}
+
+func containsCloudIP(ranges *ipranges.List, chain []dnswire.RR) bool {
+	for _, rr := range chain {
+		if rr.Type == dnswire.TypeA && ranges.Contains(rr.IP, "") {
+			return true
+		}
+	}
+	return false
+}
+
+// ProviderOf classifies an observation's providers from its terminal
+// IPs: EC2 (CloudFront counts as EC2-affiliated), Azure, and other.
+func (o *Observation) ProviderOf(ranges *ipranges.List) (usesEC2, usesAzure, usesOther bool) {
+	for _, ip := range o.IPs {
+		e, ok := ranges.Lookup(ip)
+		switch {
+		case !ok:
+			usesOther = true
+		case e.Provider == ipranges.EC2 || e.Provider == ipranges.CloudFront:
+			usesEC2 = true
+		case e.Provider == ipranges.Azure:
+			usesAzure = true
+		}
+	}
+	return
+}

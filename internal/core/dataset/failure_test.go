@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"testing"
+
+	"cloudscope/internal/deploy"
+)
+
+// Failure injection: the discovery pipeline must degrade gracefully,
+// not collapse, when the network drops packets — resolvers retry across
+// a delegation's name servers.
+
+func TestDiscoveryUnderPacketLoss(t *testing.T) {
+	w := deploy.Generate(deploy.DefaultConfig().Scaled(400))
+	names := make([]string, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		names = append(names, d.Name)
+	}
+	baseline := Build(Config{
+		Fabric: w.Fabric, Registry: w.Registry, Ranges: w.Ranges,
+		Domains: names, Vantages: 10,
+	})
+
+	// 15% loss: most domains have 3+ NS, so per-lookup failure
+	// probability is ~0.3%. Discovery should lose almost nothing.
+	w.Fabric.SetLoss(0.15, 7)
+	defer w.Fabric.SetLoss(0, 0)
+	lossy := Build(Config{
+		Fabric: w.Fabric, Registry: w.Registry, Ranges: w.Ranges,
+		Domains: names, Vantages: 10,
+	})
+
+	if lossy.Stats.CloudSubdomains == 0 {
+		t.Fatal("discovery collapsed under loss")
+	}
+	ratio := float64(lossy.Stats.CloudSubdomains) / float64(baseline.Stats.CloudSubdomains)
+	if ratio < 0.85 {
+		t.Fatalf("loss degraded discovery to %.2f of baseline", ratio)
+	}
+	// Results stay a subset of truth (loss cannot invent records).
+	for fqdn := range lossy.Subdomains {
+		if _, ok := w.Subdomain(fqdn); !ok {
+			t.Fatalf("phantom subdomain %s under loss", fqdn)
+		}
+	}
+}
+
+func TestDiscoveryUnderHeavyLossIsLowerBound(t *testing.T) {
+	w := deploy.Generate(deploy.DefaultConfig().Scaled(300))
+	names := make([]string, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		names = append(names, d.Name)
+	}
+	w.Fabric.SetLoss(0.5, 11)
+	defer w.Fabric.SetLoss(0, 0)
+	ds := Build(Config{
+		Fabric: w.Fabric, Registry: w.Registry, Ranges: w.Ranges,
+		Domains: names, Vantages: 5,
+	})
+	// Heavy loss shrinks the dataset but never corrupts it.
+	truthSubs := 0
+	for _, d := range w.CloudDomains {
+		truthSubs += len(d.CloudSubdomains())
+	}
+	if ds.Stats.CloudSubdomains > truthSubs {
+		t.Fatalf("found %d > truth %d", ds.Stats.CloudSubdomains, truthSubs)
+	}
+	for fqdn, obs := range ds.Subdomains {
+		sub, ok := w.Subdomain(fqdn)
+		if !ok || !sub.CloudUsing() {
+			t.Fatalf("corrupt observation %s", fqdn)
+		}
+		if len(obs.IPs) == 0 {
+			t.Fatalf("%s kept with no addresses", fqdn)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package regions
+
+import (
+	"sort"
+
+	"cloudscope/internal/stats"
+)
+
+// The §4.2 implications analysis: because nearly every subdomain lives
+// in one region, a regional outage takes down critical components of a
+// quantifiable share of the web. The paper's headline: an outage of
+// EC2's US East would hit at least 2.3% of the Alexa top million (61%
+// of EC2-using domains).
+
+// OutageImpact quantifies one region's blast radius.
+type OutageImpact struct {
+	Region string
+	// SubdomainsDown are subdomains entirely hosted in the region.
+	SubdomainsDown int
+	// SubdomainsDegraded have some but not all front ends there.
+	SubdomainsDegraded int
+	// DomainsHit have at least one subdomain entirely down.
+	DomainsHit int
+}
+
+// RegionOutages computes the blast radius of every region's failure.
+func (a *Analysis) RegionOutages() []OutageImpact {
+	byRegion := map[string]*OutageImpact{}
+	domainsHit := map[string]map[string]bool{} // region → domains
+	for _, sr := range a.Subdomains {
+		for _, r := range sr.Regions {
+			imp := byRegion[r]
+			if imp == nil {
+				imp = &OutageImpact{Region: r}
+				byRegion[r] = imp
+				domainsHit[r] = map[string]bool{}
+			}
+			if len(sr.Regions) == 1 {
+				imp.SubdomainsDown++
+				domainsHit[r][sr.Domain] = true
+			} else {
+				imp.SubdomainsDegraded++
+			}
+		}
+	}
+	var out []OutageImpact
+	for r, imp := range byRegion {
+		imp.DomainsHit = len(domainsHit[r])
+		out = append(out, *imp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubdomainsDown > out[j].SubdomainsDown })
+	return out
+}
+
+// HeadlineImpact reproduces the paper's §4.2 summary numbers for one
+// region against a full ranked list of listSize domains: the fraction
+// of the whole list and the fraction of cloud-using domains that would
+// lose critical components.
+func (a *Analysis) HeadlineImpact(region string, listSize, cloudDomains int) (listShare, cloudShare float64) {
+	hit := map[string]bool{}
+	for _, sr := range a.Subdomains {
+		if len(sr.Regions) == 1 && sr.Regions[0] == region {
+			hit[sr.Domain] = true
+		}
+	}
+	return stats.Frac(float64(len(hit)), float64(listSize)),
+		stats.Frac(float64(len(hit)), float64(cloudDomains))
+}

@@ -1,0 +1,45 @@
+package regions
+
+import (
+	"testing"
+)
+
+func TestRegionOutages(t *testing.T) {
+	impacts := an.RegionOutages()
+	if len(impacts) == 0 {
+		t.Fatal("no impacts")
+	}
+	// us-east-1's outage is the worst, by a wide margin.
+	if impacts[0].Region != "ec2.us-east-1" {
+		t.Fatalf("worst region = %s", impacts[0].Region)
+	}
+	for i := 1; i < len(impacts); i++ {
+		if impacts[i].SubdomainsDown > impacts[i-1].SubdomainsDown {
+			t.Fatal("impacts not sorted")
+		}
+	}
+	// Degraded (multi-region) subdomains are the small minority.
+	east := impacts[0]
+	if east.SubdomainsDegraded >= east.SubdomainsDown {
+		t.Fatalf("degraded %d >= down %d", east.SubdomainsDegraded, east.SubdomainsDown)
+	}
+	if east.DomainsHit == 0 || east.DomainsHit > east.SubdomainsDown {
+		t.Fatalf("domains hit = %d", east.DomainsHit)
+	}
+}
+
+func TestHeadlineImpact(t *testing.T) {
+	listShare, cloudShare := an.HeadlineImpact("ec2.us-east-1", world.Cfg.NumDomains, len(world.CloudDomains))
+	// Paper: 2.3% of the full list, 61% of EC2-using domains.
+	if listShare < 0.01 || listShare > 0.05 {
+		t.Fatalf("list share %.3f, want ~0.023", listShare)
+	}
+	if cloudShare < 0.40 || cloudShare > 0.85 {
+		t.Fatalf("cloud share %.2f, want ~0.61", cloudShare)
+	}
+	// A tiny region hurts much less.
+	smallList, _ := an.HeadlineImpact("ec2.ap-southeast-2", world.Cfg.NumDomains, len(world.CloudDomains))
+	if smallList >= listShare {
+		t.Fatalf("ap-southeast-2 (%.3f) should hurt less than us-east (%.3f)", smallList, listShare)
+	}
+}

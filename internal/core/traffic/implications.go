@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"time"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/stats"
+)
+
+// §3.3's implications: flow durations are heavy-tailed (some flows run
+// for hours), and because cloud HTTP traffic is dominated by html and
+// plain text rather than already-compressed media, WAN compression
+// would pay — the paper's pointer to EndRE-style redundancy
+// elimination. These analyses quantify both.
+
+// DurationStats summarizes flow durations for one cloud and kind.
+type DurationStats struct {
+	Count            int
+	MedianSeconds    float64
+	P90Seconds       float64
+	MaxSeconds       float64
+	OverOneHourCount int
+}
+
+// Durations computes duration statistics ("" matches any cloud/kind).
+func Durations(a *capture.Analysis, cloud ipranges.Provider, kind capture.Kind, anyKind bool) DurationStats {
+	var secs []float64
+	over := 0
+	for _, f := range a.Flows {
+		if cloud != "" && f.Cloud != cloud {
+			continue
+		}
+		if !anyKind && f.Kind != kind {
+			continue
+		}
+		d := f.Duration().Seconds()
+		secs = append(secs, d)
+		if f.Duration() > time.Hour {
+			over++
+		}
+	}
+	return DurationStats{
+		Count:            len(secs),
+		MedianSeconds:    stats.Median(secs),
+		P90Seconds:       stats.Percentile(secs, 90),
+		MaxSeconds:       stats.Max(secs),
+		OverOneHourCount: over,
+	}
+}
+
+// compressibility maps content types to achievable compression ratios
+// (compressed/original) for gzip-class codecs: text compresses to
+// ~25–30%, XML better, images/video/zip not at all.
+var compressibility = map[string]float64{
+	"text/html":                     0.25,
+	"text/plain":                    0.30,
+	"text/xml":                      0.15,
+	"application/pdf":               0.85,
+	"application/octet-stream":      0.90,
+	"image/jpeg":                    1.0,
+	"image/png":                     1.0,
+	"application/x-shockwave-flash": 1.0,
+	"application/zip":               1.0,
+	"video/mp4":                     1.0,
+}
+
+// CompressionEstimate is the §3.3 what-if: apply per-type compression
+// ratios to the observed HTTP bodies.
+type CompressionEstimate struct {
+	HTTPBodyBytes    int64
+	CompressedBytes  int64
+	SavedBytes       int64
+	SavedShare       float64 // of HTTP body bytes
+	TextShareOfBytes float64 // how much of HTTP is (compressible) text
+}
+
+// EstimateCompression computes the achievable WAN savings over the
+// capture's HTTP bodies.
+func EstimateCompression(a *capture.Analysis) CompressionEstimate {
+	var est CompressionEstimate
+	var textBytes int64
+	for _, row := range a.ContentTypes() {
+		est.HTTPBodyBytes += row.Bytes
+		ratio, known := compressibility[row.Type]
+		if !known {
+			ratio = 0.9
+		}
+		est.CompressedBytes += int64(float64(row.Bytes) * ratio)
+		if ratio <= 0.5 {
+			textBytes += row.Bytes
+		}
+	}
+	est.SavedBytes = est.HTTPBodyBytes - est.CompressedBytes
+	est.SavedShare = stats.Frac(float64(est.SavedBytes), float64(est.HTTPBodyBytes))
+	est.TextShareOfBytes = stats.Frac(float64(textBytes), float64(est.HTTPBodyBytes))
+	return est
+}

@@ -1,0 +1,49 @@
+package traffic
+
+import (
+	"testing"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/ipranges"
+)
+
+func TestDurations(t *testing.T) {
+	all := Durations(analysis, "", 0, true)
+	if all.Count < 1000 {
+		t.Fatalf("count = %d", all.Count)
+	}
+	if all.MedianSeconds <= 0 || all.P90Seconds < all.MedianSeconds || all.MaxSeconds < all.P90Seconds {
+		t.Fatalf("ordering broken: %+v", all)
+	}
+	// Heavy tail: some flows run over an hour; most are short.
+	if all.MedianSeconds > 60 {
+		t.Fatalf("median %.1fs implausibly long", all.MedianSeconds)
+	}
+	https := Durations(analysis, ipranges.EC2, capture.KindHTTPS, false)
+	http := Durations(analysis, ipranges.EC2, capture.KindHTTP, false)
+	if https.Count == 0 || http.Count == 0 {
+		t.Fatal("missing kinds")
+	}
+	// §3.3: HTTPS flows last longer than HTTP flows.
+	if https.MedianSeconds <= http.MedianSeconds {
+		t.Fatalf("HTTPS median %.2fs <= HTTP median %.2fs", https.MedianSeconds, http.MedianSeconds)
+	}
+}
+
+func TestCompressionEstimate(t *testing.T) {
+	est := EstimateCompression(analysis)
+	if est.HTTPBodyBytes <= 0 {
+		t.Fatal("no HTTP bytes")
+	}
+	if est.SavedBytes <= 0 || est.SavedBytes >= est.HTTPBodyBytes {
+		t.Fatalf("savings implausible: %+v", est)
+	}
+	// Paper: ~half of HTTP content is (compressible) text, so savings
+	// should be substantial — a third-ish of body bytes.
+	if est.SavedShare < 0.15 || est.SavedShare > 0.60 {
+		t.Fatalf("saved share %.2f", est.SavedShare)
+	}
+	if est.TextShareOfBytes < 0.25 || est.TextShareOfBytes > 0.70 {
+		t.Fatalf("text share %.2f, want ~0.5", est.TextShareOfBytes)
+	}
+}

@@ -1,0 +1,115 @@
+// Package traffic renders §3.1 and §3.3's capture analyses as the
+// paper's tables and figure series: per-cloud traffic shares (Table 1),
+// protocol mixes (Table 2), top domains by volume (Table 5), HTTP
+// content types (Table 6), and the flow-count/size CDFs of Figure 3.
+package traffic
+
+import (
+	"fmt"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/stats"
+)
+
+// Table1 renders per-cloud byte and flow shares.
+func Table1(a *capture.Analysis) *stats.Table {
+	bytesPct, flowsPct := a.CloudShare()
+	t := &stats.Table{
+		Title:  "Table 1: traffic share per cloud",
+		Header: []string{"Cloud", "Bytes (%)", "Flows (%)"},
+	}
+	for _, c := range []ipranges.Provider{ipranges.EC2, ipranges.Azure} {
+		t.AddRow(providerName(c), fmt.Sprintf("%.2f", bytesPct[c]), fmt.Sprintf("%.2f", flowsPct[c]))
+	}
+	t.AddRow("Total", "100.00", "100.00")
+	return t
+}
+
+func providerName(p ipranges.Provider) string {
+	if p == ipranges.Azure {
+		return "Azure"
+	}
+	return "EC2"
+}
+
+// Table2 renders protocol shares for EC2, Azure, and overall.
+func Table2(a *capture.Analysis) *stats.Table {
+	t := &stats.Table{
+		Title:  "Table 2: traffic share per protocol",
+		Header: []string{"Protocol", "EC2 Bytes", "EC2 Flows", "Az Bytes", "Az Flows", "All Bytes", "All Flows"},
+	}
+	eb, ef := a.ProtocolShare(ipranges.EC2)
+	ab, af := a.ProtocolShare(ipranges.Azure)
+	ob, of := a.ProtocolShare("")
+	for _, k := range capture.Kinds {
+		t.AddRow(k.String(),
+			fmt.Sprintf("%.2f", eb[k]), fmt.Sprintf("%.2f", ef[k]),
+			fmt.Sprintf("%.2f", ab[k]), fmt.Sprintf("%.2f", af[k]),
+			fmt.Sprintf("%.2f", ob[k]), fmt.Sprintf("%.2f", of[k]))
+	}
+	return t
+}
+
+// Table5 renders the top-n domains by HTTP(S) volume per cloud.
+func Table5(a *capture.Analysis, n int) *stats.Table {
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Table 5: top %d domains by HTTP(S) volume", n),
+		Header: []string{"EC2 domain", "GB", "(%)", "Azure domain", "GB", "(%)"},
+	}
+	total := float64(a.HTTPTotalBytes())
+	ec2 := a.TopDomains(ipranges.EC2, n)
+	az := a.TopDomains(ipranges.Azure, n)
+	gb := func(b int64) string { return fmt.Sprintf("%.3f", float64(b)/1e9) }
+	pct := func(b int64) string { return fmt.Sprintf("%.2f", 100*float64(b)/total) }
+	for i := 0; i < n; i++ {
+		var cells [6]string
+		if i < len(ec2) {
+			cells[0], cells[1], cells[2] = ec2[i].Domain, gb(ec2[i].Bytes), pct(ec2[i].Bytes)
+		}
+		if i < len(az) {
+			cells[3], cells[4], cells[5] = az[i].Domain, gb(az[i].Bytes), pct(az[i].Bytes)
+		}
+		t.AddRow(cells[0], cells[1], cells[2], cells[3], cells[4], cells[5])
+	}
+	return t
+}
+
+// Table6 renders HTTP content types by byte count.
+func Table6(a *capture.Analysis, n int) *stats.Table {
+	t := &stats.Table{
+		Title:  "Table 6: HTTP content types",
+		Header: []string{"Content type", "Bytes (MB)", "(%)", "Mean (KB)", "Max (MB)"},
+	}
+	rows := a.ContentTypes()
+	var total int64
+	for _, r := range rows {
+		total += r.Bytes
+	}
+	for i, r := range rows {
+		if i >= n {
+			break
+		}
+		t.AddRow(r.Type,
+			fmt.Sprintf("%.1f", float64(r.Bytes)/1e6),
+			stats.Pct(float64(r.Bytes), float64(total)),
+			fmt.Sprintf("%.0f", r.Mean/1024),
+			fmt.Sprintf("%.1f", float64(r.Max)/1e6))
+	}
+	return t
+}
+
+// Figure3 returns the four CDF series: HTTP and HTTPS flow counts per
+// domain and flow sizes, per cloud.
+func Figure3(a *capture.Analysis) map[string][]stats.Point {
+	out := map[string][]stats.Point{}
+	for _, cloud := range []ipranges.Provider{ipranges.EC2, ipranges.Azure} {
+		for _, kind := range []capture.Kind{capture.KindHTTP, capture.KindHTTPS} {
+			perDomain, sizes := a.FlowStats(cloud, kind)
+			name := fmt.Sprintf("%s %s", providerName(cloud), kind)
+			out["flows-per-domain: "+name] = stats.NewCDF(perDomain).Points(40)
+			out["flow-size: "+name] = stats.NewCDF(sizes).Points(40)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package wanperf implements §5's active-measurement campaigns: the
+// per-region latency/throughput matrices (Figures 9 and 10), the
+// time-varying best-region series (Figure 11), the optimal-k region
+// analysis (Figure 12), intra-cloud RTT micro-benchmarks (Table 11),
+// and downstream-ISP diversity via traceroute (Table 16), plus the
+// route-outage simulation the paper alludes to.
+package wanperf
+
+import (
+	"sort"
+	"time"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/geo"
+	"cloudscope/internal/stats"
+	"cloudscope/internal/wan"
+	"cloudscope/internal/xrand"
+)
+
+// Campaign bundles the §5 measurement setup: 80 PlanetLab clients, all
+// EC2 regions, probing every 15 minutes for three days.
+type Campaign struct {
+	Model    *wan.Model
+	Start    time.Time
+	Interval time.Duration
+	Rounds   int
+	Seed     int64
+}
+
+// NewCampaign builds the paper's default campaign over regions.
+func NewCampaign(seed int64, clients int, regions []string) *Campaign {
+	return &Campaign{
+		Model:    wan.New(seed, clients, regions),
+		Start:    time.Date(2013, 4, 4, 0, 0, 0, 0, time.UTC),
+		Interval: 15 * time.Minute,
+		Rounds:   3 * 24 * 4, // three days at 15-minute rounds
+		Seed:     seed,
+	}
+}
+
+// MatrixCell is one (client, region) average.
+type MatrixCell struct {
+	Client  string
+	Region  string
+	Mean    float64
+	Samples int
+}
+
+// Matrix measures the mean metric for every (client, region) pair —
+// Figures 9 (throughput) and 10 (latency) restrict to the US regions.
+func (c *Campaign) Matrix(metric wan.Metric, regions []string, maxClients int) []MatrixCell {
+	rng := xrand.SplitSeeded(c.Seed, "wanperf/matrix")
+	clients := c.Model.Clients
+	if maxClients > 0 && len(clients) > maxClients {
+		clients = clients[:maxClients]
+	}
+	var cells []MatrixCell
+	for _, client := range clients {
+		for _, region := range regions {
+			sum := 0.0
+			for round := 0; round < c.Rounds; round++ {
+				t := c.Start.Add(time.Duration(round) * c.Interval)
+				if metric == wan.MetricLatency {
+					sum += c.Model.RTT(client, region, t, rng)
+				} else {
+					sum += c.Model.Throughput(client, region, t, rng)
+				}
+			}
+			cells = append(cells, MatrixCell{
+				Client:  client.Name,
+				Region:  region,
+				Mean:    sum / float64(c.Rounds),
+				Samples: c.Rounds,
+			})
+		}
+	}
+	return cells
+}
+
+// TimeSeries measures one client's latency to several regions over the
+// campaign (Figure 11's Boulder plot).
+func (c *Campaign) TimeSeries(clientName string, regions []string) map[string][]stats.Point {
+	rng := xrand.SplitSeeded(c.Seed, "wanperf/series")
+	var client geo.Vantage
+	found := false
+	for _, cl := range c.Model.Clients {
+		if cl.Name == clientName {
+			client, found = cl, true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	out := map[string][]stats.Point{}
+	for _, region := range regions {
+		for round := 0; round < c.Rounds; round++ {
+			t := c.Start.Add(time.Duration(round) * c.Interval)
+			hours := float64(round) * c.Interval.Hours()
+			out[region] = append(out[region], stats.Point{X: hours, Y: c.Model.RTT(client, region, t, rng)})
+		}
+	}
+	return out
+}
+
+// OptimalK runs Figure 12's exhaustive subset search.
+func (c *Campaign) OptimalK(metric wan.Metric, maxK int) []wan.OptimalKResult {
+	return c.Model.OptimalK(metric, maxK, c.Rounds/4, c.Interval*4, c.Start, c.Seed)
+}
+
+// GreedyK is the ablation comparator for OptimalK.
+func (c *Campaign) GreedyK(metric wan.Metric, maxK int) []wan.OptimalKResult {
+	return c.Model.GreedyK(metric, maxK, c.Rounds/4, c.Interval*4, c.Start, c.Seed)
+}
+
+// --- Table 11: intra-cloud RTT micro-benchmark ------------------------
+
+// RTTRow is one (instance type, destination zone) measurement.
+type RTTRow struct {
+	InstanceType string
+	DestZone     string // reference-account label, e.g. "us-east-1a"
+	MinMs        float64
+	MedianMs     float64
+}
+
+// IntraCloudRTTs reproduces Table 11: a micro instance in one zone
+// probes instances of each type in each zone, 10 pings each.
+func IntraCloudRTTs(c *cloud.Cloud, region string, seed int64) []RTTRow {
+	rng := xrand.SplitSeeded(seed, "wanperf/rtt")
+	acct := c.NewAccount("rtt-bench")
+	labels := acct.ZoneLabels(region)
+	src := acct.Launch(region, labels[0], "t1.micro")
+	var rows []RTTRow
+	for _, itype := range cloud.InstanceTypes {
+		for _, label := range labels {
+			dst := acct.Launch(region, label, itype)
+			var samples []float64
+			for i := 0; i < 10; i++ {
+				samples = append(samples, float64(c.ProbeRTT(rng, src, dst))/1e6)
+			}
+			rows = append(rows, RTTRow{
+				InstanceType: itype,
+				DestZone:     label,
+				MinMs:        stats.Min(samples),
+				MedianMs:     stats.Median(samples),
+			})
+		}
+	}
+	return rows
+}
+
+// --- Table 16: downstream-ISP diversity -------------------------------
+
+// ISPRow is one region's downstream-ISP counts per zone.
+type ISPRow struct {
+	Region   string
+	PerZone  []int   // observed distinct downstream ASes per zone
+	TopShare float64 // largest single-ISP route share in zone 0
+}
+
+// ISPDiversity runs the paper's §5.2 experiment: instances in every
+// zone traceroute to every client; the first non-cloud AS is the
+// downstream ISP. Counts are observed lower bounds, like the paper's.
+func ISPDiversity(m *wan.Model, zoneCounts map[string]int, seed int64) []ISPRow {
+	rng := xrand.SplitSeeded(seed, "wanperf/isp")
+	var rows []ISPRow
+	regions := make([]string, 0, len(zoneCounts))
+	for r := range zoneCounts {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	for _, region := range regions {
+		row := ISPRow{Region: region}
+		for z := 0; z < zoneCounts[region]; z++ {
+			seen := map[int]bool{}
+			ispRoutes := map[int]int{}
+			total := 0
+			for _, client := range m.Clients {
+				hops := m.Traceroute(client, region, z, rng)
+				if asn, ok := wan.FirstDownstream(hops); ok {
+					seen[asn] = true
+					ispRoutes[asn]++
+					total++
+				}
+			}
+			row.PerZone = append(row.PerZone, len(seen))
+			if z == 0 && total > 0 {
+				max := 0
+				for _, n := range ispRoutes {
+					if n > max {
+						max = n
+					}
+				}
+				row.TopShare = float64(max) / float64(total)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Outages wraps the wan outage simulation using the latency-optimal
+// region ordering.
+func (c *Campaign) Outages(maxK, trials int) wan.OutageResult {
+	best := c.OptimalK(wan.MetricLatency, maxK)
+	order := make([]string, 0, maxK)
+	seen := map[string]bool{}
+	for _, res := range best {
+		for _, r := range res.Regions {
+			if !seen[r] {
+				seen[r] = true
+				order = append(order, r)
+			}
+		}
+	}
+	return c.Model.SimulateOutages(order, maxK, trials, c.Seed)
+}

@@ -1,0 +1,83 @@
+package zones
+
+import (
+	"sort"
+
+	"cloudscope/internal/stats"
+)
+
+// The §4.3 implications analysis: a single availability zone's failure
+// strands every subdomain confined to it, and the skewed zone usage
+// means the most popular zone's outage hurts far more than the least
+// popular's (the paper: us-east-1a would take ~419K subdomains, its
+// least-used sibling only ~155K).
+
+// ZoneImpact quantifies one zone's blast radius among identified
+// subdomains.
+type ZoneImpact struct {
+	Zone ZoneKey
+	// SubdomainsDown are confined entirely to this zone.
+	SubdomainsDown int
+	// SubdomainsDegraded use this zone among others.
+	SubdomainsDegraded int
+	// DomainsDown have at least one subdomain entirely confined here.
+	DomainsDown int
+}
+
+// ZoneOutages computes every zone's blast radius, sorted worst-first.
+func (s *Study) ZoneOutages() []ZoneImpact {
+	per := map[ZoneKey]*ZoneImpact{}
+	domDown := map[ZoneKey]map[string]bool{}
+	for fqdn, zones := range s.SubZones {
+		domain := s.subDomain[fqdn]
+		for _, z := range zones {
+			imp := per[z]
+			if imp == nil {
+				imp = &ZoneImpact{Zone: z}
+				per[z] = imp
+				domDown[z] = map[string]bool{}
+			}
+			if len(zones) == 1 {
+				imp.SubdomainsDown++
+				domDown[z][domain] = true
+			} else {
+				imp.SubdomainsDegraded++
+			}
+		}
+	}
+	var out []ZoneImpact
+	for z, imp := range per {
+		imp.DomainsDown = len(domDown[z])
+		out = append(out, *imp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubdomainsDown > out[j].SubdomainsDown })
+	return out
+}
+
+// SkewRatio returns, for one region, the ratio of subdomains using its
+// most popular zone to its least popular (the paper's 419K / 155K ≈ 2.7
+// for us-east-1).
+func (s *Study) SkewRatio(region string) float64 {
+	subCounts, _ := s.ZoneUsage()
+	var max, min int
+	first := true
+	for z, n := range subCounts {
+		if z.Region != region {
+			continue
+		}
+		if first {
+			max, min, first = n, n, false
+			continue
+		}
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return stats.Frac(float64(max), float64(min))
+}

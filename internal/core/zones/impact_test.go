@@ -1,0 +1,37 @@
+package zones
+
+import (
+	"testing"
+)
+
+func TestZoneOutages(t *testing.T) {
+	impacts := study.ZoneOutages()
+	if len(impacts) < 5 {
+		t.Fatalf("impacts = %d", len(impacts))
+	}
+	// Worst zone is in us-east-1.
+	if impacts[0].Zone.Region != "ec2.us-east-1" {
+		t.Fatalf("worst zone in %s", impacts[0].Zone.Region)
+	}
+	for i := 1; i < len(impacts); i++ {
+		if impacts[i].SubdomainsDown > impacts[i-1].SubdomainsDown {
+			t.Fatal("not sorted")
+		}
+	}
+	for _, imp := range impacts {
+		if imp.DomainsDown > imp.SubdomainsDown {
+			t.Fatalf("%v: domains %d > subdomains %d", imp.Zone, imp.DomainsDown, imp.SubdomainsDown)
+		}
+	}
+}
+
+func TestZoneSkewRatio(t *testing.T) {
+	r := study.SkewRatio("ec2.us-east-1")
+	// Paper: most popular us-east zone carries ~2.7x the least popular.
+	if r < 1.2 || r > 6 {
+		t.Fatalf("us-east skew ratio %.2f, want ~2-3", r)
+	}
+	if study.SkewRatio("ec2.nowhere") != 0 {
+		t.Fatal("unknown region should yield 0")
+	}
+}

@@ -1,0 +1,315 @@
+package deploy
+
+import (
+	"fmt"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/xrand"
+)
+
+// anchorSub describes one scripted subdomain of an anchor domain.
+type anchorSub struct {
+	label    string
+	count    int // >1 expands to label1, label2, ... (label kept for 1)
+	pattern  Pattern
+	region   string // "" = domain home region
+	zones    []int
+	proxies  int  // extra ELB proxy placements beyond one per zone
+	otherCDN bool // CNAME into a non-CloudFront CDN
+}
+
+// anchorSpec scripts a top domain's deployment to match the paper's
+// Tables 4, 8, 10 and 15 rows.
+type anchorSpec struct {
+	azure      bool
+	home       string
+	extraOther int // additional other-hosted subdomains (Table 4 totals)
+	subs       []anchorSub
+}
+
+// anchorSpecs reproduces the paper's top cloud-using domains. Counts are
+// per the published tables; ELB proxy fleets are kept at published scale
+// where practical.
+var anchorSpecs = map[string]anchorSpec{
+	// Table 8: amazon.com — 2 cloud subdomains: 1 PaaS, 1 ELB, 27 ELB IPs.
+	"amazon.com": {home: "ec2.us-east-1", extraOther: 66, subs: []anchorSub{
+		{label: "ws", pattern: PatternBeanstalk, zones: []int{0, 1, 2}, proxies: 12},
+		{label: "cloudreader", pattern: PatternELB, zones: []int{0, 1, 2}, proxies: 9},
+	}},
+	// linkedin.com — 3 subdomains, 1 PaaS, 1 ELB; 2 regions (Table 10).
+	"linkedin.com": {home: "ec2.us-east-1", extraOther: 139, subs: []anchorSub{
+		{label: "platform", pattern: PatternHeroku},
+		{label: "api", pattern: PatternELB, zones: []int{0}},
+		{label: "static", pattern: PatternVM, region: "ec2.eu-west-1", zones: []int{0, 1, 2}},
+	}},
+	// 163.com — 4 subdomains on a CDN other than CloudFront.
+	"163.com": {home: "ec2.us-east-1", extraOther: 177, subs: []anchorSub{
+		{label: "cdn", count: 4, pattern: PatternOpaqueCNAME, zones: []int{0}, otherCDN: true},
+	}},
+	// pinterest.com — 18 subdomains, 4 VM front ends; 1 region; 10 subs
+	// in one zone, 8 in three (Table 15).
+	"pinterest.com": {home: "ec2.us-east-1", extraOther: 6, subs: []anchorSub{
+		{label: "www", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "api", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "m", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "events", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "pin", count: 4, pattern: PatternOpaqueCNAME, zones: []int{0, 1, 2}},
+		{label: "media", count: 10, pattern: PatternOpaqueCNAME, zones: []int{0}},
+	}},
+	// fc2.com — 14 subdomains: 10 VM fronts, 4 ELBs with a large proxy
+	// fleet; 2 regions.
+	"fc2.com": {home: "ec2.us-east-1", extraOther: 75, subs: []anchorSub{
+		{label: "blog", count: 9, pattern: PatternVM, zones: []int{0, 1}},
+		{label: "video", pattern: PatternVM, region: "ec2.ap-northeast-1", zones: []int{0, 1}},
+		{label: "lb", count: 4, pattern: PatternELB, zones: []int{0, 1}, proxies: 15},
+	}},
+	// conduit.com — 1 subdomain: Beanstalk (PaaS + ELB), 3 ELB IPs.
+	"conduit.com": {home: "ec2.us-east-1", extraOther: 39, subs: []anchorSub{
+		{label: "apps", pattern: PatternBeanstalk, zones: []int{0, 1}, proxies: 1},
+	}},
+	// ask.com — 1 VM-front subdomain.
+	"ask.com": {home: "ec2.us-east-1", extraOther: 96, subs: []anchorSub{
+		{label: "widgets", pattern: PatternVM, zones: []int{0}},
+	}},
+	// apple.com — 1 VM-front subdomain.
+	"apple.com": {home: "ec2.us-east-1", extraOther: 72, subs: []anchorSub{
+		{label: "concierge", pattern: PatternVM, zones: []int{0}},
+	}},
+	// imdb.com — 2 subdomains, one on CloudFront.
+	"imdb.com": {home: "ec2.us-east-1", extraOther: 24, subs: []anchorSub{
+		{label: "ia", pattern: PatternCDN},
+		{label: "app", pattern: PatternOpaqueCNAME, zones: []int{0}},
+	}},
+	// hao123.com — 1 subdomain on a non-CloudFront CDN.
+	"hao123.com": {home: "ec2.us-east-1", extraOther: 44, subs: []anchorSub{
+		{label: "static", pattern: PatternOpaqueCNAME, zones: []int{0}, otherCDN: true},
+	}},
+
+	// Azure anchors (Table 10).
+	"live.com": {azure: true, home: "az.us-north", subs: []anchorSub{
+		{label: "login", count: 6, pattern: PatternAzureCS},
+		{label: "mail", count: 6, pattern: PatternAzureCS, region: "az.us-south"},
+		{label: "cid", count: 6, pattern: PatternAzureCS, region: "az.us-east"},
+	}},
+	"msn.com": {azure: true, home: "az.us-north", extraOther: 20, subs: []anchorSub{
+		{label: "portal", count: 30, pattern: PatternAzureCS},
+		{label: "ent", count: 20, pattern: PatternAzureCS, region: "az.us-south"},
+		{label: "eu", count: 14, pattern: PatternAzureCS, region: "az.eu-west"},
+		{label: "asia", count: 8, pattern: PatternAzureCS, region: "az.ap-southeast"},
+		{label: "west", count: 6, pattern: PatternAzureCS, region: "az.us-west"},
+		{label: "tm", count: 11, pattern: PatternAzureTM},
+	}},
+	"bing.com": {azure: true, home: "az.us-north", subs: []anchorSub{
+		{label: "apiservices", pattern: PatternAzureCS},
+	}},
+	"microsoft.com": {azure: true, home: "az.us-north", extraOther: 30, subs: []anchorSub{
+		{label: "svc", count: 3, pattern: PatternAzureCS},
+		{label: "dl", count: 2, pattern: PatternAzureCS, region: "az.us-south"},
+		{label: "euportal", pattern: PatternAzureCS, region: "az.eu-north"},
+		{label: "hk", pattern: PatternAzureCS, region: "az.ap-east"},
+		{label: "tmsvc", count: 4, pattern: PatternAzureTM},
+	}},
+	"go.com": {azure: true, home: "az.us-south", subs: []anchorSub{
+		{label: "video", count: 4, pattern: PatternAzureCS},
+	}},
+
+	// High-traffic capture anchors (Table 5).
+	"dropbox.com": {home: "ec2.us-east-1", extraOther: 4, subs: []anchorSub{
+		{label: "www", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "dl", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "dl-web", pattern: PatternVM, zones: []int{0, 1}},
+		{label: "client", pattern: PatternVM, zones: []int{0, 1}},
+		{label: "notify", pattern: PatternELB, zones: []int{0, 1}, proxies: 2},
+	}},
+	"netflix.com": {home: "ec2.us-east-1", extraOther: 10, subs: []anchorSub{
+		{label: "www", pattern: PatternELB, zones: []int{0, 1, 2}, proxies: 5},
+		{label: "api", pattern: PatternELB, zones: []int{0, 1, 2}, proxies: 3},
+		{label: "m", pattern: PatternELB, zones: []int{0, 1, 2}, proxies: 87},
+	}},
+	"instagram.com": {home: "ec2.us-east-1", extraOther: 3, subs: []anchorSub{
+		{label: "www", pattern: PatternVM, zones: []int{0, 1, 2}},
+		{label: "api", pattern: PatternELB, zones: []int{0, 1}, proxies: 2},
+	}},
+	"zynga.com": {home: "ec2.us-east-1", extraOther: 8, subs: []anchorSub{
+		{label: "api", pattern: PatternVM, zones: []int{0, 1}},
+		{label: "assets", pattern: PatternCDN},
+	}},
+	"vimeo.com": {home: "ec2.us-east-1", extraOther: 12, subs: []anchorSub{
+		{label: "player", pattern: PatternVM, zones: []int{0, 1}},
+	}},
+	"foursquare.com": {home: "ec2.us-east-1", extraOther: 5, subs: []anchorSub{
+		{label: "api", pattern: PatternELB, zones: []int{0, 1}, proxies: 1},
+	}},
+}
+
+// anchorNames returns the set of domain names that must be cloud-using.
+func anchorNames() map[string]bool {
+	out := make(map[string]bool, len(anchorSpecs))
+	for name := range anchorSpecs {
+		out[name] = true
+	}
+	return out
+}
+
+// deployAnchor scripts an anchor domain from its spec. Anchor zones
+// answer AXFR so the discovery pipeline sees their full subdomain sets
+// — the paper's top-domain tables (4, 8, 10, 15) enumerate these
+// domains completely, which wordlist brute forcing alone cannot
+// guarantee for their numbered host names.
+func (w *World) deployAnchor(rng *xrand.Rand, d *Domain) {
+	spec := anchorSpecs[d.Name]
+	d.Zone.AllowAXFR = true
+	d.HomeRegion = spec.home
+	if spec.azure {
+		d.Category = catAzureOther
+	} else {
+		d.Category = catEC2Other
+	}
+	for _, as := range spec.subs {
+		n := as.count
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			label := as.label
+			if n > 1 {
+				label = fmt.Sprintf("%s%d", as.label, i+1)
+			}
+			w.deployAnchorSub(rng, d, label, as)
+		}
+	}
+	for i := 0; i < spec.extraOther; i++ {
+		label := fmt.Sprintf("corp%d", i+1)
+		s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther}
+		s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+		w.registerSubdomain(s)
+	}
+}
+
+func (w *World) deployAnchorSub(rng *xrand.Rand, d *Domain, label string, as anchorSub) {
+	region := as.region
+	if region == "" {
+		region = d.HomeRegion
+	}
+	s := &Subdomain{
+		FQDN:       fqdn(label, d.Name),
+		Label:      label,
+		Domain:     d,
+		Pattern:    as.pattern,
+		Provider:   providerOf(as.pattern),
+		Regions:    []string{region},
+		Zones:      map[string][]int{},
+		InWordlist: true,
+		OtherCDN:   as.otherCDN,
+	}
+	switch as.pattern {
+	case PatternCDN:
+		s.Provider = ipranges.EC2
+	case PatternAzureCDN:
+		s.Provider = ipranges.Azure
+	}
+	zones := as.zones
+	if len(zones) == 0 {
+		zones = []int{0}
+	}
+	clampZones := func(zs []int, max int) []int {
+		var out []int
+		for _, z := range zs {
+			if z < max {
+				out = append(out, z)
+			}
+		}
+		if len(out) == 0 {
+			out = []int{0}
+		}
+		return out
+	}
+
+	switch as.pattern {
+	case PatternVM:
+		zs := clampZones(zones, w.EC2.ZoneCount(region))
+		s.Zones[region] = zs
+		for i := 0; i < len(zs); i++ {
+			inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
+			s.VMs = append(s.VMs, inst)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+		}
+	case PatternELB, PatternBeanstalk:
+		zs := clampZones(zones, w.EC2.ZoneCount(region))
+		s.Zones[region] = zs
+		placements := append([]int(nil), zs...)
+		for i := 0; i < as.proxies; i++ {
+			placements = append(placements, zs[i%len(zs)])
+		}
+		if as.pattern == PatternBeanstalk {
+			s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, placements)
+			s.ELB = s.Beanstalk.ELB
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+		} else {
+			s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+		}
+	case PatternHeroku:
+		app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(d.Name), false, false)
+		s.Heroku = app
+		s.Regions = []string{"ec2.us-east-1"}
+		s.Zones["ec2.us-east-1"] = []int{0}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+	case PatternOpaqueCNAME:
+		zs := clampZones(zones, w.EC2.ZoneCount(region))
+		s.Zones[region] = zs
+		var vanity string
+		if as.otherCDN {
+			vanity = fmt.Sprintf("%s-%s.edgekey-cdn.net", sanitize(label), sanitize(d.Name))
+			zoneTarget := w.otherCDNZone
+			for range zs {
+				ip := w.otherIPs.next()
+				s.OtherIPs = append(s.OtherIPs, ip)
+				zoneTarget.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: ip})
+			}
+			// Non-CloudFront CDN serves from outside the clouds: the
+			// subdomain is not itself cloud-using.
+			s.Provider = ""
+			s.Pattern = PatternOther
+			s.Regions = nil
+			s.Zones = map[string][]int{}
+		} else {
+			vanity = fmt.Sprintf("edge-%s-%s.ghs-hosting.net", sanitize(label), sanitize(d.Name))
+			for i := 0; i < len(zs); i++ {
+				inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
+				s.VMs = append(s.VMs, inst)
+				w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+			}
+		}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+	case PatternCDN:
+		s.CDN = w.EC2.CreateDistribution(3)
+		s.Regions = nil
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+	case PatternAzureCS:
+		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
+		s.CS = cs
+		s.Zones[region] = []int{0}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
+	case PatternAzureTM:
+		// TM over two CSs: home region plus one more (Table 10's k=2 rows).
+		second := "az.us-east"
+		if region == second {
+			second = "az.us-west"
+		}
+		csA := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
+		csB := w.Azure.CreateCloudService(sanitize(label), second, csContents(rng))
+		s.TM = w.Azure.CreateTrafficManager(sanitize(label), "performance", []*cloud.CloudService{csA, csB})
+		s.Regions = []string{region, second}
+		s.Zones[region] = []int{0}
+		s.Zones[second] = []int{0}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+	default:
+		panic("deploy: unhandled anchor pattern " + string(as.pattern))
+	}
+	w.registerSubdomain(s)
+}

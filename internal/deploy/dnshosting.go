@@ -1,0 +1,184 @@
+package deploy
+
+import (
+	"fmt"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/dnssrv"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/xrand"
+)
+
+// DNSProvider is a DNS hosting operator: a set of name-server host
+// names and IPs, a server process hosting its customers' zones, and a
+// location class the paper's §4.1 name-server analysis recovers.
+type DNSProvider struct {
+	Name string
+	// Kind is where the provider's name servers live: "external" (not
+	// in any cloud), "route53" (CloudFront ranges), "ec2-vm" (tenant
+	// VMs inside EC2), or "azure".
+	Kind    string
+	NSNames []string
+	NSIPs   []netaddr.IP
+	Server  *dnssrv.Server
+}
+
+// buildDNSProviders provisions the shared hosting pool: a Zipf-popular
+// set of external hosters, a route53 fleet in CloudFront address space,
+// and small EC2-VM and Azure pools for self-hosters. Every provider's
+// own glue zone (A records for its NS names) is served by itself.
+func (w *World) buildDNSProviders() {
+	rng := w.rng.Split("dnshosting")
+	nExternal := w.Cfg.NumDomains/800 + 8
+
+	externalIP := func(i, j int) netaddr.IP {
+		// Carve NS addresses from a dedicated non-cloud block.
+		return netaddr.MustParseIP("204.13.0.0") + netaddr.IP(i*64+j+1)
+	}
+	for i := 0; i < nExternal; i++ {
+		name := fmt.Sprintf("dnshost%02d.net", i)
+		p := &DNSProvider{Name: name, Kind: "external", Server: dnssrv.NewServer()}
+		glue := dnssrv.NewZone(name)
+		n := rng.Range(3, 8)
+		for j := 0; j < n; j++ {
+			fq := fmt.Sprintf("ns%d.%s", j+1, name)
+			ip := externalIP(i, j)
+			p.NSNames = append(p.NSNames, fq)
+			p.NSIPs = append(p.NSIPs, ip)
+			glue.MustAdd(dnswire.RR{Name: fq, Type: dnswire.TypeA, TTL: 86400, IP: ip})
+		}
+		p.Server.AddZone(glue)
+		dnssrv.Deploy(w.Fabric, w.Registry, p.Server, p.NSIPs...)
+		w.DNSProviders = append(w.DNSProviders, p)
+	}
+
+	// Route53: one logical provider with a larger NS fleet; customers
+	// pick 4 servers each. All fleet IPs serve all route53 zones.
+	r53 := &DNSProvider{Name: "route53", Kind: "route53", Server: dnssrv.NewServer()}
+	fleet := 8 + w.Cfg.NumDomains/2500
+	for j := 0; j < fleet; j++ {
+		fq, ip := w.EC2.Route53NS()
+		r53.NSNames = append(r53.NSNames, fq)
+		r53.NSIPs = append(r53.NSIPs, ip)
+	}
+	dnssrv.Deploy(w.Fabric, w.Registry, r53.Server, r53.NSIPs...)
+	w.DNSProviders = append(w.DNSProviders, r53)
+
+	// A small Azure-hosted provider.
+	azp := &DNSProvider{Name: "azuredns.net", Kind: "azure", Server: dnssrv.NewServer()}
+	glue := dnssrv.NewZone("azuredns.net")
+	for j := 0; j < 2; j++ {
+		inst := w.Azure.Launch("az.us-north", -1, "azure.cs", cloud.KindNS)
+		fq := fmt.Sprintf("ns%d.azuredns.net", j+1)
+		azp.NSNames = append(azp.NSNames, fq)
+		azp.NSIPs = append(azp.NSIPs, inst.PublicIP)
+		glue.MustAdd(dnswire.RR{Name: fq, Type: dnswire.TypeA, TTL: 86400, IP: inst.PublicIP})
+	}
+	azp.Server.AddZone(glue)
+	dnssrv.Deploy(w.Fabric, w.Registry, azp.Server, azp.NSIPs...)
+	w.DNSProviders = append(w.DNSProviders, azp)
+}
+
+// externalProviders returns the external pool with Zipf weights (a few
+// big hosters serve most domains).
+func (w *World) externalProviders() ([]*DNSProvider, []float64) {
+	var ps []*DNSProvider
+	for _, p := range w.DNSProviders {
+		if p.Kind == "external" {
+			ps = append(ps, p)
+		}
+	}
+	weights := make([]float64, len(ps))
+	for i := range ps {
+		weights[i] = 1 / float64(i+1)
+	}
+	return ps, weights
+}
+
+func (w *World) providerOfKind(kind string) *DNSProvider {
+	for _, p := range w.DNSProviders {
+		if p.Kind == kind {
+			return p
+		}
+	}
+	return nil
+}
+
+// assignDNS hosts d's zone: picks a provider kind by the paper's NS
+// location mix, installs NS records, and delegates. Self-hosters get a
+// fresh per-domain provider whose name servers are VMs in the domain's
+// home region.
+func (w *World) assignDNS(rng *xrand.Rand, d *Domain) {
+	kind := pickKind(rng)
+	if (kind == "ec2-vm" || kind == "azure") && d.HomeRegion == "" {
+		kind = "external"
+	}
+	var p *DNSProvider
+	switch kind {
+	case "route53":
+		base := w.providerOfKind("route53")
+		// Pick 4 fleet servers for this domain.
+		p = &DNSProvider{Name: "route53", Kind: "route53", Server: base.Server}
+		start := rng.Intn(len(base.NSIPs))
+		for j := 0; j < 4 && j < len(base.NSIPs); j++ {
+			i := (start + j) % len(base.NSIPs)
+			p.NSNames = append(p.NSNames, base.NSNames[i])
+			p.NSIPs = append(p.NSIPs, base.NSIPs[i])
+		}
+	case "ec2-vm":
+		p = w.selfHostedProvider(rng, d, w.EC2)
+	case "azure":
+		p = w.providerOfKind("azure")
+	default:
+		ps, weights := w.externalProviders()
+		p = xrand.Pick(rng, ps, weights)
+	}
+	d.DNS = p
+	for _, nsName := range p.NSNames {
+		d.Zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeNS, TTL: 86400, Target: nsName})
+	}
+	p.Server.AddZone(d.Zone)
+	w.Registry.Delegate(d.Name, p.NSIPs...)
+}
+
+// selfHostedProvider launches name-server VMs inside the tenant's cloud
+// (the 5% of cloud-using subdomains whose DNS itself runs on VMs).
+func (w *World) selfHostedProvider(rng *xrand.Rand, d *Domain, c *cloud.Cloud) *DNSProvider {
+	region := d.HomeRegion
+	if c.Region(region) == nil {
+		region = c.Regions()[0]
+	}
+	p := &DNSProvider{Name: "self:" + d.Name, Kind: "ec2-vm", Server: dnssrv.NewServer()}
+	for j := 0; j < 2; j++ {
+		inst := c.Launch(region, -1, "m1.small", cloud.KindNS)
+		fq := fmt.Sprintf("ns%d.%s", j+1, d.Name)
+		p.NSNames = append(p.NSNames, fq)
+		p.NSIPs = append(p.NSIPs, inst.PublicIP)
+		// Glue lives in the domain's own zone — which makes the NS
+		// host a discoverable, genuinely cloud-using subdomain;
+		// record it as ground truth like any other VM front end.
+		d.Zone.MustAdd(dnswire.RR{Name: fq, Type: dnswire.TypeA, TTL: 86400, IP: inst.PublicIP})
+		s := &Subdomain{
+			FQDN: fq, Label: fmt.Sprintf("ns%d", j+1), Domain: d,
+			Pattern: PatternVM, Provider: ipranges.EC2,
+			Regions: []string{region},
+			Zones:   map[string][]int{region: {inst.ZoneIndex}},
+			VMs:     []*cloud.Instance{inst}, InWordlist: true,
+		}
+		w.registerSubdomain(s)
+	}
+	dnssrv.Deploy(w.Fabric, w.Registry, p.Server, p.NSIPs...)
+	w.DNSProviders = append(w.DNSProviders, p)
+	return p
+}
+
+func pickKind(rng *xrand.Rand) string {
+	kinds := []string{"external", "route53", "ec2-vm", "azure"}
+	weights := make([]float64, len(kinds))
+	for i, k := range kinds {
+		weights[i] = nsKindWeights[k]
+	}
+	return xrand.Pick(rng, kinds, weights)
+}

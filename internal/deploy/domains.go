@@ -1,0 +1,517 @@
+package deploy
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudscope/internal/cloud"
+	"cloudscope/internal/dnssrv"
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/ipranges"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/wordlist"
+	"cloudscope/internal/xrand"
+)
+
+// Extra patterns assigned during deployment (see config.go for the
+// base sets): CloudFront- and Azure-CDN-fronted subdomains.
+const (
+	PatternCDN      Pattern = "cloudfront" // CNAME to *.cloudfront.net (P4)
+	PatternAzureCDN Pattern = "azure-cdn"  // CNAME to *.msecnd.net (P4)
+)
+
+// deployDomains walks the ranked list, decides who is cloud-using, and
+// deploys every domain's zone and subdomains.
+func (w *World) deployDomains() {
+	rng := w.rng.Split("domains")
+	cfg := w.Cfg
+
+	// Rank-skewed cloud adoption: probability in the top quarter vs the
+	// rest chosen so the overall fraction and top-quarter share match.
+	quarter := cfg.NumDomains / 4
+	pTop := cfg.CloudFraction * cfg.TopQuarterShare / 0.25
+	pRest := cfg.CloudFraction * (1 - cfg.TopQuarterShare) / 0.75
+
+	forced := anchorNames()
+
+	// Shared vanity zone for opaque CNAME targets.
+	w.opaqueZone = dnssrv.NewZone("ghs-hosting.net")
+	opaqueSrv := dnssrv.NewServer(w.opaqueZone)
+	dnssrv.Deploy(w.Fabric, w.Registry, opaqueSrv, netaddr.MustParseIP("204.14.80.2"), netaddr.MustParseIP("204.14.80.3"))
+	// Shared third-party CDN zone (the paper's "CDN other than
+	// CloudFront" rows).
+	w.otherCDNZone = dnssrv.NewZone("edgekey-cdn.net")
+	cdnSrv := dnssrv.NewServer(w.otherCDNZone)
+	dnssrv.Deploy(w.Fabric, w.Registry, cdnSrv, netaddr.MustParseIP("204.14.81.2"))
+
+	for _, ad := range w.List.Domains {
+		d := &Domain{
+			Name:            ad.Name,
+			Rank:            ad.Rank,
+			CustomerCountry: ad.CustomerCountry(),
+			Zone:            dnssrv.NewZone(ad.Name),
+		}
+		d.Zone.AllowAXFR = rng.Bool(cfg.AXFRFraction)
+		drng := rng.Split("domain/" + ad.Name)
+
+		_, isAnchor := anchorSpecs[ad.Name]
+		p := pRest
+		if ad.Rank <= quarter {
+			p = pTop
+		}
+		// Cloud adoption skews toward US-customer sites (the paper finds
+		// 53% of subdomains hosted in their customer country while
+		// us-east alone holds 73% — only possible if the cloud-using
+		// population is US-heavy). The bias factors keep the overall
+		// adoption rate at CloudFraction.
+		if d.CustomerCountry == "US" {
+			p *= 2.2 / 1.15
+		} else {
+			p *= 0.7 / 1.15
+		}
+		// The 2013 top-of-list giants (google, facebook, youtube, ...)
+		// ran their own infrastructure; the highest-ranked cloud-using
+		// domains were the anchors (live.com at 7, amazon.com at 9).
+		if ad.Rank < 7 {
+			p = 0
+		}
+		cloudUsing := isAnchor || forced[ad.Name] || drng.Bool(p)
+
+		if cloudUsing {
+			if isAnchor {
+				w.deployAnchor(drng, d)
+			} else {
+				w.deployCloudDomain(drng, d)
+			}
+		} else {
+			w.deployPlainDomain(drng, d)
+		}
+		// Apex record so the bare domain resolves.
+		d.Zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeA, TTL: 300, IP: w.otherIPs.next()})
+		w.assignDNS(drng, d)
+		w.Domains = append(w.Domains, d)
+		if d.CloudUsing() {
+			w.CloudDomains = append(w.CloudDomains, d)
+		}
+	}
+}
+
+// deployPlainDomain gives a non-cloud domain a few ordinary subdomains.
+func (w *World) deployPlainDomain(rng *xrand.Rand, d *Domain) {
+	labels := newLabelPicker(rng, w.Cfg.WordlistBias)
+	n := rng.Range(1, 5)
+	for i := 0; i < n; i++ {
+		label, inList := labels.next()
+		s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther, InWordlist: inList}
+		s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+		w.registerSubdomain(s)
+	}
+}
+
+// deployCloudDomain deploys a generic (non-anchor) cloud-using domain.
+func (w *World) deployCloudDomain(rng *xrand.Rand, d *Domain) {
+	d.Category = providerCategory(xrand.NewWeighted(rng, providerCategoryWeights).Next())
+	primary := ipranges.EC2
+	if d.Category == catAzureOnly || d.Category == catAzureOther {
+		primary = ipranges.Azure
+	}
+	d.HomeRegion = w.pickRegion(rng, primary, d.CustomerCountry)
+
+	// Heavy-tailed cloud subdomain count with the configured mean.
+	alpha := 1.0 + 1.0/(w.Cfg.MeanCloudSubs-1.0)*2.4
+	n := int(rng.Pareto(alpha, 1.2))
+	if n < 1 {
+		n = 1
+	}
+	if n > w.Cfg.MaxCloudSubs {
+		n = w.Cfg.MaxCloudSubs
+	}
+
+	labels := newLabelPicker(rng, w.Cfg.WordlistBias)
+	for i := 0; i < n; i++ {
+		label, inList := labels.next()
+		provider := primary
+		if d.Category == catBoth && rng.Bool(0.3) {
+			provider = ipranges.Azure
+		}
+		pattern := w.pickPattern(rng, provider, label)
+		w.deploySubdomain(rng, d, label, inList, pattern)
+	}
+
+	// Other-hosted subdomains for the "+Other" categories.
+	if d.Category == catEC2Other || d.Category == catAzureOther || d.Category == catBoth {
+		m := rng.Range(1, 8)
+		for i := 0; i < m; i++ {
+			label, inList := labels.next()
+			s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther, InWordlist: inList}
+			s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+			w.registerSubdomain(s)
+		}
+	}
+}
+
+// pickPattern draws a front-end pattern for a subdomain, biasing CDN
+// onto content-ish labels.
+func (w *World) pickPattern(rng *xrand.Rand, provider ipranges.Provider, label string) Pattern {
+	cdnish := label == "cdn" || label == "static" || label == "img" || label == "images" ||
+		label == "assets" || label == "media" || strings.HasPrefix(label, "cdn")
+	if provider == ipranges.Azure {
+		if cdnish && rng.Bool(0.3) || rng.Bool(0.005) {
+			return PatternAzureCDN
+		}
+		return pickWeighted(rng, patternWeightsAzure)
+	}
+	if cdnish && rng.Bool(0.4) || rng.Bool(0.006) {
+		return PatternCDN
+	}
+	return pickWeighted(rng, patternWeightsEC2)
+}
+
+func pickWeighted(rng *xrand.Rand, m map[Pattern]float64) Pattern {
+	// Deterministic iteration order.
+	patterns := make([]Pattern, 0, len(m))
+	for p := range m {
+		patterns = append(patterns, p)
+	}
+	sortPatterns(patterns)
+	weights := make([]float64, len(patterns))
+	for i, p := range patterns {
+		weights[i] = m[p]
+	}
+	return xrand.Pick(rng, patterns, weights)
+}
+
+func sortPatterns(ps []Pattern) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// deploySubdomain provisions infrastructure and DNS for one subdomain.
+func (w *World) deploySubdomain(rng *xrand.Rand, d *Domain, label string, inList bool, pattern Pattern) *Subdomain {
+	s := &Subdomain{
+		FQDN:       fqdn(label, d.Name),
+		Label:      label,
+		Domain:     d,
+		Pattern:    pattern,
+		Provider:   providerOf(pattern),
+		Zones:      map[string][]int{},
+		InWordlist: inList,
+	}
+	switch pattern {
+	case PatternCDN:
+		s.Provider = ipranges.EC2 // CloudFront is EC2-affiliated in the dataset
+	case PatternAzureCDN:
+		s.Provider = ipranges.Azure
+	}
+
+	regions := w.pickSubRegions(rng, s.Provider, d)
+	s.Regions = regions
+
+	switch pattern {
+	case PatternVM:
+		w.deployVMFront(rng, d, s, regions, 0)
+	case PatternHybrid:
+		w.deployVMFront(rng, d, s, regions[:1], rng.Range(1, 2))
+	case PatternELB:
+		region := regions[0]
+		s.Regions = regions[:1]
+		zones := w.pickZones(rng, w.EC2, region)
+		placements := elbPlacements(rng, zones)
+		s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0.55)
+		s.Zones[region] = zones
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+	case PatternBeanstalk:
+		region := regions[0]
+		s.Regions = regions[:1]
+		zones := w.pickZones(rng, w.EC2, region)
+		s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, zones)
+		s.ELB = s.Beanstalk.ELB
+		s.Zones[region] = zones
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+	case PatternHeroku, PatternHerokuELB:
+		s.Regions = []string{"ec2.us-east-1"}
+		useProxy := pattern == PatternHeroku && rng.Bool(0.35)
+		app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(strings.Split(d.Name, ".")[0]), useProxy, pattern == PatternHerokuELB)
+		s.Heroku = app
+		s.ELB = app.ELB
+		zones := map[int]bool{}
+		for _, node := range append(app.Nodes, w.Heroku.Pool[:min(2, len(w.Heroku.Pool))]...) {
+			zones[node.ZoneIndex] = true
+		}
+		for z := range zones {
+			s.Zones["ec2.us-east-1"] = append(s.Zones["ec2.us-east-1"], z)
+		}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+	case PatternOpaqueCNAME:
+		w.deployOpaque(rng, d, s, regions[:1])
+	case PatternCDN:
+		s.CDN = w.EC2.CreateDistribution(rng.Range(2, 4))
+		s.Regions = nil // CloudFront IPs carry no region
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+	case PatternAzureCDN:
+		region := regions[0]
+		s.Regions = regions[:1]
+		ep := w.Azure.CreateAzureCDN(region)
+		s.AzureCDN = ep
+		s.Zones[region] = []int{0}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: ep.Name})
+	case PatternAzureCS, PatternAzureIP:
+		region := regions[0]
+		s.Regions = regions[:1]
+		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
+		s.CS = cs
+		s.Zones[region] = []int{0}
+		if pattern == PatternAzureIP {
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
+		} else {
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
+		}
+	case PatternAzureTM:
+		var members []*cloud.CloudService
+		for _, region := range regions {
+			members = append(members, w.Azure.CreateCloudService(sanitize(label), region, csContents(rng)))
+			s.Zones[region] = []int{0}
+		}
+		policy := xrand.Pick(rng, []string{"performance", "failover", "round-robin"}, []float64{0.5, 0.25, 0.25})
+		s.TM = w.Azure.CreateTrafficManager(sanitize(label), policy, members)
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+	case PatternAzureOpaque:
+		region := regions[0]
+		s.Regions = regions[:1]
+		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
+		s.CS = cs
+		s.Zones[region] = []int{0}
+		vanity := fmt.Sprintf("az-%s-%d.ghs-hosting.net", sanitize(label), len(w.bySub))
+		w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+	default:
+		panic("deploy: unhandled pattern " + string(pattern))
+	}
+	w.registerSubdomain(s)
+	return s
+}
+
+// deployVMFront launches front-end VMs (pattern P1) in each region with
+// the Figure 4a instance-count distribution, plus optional other-hosted
+// A records (hybrid). Multi-region subdomains answer geo-dependently.
+func (w *World) deployVMFront(rng *xrand.Rand, d *Domain, s *Subdomain, regions []string, otherCount int) {
+	s.Regions = regions
+	perRegion := make(map[string][]*cloud.Instance)
+	for _, region := range regions {
+		zones := w.pickZones(rng, w.EC2, region)
+		s.Zones[region] = zones
+		nVMs := len(zones) + xrand.Pick(rng, []int{0, 1, 2}, []float64{0.70, 0.25, 0.05})
+		for i := 0; i < nVMs; i++ {
+			inst := w.EC2.Launch(region, zones[i%len(zones)], xrand.PickUniform(rng, cloud.InstanceTypes), cloud.KindVM)
+			s.VMs = append(s.VMs, inst)
+			perRegion[region] = append(perRegion[region], inst)
+		}
+	}
+	for i := 0; i < otherCount; i++ {
+		s.OtherIPs = append(s.OtherIPs, w.otherIPs.next())
+	}
+	if len(regions) == 1 {
+		w.deployBackends(rng, s, regions[0])
+		for _, inst := range s.VMs {
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+		}
+		for _, ip := range s.OtherIPs {
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: ip})
+		}
+		return
+	}
+	// Geo-dependent answers: each client source is stably mapped to one
+	// region's VM set, so only globally distributed probing reveals the
+	// full deployment.
+	name := s.FQDN
+	d.Zone.SetDynamic(name, func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		if qtype != dnswire.TypeA && qtype != dnswire.TypeANY {
+			return nil
+		}
+		region := regions[int(src>>6)%len(regions)]
+		var out []dnswire.RR
+		for _, inst := range perRegion[region] {
+			out = append(out, dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: inst.PublicIP})
+		}
+		return out
+	})
+}
+
+// deployBackends plants the DNS-invisible back-end tier behind a
+// VM-front subdomain (the paper's dashed boxes in Figure 1, left to
+// future work). Placement policy: mostly colocated with the front
+// ends' zones, sometimes spread across the region's other zones, rarely
+// in another region entirely.
+func (w *World) deployBackends(rng *xrand.Rand, s *Subdomain, homeRegion string) {
+	if !rng.Bool(w.Cfg.BackendFraction) || len(s.VMs) == 0 {
+		return
+	}
+	n := rng.Range(1, 3)
+	s.BackendPolicy = xrand.Pick(rng, []string{"colocated", "spread", "remote"}, []float64{0.6, 0.3, 0.1})
+	frontZones := s.Zones[homeRegion]
+	for i := 0; i < n; i++ {
+		region := homeRegion
+		zone := -1
+		switch s.BackendPolicy {
+		case "colocated":
+			if len(frontZones) > 0 {
+				zone = frontZones[i%len(frontZones)]
+			}
+		case "spread":
+			zc := w.EC2.ZoneCount(region)
+			if zc > 0 {
+				zone = rng.Intn(zc)
+			}
+		case "remote":
+			for tries := 0; tries < 10 && region == homeRegion; tries++ {
+				region = w.pickRegion(rng, ipranges.EC2, "")
+			}
+			if region == homeRegion { // us-east's weight makes repeats likely
+				region = "ec2.eu-west-1"
+				if homeRegion == region {
+					region = "ec2.us-east-1"
+				}
+			}
+		}
+		inst := w.EC2.Launch(region, zone, xrand.PickUniform(rng, []string{"m1.xlarge", "m3.2xlarge", "m1.medium"}), "backend")
+		s.Backends = append(s.Backends, inst)
+	}
+}
+
+// deployOpaque hides EC2 VMs behind a vanity CNAME in a third-party
+// zone — the 16% of EC2-using subdomains the paper's filters could not
+// classify.
+func (w *World) deployOpaque(rng *xrand.Rand, d *Domain, s *Subdomain, regions []string) {
+	s.Regions = regions
+	region := regions[0]
+	zones := w.pickZones(rng, w.EC2, region)
+	s.Zones[region] = zones
+	vanity := fmt.Sprintf("edge-%s-%d.ghs-hosting.net", sanitize(s.Label), len(w.bySub))
+	for i := 0; i < len(zones); i++ {
+		inst := w.EC2.Launch(region, zones[i], xrand.PickUniform(rng, cloud.InstanceTypes), cloud.KindVM)
+		s.VMs = append(s.VMs, inst)
+		w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+	}
+	d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+}
+
+// pickSubRegions selects a subdomain's regions: home region first, then
+// Figure 6a's multi-region tail.
+func (w *World) pickSubRegions(rng *xrand.Rand, provider ipranges.Provider, d *Domain) []string {
+	weights := regionCountWeightsEC2
+	if provider == ipranges.Azure {
+		weights = regionCountWeightsAzure
+	}
+	count := 1 + xrand.NewWeighted(rng, weights).Next()
+	home := d.HomeRegion
+	c := w.cloudFor(provider)
+	if c.Region(home) == nil {
+		home = w.pickRegion(rng, provider, d.CustomerCountry)
+	}
+	regions := []string{home}
+	for len(regions) < count {
+		r := w.pickRegion(rng, provider, "")
+		dup := false
+		for _, have := range regions {
+			if have == r {
+				dup = true
+			}
+		}
+		if !dup {
+			regions = append(regions, r)
+		}
+	}
+	return regions
+}
+
+// elbPlacements maps a zone set to proxy placements (Figure 4b: ~95% of
+// ELB-using subdomains have ≤5 physical instances).
+func elbPlacements(rng *xrand.Rand, zones []int) []int {
+	placements := append([]int(nil), zones...)
+	extra := xrand.Pick(rng, []int{0, 1, 2, 8}, []float64{0.72, 0.18, 0.07, 0.03})
+	for i := 0; i < extra; i++ {
+		placements = append(placements, zones[i%len(zones)])
+	}
+	return placements
+}
+
+func csContents(rng *xrand.Rand) string {
+	return xrand.Pick(rng, []string{"vm", "vm-collection", "paas"}, []float64{0.5, 0.2, 0.3})
+}
+
+// labelPicker hands out unique labels for one domain: mostly Zipf draws
+// from the shared wordlist, sometimes synthetic labels invisible to
+// brute-force discovery.
+type labelPicker struct {
+	rng      *xrand.Rand
+	words    []string
+	used     map[string]bool
+	bias     float64
+	synthSeq int
+}
+
+// wordZipf is the shared label-popularity CDF; the word list is static,
+// so one table serves every domain.
+var (
+	sharedWords = wordlist.Common()
+	wordZipf    = xrand.NewZipf(xrand.New(0), len(sharedWords), 0.9)
+)
+
+func newLabelPicker(rng *xrand.Rand, bias float64) *labelPicker {
+	return &labelPicker{
+		rng:   rng,
+		words: sharedWords,
+		used:  map[string]bool{},
+		bias:  bias,
+	}
+}
+
+func (lp *labelPicker) next() (label string, inWordlist bool) {
+	if lp.rng.Bool(lp.bias) {
+		for tries := 0; tries < 40; tries++ {
+			w := lp.words[wordZipf.NextR(lp.rng)]
+			if !lp.used[w] {
+				lp.used[w] = true
+				return w, true
+			}
+		}
+	}
+	for {
+		lp.synthSeq++
+		w := fmt.Sprintf("%s%d", xrand.PickUniform(lp.rng, []string{"srv", "x", "app", "node", "zz", "int"}), lp.rng.Intn(10000))
+		if !lp.used[w] {
+			lp.used[w] = true
+			return w, false
+		}
+	}
+}
+
+// sanitize makes a DNS-label-safe token from an arbitrary name.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s) && sb.Len() < 20; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			sb.WriteByte(c + 32)
+		}
+	}
+	if sb.Len() == 0 {
+		return "x"
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package der
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeParseShortForm(t *testing.T) {
+	enc := Encode(TagPrintableString, []byte("hello"))
+	tlv, rest, err := Parse(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("err=%v rest=%d", err, len(rest))
+	}
+	if tlv.Tag != TagPrintableString || string(tlv.Value) != "hello" {
+		t.Fatalf("tlv: %+v", tlv)
+	}
+}
+
+func TestEncodeParseLongForms(t *testing.T) {
+	for _, n := range []int{0x7f, 0x80, 0xff, 0x100, 0xffff, 0x10000} {
+		enc := Encode(TagSequence, bytes.Repeat([]byte{0xaa}, n))
+		tlv, rest, err := Parse(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("n=%d: err=%v", n, err)
+		}
+		if len(tlv.Value) != n {
+			t.Fatalf("n=%d: got %d", n, len(tlv.Value))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(tag uint8, value []byte) bool {
+		enc := Encode(int(tag), value)
+		tlv, rest, err := Parse(enc)
+		return err == nil && len(rest) == 0 && tlv.Tag == int(tag) && bytes.Equal(tlv.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceChildren(t *testing.T) {
+	seq := Sequence(PrintableString("a"), Integer(300), OID(2, 5, 4, 3))
+	tlv, _, err := Parse(seq)
+	if err != nil || tlv.Tag != TagSequence {
+		t.Fatalf("err=%v tag=%x", err, tlv.Tag)
+	}
+	kids, err := Children(tlv.Value)
+	if err != nil || len(kids) != 3 {
+		t.Fatalf("kids=%d err=%v", len(kids), err)
+	}
+	if kids[0].Tag != TagPrintableString || kids[1].Tag != TagInteger || kids[2].Tag != TagOID {
+		t.Fatalf("tags: %x %x %x", kids[0].Tag, kids[1].Tag, kids[2].Tag)
+	}
+	if !bytes.Equal(kids[2].Value, OIDCommonName) {
+		t.Fatalf("CN OID = %x", kids[2].Value)
+	}
+}
+
+func TestInteger(t *testing.T) {
+	tlv, _, err := Parse(Integer(0))
+	if err != nil || !bytes.Equal(tlv.Value, []byte{0}) {
+		t.Fatalf("Integer(0) = %x err=%v", tlv.Value, err)
+	}
+	tlv, _, _ = Parse(Integer(0x80))
+	if !bytes.Equal(tlv.Value, []byte{0, 0x80}) {
+		t.Fatalf("Integer(0x80) = %x (needs leading zero)", tlv.Value)
+	}
+}
+
+func TestOIDBase128(t *testing.T) {
+	// 1.3.6.1.4.1.311 → 0x2b 06 01 04 01 82 37
+	tlv, _, err := Parse(OID(1, 3, 6, 1, 4, 1, 311))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x2b, 0x06, 0x01, 0x04, 0x01, 0x82, 0x37}
+	if !bytes.Equal(tlv.Value, want) {
+		t.Fatalf("OID = %x, want %x", tlv.Value, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, data := range [][]byte{nil, {0x30}, {0x30, 0x82, 0x01}, {0x30, 0x05, 1, 2}, {0x30, 0x84, 1, 1, 1, 1}} {
+		if _, _, err := Parse(data); err == nil {
+			t.Errorf("Parse(%x) succeeded", data)
+		}
+	}
+}
+
+func TestFindString(t *testing.T) {
+	subject := Sequence(
+		Set(Sequence(Encode(TagOID, []byte{0x55, 0x04, 0x06}), PrintableString("US"))),
+		Set(Sequence(Encode(TagOID, OIDCommonName), PrintableString("dl.dropbox.com"))),
+	)
+	outer := Sequence(Integer(1), subject)
+	tlv, _, _ := Parse(outer)
+	cn, ok := FindString(tlv.Value, OIDCommonName)
+	if !ok || cn != "dl.dropbox.com" {
+		t.Fatalf("cn=%q ok=%v", cn, ok)
+	}
+	if _, ok := FindString(tlv.Value, []byte{0x55, 0x04, 0x99}); ok {
+		t.Fatal("phantom OID matched")
+	}
+}

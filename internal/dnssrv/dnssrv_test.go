@@ -1,0 +1,338 @@
+package dnssrv
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/simnet"
+)
+
+var (
+	nsIP     = netaddr.MustParseIP("198.51.100.53")
+	client   = netaddr.MustParseIP("203.0.113.7")
+	vmIP     = netaddr.MustParseIP("54.230.0.10")
+	otherIP  = netaddr.MustParseIP("66.77.88.99")
+	herokuIP = netaddr.MustParseIP("54.230.0.99")
+)
+
+// testWorld wires one authoritative server for example.com into a fabric.
+func testWorld(t *testing.T) (*simnet.Fabric, *Registry, *Zone, *Resolver) {
+	t.Helper()
+	fabric := simnet.NewFabric(nil)
+	reg := NewRegistry()
+	z := NewZone("example.com")
+	z.AllowAXFR = true
+	z.MustAdd(
+		dnswire.RR{Name: "example.com", Type: dnswire.TypeNS, TTL: 3600, Target: "ns1.example.com"},
+		dnswire.RR{Name: "ns1.example.com", Type: dnswire.TypeA, TTL: 3600, IP: nsIP},
+		dnswire.RR{Name: "www.example.com", Type: dnswire.TypeA, TTL: 300, IP: vmIP},
+		dnswire.RR{Name: "m.example.com", Type: dnswire.TypeCNAME, TTL: 300, Target: "www.example.com"},
+		dnswire.RR{Name: "app.example.com", Type: dnswire.TypeCNAME, TTL: 300, Target: "proxy.heroku.com"},
+	)
+	srv := NewServer(z)
+	Deploy(fabric, reg, srv, nsIP)
+	return fabric, reg, z, NewResolver(fabric, reg, client)
+}
+
+func TestLookupADirect(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	chain, err := rv.LookupA("www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Type != dnswire.TypeA || chain[0].IP != vmIP {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestLookupAInZoneCNAME(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	chain, err := rv.LookupA("m.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Type != dnswire.TypeCNAME || chain[1].IP != vmIP {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestLookupACrossZoneCNAME(t *testing.T) {
+	fabric, reg, _, rv := testWorld(t)
+	hz := NewZone("heroku.com")
+	hz.MustAdd(dnswire.RR{Name: "proxy.heroku.com", Type: dnswire.TypeA, TTL: 60, IP: herokuIP})
+	Deploy(fabric, reg, NewServer(hz), netaddr.MustParseIP("198.51.100.54"))
+
+	chain, err := rv.LookupA("app.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 {
+		t.Fatalf("chain = %+v", chain)
+	}
+	if chain[0].Target != "proxy.heroku.com" || chain[1].IP != herokuIP {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	_, err := rv.LookupA("missing.example.com")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNoDelegation(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	_, err := rv.LookupA("www.unknown-tld-domain.net")
+	if !errors.Is(err, ErrNoDelegation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAXFRAllowed(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	rrs, err := rv.AXFR("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range rrs {
+		if r.Type == dnswire.TypeSOA {
+			t.Fatalf("framing SOA leaked into records: %v", r)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"www.example.com", "m.example.com", "app.example.com", "ns1.example.com"} {
+		if !names[want] {
+			t.Errorf("AXFR missing %s", want)
+		}
+	}
+}
+
+func TestAXFRRefused(t *testing.T) {
+	fabric, reg, _, _ := testWorld(t)
+	z2 := NewZone("private.org")
+	z2.MustAdd(dnswire.RR{Name: "www.private.org", Type: dnswire.TypeA, TTL: 60, IP: otherIP})
+	Deploy(fabric, reg, NewServer(z2), netaddr.MustParseIP("198.51.100.99"))
+	rv := NewResolver(fabric, reg, client)
+	_, err := rv.AXFR("private.org")
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupNS(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	ns, err := rv.LookupNS("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0] != "ns1.example.com" {
+		t.Fatalf("ns = %v", ns)
+	}
+}
+
+func TestDynamicGeoAnswer(t *testing.T) {
+	fabric, reg, z, _ := testWorld(t)
+	east := netaddr.MustParseIP("54.230.0.1")
+	west := netaddr.MustParseIP("54.215.0.1")
+	z.SetDynamic("geo.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		ip := east
+		if src == client {
+			ip = west
+		}
+		return []dnswire.RR{{Name: "geo.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 30, IP: ip}}
+	})
+	rv1 := NewResolver(fabric, reg, client)
+	rv2 := NewResolver(fabric, reg, netaddr.MustParseIP("192.0.2.99"))
+	c1, err := rv1.LookupA("geo.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := rv2.LookupA("geo.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1[0].IP != west || c2[0].IP != east {
+		t.Fatalf("geo answers wrong: %v / %v", c1[0].IP, c2[0].IP)
+	}
+}
+
+func TestCacheHitAndFlush(t *testing.T) {
+	fabric, reg, z, _ := testWorld(t)
+	calls := 0
+	z.SetDynamic("count.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		calls++
+		return []dnswire.RR{{Name: "count.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300, IP: 1}}
+	})
+	rv := NewResolver(fabric, reg, client)
+	for i := 0; i < 3; i++ {
+		if _, err := rv.LookupA("count.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("authoritative hit %d times; cache broken", calls)
+	}
+	rv.FlushCache()
+	if _, err := rv.LookupA("count.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("flush did not force re-query (calls=%d)", calls)
+	}
+}
+
+func TestCacheExpiry(t *testing.T) {
+	fabric, reg, z, _ := testWorld(t)
+	calls := 0
+	z.SetDynamic("ttl.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		calls++
+		return []dnswire.RR{{Name: "ttl.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 10, IP: 1}}
+	})
+	rv := NewResolver(fabric, reg, client)
+	rv.LookupA("ttl.example.com")
+	fabric.Clock().Advance(11 * time.Second)
+	rv.LookupA("ttl.example.com")
+	if calls != 2 {
+		t.Fatalf("expired entry served from cache (calls=%d)", calls)
+	}
+}
+
+func TestNoRecurseBypassesCache(t *testing.T) {
+	fabric, reg, z, _ := testWorld(t)
+	calls := 0
+	z.SetDynamic("nr.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		calls++
+		return []dnswire.RR{{Name: "nr.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 300, IP: 1}}
+	})
+	rv := NewResolver(fabric, reg, client)
+	rv.NoRecurse = true
+	rv.LookupA("nr.example.com")
+	rv.LookupA("nr.example.com")
+	if calls != 2 {
+		t.Fatalf("NoRecurse used cache (calls=%d)", calls)
+	}
+}
+
+func TestRetryAcrossServers(t *testing.T) {
+	fabric, reg, _, _ := testWorld(t)
+	// Delegate a zone to one dead IP and one live server.
+	z := NewZone("retry.net")
+	z.MustAdd(dnswire.RR{Name: "www.retry.net", Type: dnswire.TypeA, TTL: 60, IP: 77})
+	srv := NewServer(z)
+	live := netaddr.MustParseIP("198.51.100.77")
+	dead := netaddr.MustParseIP("198.51.100.78")
+	fabric.Register(live, srv)
+	reg.Delegate("retry.net", dead, live)
+	rv := NewResolver(fabric, reg, client)
+	chain, err := rv.LookupA("www.retry.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0].IP != 77 {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestCNAMELoopDetected(t *testing.T) {
+	fabric, reg, _, _ := testWorld(t)
+	z := NewZone("loop.net")
+	z.MustAdd(
+		dnswire.RR{Name: "a.loop.net", Type: dnswire.TypeCNAME, TTL: 60, Target: "b.loop.net"},
+	)
+	// b -> a lives in a different zone so the resolver must chase it.
+	z2 := NewZone("loopb.net")
+	z2.MustAdd(dnswire.RR{Name: "b.loopb.net", Type: dnswire.TypeCNAME, TTL: 60, Target: "a.loop.net"})
+	// Rewire: make a -> b.loopb.net
+	z = NewZone("loop.net")
+	z.MustAdd(dnswire.RR{Name: "a.loop.net", Type: dnswire.TypeCNAME, TTL: 60, Target: "b.loopb.net"})
+	Deploy(fabric, reg, NewServer(z), netaddr.MustParseIP("198.51.100.60"))
+	Deploy(fabric, reg, NewServer(z2), netaddr.MustParseIP("198.51.100.61"))
+	rv := NewResolver(fabric, reg, client)
+	_, err := rv.LookupA("a.loop.net")
+	if !errors.Is(err, ErrChainTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestZoneAddOutsideOrigin(t *testing.T) {
+	z := NewZone("example.com")
+	err := z.Add(dnswire.RR{Name: "www.other.com", Type: dnswire.TypeA, IP: 1})
+	if err == nil {
+		t.Fatal("out-of-zone record accepted")
+	}
+}
+
+func TestZoneNodata(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	resp, err := rv.Query("www.example.com", dnswire.TypeTXT)
+	if err != nil {
+		t.Fatalf("NODATA should not error: %v", err)
+	}
+	if len(resp.Answers) != 0 {
+		t.Fatalf("answers = %v", resp.Answers)
+	}
+}
+
+func TestServerRefusesForeignName(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	// Point delegation for foreign.org at example.com's server.
+	rv.Registry.Delegate("foreign.org", nsIP)
+	_, err := rv.Query("www.foreign.org", dnswire.TypeA)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSOAQuery(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	resp, err := rv.Query("example.com", dnswire.TypeSOA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].SOA.MName != "ns1.example.com" {
+		t.Fatalf("soa = %+v", resp.Answers)
+	}
+}
+
+func TestRegistryLongestMatch(t *testing.T) {
+	reg := NewRegistry()
+	reg.Delegate("com", 1)
+	reg.Delegate("example.com", 2)
+	origin, ips, ok := reg.Authoritative("deep.sub.example.com")
+	if !ok || origin != "example.com" || ips[0] != 2 {
+		t.Fatalf("got %q %v %v", origin, ips, ok)
+	}
+	origin, ips, ok = reg.Authoritative("other.com")
+	if !ok || origin != "com" || ips[0] != 1 {
+		t.Fatalf("got %q %v %v", origin, ips, ok)
+	}
+	if _, _, ok := reg.Authoritative("nope.org"); ok {
+		t.Fatal("unexpected delegation")
+	}
+}
+
+func TestTransferIncludesDynamic(t *testing.T) {
+	_, _, z, rv := testWorld(t)
+	z.SetDynamic("dyn.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		return []dnswire.RR{{Name: "dyn.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 30, IP: 123}}
+	})
+	rrs, err := rv.AXFR("example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rrs {
+		if r.Name == "dyn.example.com" && r.IP == 123 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic record missing from transfer")
+	}
+}

@@ -1,0 +1,203 @@
+package dnssrv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/simnet"
+)
+
+// Resolution errors.
+var (
+	ErrNoDelegation = errors.New("dnssrv: no authoritative server known")
+	ErrNXDomain     = errors.New("dnssrv: NXDOMAIN")
+	ErrRefused      = errors.New("dnssrv: query refused")
+	ErrServFail     = errors.New("dnssrv: server failure")
+	ErrChainTooLong = errors.New("dnssrv: CNAME chain too long")
+)
+
+// Resolver resolves names against the simulated DNS from one vantage
+// point. It mirrors the controls the study used with dig: per-query
+// recursion control and an explicitly flushable cache.
+type Resolver struct {
+	Fabric   *simnet.Fabric
+	Registry *Registry
+	// Source is the IP queries originate from. Authoritative servers see
+	// it and may answer geo-dependently, so two resolvers with different
+	// sources can legitimately receive different records.
+	Source netaddr.IP
+	// NoRecurse disables the cache entirely (the paper's dig calls used
+	// norecurse plus cache flushes to see authoritative data each time).
+	NoRecurse bool
+
+	nextID atomic.Uint32
+	mu     sync.Mutex
+	cache  map[string]cacheEntry
+}
+
+type cacheEntry struct {
+	msg     *dnswire.Message
+	expires time.Time
+}
+
+// NewResolver returns a resolver on fabric using reg for delegation.
+func NewResolver(fabric *simnet.Fabric, reg *Registry, source netaddr.IP) *Resolver {
+	return &Resolver{Fabric: fabric, Registry: reg, Source: source, cache: make(map[string]cacheEntry)}
+}
+
+// FlushCache drops all cached responses.
+func (rv *Resolver) FlushCache() {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	rv.cache = make(map[string]cacheEntry)
+}
+
+// Query sends one question to the authoritative servers for name and
+// returns the validated response message. It retries across the
+// delegation's server IPs on timeout.
+func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
+	name = dnswire.CanonicalName(name)
+	key := fmt.Sprintf("%s|%d", name, qtype)
+	if !rv.NoRecurse {
+		rv.mu.Lock()
+		if e, ok := rv.cache[key]; ok && rv.Fabric.Clock().Now().Before(e.expires) {
+			rv.mu.Unlock()
+			return e.msg, nil
+		}
+		rv.mu.Unlock()
+	}
+	_, servers, ok := rv.Registry.Authoritative(name)
+	if !ok {
+		return nil, ErrNoDelegation
+	}
+	id := uint16(rv.nextID.Add(1))
+	q := dnswire.NewQuery(id, name, qtype)
+	q.Header.RecursionDesired = !rv.NoRecurse
+	payload, err := q.Pack()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error = simnet.ErrTimeout
+	for _, server := range servers {
+		raw, _, err := rv.Fabric.Query(rv.Source, server, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := dnswire.Unpack(raw)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.ID != id || !resp.Header.Response {
+			lastErr = errors.New("dnssrv: mismatched response")
+			continue
+		}
+		switch resp.Header.RCode {
+		case dnswire.RCodeNoError:
+		case dnswire.RCodeNXDomain:
+			return resp, ErrNXDomain
+		case dnswire.RCodeRefused:
+			return resp, ErrRefused
+		default:
+			return resp, ErrServFail
+		}
+		if !rv.NoRecurse {
+			ttl := minTTL(resp.Answers)
+			rv.mu.Lock()
+			rv.cache[key] = cacheEntry{msg: resp, expires: rv.Fabric.Clock().Now().Add(time.Duration(ttl) * time.Second)}
+			rv.mu.Unlock()
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+func minTTL(rrs []dnswire.RR) uint32 {
+	ttl := uint32(300)
+	for _, r := range rrs {
+		if r.TTL < ttl {
+			ttl = r.TTL
+		}
+	}
+	return ttl
+}
+
+// Answer is one resolved record from a full lookup: the chain of CNAMEs
+// plus terminal A records.
+type Answer = dnswire.RR
+
+// LookupA resolves name to its full record chain, following CNAMEs
+// across zone and delegation boundaries (at most 8 hops, like real
+// resolvers). The returned slice contains every CNAME traversed followed
+// by the A records of the final target. ErrNXDomain is returned only if
+// the first name does not exist.
+func (rv *Resolver) LookupA(name string) ([]Answer, error) {
+	var chain []Answer
+	seen := map[string]bool{}
+	current := dnswire.CanonicalName(name)
+	for hop := 0; hop < 8; hop++ {
+		if seen[current] {
+			return chain, ErrChainTooLong
+		}
+		seen[current] = true
+		resp, err := rv.Query(current, dnswire.TypeA)
+		if err != nil {
+			if len(chain) > 0 && errors.Is(err, ErrNXDomain) {
+				// Dangling CNAME: report what we have.
+				return chain, nil
+			}
+			return chain, err
+		}
+		var next string
+		gotA := false
+		for _, rr := range resp.Answers {
+			chain = append(chain, rr)
+			switch rr.Type {
+			case dnswire.TypeA:
+				gotA = true
+			case dnswire.TypeCNAME:
+				next = dnswire.CanonicalName(rr.Target)
+			}
+		}
+		if gotA || next == "" {
+			return chain, nil
+		}
+		current = next
+	}
+	return chain, ErrChainTooLong
+}
+
+// LookupNS returns the NS target names for a domain.
+func (rv *Resolver) LookupNS(name string) ([]string, error) {
+	resp, err := rv.Query(name, dnswire.TypeNS)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range resp.Answers {
+		if rr.Type == dnswire.TypeNS {
+			out = append(out, dnswire.CanonicalName(rr.Target))
+		}
+	}
+	return out, nil
+}
+
+// AXFR attempts a zone transfer for origin and returns the zone's
+// records (without the framing SOA pair).
+func (rv *Resolver) AXFR(origin string) ([]dnswire.RR, error) {
+	resp, err := rv.Query(origin, dnswire.TypeAXFR)
+	if err != nil {
+		return nil, err
+	}
+	rrs := resp.Answers
+	if len(rrs) >= 2 && rrs[0].Type == dnswire.TypeSOA && rrs[len(rrs)-1].Type == dnswire.TypeSOA {
+		rrs = rrs[1 : len(rrs)-1]
+	}
+	return rrs, nil
+}

@@ -1,0 +1,177 @@
+package dnssrv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/netaddr"
+)
+
+// Zone-file serialization: a BIND-flavored subset covering exactly the
+// record types the study uses. Lines are
+//
+//	name TTL IN TYPE rdata...
+//
+// with $ORIGIN declaring the zone origin and ';' starting comments.
+// Dynamic records are materialized at write time (for a nil viewpoint
+// they answer as an unspecified client would).
+
+// WriteTo serializes the zone in textual form. Dynamic records are
+// evaluated once from the given source address.
+func (z *Zone) WriteTo(w io.Writer, src netaddr.IP) (int64, error) {
+	var n int64
+	count := func(m int, err error) error {
+		n += int64(m)
+		return err
+	}
+	if err := count(fmt.Fprintf(w, "$ORIGIN %s.\n", z.Origin)); err != nil {
+		return n, err
+	}
+	soa := z.SOA
+	if err := count(fmt.Fprintf(w, "%s. 3600 IN SOA %s. %s. %d %d %d %d %d\n",
+		z.Origin, soa.MName, soa.RName, soa.Serial, soa.Refresh, soa.Retry, soa.Expire, soa.Minimum)); err != nil {
+		return n, err
+	}
+	for _, name := range z.Names() {
+		z.mu.RLock()
+		var rrs []dnswire.RR
+		if fn, ok := z.dynamic[name]; ok {
+			rrs = fn(src, dnswire.TypeANY)
+		} else {
+			rrs = append(rrs, z.records[name]...)
+		}
+		z.mu.RUnlock()
+		for _, rr := range rrs {
+			line, err := formatRR(rr)
+			if err != nil {
+				return n, err
+			}
+			if err := count(fmt.Fprintln(w, line)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func formatRR(rr dnswire.RR) (string, error) {
+	switch rr.Type {
+	case dnswire.TypeA:
+		return fmt.Sprintf("%s. %d IN A %s", rr.Name, rr.TTL, rr.IP), nil
+	case dnswire.TypeNS:
+		return fmt.Sprintf("%s. %d IN NS %s.", rr.Name, rr.TTL, rr.Target), nil
+	case dnswire.TypeCNAME:
+		return fmt.Sprintf("%s. %d IN CNAME %s.", rr.Name, rr.TTL, rr.Target), nil
+	case dnswire.TypeTXT:
+		return fmt.Sprintf("%s. %d IN TXT %q", rr.Name, rr.TTL, rr.Text), nil
+	default:
+		return "", fmt.Errorf("dnssrv: cannot serialize RR type %s", rr.Type)
+	}
+}
+
+// ParseZone reads a zone file written by WriteTo (or hand-authored in
+// the same subset). The returned zone has AllowAXFR unset.
+func ParseZone(r io.Reader) (*Zone, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var z *Zone
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "$ORIGIN") {
+			origin := strings.TrimSpace(strings.TrimPrefix(line, "$ORIGIN"))
+			z = NewZone(origin)
+			continue
+		}
+		if z == nil {
+			return nil, fmt.Errorf("dnssrv: line %d: record before $ORIGIN", lineNo)
+		}
+		rr, isSOA, err := parseRRLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("dnssrv: line %d: %v", lineNo, err)
+		}
+		if isSOA {
+			z.SOA = rr.SOA
+			continue
+		}
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("dnssrv: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if z == nil {
+		return nil, fmt.Errorf("dnssrv: empty zone file")
+	}
+	return z, nil
+}
+
+func parseRRLine(line string) (rr dnswire.RR, isSOA bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return rr, false, fmt.Errorf("short record %q", line)
+	}
+	rr.Name = dnswire.CanonicalName(fields[0])
+	ttl, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return rr, false, fmt.Errorf("bad TTL %q", fields[1])
+	}
+	rr.TTL = uint32(ttl)
+	if fields[2] != "IN" {
+		return rr, false, fmt.Errorf("unsupported class %q", fields[2])
+	}
+	rr.Class = dnswire.ClassIN
+	switch fields[3] {
+	case "A":
+		ip, err := netaddr.ParseIP(fields[4])
+		if err != nil {
+			return rr, false, err
+		}
+		rr.Type, rr.IP = dnswire.TypeA, ip
+	case "NS":
+		rr.Type, rr.Target = dnswire.TypeNS, dnswire.CanonicalName(fields[4])
+	case "CNAME":
+		rr.Type, rr.Target = dnswire.TypeCNAME, dnswire.CanonicalName(fields[4])
+	case "TXT":
+		text := strings.TrimSpace(strings.Join(fields[4:], " "))
+		unq, uerr := strconv.Unquote(text)
+		if uerr != nil {
+			return rr, false, fmt.Errorf("bad TXT %q", text)
+		}
+		rr.Type, rr.Text = dnswire.TypeTXT, unq
+	case "SOA":
+		if len(fields) < 11 {
+			return rr, false, fmt.Errorf("short SOA")
+		}
+		rr.Type = dnswire.TypeSOA
+		rr.SOA.MName = dnswire.CanonicalName(fields[4])
+		rr.SOA.RName = dnswire.CanonicalName(fields[5])
+		vals := make([]uint32, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[6+i], 10, 32)
+			if err != nil {
+				return rr, false, fmt.Errorf("bad SOA field %q", fields[6+i])
+			}
+			vals[i] = uint32(v)
+		}
+		rr.SOA.Serial, rr.SOA.Refresh, rr.SOA.Retry, rr.SOA.Expire, rr.SOA.Minimum =
+			vals[0], vals[1], vals[2], vals[3], vals[4]
+		return rr, true, nil
+	default:
+		return rr, false, fmt.Errorf("unsupported type %q", fields[3])
+	}
+	return rr, false, nil
+}

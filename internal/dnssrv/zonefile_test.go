@@ -1,0 +1,132 @@
+package dnssrv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/netaddr"
+)
+
+func sampleZone() *Zone {
+	z := NewZone("example.com")
+	z.MustAdd(
+		dnswire.RR{Name: "example.com", Type: dnswire.TypeNS, TTL: 86400, Target: "ns1.example.com"},
+		dnswire.RR{Name: "ns1.example.com", Type: dnswire.TypeA, TTL: 86400, IP: netaddr.MustParseIP("198.51.100.53")},
+		dnswire.RR{Name: "www.example.com", Type: dnswire.TypeA, TTL: 300, IP: netaddr.MustParseIP("54.230.0.10")},
+		dnswire.RR{Name: "www.example.com", Type: dnswire.TypeA, TTL: 300, IP: netaddr.MustParseIP("54.230.0.11")},
+		dnswire.RR{Name: "m.example.com", Type: dnswire.TypeCNAME, TTL: 300, Target: "www.example.com"},
+		dnswire.RR{Name: "_spf.example.com", Type: dnswire.TypeTXT, TTL: 60, Text: "v=spf1 include:x -all"},
+	)
+	return z
+}
+
+func TestZoneFileRoundTrip(t *testing.T) {
+	z := sampleZone()
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseZone(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != "example.com" {
+		t.Fatalf("origin = %q", got.Origin)
+	}
+	if got.SOA.Serial != z.SOA.Serial || got.SOA.MName != z.SOA.MName {
+		t.Fatalf("SOA = %+v", got.SOA)
+	}
+	for _, name := range z.Names() {
+		want, _ := z.Lookup(0, name, dnswire.TypeANY)
+		have, found := got.Lookup(0, name, dnswire.TypeANY)
+		if !found || len(have) != len(want) {
+			t.Fatalf("%s: %d records, want %d", name, len(have), len(want))
+		}
+	}
+	// Specific record contents survive.
+	rrs, _ := got.Lookup(0, "_spf.example.com", dnswire.TypeTXT)
+	if len(rrs) != 1 || rrs[0].Text != "v=spf1 include:x -all" {
+		t.Fatalf("TXT: %+v", rrs)
+	}
+	rrs, _ = got.Lookup(0, "www.example.com", dnswire.TypeA)
+	if len(rrs) != 2 {
+		t.Fatalf("www A records: %d", len(rrs))
+	}
+}
+
+func TestZoneFileMaterializesDynamic(t *testing.T) {
+	z := sampleZone()
+	z.SetDynamic("geo.example.com", func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+		return []dnswire.RR{{Name: "geo.example.com", Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 30, IP: 7}}
+	})
+	var buf bytes.Buffer
+	if _, err := z.WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "geo.example.com. 30 IN A 0.0.0.7") {
+		t.Fatalf("dynamic record not materialized:\n%s", buf.String())
+	}
+}
+
+func TestZoneFileCommentsAndBlanks(t *testing.T) {
+	in := `
+; a hand-written zone
+$ORIGIN test.org
+test.org. 3600 IN SOA ns1.test.org. hostmaster.test.org. 1 2 3 4 5
+www.test.org. 300 IN A 10.0.0.1 ; trailing comment
+`
+	z, err := ParseZone(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "test.org" || z.SOA.Serial != 1 {
+		t.Fatalf("parsed %q SOA %+v", z.Origin, z.SOA)
+	}
+	rrs, found := z.Lookup(0, "www.test.org", dnswire.TypeA)
+	if !found || rrs[0].IP != netaddr.MustParseIP("10.0.0.1") {
+		t.Fatalf("www: %+v", rrs)
+	}
+}
+
+func TestZoneFileErrors(t *testing.T) {
+	cases := map[string]string{
+		"record before origin": "www.x.com. 300 IN A 1.2.3.4\n",
+		"bad ttl":              "$ORIGIN x.com\nwww.x.com. abc IN A 1.2.3.4\n",
+		"bad class":            "$ORIGIN x.com\nwww.x.com. 300 CH A 1.2.3.4\n",
+		"bad type":             "$ORIGIN x.com\nwww.x.com. 300 IN MX mail\n",
+		"bad ip":               "$ORIGIN x.com\nwww.x.com. 300 IN A 999.2.3.4\n",
+		"out of zone":          "$ORIGIN x.com\nwww.y.com. 300 IN A 1.2.3.4\n",
+		"empty":                "; nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseZone(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestZoneFileServableAfterParse(t *testing.T) {
+	// A parsed zone behaves identically when served.
+	var buf bytes.Buffer
+	if _, err := sampleZone().WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	z, err := ParseZone(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(z)
+	q := dnswire.NewQuery(1, "m.example.com", dnswire.TypeA)
+	payload, _ := q.Pack()
+	raw := srv.ServePacket(1, 2, payload)
+	resp, err := dnswire.Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CNAME chase: m -> www -> two A records.
+	if len(resp.Answers) != 3 {
+		t.Fatalf("answers: %+v", resp.Answers)
+	}
+}

@@ -1,0 +1,42 @@
+package dnswire
+
+import (
+	"testing"
+
+	"cloudscope/internal/netaddr"
+)
+
+func benchMessage() *Message {
+	m := NewQuery(7, "www.example.com", TypeA).Reply()
+	m.Answers = []RR{
+		{Name: "www.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "lb-1234.us-east-1.elb.amazonaws.com"},
+		{Name: "lb-1234.us-east-1.elb.amazonaws.com", Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.MustParseIP("54.230.1.9")},
+		{Name: "lb-1234.us-east-1.elb.amazonaws.com", Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.MustParseIP("54.230.1.10")},
+	}
+	m.Authority = []RR{{Name: "example.com", Type: TypeNS, Class: ClassIN, TTL: 3600, Target: "ns1.example.com"}}
+	return m
+}
+
+func BenchmarkPack(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	buf, err := benchMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

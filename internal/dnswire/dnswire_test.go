@@ -1,0 +1,265 @@
+package dnswire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudscope/internal/netaddr"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	buf, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(buf)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "WWW.Example.COM.", TypeA)
+	got := roundTrip(t, q)
+	if got.Header.ID != 0x1234 || got.Header.Response || !got.Header.RecursionDesired {
+		t.Fatalf("header: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions: %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com" {
+		t.Fatalf("name not canonical: %q", got.Questions[0].Name)
+	}
+	if got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Fatalf("question: %+v", got.Questions[0])
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	q := NewQuery(7, "a.example.com", TypeA)
+	r := q.Reply()
+	r.Header.Authoritative = true
+	r.Header.RecursionAvailable = true
+	r.Header.RCode = RCodeNoError
+	r.Answers = append(r.Answers,
+		RR{Name: "a.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "lb-1.elb.amazonaws.com"},
+		RR{Name: "lb-1.elb.amazonaws.com", Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.MustParseIP("54.230.1.9")},
+	)
+	r.Authority = append(r.Authority, RR{Name: "example.com", Type: TypeNS, Class: ClassIN, TTL: 3600, Target: "ns1.example.com"})
+	r.Additional = append(r.Additional, RR{Name: "ns1.example.com", Type: TypeA, Class: ClassIN, TTL: 3600, IP: netaddr.MustParseIP("9.9.9.9")})
+
+	got := roundTrip(t, r)
+	if !got.Header.Response || !got.Header.Authoritative || !got.Header.RecursionAvailable {
+		t.Fatalf("flags: %+v", got.Header)
+	}
+	if len(got.Answers) != 2 || len(got.Authority) != 1 || len(got.Additional) != 1 {
+		t.Fatalf("sections: %d/%d/%d", len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	if got.Answers[0].Target != "lb-1.elb.amazonaws.com" {
+		t.Fatalf("cname: %q", got.Answers[0].Target)
+	}
+	if got.Answers[1].IP != netaddr.MustParseIP("54.230.1.9") {
+		t.Fatalf("a: %v", got.Answers[1].IP)
+	}
+	if got.Authority[0].Type != TypeNS || got.Authority[0].Target != "ns1.example.com" {
+		t.Fatalf("ns: %+v", got.Authority[0])
+	}
+}
+
+func TestCompressionShrinksAndDecodes(t *testing.T) {
+	m := NewQuery(1, "host.example.com", TypeA).Reply()
+	for i := 0; i < 10; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "host.example.com", Type: TypeA, Class: ClassIN, TTL: 60,
+			IP: netaddr.IP(0x0a000000 + uint32(i)),
+		})
+	}
+	buf, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compression each answer name costs 18 bytes; with
+	// compression the repeats cost 2. 10 answers ≈ 160 bytes saved.
+	if len(buf) > 12+22+10*(2+10)+40 {
+		t.Fatalf("message suspiciously large (%d bytes): compression not applied?", len(buf))
+	}
+	got, err := Unpack(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range got.Answers {
+		if a.Name != "host.example.com" {
+			t.Fatalf("answer %d name %q", i, a.Name)
+		}
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	m := NewQuery(2, "example.com", TypeSOA).Reply()
+	m.Answers = append(m.Answers, RR{
+		Name: "example.com", Type: TypeSOA, Class: ClassIN, TTL: 3600,
+		SOA: SOAData{MName: "ns1.example.com", RName: "hostmaster.example.com",
+			Serial: 2013032701, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300},
+	})
+	got := roundTrip(t, m)
+	s := got.Answers[0].SOA
+	if s.MName != "ns1.example.com" || s.Serial != 2013032701 || s.Minimum != 300 {
+		t.Fatalf("soa: %+v", s)
+	}
+}
+
+func TestTXTRoundTripLong(t *testing.T) {
+	long := strings.Repeat("x", 600)
+	m := NewQuery(3, "t.example.com", TypeTXT).Reply()
+	m.Answers = append(m.Answers, RR{Name: "t.example.com", Type: TypeTXT, Class: ClassIN, TTL: 60, Text: long})
+	got := roundTrip(t, m)
+	if got.Answers[0].Text != long {
+		t.Fatalf("txt length %d", len(got.Answers[0].Text))
+	}
+}
+
+func TestNXDomainReply(t *testing.T) {
+	q := NewQuery(9, "nope.example.com", TypeA)
+	r := q.Reply()
+	r.Header.RCode = RCodeNXDomain
+	got := roundTrip(t, r)
+	if got.Header.RCode != RCodeNXDomain {
+		t.Fatalf("rcode = %v", got.Header.RCode)
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	m := NewQuery(4, "www.example.com", TypeA)
+	buf, _ := m.Pack()
+	for _, n := range []int{0, 5, 11, len(buf) - 1} {
+		if _, err := Unpack(buf[:n]); err == nil {
+			t.Errorf("Unpack of %d/%d bytes succeeded", n, len(buf))
+		}
+	}
+}
+
+func TestUnpackPointerLoop(t *testing.T) {
+	// Header with QDCOUNT=1, then a name that is a pointer to itself.
+	buf := make([]byte, 12, 18)
+	buf[5] = 1 // qdcount
+	buf = append(buf, 0xc0, 12, 0, 1, 0, 1)
+	if _, err := Unpack(buf); err == nil {
+		t.Fatal("self-pointer accepted")
+	}
+}
+
+func TestEncodeBadNames(t *testing.T) {
+	for _, name := range []string{
+		strings.Repeat("a", 64) + ".com",       // label > 63
+		strings.Repeat("abcdefg.", 40) + "com", // name > 255
+		"double..dot.com",                      // empty label
+	} {
+		m := NewQuery(1, name, TypeA)
+		if _, err := m.Pack(); err == nil {
+			t.Errorf("Pack accepted bad name %q", name)
+		}
+	}
+}
+
+func TestRootNameEncodes(t *testing.T) {
+	m := NewQuery(1, ".", TypeNS)
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "" {
+		t.Fatalf("root name decoded as %q", got.Questions[0].Name)
+	}
+}
+
+func TestUnknownRDataSkipped(t *testing.T) {
+	// Hand-craft a response with an unknown type (99) then an A record;
+	// the A record must still decode.
+	m := NewQuery(5, "x.com", TypeANY).Reply()
+	m.Answers = append(m.Answers, RR{Name: "x.com", Type: TypeA, Class: ClassIN, TTL: 1, IP: 42})
+	buf, _ := m.Pack()
+	// Splice an unknown-type RR before the A record is not trivial by
+	// hand; instead verify decoder tolerance by rewriting the A type to
+	// 99 and checking it skips 4 bytes cleanly.
+	idx := bytes.Index(buf, []byte{0, 1, 0, 1, 0, 0, 0, 1, 0, 4}) // TYPE A, CLASS IN, TTL 1, RDLEN 4
+	if idx < 0 {
+		t.Fatal("could not locate A rr in packed bytes")
+	}
+	buf[idx+1] = 99
+	got, err := Unpack(buf)
+	if err != nil {
+		t.Fatalf("Unpack with unknown type: %v", err)
+	}
+	if got.Answers[0].Type != Type(99) {
+		t.Fatalf("type = %v", got.Answers[0].Type)
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAXFR.String() != "AXFR" || Type(77).String() != "TYPE77" {
+		t.Fatal("Type.String wrong")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(9).String() != "RCODE9" {
+		t.Fatal("RCode.String wrong")
+	}
+}
+
+func TestRRString(t *testing.T) {
+	r := RR{Name: "a.com", Type: TypeA, TTL: 60, IP: netaddr.MustParseIP("1.2.3.4")}
+	if got := r.String(); !strings.Contains(got, "1.2.3.4") || !strings.Contains(got, "A") {
+		t.Fatalf("RR.String = %q", got)
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	if CanonicalName("WwW.ExAmPle.COM.") != "www.example.com" {
+		t.Fatal("CanonicalName wrong")
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	// Property: messages built from arbitrary label content that passes
+	// validation survive a pack/unpack round trip.
+	f := func(id uint16, a, b uint8, ip uint32) bool {
+		name := strings.ToLower(strings.Map(func(r rune) rune {
+			if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+				return r
+			}
+			return 'x'
+		}, string(rune('a'+a%26))+string(rune('a'+b%26)))) + ".example.com"
+		m := NewQuery(id, name, TypeA).Reply()
+		m.Answers = []RR{{Name: name, Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.IP(ip)}}
+		buf, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(buf)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id && got.Answers[0].IP == netaddr.IP(ip) && got.Answers[0].Name == name
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageWithManyRecordsAXFRStyle(t *testing.T) {
+	// Zone transfers return large multi-record messages; check a 500-RR
+	// message survives.
+	m := NewQuery(11, "example.com", TypeAXFR).Reply()
+	for i := 0; i < 500; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "h" + strings.Repeat("x", i%5) + ".example.com",
+			Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.IP(i),
+		})
+	}
+	got := roundTrip(t, m)
+	if len(got.Answers) != 500 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if got.Answers[499].IP != 499 {
+		t.Fatal("last answer corrupted")
+	}
+}

@@ -1,0 +1,56 @@
+package dnswire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudscope/internal/netaddr"
+)
+
+// Robustness: Unpack must never panic, whatever the bytes. The paper's
+// tooling parsed millions of answers from the wild; ours gets the same
+// guarantee via property testing.
+
+func TestUnpackNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		_, _ = Unpack(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackNeverPanicsOnMutatedMessages(t *testing.T) {
+	m := NewQuery(7, "www.example.com", TypeA).Reply()
+	m.Answers = []RR{
+		{Name: "www.example.com", Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: "edge.example.net"},
+		{Name: "edge.example.net", Type: TypeA, Class: ClassIN, TTL: 60, IP: netaddr.MustParseIP("54.230.1.1")},
+		{Name: "example.com", Type: TypeSOA, Class: ClassIN, TTL: 60, SOA: SOAData{MName: "ns1.example.com", RName: "h.example.com"}},
+		{Name: "t.example.com", Type: TypeTXT, Class: ClassIN, TTL: 60, Text: "hello"},
+	}
+	base, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, val byte, cut uint16) bool {
+		data := append([]byte(nil), base...)
+		data[int(pos)%len(data)] = val
+		data = data[:len(data)-int(cut)%len(data)]
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on mutation pos=%d val=%d cut=%d: %v", pos, val, cut, r)
+			}
+		}()
+		_, _ = Unpack(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package geo provides the geographic scaffolding behind the wide-area
+// models: locations with coordinates and countries, great-circle
+// distances, the data-center locations of every 2013 EC2/Azure region,
+// and a PlanetLab-like set of globally distributed vantage points.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Location is a named point on the globe.
+type Location struct {
+	Name      string
+	Lat, Lon  float64 // degrees
+	Country   string  // ISO-like short country name
+	Continent string
+}
+
+// EarthRadiusKm is the mean Earth radius used by Distance.
+const EarthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between a and b using the
+// haversine formula.
+func DistanceKm(a, b Location) float64 {
+	const rad = math.Pi / 180
+	dLat := (b.Lat - a.Lat) * rad
+	dLon := (b.Lon - a.Lon) * rad
+	sa := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(a.Lat*rad)*math.Cos(b.Lat*rad)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(sa)))
+}
+
+// PropagationRTTms estimates the round-trip propagation delay between
+// two locations in milliseconds. Light in fiber travels at roughly
+// 2/3 c, and real paths are not geodesics; the conventional
+// path-inflation factor of 1.4 is applied (so RTT ≈ distance * 2 *
+// 1.4 / 200km-per-ms).
+func PropagationRTTms(a, b Location) float64 {
+	const kmPerMsInFiber = 200.0 // ~2/3 of c, one way
+	const inflation = 1.4
+	return DistanceKm(a, b) * 2 * inflation / kmPerMsInFiber
+}
+
+// RegionLocation returns the data-center location of a canonical
+// cloudscope region id (ec2.* or az.*). It panics on unknown regions so
+// that configuration errors surface immediately.
+func RegionLocation(region string) Location {
+	loc, ok := regionLocations[region]
+	if !ok {
+		panic(fmt.Sprintf("geo: unknown region %q", region))
+	}
+	return loc
+}
+
+var regionLocations = map[string]Location{
+	"ec2.us-east-1":      {Name: "Virginia, USA", Lat: 38.9, Lon: -77.45, Country: "US", Continent: "NA"},
+	"ec2.us-west-1":      {Name: "N. California, USA", Lat: 37.35, Lon: -121.96, Country: "US", Continent: "NA"},
+	"ec2.us-west-2":      {Name: "Oregon, USA", Lat: 45.84, Lon: -119.7, Country: "US", Continent: "NA"},
+	"ec2.eu-west-1":      {Name: "Ireland", Lat: 53.34, Lon: -6.26, Country: "IE", Continent: "EU"},
+	"ec2.ap-southeast-1": {Name: "Singapore", Lat: 1.35, Lon: 103.82, Country: "SG", Continent: "AS"},
+	"ec2.ap-northeast-1": {Name: "Tokyo, Japan", Lat: 35.68, Lon: 139.69, Country: "JP", Continent: "AS"},
+	"ec2.sa-east-1":      {Name: "Sao Paulo, Brazil", Lat: -23.55, Lon: -46.63, Country: "BR", Continent: "SA"},
+	"ec2.ap-southeast-2": {Name: "Sydney, Australia", Lat: -33.87, Lon: 151.21, Country: "AU", Continent: "OC"},
+
+	"az.us-east":      {Name: "Virginia, USA", Lat: 37.54, Lon: -77.44, Country: "US", Continent: "NA"},
+	"az.us-west":      {Name: "California, USA", Lat: 37.77, Lon: -122.42, Country: "US", Continent: "NA"},
+	"az.us-north":     {Name: "Illinois, USA", Lat: 41.88, Lon: -87.63, Country: "US", Continent: "NA"},
+	"az.us-south":     {Name: "Texas, USA", Lat: 29.42, Lon: -98.49, Country: "US", Continent: "NA"},
+	"az.eu-west":      {Name: "Ireland", Lat: 53.34, Lon: -6.26, Country: "IE", Continent: "EU"},
+	"az.eu-north":     {Name: "Netherlands", Lat: 52.37, Lon: 4.9, Country: "NL", Continent: "EU"},
+	"az.ap-southeast": {Name: "Singapore", Lat: 1.35, Lon: 103.82, Country: "SG", Continent: "AS"},
+	"az.ap-east":      {Name: "Hong Kong", Lat: 22.32, Lon: 114.17, Country: "HK", Continent: "AS"},
+
+	"cloudfront.global": {Name: "Global edge", Lat: 39.0, Lon: -77.0, Country: "US", Continent: "NA"},
+}
+
+// CountryContinent maps the country codes used by the synthetic client
+// populations to continents.
+var CountryContinent = map[string]string{
+	"US": "NA", "CA": "NA", "MX": "NA",
+	"BR": "SA", "AR": "SA", "CL": "SA",
+	"GB": "EU", "DE": "EU", "FR": "EU", "NL": "EU", "IE": "EU", "ES": "EU", "IT": "EU", "PL": "EU", "RU": "EU",
+	"CN": "AS", "JP": "AS", "KR": "AS", "IN": "AS", "SG": "AS", "HK": "AS", "TW": "AS", "ID": "AS", "TH": "AS",
+	"AU": "OC", "NZ": "OC",
+	"ZA": "AF", "EG": "AF", "NG": "AF",
+}
+
+// Vantage is a measurement host (a PlanetLab-node stand-in).
+type Vantage struct {
+	ID string
+	Location
+}
+
+// PlanetLab returns n globally distributed vantage points drawn from a
+// fixed catalog of real university-city coordinates, cycling with
+// distinct IDs when n exceeds the catalog. The catalog ordering is
+// stable, so Vantages(80) is always the same set.
+func PlanetLab(n int) []Vantage {
+	out := make([]Vantage, 0, n)
+	for i := 0; i < n; i++ {
+		c := catalog[i%len(catalog)]
+		out = append(out, Vantage{
+			ID:       fmt.Sprintf("pl-%03d-%s", i, c.Country),
+			Location: c,
+		})
+	}
+	return out
+}
+
+// catalog lists PlanetLab-dense sites: North America and Europe heavy,
+// with Asia, South America, and Oceania represented — matching Figure 2.
+var catalog = []Location{
+	{Name: "Seattle", Lat: 47.61, Lon: -122.33, Country: "US", Continent: "NA"},
+	{Name: "Berkeley", Lat: 37.87, Lon: -122.27, Country: "US", Continent: "NA"},
+	{Name: "Boulder", Lat: 40.01, Lon: -105.27, Country: "US", Continent: "NA"},
+	{Name: "Madison", Lat: 43.07, Lon: -89.4, Country: "US", Continent: "NA"},
+	{Name: "Boston", Lat: 42.36, Lon: -71.06, Country: "US", Continent: "NA"},
+	{Name: "Princeton", Lat: 40.35, Lon: -74.66, Country: "US", Continent: "NA"},
+	{Name: "Atlanta", Lat: 33.75, Lon: -84.39, Country: "US", Continent: "NA"},
+	{Name: "Austin", Lat: 30.27, Lon: -97.74, Country: "US", Continent: "NA"},
+	{Name: "Toronto", Lat: 43.65, Lon: -79.38, Country: "CA", Continent: "NA"},
+	{Name: "Vancouver", Lat: 49.28, Lon: -123.12, Country: "CA", Continent: "NA"},
+	// PlanetLab was US-university-heavy; extra NA sites keep the
+	// vantage mix (and §5's best-region results) faithful to that.
+	{Name: "Pittsburgh", Lat: 40.44, Lon: -79.99, Country: "US", Continent: "NA"},
+	{Name: "Urbana", Lat: 40.11, Lon: -88.2, Country: "US", Continent: "NA"},
+	{Name: "Salt Lake City", Lat: 40.76, Lon: -111.89, Country: "US", Continent: "NA"},
+	{Name: "Durham", Lat: 35.99, Lon: -78.9, Country: "US", Continent: "NA"},
+	{Name: "Gainesville", Lat: 29.65, Lon: -82.32, Country: "US", Continent: "NA"},
+	{Name: "College Park", Lat: 38.99, Lon: -76.93, Country: "US", Continent: "NA"},
+	{Name: "Ithaca", Lat: 42.44, Lon: -76.5, Country: "US", Continent: "NA"},
+	{Name: "Pasadena", Lat: 34.15, Lon: -118.14, Country: "US", Continent: "NA"},
+	{Name: "London", Lat: 51.51, Lon: -0.13, Country: "GB", Continent: "EU"},
+	{Name: "Cambridge UK", Lat: 52.21, Lon: 0.12, Country: "GB", Continent: "EU"},
+	{Name: "Paris", Lat: 48.86, Lon: 2.35, Country: "FR", Continent: "EU"},
+	{Name: "Berlin", Lat: 52.52, Lon: 13.4, Country: "DE", Continent: "EU"},
+	{Name: "Munich", Lat: 48.14, Lon: 11.58, Country: "DE", Continent: "EU"},
+	{Name: "Amsterdam", Lat: 52.37, Lon: 4.9, Country: "NL", Continent: "EU"},
+	{Name: "Madrid", Lat: 40.42, Lon: -3.7, Country: "ES", Continent: "EU"},
+	{Name: "Rome", Lat: 41.9, Lon: 12.5, Country: "IT", Continent: "EU"},
+	{Name: "Warsaw", Lat: 52.23, Lon: 21.01, Country: "PL", Continent: "EU"},
+	{Name: "Moscow", Lat: 55.76, Lon: 37.62, Country: "RU", Continent: "EU"},
+	{Name: "Beijing", Lat: 39.9, Lon: 116.41, Country: "CN", Continent: "AS"},
+	{Name: "Shanghai", Lat: 31.23, Lon: 121.47, Country: "CN", Continent: "AS"},
+	{Name: "Tokyo", Lat: 35.68, Lon: 139.69, Country: "JP", Continent: "AS"},
+	{Name: "Seoul", Lat: 37.57, Lon: 126.98, Country: "KR", Continent: "AS"},
+	{Name: "Singapore", Lat: 1.35, Lon: 103.82, Country: "SG", Continent: "AS"},
+	{Name: "Taipei", Lat: 25.03, Lon: 121.57, Country: "TW", Continent: "AS"},
+	{Name: "Bangalore", Lat: 12.97, Lon: 77.59, Country: "IN", Continent: "AS"},
+	{Name: "Sao Paulo", Lat: -23.55, Lon: -46.63, Country: "BR", Continent: "SA"},
+	{Name: "Buenos Aires", Lat: -34.6, Lon: -58.38, Country: "AR", Continent: "SA"},
+	{Name: "Santiago", Lat: -33.45, Lon: -70.67, Country: "CL", Continent: "SA"},
+	{Name: "Sydney", Lat: -33.87, Lon: 151.21, Country: "AU", Continent: "OC"},
+	{Name: "Auckland", Lat: -36.85, Lon: 174.76, Country: "NZ", Continent: "OC"},
+}
+
+// Catalog returns a copy of the full vantage catalog.
+func Catalog() []Location {
+	return append([]Location(nil), catalog...)
+}
+
+// CountryLocation returns a representative location for a country code
+// (used to position synthetic client populations). Unknown countries get
+// a mid-Atlantic fallback so distance math stays defined.
+func CountryLocation(country string) Location {
+	if loc, ok := countryCentroids[country]; ok {
+		return loc
+	}
+	return Location{Name: country, Lat: 30, Lon: -40, Country: country, Continent: "NA"}
+}
+
+var countryCentroids = map[string]Location{}
+
+func init() {
+	for _, c := range catalog {
+		if _, ok := countryCentroids[c.Country]; !ok {
+			countryCentroids[c.Country] = c
+		}
+	}
+	// Countries present in client populations but not in the catalog.
+	extra := []Location{
+		{Name: "Mexico City", Lat: 19.43, Lon: -99.13, Country: "MX", Continent: "NA"},
+		{Name: "Dublin", Lat: 53.34, Lon: -6.26, Country: "IE", Continent: "EU"},
+		{Name: "Hong Kong", Lat: 22.32, Lon: 114.17, Country: "HK", Continent: "AS"},
+		{Name: "Jakarta", Lat: -6.21, Lon: 106.85, Country: "ID", Continent: "AS"},
+		{Name: "Bangkok", Lat: 13.76, Lon: 100.5, Country: "TH", Continent: "AS"},
+		{Name: "Johannesburg", Lat: -26.2, Lon: 28.05, Country: "ZA", Continent: "AF"},
+		{Name: "Cairo", Lat: 30.04, Lon: 31.24, Country: "EG", Continent: "AF"},
+		{Name: "Lagos", Lat: 6.52, Lon: 3.38, Country: "NG", Continent: "AF"},
+	}
+	for _, c := range extra {
+		countryCentroids[c.Country] = c
+	}
+}

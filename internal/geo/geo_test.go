@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	ny := Location{Lat: 40.71, Lon: -74.01}
+	london := Location{Lat: 51.51, Lon: -0.13}
+	d := DistanceKm(ny, london)
+	// True great-circle distance is ~5570 km.
+	if d < 5400 || d > 5750 {
+		t.Fatalf("NY-London = %.0f km", d)
+	}
+	if got := DistanceKm(ny, ny); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Location{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Location{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0 && d1 <= math.Pi*EarthRadiusKm+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagationRTT(t *testing.T) {
+	seattle := Location{Lat: 47.61, Lon: -122.33}
+	virginia := RegionLocation("ec2.us-east-1")
+	rtt := PropagationRTTms(seattle, virginia)
+	// Coast to coast: observed floor is ~60 ms; propagation model should
+	// land in a plausible 40-80 ms band.
+	if rtt < 40 || rtt > 80 {
+		t.Fatalf("Seattle-Virginia propagation RTT = %.1f ms", rtt)
+	}
+}
+
+func TestRegionLocationsExist(t *testing.T) {
+	for _, r := range []string{
+		"ec2.us-east-1", "ec2.eu-west-1", "ec2.us-west-1", "ec2.us-west-2",
+		"ec2.ap-southeast-1", "ec2.ap-northeast-1", "ec2.sa-east-1", "ec2.ap-southeast-2",
+		"az.us-east", "az.us-west", "az.us-north", "az.us-south",
+		"az.eu-west", "az.eu-north", "az.ap-southeast", "az.ap-east",
+	} {
+		loc := RegionLocation(r)
+		if loc.Name == "" || loc.Country == "" || loc.Continent == "" {
+			t.Errorf("region %s incomplete: %+v", r, loc)
+		}
+	}
+}
+
+func TestRegionLocationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown region did not panic")
+		}
+	}()
+	RegionLocation("ec2.mars-1")
+}
+
+func TestPlanetLab(t *testing.T) {
+	vs := PlanetLab(80)
+	if len(vs) != 80 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	ids := map[string]bool{}
+	continents := map[string]int{}
+	for _, v := range vs {
+		if ids[v.ID] {
+			t.Fatalf("duplicate vantage id %s", v.ID)
+		}
+		ids[v.ID] = true
+		continents[v.Continent]++
+	}
+	for _, want := range []string{"NA", "EU", "AS", "SA", "OC"} {
+		if continents[want] == 0 {
+			t.Errorf("no vantage on continent %s", want)
+		}
+	}
+	// Determinism.
+	again := PlanetLab(80)
+	for i := range vs {
+		if vs[i] != again[i] {
+			t.Fatal("PlanetLab not deterministic")
+		}
+	}
+}
+
+func TestPlanetLabCycles(t *testing.T) {
+	vs := PlanetLab(100)
+	if len(vs) != 100 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	if vs[0].Name != vs[len(Catalog())].Name {
+		t.Fatal("catalog cycling broken")
+	}
+	if vs[0].ID == vs[len(Catalog())].ID {
+		t.Fatal("cycled vantage reused ID")
+	}
+}
+
+func TestCountryLocation(t *testing.T) {
+	us := CountryLocation("US")
+	if us.Country != "US" {
+		t.Fatalf("US centroid: %+v", us)
+	}
+	mx := CountryLocation("MX")
+	if mx.Name != "Mexico City" {
+		t.Fatalf("MX centroid: %+v", mx)
+	}
+	unknown := CountryLocation("XX")
+	if unknown.Country != "XX" {
+		t.Fatalf("fallback centroid: %+v", unknown)
+	}
+}
+
+func TestCountryContinentCoversCatalog(t *testing.T) {
+	for _, c := range Catalog() {
+		if CountryContinent[c.Country] != c.Continent {
+			t.Errorf("%s: CountryContinent=%q, catalog=%q", c.Country, CountryContinent[c.Country], c.Continent)
+		}
+	}
+}
+
+func TestCatalogIsCopy(t *testing.T) {
+	c := Catalog()
+	orig := c[0].Name
+	c[0].Name = "mutated"
+	if Catalog()[0].Name != orig {
+		t.Fatal("Catalog returned shared slice")
+	}
+}

@@ -1,0 +1,103 @@
+package httpwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		Method: "GET", Path: "/index.html", Host: "www.dropbox.com",
+		Headers: map[string]string{"User-Agent": "cloudscope/1.0", "Accept": "*/*"},
+	}
+	raw := req.SerializeRequest()
+	got, ok := ParseRequest(raw)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if got.Method != "GET" || got.Path != "/index.html" || got.Host != "www.dropbox.com" {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Headers["User-Agent"] != "cloudscope/1.0" {
+		t.Fatalf("headers: %v", got.Headers)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := Response{StatusCode: 200, ContentType: "text/html", ContentLength: 5120,
+		Headers: map[string]string{"Server": "Apache"}}
+	raw := resp.SerializeResponse()
+	got, ok := ParseResponse(raw)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if got.StatusCode != 200 || got.ContentType != "text/html" || got.ContentLength != 5120 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestContentTypeParamsStripped(t *testing.T) {
+	raw := []byte("HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\n\r\n")
+	got, ok := ParseResponse(raw)
+	if !ok || got.ContentType != "text/html" {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestMissingContentLength(t *testing.T) {
+	raw := []byte("HTTP/1.1 304 Not Modified\r\n\r\n")
+	got, ok := ParseResponse(raw)
+	if !ok || got.ContentLength != -1 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestTruncatedHeadStillYieldsHost(t *testing.T) {
+	req := Request{Host: "api.netflix.com", Headers: map[string]string{"X-Long": "aaaa"}}
+	raw := req.SerializeRequest()
+	// Snap truncation mid-headers, after the Host line.
+	cut := bytes.Index(raw, []byte("X-Long")) + 3
+	got, ok := ParseRequest(raw[:cut])
+	if !ok || got.Host != "api.netflix.com" {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestNonHTTPRejected(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("\x16\x03\x01\x00\x05hello"),
+		[]byte("NOT A REQUEST"),
+		[]byte("123 456 789\r\n"),
+		[]byte("HTTP/1.1 abc OK\r\n"),
+	} {
+		if _, ok := ParseRequest(raw); ok {
+			t.Errorf("ParseRequest(%q) accepted", raw)
+		}
+	}
+	if _, ok := ParseResponse([]byte("GET / HTTP/1.1\r\n")); ok {
+		t.Error("ParseResponse accepted a request line")
+	}
+}
+
+func TestLoneLFAccepted(t *testing.T) {
+	raw := []byte("GET / HTTP/1.1\nHost: a.b\n\n")
+	got, ok := ParseRequest(raw)
+	if !ok || got.Host != "a.b" {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+}
+
+func TestDefaultsInSerialization(t *testing.T) {
+	raw := (&Request{Host: "h"}).SerializeRequest()
+	if !bytes.HasPrefix(raw, []byte("GET / HTTP/1.1\r\n")) {
+		t.Fatalf("raw = %q", raw)
+	}
+	rraw := (&Response{ContentLength: -1}).SerializeResponse()
+	if !bytes.HasPrefix(rraw, []byte("HTTP/1.1 200 OK\r\n")) {
+		t.Fatalf("rraw = %q", rraw)
+	}
+	if bytes.Contains(rraw, []byte("Content-Length")) {
+		t.Fatal("negative Content-Length serialized")
+	}
+}

@@ -1,0 +1,238 @@
+// Package ipranges models the public IP address range lists that Amazon
+// and Microsoft published for EC2, CloudFront, and Azure in 2013. The
+// paper's entire classification methodology rests on the test "does this
+// DNS answer fall inside a published cloud range, and if so in which
+// region" — this package provides the published lists for the simulated
+// clouds, a text serialization mirroring the published format, and fast
+// (provider, region) lookup.
+package ipranges
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cloudscope/internal/netaddr"
+)
+
+// Provider identifies a cloud operator in the published lists.
+type Provider string
+
+// Providers covered by the study. CloudFront is published separately
+// from EC2 (the paper exploits this to tell CDN use apart from VM use).
+const (
+	EC2        Provider = "ec2"
+	Azure      Provider = "azure"
+	CloudFront Provider = "cloudfront"
+)
+
+// Entry is one published (provider, region, prefix) row.
+type Entry struct {
+	Provider Provider
+	Region   string // canonical region id, e.g. "ec2.us-east-1"
+	CIDR     netaddr.CIDR
+}
+
+// List is a set of published entries with lookup indexes.
+type List struct {
+	entries []Entry
+	// sorted by first address for binary-search classification
+	firsts  []netaddr.IP
+	lasts   []netaddr.IP
+	indexes []int
+}
+
+// NewList builds a List from entries. Prefixes must not overlap across
+// different (provider, region) pairs; overlapping entries make
+// classification ambiguous and NewList returns an error.
+func NewList(entries []Entry) (*List, error) {
+	l := &List{entries: append([]Entry(nil), entries...)}
+	order := make([]int, len(l.entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return l.entries[order[a]].CIDR.First() < l.entries[order[b]].CIDR.First()
+	})
+	var prevLast netaddr.IP
+	for k, idx := range order {
+		e := l.entries[idx]
+		f, last := e.CIDR.First(), e.CIDR.Last()
+		if k > 0 && f <= prevLast {
+			return nil, fmt.Errorf("ipranges: overlapping prefixes near %s", e.CIDR)
+		}
+		prevLast = last
+		l.firsts = append(l.firsts, f)
+		l.lasts = append(l.lasts, last)
+		l.indexes = append(l.indexes, idx)
+	}
+	return l, nil
+}
+
+// MustNewList is NewList that panics on error.
+func MustNewList(entries []Entry) *List {
+	l, err := NewList(entries)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Entries returns the published rows in original order.
+func (l *List) Entries() []Entry { return l.entries }
+
+// Lookup classifies ip. ok is false when the address is in no published
+// range.
+func (l *List) Lookup(ip netaddr.IP) (e Entry, ok bool) {
+	i := sort.Search(len(l.firsts), func(i int) bool { return l.firsts[i] > ip })
+	if i == 0 || ip > l.lasts[i-1] {
+		return Entry{}, false
+	}
+	return l.entries[l.indexes[i-1]], true
+}
+
+// Contains reports whether ip is in any published range of provider p.
+// With p == "" it reports membership in any range at all.
+func (l *List) Contains(ip netaddr.IP, p Provider) bool {
+	e, ok := l.Lookup(ip)
+	return ok && (p == "" || e.Provider == p)
+}
+
+// Region returns the canonical region for ip, or "" if unlisted.
+func (l *List) Region(ip netaddr.IP) string {
+	e, ok := l.Lookup(ip)
+	if !ok {
+		return ""
+	}
+	return e.Region
+}
+
+// Regions returns the distinct region ids for provider p, sorted.
+func (l *List) Regions(p Provider) []string {
+	seen := map[string]bool{}
+	for _, e := range l.entries {
+		if e.Provider == p {
+			seen[e.Region] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionCIDRs returns the prefixes published for one region.
+func (l *List) RegionCIDRs(region string) []netaddr.CIDR {
+	var out []netaddr.CIDR
+	for _, e := range l.entries {
+		if e.Region == region {
+			out = append(out, e.CIDR)
+		}
+	}
+	return out
+}
+
+// WriteTo serializes the list in the one-row-per-prefix text form
+// "provider<TAB>region<TAB>cidr", the shape of the 2013 published lists.
+func (l *List) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range l.entries {
+		m, err := fmt.Fprintf(w, "%s\t%s\t%s\n", e.Provider, e.Region, e.CIDR)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Parse reads the text form written by WriteTo. Blank lines and lines
+// beginning with '#' are ignored.
+func Parse(r io.Reader) (*List, error) {
+	sc := bufio.NewScanner(r)
+	var entries []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ipranges: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		c, err := netaddr.ParseCIDR(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("ipranges: line %d: %v", line, err)
+		}
+		entries = append(entries, Entry{Provider: Provider(fields[0]), Region: fields[1], CIDR: c})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewList(entries)
+}
+
+// EC2Regions lists the eight EC2 regions of early 2013 in the paper's
+// order (Table 9).
+var EC2Regions = []string{
+	"ec2.us-east-1",
+	"ec2.eu-west-1",
+	"ec2.us-west-1",
+	"ec2.us-west-2",
+	"ec2.ap-southeast-1",
+	"ec2.ap-northeast-1",
+	"ec2.sa-east-1",
+	"ec2.ap-southeast-2",
+}
+
+// AzureRegions lists the eight Azure regions of early 2013 (Table 9).
+var AzureRegions = []string{
+	"az.us-east",
+	"az.us-west",
+	"az.us-north",
+	"az.us-south",
+	"az.eu-west",
+	"az.eu-north",
+	"az.ap-southeast",
+	"az.ap-east",
+}
+
+// Published returns the simulated published list: several prefixes per
+// EC2 region (us-east-1 much larger, as in 2013), one block per Azure
+// region, and a dedicated CloudFront block. The address plan is
+// synthetic but disjoint and stable.
+func Published() *List {
+	var entries []Entry
+	add := func(p Provider, region string, cidrs ...string) {
+		for _, c := range cidrs {
+			entries = append(entries, Entry{p, region, netaddr.MustParseCIDR(c)})
+		}
+	}
+	// EC2: region sizes roughly proportional to 2013 capacity skew.
+	add(EC2, "ec2.us-east-1", "54.224.0.0/13", "50.16.0.0/15", "23.20.0.0/14", "107.20.0.0/14", "184.72.0.0/15")
+	add(EC2, "ec2.eu-west-1", "54.216.0.0/14", "46.136.0.0/16", "176.34.0.0/15")
+	add(EC2, "ec2.us-west-1", "54.215.0.0/16", "184.169.0.0/16", "50.18.0.0/16")
+	add(EC2, "ec2.us-west-2", "54.214.0.0/16", "50.112.0.0/16")
+	add(EC2, "ec2.ap-southeast-1", "54.251.0.0/16", "46.137.192.0/18")
+	add(EC2, "ec2.ap-northeast-1", "54.248.0.0/15", "176.32.64.0/19")
+	add(EC2, "ec2.sa-east-1", "54.232.0.0/16", "177.71.128.0/17")
+	add(EC2, "ec2.ap-southeast-2", "54.252.0.0/16")
+	// CloudFront: one global block, deliberately outside the EC2 ranges.
+	add(CloudFront, "cloudfront.global", "204.246.164.0/22", "205.251.192.0/19", "216.137.32.0/19")
+	// Azure: one or two blocks per region.
+	add(Azure, "az.us-east", "168.61.32.0/20", "137.116.112.0/20")
+	add(Azure, "az.us-west", "168.62.0.0/19", "137.117.0.0/19")
+	add(Azure, "az.us-north", "65.52.0.0/19", "157.55.160.0/20")
+	add(Azure, "az.us-south", "65.54.48.0/20", "70.37.48.0/20", "157.56.0.0/20")
+	add(Azure, "az.eu-west", "94.245.88.0/21", "137.135.128.0/17")
+	add(Azure, "az.eu-north", "94.245.64.0/20", "168.63.0.0/19")
+	add(Azure, "az.ap-southeast", "111.221.64.0/18", "137.116.128.0/19")
+	add(Azure, "az.ap-east", "111.221.16.0/21", "168.63.128.0/19")
+	return MustNewList(entries)
+}

@@ -1,0 +1,152 @@
+package ipranges
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cloudscope/internal/netaddr"
+)
+
+func TestPublishedIsValid(t *testing.T) {
+	l := Published()
+	if len(l.Entries()) == 0 {
+		t.Fatal("empty published list")
+	}
+	if got := l.Regions(EC2); len(got) != 8 {
+		t.Fatalf("EC2 regions = %v", got)
+	}
+	if got := l.Regions(Azure); len(got) != 8 {
+		t.Fatalf("Azure regions = %v", got)
+	}
+	if got := l.Regions(CloudFront); len(got) != 1 {
+		t.Fatalf("CloudFront regions = %v", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	l := Published()
+	e, ok := l.Lookup(netaddr.MustParseIP("54.230.1.1"))
+	if !ok || e.Provider != EC2 || e.Region != "ec2.us-east-1" {
+		t.Fatalf("us-east lookup: %+v ok=%v", e, ok)
+	}
+	e, ok = l.Lookup(netaddr.MustParseIP("205.251.200.9"))
+	if !ok || e.Provider != CloudFront {
+		t.Fatalf("cloudfront lookup: %+v ok=%v", e, ok)
+	}
+	e, ok = l.Lookup(netaddr.MustParseIP("65.52.0.1"))
+	if !ok || e.Provider != Azure || e.Region != "az.us-north" {
+		t.Fatalf("azure lookup: %+v ok=%v", e, ok)
+	}
+	if _, ok := l.Lookup(netaddr.MustParseIP("8.8.8.8")); ok {
+		t.Fatal("8.8.8.8 classified as cloud")
+	}
+}
+
+func TestContainsAndRegion(t *testing.T) {
+	l := Published()
+	ip := netaddr.MustParseIP("54.248.9.9")
+	if !l.Contains(ip, EC2) || l.Contains(ip, Azure) {
+		t.Fatal("Contains provider filter wrong")
+	}
+	if !l.Contains(ip, "") {
+		t.Fatal("Contains any-provider wrong")
+	}
+	if got := l.Region(ip); got != "ec2.ap-northeast-1" {
+		t.Fatalf("Region = %q", got)
+	}
+	if got := l.Region(netaddr.MustParseIP("9.9.9.9")); got != "" {
+		t.Fatalf("unlisted Region = %q", got)
+	}
+}
+
+func TestEveryPublishedPrefixRoundTrips(t *testing.T) {
+	l := Published()
+	for _, e := range l.Entries() {
+		for _, probe := range []netaddr.IP{e.CIDR.First(), e.CIDR.Last(), e.CIDR.Nth(e.CIDR.Size() / 2)} {
+			got, ok := l.Lookup(probe)
+			if !ok || got.Region != e.Region {
+				t.Fatalf("probe %v of %s classified as %+v ok=%v", probe, e.CIDR, got, ok)
+			}
+		}
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	_, err := NewList([]Entry{
+		{EC2, "r1", netaddr.MustParseCIDR("10.0.0.0/16")},
+		{Azure, "r2", netaddr.MustParseCIDR("10.0.128.0/24")},
+	})
+	if err == nil {
+		t.Fatal("overlapping list accepted")
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	l := Published()
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Entries()) != len(l.Entries()) {
+		t.Fatalf("entries %d != %d", len(parsed.Entries()), len(l.Entries()))
+	}
+	for i, e := range l.Entries() {
+		if parsed.Entries()[i] != e {
+			t.Fatalf("entry %d mismatch: %+v != %+v", i, parsed.Entries()[i], e)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlank(t *testing.T) {
+	in := "# comment\n\nec2\tec2.us-east-1\t10.0.0.0/8\n"
+	l, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Entries()) != 1 {
+		t.Fatalf("entries = %d", len(l.Entries()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"ec2 r1\n", "ec2 r1 notacidr\n", "a b c d\n"} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRegionCIDRs(t *testing.T) {
+	l := Published()
+	cs := l.RegionCIDRs("ec2.us-east-1")
+	if len(cs) != 5 {
+		t.Fatalf("us-east-1 prefixes = %d", len(cs))
+	}
+	if len(l.RegionCIDRs("nope")) != 0 {
+		t.Fatal("unknown region returned prefixes")
+	}
+}
+
+func TestUSEastIsLargest(t *testing.T) {
+	// The paper's region skew depends on us-east-1 having by far the
+	// most address space; assert the simulated plan preserves that.
+	l := Published()
+	size := func(region string) uint64 {
+		var n uint64
+		for _, c := range l.RegionCIDRs(region) {
+			n += c.Size()
+		}
+		return n
+	}
+	east := size("ec2.us-east-1")
+	for _, r := range EC2Regions[1:] {
+		if size(r) >= east {
+			t.Fatalf("%s (%d) >= us-east-1 (%d)", r, size(r), east)
+		}
+	}
+}

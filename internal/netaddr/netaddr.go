@@ -1,0 +1,189 @@
+// Package netaddr implements the small amount of IPv4 arithmetic the
+// cloud models and classifiers need: compact 32-bit addresses, CIDR
+// prefixes, and sorted prefix sets with binary-search membership.
+//
+// The standard library's net.IP is a byte slice, which is costly as a
+// map key and awkward to do arithmetic on; measurement datasets hold
+// millions of addresses, so we use uint32 throughout and convert at the
+// edges.
+package netaddr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// ParseIP parses dotted-quad notation. It returns an error for anything
+// that is not exactly four octets in [0, 255].
+func ParseIP(s string) (IP, error) {
+	var ip uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		var part string
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("netaddr: bad IP %q", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else {
+			part = rest
+		}
+		if part == "" || (len(part) > 1 && part[0] == '0') {
+			return 0, fmt.Errorf("netaddr: bad IP %q", s)
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netaddr: bad IP %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// MustParseIP is ParseIP that panics on error; for tests and constants.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String returns dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Octets returns the four octets most-significant first.
+func (ip IP) Octets() [4]byte {
+	return [4]byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)}
+}
+
+// Prefix returns the address truncated to the first bits bits, e.g.
+// ip.Prefix(16) is the /16 network containing ip.
+func (ip IP) Prefix(bits int) IP {
+	if bits <= 0 {
+		return 0
+	}
+	if bits >= 32 {
+		return ip
+	}
+	return ip &^ (1<<(32-uint(bits)) - 1)
+}
+
+// CIDR is an IPv4 prefix.
+type CIDR struct {
+	Base IP
+	Bits int
+}
+
+// ParseCIDR parses "a.b.c.d/n". The base address is truncated to the
+// prefix length.
+func ParseCIDR(s string) (CIDR, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return CIDR{}, fmt.Errorf("netaddr: bad CIDR %q", s)
+	}
+	ip, err := ParseIP(s[:slash])
+	if err != nil {
+		return CIDR{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return CIDR{}, fmt.Errorf("netaddr: bad CIDR %q", s)
+	}
+	return CIDR{Base: ip.Prefix(bits), Bits: bits}, nil
+}
+
+// MustParseCIDR is ParseCIDR that panics on error.
+func MustParseCIDR(s string) CIDR {
+	c, err := ParseCIDR(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String returns "a.b.c.d/n".
+func (c CIDR) String() string { return fmt.Sprintf("%s/%d", c.Base, c.Bits) }
+
+// Contains reports whether ip is inside the prefix.
+func (c CIDR) Contains(ip IP) bool { return ip.Prefix(c.Bits) == c.Base }
+
+// First returns the first address of the prefix.
+func (c CIDR) First() IP { return c.Base }
+
+// Last returns the last address of the prefix.
+func (c CIDR) Last() IP {
+	if c.Bits >= 32 {
+		return c.Base
+	}
+	return c.Base | IP(1<<(32-uint(c.Bits))-1)
+}
+
+// Size returns the number of addresses in the prefix.
+func (c CIDR) Size() uint64 { return 1 << (32 - uint(c.Bits)) }
+
+// Nth returns the n-th address of the prefix (0-based). It panics if n
+// is out of range.
+func (c CIDR) Nth(n uint64) IP {
+	if n >= c.Size() {
+		panic("netaddr: Nth out of range")
+	}
+	return c.Base + IP(n)
+}
+
+// Set is an immutable collection of CIDR prefixes supporting O(log n)
+// membership tests. Build with NewSet; overlapping prefixes are allowed.
+type Set struct {
+	// ranges kept as disjoint, sorted [first, last] intervals.
+	first []IP
+	last  []IP
+}
+
+// NewSet builds a Set from prefixes, merging overlaps and adjacency.
+func NewSet(prefixes []CIDR) *Set {
+	type iv struct{ f, l IP }
+	ivs := make([]iv, 0, len(prefixes))
+	for _, p := range prefixes {
+		ivs = append(ivs, iv{p.First(), p.Last()})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].f < ivs[j].f })
+	s := &Set{}
+	for _, v := range ivs {
+		n := len(s.first)
+		if n > 0 && uint64(v.f) <= uint64(s.last[n-1])+1 {
+			if v.l > s.last[n-1] {
+				s.last[n-1] = v.l
+			}
+			continue
+		}
+		s.first = append(s.first, v.f)
+		s.last = append(s.last, v.l)
+	}
+	return s
+}
+
+// Contains reports whether ip is in any prefix of the set.
+func (s *Set) Contains(ip IP) bool {
+	i := sort.Search(len(s.first), func(i int) bool { return s.first[i] > ip })
+	return i > 0 && ip <= s.last[i-1]
+}
+
+// Len returns the number of disjoint intervals in the set.
+func (s *Set) Len() int { return len(s.first) }
+
+// Size returns the total number of addresses covered.
+func (s *Set) Size() uint64 {
+	var n uint64
+	for i := range s.first {
+		n += uint64(s.last[i]) - uint64(s.first[i]) + 1
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIPRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"} {
+		ip, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if ip.String() != s {
+			t.Fatalf("round trip %q -> %q", s, ip.String())
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "-1.2.3.4", "a.b.c.d", "1.2.3.04", "1..2.3"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) succeeded", s)
+		}
+	}
+}
+
+func TestParseIPRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		got, err := ParseIP(ip.String())
+		return err == nil && got == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOctets(t *testing.T) {
+	ip := MustParseIP("1.2.3.4")
+	if o := ip.Octets(); o != [4]byte{1, 2, 3, 4} {
+		t.Fatalf("Octets = %v", o)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	ip := MustParseIP("10.20.30.40")
+	if got := ip.Prefix(16); got != MustParseIP("10.20.0.0") {
+		t.Fatalf("/16 = %v", got)
+	}
+	if got := ip.Prefix(8); got != MustParseIP("10.0.0.0") {
+		t.Fatalf("/8 = %v", got)
+	}
+	if got := ip.Prefix(32); got != ip {
+		t.Fatalf("/32 = %v", got)
+	}
+	if got := ip.Prefix(0); got != 0 {
+		t.Fatalf("/0 = %v", got)
+	}
+}
+
+func TestCIDRParse(t *testing.T) {
+	c := MustParseCIDR("10.1.2.3/16")
+	if c.Base != MustParseIP("10.1.0.0") || c.Bits != 16 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.String() != "10.1.0.0/16" {
+		t.Fatalf("String = %q", c.String())
+	}
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParseCIDR(s); err == nil {
+			t.Errorf("ParseCIDR(%q) succeeded", s)
+		}
+	}
+}
+
+func TestCIDRContains(t *testing.T) {
+	c := MustParseCIDR("192.168.4.0/22")
+	for _, in := range []string{"192.168.4.0", "192.168.5.77", "192.168.7.255"} {
+		if !c.Contains(MustParseIP(in)) {
+			t.Errorf("%s not in %s", in, c)
+		}
+	}
+	for _, out := range []string{"192.168.3.255", "192.168.8.0", "10.0.0.1"} {
+		if c.Contains(MustParseIP(out)) {
+			t.Errorf("%s in %s", out, c)
+		}
+	}
+}
+
+func TestCIDRFirstLastSize(t *testing.T) {
+	c := MustParseCIDR("10.0.0.0/24")
+	if c.First() != MustParseIP("10.0.0.0") || c.Last() != MustParseIP("10.0.0.255") {
+		t.Fatalf("bounds %v..%v", c.First(), c.Last())
+	}
+	if c.Size() != 256 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	host := MustParseCIDR("1.2.3.4/32")
+	if host.First() != host.Last() || host.Size() != 1 {
+		t.Fatal("/32 bounds wrong")
+	}
+}
+
+func TestCIDRNth(t *testing.T) {
+	c := MustParseCIDR("10.0.0.0/30")
+	if c.Nth(3) != MustParseIP("10.0.0.3") {
+		t.Fatalf("Nth(3) = %v", c.Nth(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range did not panic")
+		}
+	}()
+	c.Nth(4)
+}
+
+func TestSetMembership(t *testing.T) {
+	s := NewSet([]CIDR{
+		MustParseCIDR("10.0.0.0/16"),
+		MustParseCIDR("10.1.0.0/16"), // adjacent, should merge
+		MustParseCIDR("172.16.0.0/12"),
+		MustParseCIDR("10.0.128.0/24"), // contained
+	})
+	if s.Len() != 2 {
+		t.Fatalf("intervals = %d, want 2 after merge", s.Len())
+	}
+	for _, in := range []string{"10.0.0.1", "10.1.255.255", "172.31.9.9"} {
+		if !s.Contains(MustParseIP(in)) {
+			t.Errorf("%s should be in set", in)
+		}
+	}
+	for _, out := range []string{"10.2.0.0", "9.255.255.255", "172.32.0.0", "0.0.0.0"} {
+		if s.Contains(MustParseIP(out)) {
+			t.Errorf("%s should not be in set", out)
+		}
+	}
+}
+
+func TestSetSize(t *testing.T) {
+	s := NewSet([]CIDR{MustParseCIDR("10.0.0.0/24"), MustParseCIDR("10.0.1.0/24")})
+	if s.Size() != 512 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+}
+
+func TestSetEmpty(t *testing.T) {
+	s := NewSet(nil)
+	if s.Contains(MustParseIP("1.2.3.4")) || s.Len() != 0 || s.Size() != 0 {
+		t.Fatal("empty set misbehaves")
+	}
+}
+
+func TestSetMatchesCIDRProperty(t *testing.T) {
+	// Property: a Set of one CIDR agrees with CIDR.Contains everywhere.
+	f := func(base uint32, bits uint8, probe uint32) bool {
+		c := CIDR{Base: IP(base).Prefix(int(bits % 33)), Bits: int(bits % 33)}
+		s := NewSet([]CIDR{c})
+		return s.Contains(IP(probe)) == c.Contains(IP(probe))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package pcapio reads and writes classic libpcap capture files
+// (the tcpdump format the study's border capture was stored in):
+// a 24-byte global header followed by per-packet record headers with
+// second/microsecond timestamps, captured length, and original length.
+//
+// Snap-length semantics are preserved exactly: a record's OrigLen may
+// exceed len(Data) (the capture truncated the packet), and analyzers
+// must use OrigLen for volume accounting — as the paper's Bro pipeline
+// did.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers for microsecond-resolution captures.
+const (
+	Magic        uint32 = 0xa1b2c3d4
+	versionMajor uint16 = 2
+	versionMinor uint16 = 4
+)
+
+// LinkTypeEthernet is the only link type cloudscope produces.
+const LinkTypeEthernet uint32 = 1
+
+// Record is one captured packet.
+type Record struct {
+	Time    time.Time
+	OrigLen int    // length on the wire
+	Data    []byte // captured bytes (≤ snaplen)
+}
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	snaplen int
+	started bool
+}
+
+// NewWriter returns a Writer with the given snap length (0 means 65535).
+func NewWriter(w io.Writer, snaplen int) *Writer {
+	if snaplen <= 0 {
+		snaplen = 65535
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), snaplen: snaplen}
+}
+
+// Snaplen returns the writer's snap length.
+func (w *Writer) Snaplen() int { return w.snaplen }
+
+func (w *Writer) writeHeader() error {
+	var h [24]byte
+	binary.LittleEndian.PutUint32(h[0:4], Magic)
+	binary.LittleEndian.PutUint16(h[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(h[6:8], versionMinor)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(h[16:20], uint32(w.snaplen))
+	binary.LittleEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(h[:])
+	return err
+}
+
+// WriteRecord appends one packet, truncating Data to the snap length.
+// OrigLen defaults to len(Data) when zero.
+func (w *Writer) WriteRecord(r Record) error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	data := r.Data
+	orig := r.OrigLen
+	if orig < len(data) {
+		orig = len(data) // default: wire length is the full frame
+	}
+	if len(data) > w.snaplen {
+		data = data[:w.snaplen]
+	}
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(r.Time.Unix()))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(r.Time.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(h[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(h[12:16], uint32(orig))
+	if _, err := w.w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// Flush writes buffered data to the underlying writer. An empty capture
+// still gets a valid global header.
+func (w *Writer) Flush() error {
+	if !w.started {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	return w.w.Flush()
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r        *bufio.Reader
+	bigEnd   bool
+	snaplen  int
+	linkType uint32
+}
+
+// Errors returned by NewReader/Next.
+var (
+	ErrBadMagic = errors.New("pcapio: bad magic")
+)
+
+// NewReader parses the global header. Both byte orders are accepted.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var h [24]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: global header: %w", err)
+	}
+	rd := &Reader{r: br}
+	switch binary.LittleEndian.Uint32(h[0:4]) {
+	case Magic:
+	case 0xd4c3b2a1:
+		rd.bigEnd = true
+	default:
+		return nil, ErrBadMagic
+	}
+	order := rd.order()
+	rd.snaplen = int(order.Uint32(h[16:20]))
+	rd.linkType = order.Uint32(h[20:24])
+	return rd, nil
+}
+
+func (r *Reader) order() binary.ByteOrder {
+	if r.bigEnd {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// Snaplen returns the capture's snap length.
+func (r *Reader) Snaplen() int { return r.snaplen }
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var h [16]byte
+	if _, err := io.ReadFull(r.r, h[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcapio: record header: %w", err)
+	}
+	order := r.order()
+	sec := order.Uint32(h[0:4])
+	usec := order.Uint32(h[4:8])
+	incl := order.Uint32(h[8:12])
+	orig := order.Uint32(h[12:16])
+	if int(incl) > r.snaplen+65535 {
+		return Record{}, fmt.Errorf("pcapio: implausible captured length %d", incl)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcapio: record body: %w", err)
+	}
+	return Record{
+		Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
+		OrigLen: int(orig),
+		Data:    data,
+	}, nil
+}

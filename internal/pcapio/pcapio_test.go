@@ -1,0 +1,189 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2012, 6, 26, 12, 0, 0, 123456000, time.UTC)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 512)
+	recs := []Record{
+		{Time: t0, Data: []byte("first packet")},
+		{Time: t0.Add(time.Millisecond), Data: bytes.Repeat([]byte{0xab}, 100), OrigLen: 1514},
+		{Time: t0.Add(time.Second), Data: nil, OrigLen: 60},
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Snaplen() != 512 || rd.LinkType() != LinkTypeEthernet {
+		t.Fatalf("header: snap=%d link=%d", rd.Snaplen(), rd.LinkType())
+	}
+	for i, want := range recs {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !got.Time.Equal(want.Time.Truncate(time.Microsecond)) {
+			t.Fatalf("record %d time %v != %v", i, got.Time, want.Time)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("record %d data mismatch", i)
+		}
+		wantOrig := want.OrigLen
+		if wantOrig < len(want.Data) {
+			wantOrig = len(want.Data)
+		}
+		if got.OrigLen != wantOrig {
+			t.Fatalf("record %d origlen %d != %d", i, got.OrigLen, wantOrig)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("tail err = %v", err)
+	}
+}
+
+func TestSnapTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 64)
+	big := bytes.Repeat([]byte{1}, 1000)
+	if err := w.WriteRecord(Record{Time: t0, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	rd, _ := NewReader(&buf)
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Data) != 64 {
+		t.Fatalf("captured %d bytes, want snaplen 64", len(rec.Data))
+	}
+	if rec.OrigLen != 1000 {
+		t.Fatalf("OrigLen = %d, want 1000", rec.OrigLen)
+	}
+}
+
+func TestEmptyCaptureHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatalf("empty capture = %d bytes", buf.Len())
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Snaplen() != 65535 {
+		t.Fatalf("default snaplen = %d", rd.Snaplen())
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBigEndianAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	var h [24]byte
+	binary.BigEndian.PutUint32(h[0:4], Magic)
+	binary.BigEndian.PutUint16(h[4:6], 2)
+	binary.BigEndian.PutUint16(h[6:8], 4)
+	binary.BigEndian.PutUint32(h[16:20], 1500)
+	binary.BigEndian.PutUint32(h[20:24], LinkTypeEthernet)
+	buf.Write(h[:])
+	var rh [16]byte
+	binary.BigEndian.PutUint32(rh[0:4], uint32(t0.Unix()))
+	binary.BigEndian.PutUint32(rh[4:8], 42)
+	binary.BigEndian.PutUint32(rh[8:12], 3)
+	binary.BigEndian.PutUint32(rh[12:16], 3)
+	buf.Write(rh[:])
+	buf.Write([]byte{9, 9, 9})
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Snaplen() != 1500 {
+		t.Fatalf("snaplen = %d", rd.Snaplen())
+	}
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.OrigLen != 3 || len(rec.Data) != 3 {
+		t.Fatalf("record: %+v", rec)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewReader(bytes.Repeat([]byte{0x42}, 24))
+	if _, err := NewReader(buf); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 512)
+	w.WriteRecord(Record{Time: t0, Data: []byte("hello")})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop the body mid-record.
+	rd, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want mid-record error", err)
+	}
+}
+
+func TestManyRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 256)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := w.WriteRecord(Record{Time: t0.Add(time.Duration(i) * time.Millisecond), Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	rd, _ := NewReader(&buf)
+	count := 0
+	var last time.Time
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count > 0 && rec.Time.Before(last) {
+			t.Fatal("timestamps went backwards")
+		}
+		last = rec.Time
+		count++
+	}
+	if count != n {
+		t.Fatalf("read %d records, want %d", count, n)
+	}
+}

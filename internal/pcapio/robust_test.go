@@ -1,0 +1,63 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReaderNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := rd.Next(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderHandlesMutatedCaptures(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 256)
+	for i := 0; i < 5; i++ {
+		w.WriteRecord(Record{Time: time.Unix(int64(1340668800+i), 0), Data: bytes.Repeat([]byte{byte(i)}, 20+i)})
+	}
+	w.Flush()
+	base := buf.Bytes()
+	f := func(pos uint16, val byte) bool {
+		data := append([]byte(nil), base...)
+		data[int(pos)%len(data)] = val
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic pos=%d val=%d: %v", pos, val, r)
+			}
+		}()
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for {
+			if _, err := rd.Next(); err != nil {
+				return err == io.EOF || err != nil
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package simnet provides the simulated network fabric the measurement
+// study runs over: a virtual clock and an in-memory datagram network
+// that binds IPv4 addresses to request handlers, with a pluggable
+// latency model and failure injection.
+//
+// The fabric is deliberately simple — request/response datagrams, no
+// routing tables — because the study's probes (DNS queries, TCP pings)
+// are all request/response. Wide-area path properties live in
+// internal/wan; intra-cloud properties in internal/cloud. Both plug in
+// through the fabric's latency function.
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/xrand"
+)
+
+// Clock is a virtual clock. The zero value starts at a fixed epoch; use
+// NewClock to choose a start time. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// Epoch is the default start of simulated time: the first day of the
+// paper's packet capture (Tuesday, June 26, 2012, 00:00 UTC).
+var Epoch = time.Date(2012, 6, 26, 0, 0, 0, 0, time.UTC)
+
+// NewClock returns a clock set to start.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now.IsZero() {
+		c.now = Epoch
+	}
+	return c.now
+}
+
+// Advance moves simulated time forward by d. Negative d panics: the
+// simulators assume monotone time.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simnet: Advance by negative duration")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.now.IsZero() {
+		c.now = Epoch
+	}
+	c.now = c.now.Add(d)
+}
+
+// Handler processes one datagram addressed to a registered IP and
+// returns the response payload, or nil to drop the request.
+type Handler interface {
+	ServePacket(src, dst netaddr.IP, payload []byte) []byte
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(src, dst netaddr.IP, payload []byte) []byte
+
+// ServePacket implements Handler.
+func (f HandlerFunc) ServePacket(src, dst netaddr.IP, payload []byte) []byte {
+	return f(src, dst, payload)
+}
+
+// LatencyFunc models one-way delay between two addresses.
+type LatencyFunc func(src, dst netaddr.IP) time.Duration
+
+// Errors returned by Query.
+var (
+	ErrHostUnreachable = errors.New("simnet: no host at destination")
+	ErrTimeout         = errors.New("simnet: request timed out")
+)
+
+// Fabric is an in-memory datagram network. The zero value is not
+// usable; construct with NewFabric.
+type Fabric struct {
+	mu       sync.RWMutex
+	hosts    map[netaddr.IP]Handler
+	latency  LatencyFunc
+	lossProb float64
+	lossRand *xrand.Rand
+	clock    *Clock
+}
+
+// NewFabric returns an empty fabric using clock for time accounting.
+// A nil clock allocates a fresh one.
+func NewFabric(clock *Clock) *Fabric {
+	if clock == nil {
+		clock = NewClock(Epoch)
+	}
+	return &Fabric{
+		hosts: make(map[netaddr.IP]Handler),
+		latency: func(src, dst netaddr.IP) time.Duration {
+			return 500 * time.Microsecond
+		},
+		clock: clock,
+	}
+}
+
+// Clock returns the fabric's clock.
+func (f *Fabric) Clock() *Clock { return f.clock }
+
+// Register binds ip to h, replacing any previous binding.
+func (f *Fabric) Register(ip netaddr.IP, h Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hosts[ip] = h
+}
+
+// Unregister removes the binding for ip.
+func (f *Fabric) Unregister(ip netaddr.IP) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.hosts, ip)
+}
+
+// NumHosts returns the number of registered addresses.
+func (f *Fabric) NumHosts() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.hosts)
+}
+
+// SetLatency installs a one-way delay model.
+func (f *Fabric) SetLatency(fn LatencyFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = fn
+}
+
+// SetLoss makes each Query independently fail with probability p,
+// returning ErrTimeout. Used for failure-injection tests. The seed makes
+// loss deterministic.
+func (f *Fabric) SetLoss(p float64, seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossProb = p
+	f.lossRand = xrand.New(seed)
+}
+
+// Query sends payload from src to dst and returns the response and the
+// round-trip time. The RTT is also charged to the fabric's clock so
+// measurement campaigns consume simulated time.
+func (f *Fabric) Query(src, dst netaddr.IP, payload []byte) (resp []byte, rtt time.Duration, err error) {
+	f.mu.RLock()
+	h, ok := f.hosts[dst]
+	lat := f.latency
+	lossProb, lossRand := f.lossProb, f.lossRand
+	f.mu.RUnlock()
+	if !ok {
+		return nil, 0, ErrHostUnreachable
+	}
+	if lossProb > 0 && lossRand != nil {
+		f.mu.Lock()
+		drop := lossRand.Bool(lossProb)
+		f.mu.Unlock()
+		if drop {
+			return nil, 0, ErrTimeout
+		}
+	}
+	rtt = lat(src, dst) + lat(dst, src)
+	resp = h.ServePacket(src, dst, payload)
+	f.clock.Advance(rtt)
+	if resp == nil {
+		return nil, rtt, ErrTimeout
+	}
+	return resp, rtt, nil
+}
+
+// Ping measures the round trip to dst without delivering a payload to
+// the handler; it fails if no host is registered (mirroring a TCP RST
+// vs. silence distinction is not modelled).
+func (f *Fabric) Ping(src, dst netaddr.IP) (time.Duration, error) {
+	f.mu.RLock()
+	_, ok := f.hosts[dst]
+	lat := f.latency
+	f.mu.RUnlock()
+	if !ok {
+		return 0, ErrHostUnreachable
+	}
+	rtt := lat(src, dst) + lat(dst, src)
+	f.clock.Advance(rtt)
+	return rtt, nil
+}

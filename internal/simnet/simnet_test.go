@@ -1,0 +1,185 @@
+package simnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudscope/internal/netaddr"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(Epoch)
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("start = %v", c.Now())
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now().Sub(Epoch); got != 90*time.Second {
+		t.Fatalf("advanced %v", got)
+	}
+}
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("zero clock Now = %v", c.Now())
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	NewClock(Epoch).Advance(-time.Second)
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	f := NewFabric(nil)
+	server := netaddr.MustParseIP("10.0.0.1")
+	client := netaddr.MustParseIP("192.168.0.1")
+	f.Register(server, HandlerFunc(func(src, dst netaddr.IP, p []byte) []byte {
+		if src != client || dst != server {
+			t.Errorf("handler saw src=%v dst=%v", src, dst)
+		}
+		return append([]byte("echo:"), p...)
+	}))
+	resp, rtt, err := f.Query(client, server, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("echo:hi")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if rtt != time.Millisecond {
+		t.Fatalf("rtt = %v, want 1ms default", rtt)
+	}
+}
+
+func TestQueryUnreachable(t *testing.T) {
+	f := NewFabric(nil)
+	_, _, err := f.Query(1, 2, nil)
+	if err != ErrHostUnreachable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryNilResponseIsTimeout(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(5, HandlerFunc(func(_, _ netaddr.IP, _ []byte) []byte { return nil }))
+	_, _, err := f.Query(1, 5, []byte("x"))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLatencyModelAndClockCharge(t *testing.T) {
+	f := NewFabric(nil)
+	f.SetLatency(func(src, dst netaddr.IP) time.Duration { return 25 * time.Millisecond })
+	f.Register(7, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	start := f.Clock().Now()
+	_, rtt, err := f.Query(1, 7, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 50*time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+	if got := f.Clock().Now().Sub(start); got != 50*time.Millisecond {
+		t.Fatalf("clock advanced %v", got)
+	}
+}
+
+func TestAsymmetricLatency(t *testing.T) {
+	f := NewFabric(nil)
+	f.SetLatency(func(src, dst netaddr.IP) time.Duration {
+		if src < dst {
+			return 10 * time.Millisecond
+		}
+		return 30 * time.Millisecond
+	})
+	f.Register(9, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	_, rtt, _ := f.Query(1, 9, []byte("x"))
+	if rtt != 40*time.Millisecond {
+		t.Fatalf("rtt = %v", rtt)
+	}
+}
+
+func TestPing(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(3, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	rtt, err := f.Ping(1, 3)
+	if err != nil || rtt != time.Millisecond {
+		t.Fatalf("rtt=%v err=%v", rtt, err)
+	}
+	if _, err := f.Ping(1, 99); err != ErrHostUnreachable {
+		t.Fatalf("unreachable ping err = %v", err)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	f.SetLoss(0.5, 99)
+	drops := 0
+	for i := 0; i < 1000; i++ {
+		if _, _, err := f.Query(1, 4, []byte("x")); err == ErrTimeout {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Fatalf("drops = %d/1000 with p=0.5", drops)
+	}
+	// Determinism: same seed, same drop pattern.
+	g := NewFabric(nil)
+	g.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	g.SetLoss(0.5, 99)
+	gd := 0
+	for i := 0; i < 1000; i++ {
+		if _, _, err := g.Query(1, 4, []byte("x")); err == ErrTimeout {
+			gd++
+		}
+	}
+	if gd != drops {
+		t.Fatalf("loss not deterministic: %d vs %d", gd, drops)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(8, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	if f.NumHosts() != 1 {
+		t.Fatal("host not registered")
+	}
+	f.Unregister(8)
+	if f.NumHosts() != 0 {
+		t.Fatal("host not unregistered")
+	}
+	if _, _, err := f.Query(1, 8, nil); err != ErrHostUnreachable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	f := NewFabric(nil)
+	for i := 1; i <= 16; i++ {
+		f.Register(netaddr.IP(i), HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dst := netaddr.IP(i%16 + 1)
+				if _, _, err := f.Query(100, dst, []byte("x")); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

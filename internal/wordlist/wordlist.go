@@ -1,0 +1,70 @@
+// Package wordlist provides the subdomain-label dictionary shared by the
+// world generator and the dnsmap/knock-style brute-force discovery. The
+// paper's methodology is a lower bound precisely because brute forcing
+// only finds labels in its dictionary; the generator draws most — but
+// not all — labels from this list so the reproduction keeps that
+// property.
+package wordlist
+
+// Common returns the brute-force dictionary in rank order: the paper's
+// observed top prefixes first (www, m, ftp, cdn, mail, staging, blog,
+// support, test, dev), then the rest of a dnsmap/knock-merged list.
+func Common() []string {
+	return append([]string(nil), words...)
+}
+
+// Len returns the dictionary size.
+func Len() int { return len(words) }
+
+var words = []string{
+	// Top-10 prefixes reported in §3.2, in order.
+	"www", "m", "ftp", "cdn", "mail", "staging", "blog", "support", "test", "dev",
+	// Remainder of the merged dnsmap+knock list.
+	"api", "app", "apps", "admin", "assets", "auth", "beta", "billing",
+	"bounce", "calendar", "chat", "client", "cloud", "cms", "community",
+	"connect", "console", "contact", "content", "corp", "crm", "css",
+	"data", "db", "demo", "direct", "dl", "dns", "docs", "download",
+	"edge", "email", "en", "events", "extranet", "feedback", "files",
+	"forum", "forums", "ftp2", "gallery", "games", "gateway", "git",
+	"go", "help", "home", "host", "hr", "id", "images", "img", "imap",
+	"info", "internal", "intranet", "invoice", "js", "jobs", "lab",
+	"labs", "legacy", "link", "lists", "live", "login", "mail2", "manage",
+	"map", "maps", "marketing", "media", "members", "mobile", "monitor",
+	"mx", "my", "news", "newsletter", "ns", "ns1", "ns2", "oauth",
+	"office", "old", "order", "orders", "origin", "panel", "partner",
+	"partners", "pay", "payment", "payments", "photos", "pop", "portal",
+	"post", "press", "preview", "private", "prod", "production", "promo",
+	"proxy", "pub", "public", "qa", "redirect", "register", "remote",
+	"reports", "research", "reseller", "rest", "reviews", "rss", "s1",
+	"s2", "s3", "sales", "sandbox", "search", "secure", "security",
+	"server", "service", "services", "share", "shop", "signup", "site",
+	"sites", "smtp", "social", "sso", "stage", "stat", "static", "stats",
+	"status", "store", "stream", "streaming", "survey", "svn", "sync",
+	"team", "testing", "tickets", "tools", "track", "tracking", "train",
+	"training", "translate", "travel", "tv", "upload", "uploads", "us",
+	"user", "users", "vault", "video", "videos", "vip", "voip", "vpn",
+	"web", "web1", "web2", "webmail", "widget", "widgets", "wiki", "work",
+	"ws", "www2", "www3", "ww", "staging2", "edge2", "cdn2", "img2",
+	"alpha", "analytics", "archive", "backup", "bb", "beta2", "bi",
+	"board", "book", "booking", "build", "cache", "careers", "cart",
+	"catalog", "cc", "central", "check", "checkout", "ci", "click",
+	"clients", "code", "config", "core", "da", "dashboard", "de",
+	"deploy", "design", "developer", "developers", "directory", "discuss",
+	"dist", "donate", "e", "edit", "editor", "education", "es", "eu",
+	"exchange", "f", "fb", "feed", "feeds", "finance", "fr", "fs", "ftp1",
+	"g", "get", "gis", "global", "graph", "group", "groups", "health",
+	"helpdesk", "hello", "history", "hub", "i", "image", "in", "index",
+	"it", "jenkins", "jira", "jp", "kb", "lb", "learn", "learning",
+	"library", "local", "log", "logs", "mars", "master", "mdm", "meet",
+	"mercury", "metrics", "mirror", "mob", "mobi", "moodle", "music",
+	"net", "new", "next", "node", "nl", "online", "open", "ops", "owa",
+	"page", "pages", "passport", "pdf", "phone", "play", "pm", "pr",
+	"print", "profile", "project", "projects", "pt", "radio", "read",
+	"relay", "repo", "resources", "ru", "school", "script", "sdk",
+	"send", "seo", "shop2", "signin", "sip", "sms", "soap", "sport",
+	"sports", "sql", "src", "ssl", "start", "storage", "student", "style",
+	"submit", "subscribe", "terminal", "theme", "themes", "time", "trac",
+	"trade", "update", "updates", "uk", "v1", "v2", "vm", "vote", "w",
+	"wap", "weather", "webdav", "webservices", "webstore", "win", "wp",
+	"write", "x", "xml", "zeus", "zone",
+}

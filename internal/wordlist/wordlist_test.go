@@ -1,0 +1,45 @@
+package wordlist
+
+import "testing"
+
+func TestCommonShape(t *testing.T) {
+	words := Common()
+	if len(words) != Len() {
+		t.Fatalf("Len %d != len(Common) %d", Len(), len(words))
+	}
+	if len(words) < 300 {
+		t.Fatalf("dictionary too small: %d", len(words))
+	}
+	// The paper's observed top-10 prefixes lead the list, in order.
+	wantTop := []string{"www", "m", "ftp", "cdn", "mail", "staging", "blog", "support", "test", "dev"}
+	for i, w := range wantTop {
+		if words[i] != w {
+			t.Fatalf("words[%d] = %q, want %q", i, words[i], w)
+		}
+	}
+	// No duplicates; all lowercase DNS-safe labels.
+	seen := map[string]bool{}
+	for _, w := range words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if w == "" || len(w) > 63 {
+			t.Fatalf("bad label %q", w)
+		}
+		for i := 0; i < len(w); i++ {
+			c := w[i]
+			if !(c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+				t.Fatalf("label %q has invalid byte %q", w, c)
+			}
+		}
+	}
+}
+
+func TestCommonReturnsCopy(t *testing.T) {
+	a := Common()
+	a[0] = "mutated"
+	if Common()[0] != "www" {
+		t.Fatal("Common returned shared backing array")
+	}
+}

@@ -1,0 +1,187 @@
+// Package xrand provides deterministic pseudo-random sources and the
+// heavy-tailed distributions used throughout the cloudscope simulators.
+//
+// Every generator in cloudscope is seeded explicitly so that worlds,
+// traces, and measurements are reproducible bit-for-bit across runs.
+// The package wraps math/rand with a splittable source (so independent
+// subsystems draw from independent streams) and adds the distributions
+// the paper's workloads require: Zipf-ranked popularity, Pareto and
+// log-normal flow sizes, and weighted categorical choice.
+package xrand
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Rand is a deterministic random source. The zero value is not usable;
+// construct with New or Split.
+type Rand struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// New returns a Rand seeded with seed.
+func New(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Split derives an independent stream identified by label. The derived
+// stream depends only on the parent's seed and the label — never on how
+// much of the parent stream has been consumed — so subsystem determinism
+// is independent of call order. Splitting the same parent with the same
+// label twice yields identical streams.
+func (rn *Rand) Split(label string) *Rand {
+	return SplitSeeded(rn.seed, label)
+}
+
+// SplitSeeded derives an independent stream from an explicit parent seed
+// and a label, without consuming parent state.
+func SplitSeeded(seed int64, label string) *Rand {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(int64(h))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (rn *Rand) Intn(n int) int { return rn.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (rn *Rand) Int63() int64 { return rn.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (rn *Rand) Float64() float64 { return rn.r.Float64() }
+
+// NormFloat64 returns a standard normal variate.
+func (rn *Rand) NormFloat64() float64 { return rn.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (rn *Rand) ExpFloat64() float64 { return rn.r.ExpFloat64() }
+
+// Bool returns true with probability p.
+func (rn *Rand) Bool(p float64) bool { return rn.r.Float64() < p }
+
+// Range returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (rn *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: Range with hi < lo")
+	}
+	return lo + rn.r.Intn(hi-lo+1)
+}
+
+// Perm returns a random permutation of [0, n).
+func (rn *Rand) Perm(n int) []int { return rn.r.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (rn *Rand) Shuffle(n int, swap func(i, j int)) { rn.r.Shuffle(n, swap) }
+
+// Pareto returns a Pareto(alpha, xmin) variate: heavy-tailed sizes with
+// P(X > x) = (xmin/x)^alpha for x >= xmin.
+func (rn *Rand) Pareto(alpha, xmin float64) float64 {
+	u := rn.r.Float64()
+	for u == 0 {
+		u = rn.r.Float64()
+	}
+	return xmin / math.Pow(u, 1/alpha)
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (rn *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rn.r.NormFloat64())
+}
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once; use NewZipf for repeated
+// draws over the same support.
+type Zipf struct {
+	cdf []float64
+	rn  *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rn *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rn: rn}
+}
+
+// Next returns the next Zipf-distributed rank.
+func (z *Zipf) Next() int {
+	u := z.rn.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// NextR draws a rank using an explicit source, letting one precomputed
+// CDF be shared across many independent streams.
+func (z *Zipf) NextR(rn *Rand) int {
+	u := rn.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// N returns the size of the sampler's support.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Weighted selects index i with probability weights[i]/sum(weights).
+// Weights must be non-negative with a positive sum.
+type Weighted struct {
+	cdf []float64
+	rn  *Rand
+}
+
+// NewWeighted builds a categorical sampler from weights.
+func NewWeighted(rn *Rand, weights []float64) *Weighted {
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("xrand: negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("xrand: weights sum to zero")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Weighted{cdf: cdf, rn: rn}
+}
+
+// Next returns the next weighted index.
+func (w *Weighted) Next() int {
+	u := w.rn.Float64()
+	i := sort.SearchFloat64s(w.cdf, u)
+	if i >= len(w.cdf) {
+		i = len(w.cdf) - 1
+	}
+	return i
+}
+
+// Pick returns one element of choices selected by weights. It panics if
+// lengths differ.
+func Pick[T any](rn *Rand, choices []T, weights []float64) T {
+	if len(choices) != len(weights) {
+		panic("xrand: Pick length mismatch")
+	}
+	return choices[NewWeighted(rn, weights).Next()]
+}
+
+// PickUniform returns a uniformly chosen element of choices.
+func PickUniform[T any](rn *Rand, choices []T) T {
+	return choices[rn.Intn(len(choices))]
+}
