@@ -2,12 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments world clean
+.PHONY: all build check test race bench experiments world clean
 
-all: build test
+all: build check test
 
 build:
 	$(GO) build ./...
+
+# Static analysis plus race-detector runs over the packages with the
+# hottest concurrent paths (telemetry instruments, fabric, resolver).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry ./internal/simnet ./internal/dnssrv
 
 test:
 	$(GO) test ./...

@@ -495,3 +495,27 @@ func BenchmarkExtensionOutage(b *testing.B) {
 		_, _ = reg.HeadlineImpact("ec2.us-east-1", s.Cfg.Domains, len(s.World().CloudDomains))
 	}
 }
+
+// --- Telemetry overhead ------------------------------------------------
+
+// BenchmarkTelemetryOverhead measures the full discovery pipeline with
+// telemetry on (the default) and off. The instrumented hot paths pay
+// atomic increments when enabled and a nil check when disabled; the two
+// sub-benchmarks should stay within a few percent of each other.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, noTel bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			s := NewStudy(Config{
+				Seed: 11, Domains: 200, Vantages: 10,
+				CaptureFlows: 100, WANClients: 8, NoTelemetry: noTel,
+			})
+			ds := s.Dataset()
+			if ds.Stats.QueriesIssued == 0 {
+				b.Fatal("pipeline produced no queries")
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, false) })
+	b.Run("noop", func(b *testing.B) { run(b, true) })
+}

@@ -18,9 +18,12 @@ package cloudscope
 import (
 	"bytes"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cloudscope/internal/capture"
 	"cloudscope/internal/cartography"
+	"cloudscope/internal/cloud"
 	"cloudscope/internal/core/classify"
 	"cloudscope/internal/core/dataset"
 	"cloudscope/internal/core/patterns"
@@ -28,8 +31,12 @@ import (
 	"cloudscope/internal/core/wanperf"
 	"cloudscope/internal/core/zones"
 	"cloudscope/internal/deploy"
+	"cloudscope/internal/dnssrv"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/pcapio"
+	"cloudscope/internal/simnet"
+	"cloudscope/internal/telemetry"
+	"cloudscope/internal/wan"
 )
 
 // Config parameterizes a Study. Zero values are filled from
@@ -46,6 +53,10 @@ type Config struct {
 	CaptureFlows int
 	// WANClients is the PlanetLab client count for §5 (paper: 80).
 	WANClients int
+	// NoTelemetry disables the study's metrics registry and span tracer.
+	// The default (telemetry on) costs a few atomic increments per probe;
+	// see BenchmarkTelemetryOverhead.
+	NoTelemetry bool
 }
 
 // DefaultConfig returns a library-scale configuration: large enough for
@@ -64,6 +75,14 @@ func (c Config) WithSeed(seed int64) Config { c.Seed = seed; return c }
 // are computed lazily and memoized; a Study is safe for concurrent use.
 type Study struct {
 	Cfg Config
+
+	// tel is the study's observability handle (nil with NoTelemetry);
+	// dnsMetrics is shared by every resolver the pipeline creates, and
+	// simClock is published once the world's fabric exists so spans can
+	// charge simulated time.
+	tel        *telemetry.Telemetry
+	dnsMetrics *dnssrv.ResolverMetrics
+	simClock   atomic.Pointer[simnet.Clock]
 
 	worldOnce sync.Once
 	world     *deploy.World
@@ -109,15 +128,40 @@ func NewStudy(cfg Config) *Study {
 	if cfg.WANClients == 0 {
 		cfg.WANClients = def.WANClients
 	}
-	return &Study{Cfg: cfg}
+	s := &Study{Cfg: cfg}
+	if !cfg.NoTelemetry {
+		s.tel = telemetry.New()
+		s.tel.Tracer().SetSimClock(func() time.Time {
+			if c := s.simClock.Load(); c != nil {
+				return c.Now()
+			}
+			return time.Time{}
+		})
+		s.dnsMetrics = dnssrv.NewResolverMetrics(s.tel.Registry())
+	}
+	return s
 }
+
+// Telemetry returns the study's observability handle: the metric
+// registry every instrumented layer (fabric, resolvers, cloud and WAN
+// probing) reports into, and the tracer holding the per-stage span
+// tree. It is nil when the study was built with NoTelemetry.
+func (s *Study) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // World returns the generated ground-truth world.
 func (s *Study) World() *deploy.World {
 	s.worldOnce.Do(func() {
+		defer s.tel.StartSpan("study/world").End()
 		wcfg := deploy.DefaultConfig().Scaled(s.Cfg.Domains)
 		wcfg.Seed = s.Cfg.Seed
 		s.world = deploy.Generate(wcfg)
+		s.simClock.Store(s.world.Fabric.Clock())
+		if s.tel != nil {
+			reg := s.tel.Registry()
+			s.world.Fabric.SetMetrics(simnet.NewFabricMetrics(reg))
+			s.world.EC2.SetMetrics(cloud.NewProbeMetrics(reg, "ec2"))
+			s.world.Azure.SetMetrics(cloud.NewProbeMetrics(reg, "azure"))
+		}
 	})
 	return s.world
 }
@@ -125,7 +169,9 @@ func (s *Study) World() *deploy.World {
 // Dataset runs the §2.1 discovery pipeline (memoized).
 func (s *Study) Dataset() *dataset.Dataset {
 	s.dsOnce.Do(func() {
-		w := s.World()
+		w := s.World() // before the span, so the simulated clock is wired
+		sp := s.tel.StartSpan("study/dataset")
+		defer sp.End()
 		names := make([]string, 0, len(w.Domains))
 		for _, d := range w.Domains {
 			names = append(names, d.Name)
@@ -136,6 +182,7 @@ func (s *Study) Dataset() *dataset.Dataset {
 			Ranges:   w.Ranges,
 			Domains:  names,
 			Vantages: s.Cfg.Vantages,
+			Metrics:  s.dnsMetrics,
 		})
 	})
 	return s.ds
@@ -143,25 +190,39 @@ func (s *Study) Dataset() *dataset.Dataset {
 
 // Detection runs §4.1's pattern heuristics (memoized).
 func (s *Study) Detection() *patterns.Result {
-	s.detOnce.Do(func() { s.det = patterns.DetectAll(s.Dataset()) })
+	s.detOnce.Do(func() {
+		ds := s.Dataset() // resolve dependencies outside the span
+		defer s.tel.StartSpan("study/detect").End()
+		s.det = patterns.DetectAll(ds)
+	})
 	return s.det
 }
 
 // Breakdown computes Table 3.
-func (s *Study) Breakdown() *classify.Breakdown { return classify.Classify(s.Dataset()) }
+func (s *Study) Breakdown() *classify.Breakdown {
+	ds := s.Dataset()
+	defer s.tel.StartSpan("study/classify").End()
+	return classify.Classify(ds)
+}
 
 // Regions runs §4.2's region mapping (memoized).
 func (s *Study) Regions() *regions.Analysis {
-	s.regOnce.Do(func() { s.reg = regions.Analyze(s.Dataset(), s.Detection()) })
+	s.regOnce.Do(func() {
+		ds, det := s.Dataset(), s.Detection()
+		defer s.tel.StartSpan("study/regions").End()
+		s.reg = regions.Analyze(ds, det)
+	})
 	return s.reg
 }
 
 // Zones runs §4.3's cartography study (memoized).
 func (s *Study) Zones() *zones.Study {
 	s.zoneOnce.Do(func() {
+		ds, det, ec2 := s.Dataset(), s.Detection(), s.World().EC2
+		defer s.tel.StartSpan("study/zones").End()
 		cfg := zones.DefaultConfig()
 		cfg.Seed = s.Cfg.Seed
-		s.zone = zones.Run(s.Dataset(), s.Detection(), s.World().EC2, cfg)
+		s.zone = zones.Run(ds, det, ec2, cfg)
 	})
 	return s.zone
 }
@@ -169,8 +230,9 @@ func (s *Study) Zones() *zones.Study {
 // NameServers runs §4.1's DNS-hosting analysis (memoized).
 func (s *Study) NameServers() *patterns.NSAnalysis {
 	s.nsOnce.Do(func() {
-		w := s.World()
-		s.ns = patterns.AnalyzeNS(s.Dataset(), w.Fabric, w.Registry, 50)
+		w, ds := s.World(), s.Dataset()
+		defer s.tel.StartSpan("study/nameservers").End()
+		s.ns = patterns.AnalyzeNSMetered(ds, w.Fabric, w.Registry, 50, s.dnsMetrics)
 	})
 	return s.ns
 }
@@ -179,16 +241,18 @@ func (s *Study) NameServers() *patterns.NSAnalysis {
 // bytes are ephemeral; use WriteCapture to keep them.
 func (s *Study) Capture() (*capture.Truth, *capture.Analysis) {
 	s.capOnce.Do(func() {
+		w := s.World()
+		defer s.tel.StartSpan("study/capture").End()
 		ccfg := capture.DefaultConfig()
 		ccfg.Seed = s.Cfg.Seed
 		ccfg.Flows = s.Cfg.CaptureFlows
 		var buf bytes.Buffer
-		g := capture.NewGenerator(ccfg, s.World())
+		g := capture.NewGenerator(ccfg, w)
 		truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
 		if err != nil {
 			panic(err) // bytes.Buffer writes cannot fail
 		}
-		an, err := capture.Analyze(&buf, s.World().Ranges)
+		an, err := capture.Analyze(&buf, w.Ranges)
 		if err != nil {
 			panic(err)
 		}
@@ -212,7 +276,11 @@ func (s *Study) WriteCapture(w pcapWriter) (*capture.Truth, error) {
 // Campaign returns the §5 wide-area measurement campaign (memoized).
 func (s *Study) Campaign() *wanperf.Campaign {
 	s.campaignOnce.Do(func() {
+		defer s.tel.StartSpan("study/wanperf").End()
 		s.campaign = wanperf.NewCampaign(s.Cfg.Seed, s.Cfg.WANClients, ipranges.EC2Regions)
+		if s.tel != nil {
+			s.campaign.Model.SetMetrics(wan.NewMetrics(s.tel.Registry()))
+		}
 	})
 	return s.campaign
 }

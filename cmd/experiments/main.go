@@ -24,6 +24,8 @@ func main() {
 	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
+	telemetry := flag.Bool("telemetry", false, "print the study's metric and span report after the run")
+	telemetryJSON := flag.String("telemetry-json", "", "write the telemetry dump as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	study := cloudscope.NewStudy(cloudscope.Config{
@@ -60,6 +62,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "  "+e.ID)
 		}
 		os.Exit(1)
+	}
+	if *telemetry {
+		fmt.Print(study.Telemetry().Report())
+	}
+	if *telemetryJSON != "" {
+		w := os.Stdout
+		if *telemetryJSON != "-" {
+			f, err := os.Create(*telemetryJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "telemetry-json:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := study.Telemetry().WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry-json:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 	domains := flag.Int("domains", 2000, "world size")
 	seed := flag.Int64("seed", 1, "world seed")
 	vantage := flag.Int("vantage", 0, "vantage index (0 = Seattle)")
+	telemetry := flag.Bool("telemetry", false, "print the telemetry report after the probe")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -43,6 +44,7 @@ func main() {
 		WAN:          wan.New(*seed, 80, ipranges.EC2Regions),
 		VantageIndex: *vantage,
 		Seed:         *seed,
+		Telemetry:    study.Telemetry(),
 	})
 	fmt.Printf("probing from %s (%s)\n\n", p.Vantage().Name, p.Vantage().ID)
 
@@ -81,6 +83,9 @@ func main() {
 		fmt.Printf("throughput from %s: %.0f KB/s\n", args[1], v)
 	default:
 		usage()
+	}
+	if *telemetry {
+		fmt.Print(study.Telemetry().Report())
 	}
 }
 

@@ -25,9 +25,19 @@ type Experiment struct {
 	Run   func(s *Study) string
 }
 
+// instrumented wraps an experiment body in an "experiment/<id>" span on
+// the study's tracer, so any pipeline stage the experiment triggers
+// nests under it in the span tree.
+func instrumented(id string, fn func(*Study) string) func(*Study) string {
+	return func(s *Study) string {
+		defer s.tel.StartSpan("experiment/" + id).End()
+		return fn(s)
+	}
+}
+
 // Experiments returns every registered experiment in paper order.
 func Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{"table1", "Traffic share per cloud", runTable1},
 		{"table2", "Traffic share per protocol", runTable2},
 		{"table3", "Domains/subdomains by provider", runTable3},
@@ -62,6 +72,10 @@ func Experiments() []Experiment {
 		{"ext-outage", "Region/zone outage blast radius (§4.2/§4.3)", runExtOutage},
 		{"ext-backend", "Back-end placement study (§2 future work)", runExtBackend},
 	}
+	for i := range exps {
+		exps[i].Run = instrumented(exps[i].ID, exps[i].Run)
+	}
+	return exps
 }
 
 // RunExperiment executes one experiment by ID.

@@ -21,6 +21,7 @@ package cloud
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
@@ -108,6 +109,9 @@ type Cloud struct {
 	cfCursor uint64
 
 	feats *features
+
+	// metrics is read on the probe hot path, so it bypasses mu.
+	metrics atomic.Pointer[ProbeMetrics]
 }
 
 // New builds a provider model over the published ranges. For EC2 each

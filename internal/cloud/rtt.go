@@ -4,8 +4,32 @@ import (
 	"time"
 
 	"cloudscope/internal/geo"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/xrand"
 )
+
+// ProbeMetrics counts intra-cloud measurement traffic: every ProbeRTT
+// sample (the unit of the cartography and Table 11 campaigns) and its
+// latency distribution. A nil *ProbeMetrics disables accounting.
+type ProbeMetrics struct {
+	Probes *telemetry.Counter
+	RTTms  *telemetry.Histogram
+}
+
+// NewProbeMetrics registers the probe instruments on r, namespaced by
+// provider ("ec2", "azure").
+func NewProbeMetrics(r *telemetry.Registry, provider string) *ProbeMetrics {
+	return &ProbeMetrics{
+		Probes: r.Counter("cloud." + provider + ".probes"),
+		RTTms:  r.Histogram("cloud."+provider+".probe_rtt_ms", telemetry.LatencyBucketsMs),
+	}
+}
+
+// SetMetrics installs probe instrumentation; nil disables it. Safe to
+// call concurrently with probing.
+func (c *Cloud) SetMetrics(m *ProbeMetrics) {
+	c.metrics.Store(m)
+}
 
 // The intra-cloud RTT model reproduces the structure Table 11 measured:
 // instances in the same availability zone see ~0.5 ms round trips,
@@ -93,7 +117,12 @@ func (c *Cloud) ProbeRTT(rng *xrand.Rand, a, b *Instance) time.Duration {
 		// Congestion spike: multiples of the base RTT.
 		jitterMs += rng.Float64() * 3 * float64(base) / float64(time.Millisecond)
 	}
-	return base + time.Duration(jitterMs*float64(time.Millisecond))
+	rtt := base + time.Duration(jitterMs*float64(time.Millisecond))
+	if m := c.metrics.Load(); m != nil {
+		m.Probes.Inc()
+		m.RTTms.Observe(float64(rtt) / float64(time.Millisecond))
+	}
+	return rtt
 }
 
 // MinProbeRTT runs n probes and returns the minimum sample, the

@@ -127,6 +127,9 @@ type Config struct {
 	Vantages int
 	// Parallelism bounds concurrent domain scans.
 	Parallelism int
+	// Metrics, when set, is shared by every resolver the pipeline
+	// creates, aggregating query/rcode accounting across vantages.
+	Metrics *dnssrv.ResolverMetrics
 }
 
 // vantageIP derives the i-th vantage's source address.
@@ -160,11 +163,13 @@ func Build(cfg Config) *Dataset {
 	for i := range brute {
 		brute[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
 		brute[i].NoRecurse = true
+		brute[i].Metrics = cfg.Metrics
 	}
 	vantages := make([]*dnssrv.Resolver, cfg.Vantages)
 	for i := range vantages {
 		vantages[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
 		vantages[i].NoRecurse = true
+		vantages[i].Metrics = cfg.Metrics
 	}
 
 	type domainResult struct {

@@ -285,6 +285,12 @@ type NSAnalysis struct {
 // distributed vantages and locates the servers against the published
 // ranges.
 func AnalyzeNS(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Registry, vantages int) *NSAnalysis {
+	return AnalyzeNSMetered(ds, fabric, registry, vantages, nil)
+}
+
+// AnalyzeNSMetered is AnalyzeNS with resolver instrumentation shared
+// across its vantage resolvers.
+func AnalyzeNSMetered(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Registry, vantages int, m *dnssrv.ResolverMetrics) *NSAnalysis {
 	if vantages <= 0 {
 		vantages = 50
 	}
@@ -293,6 +299,7 @@ func AnalyzeNS(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Regi
 	for i := range resolvers {
 		resolvers[i] = dnssrv.NewResolver(fabric, registry, netaddr.MustParseIP("194.9.0.0")+netaddr.IP(i*17+3))
 		resolvers[i].NoRecurse = true
+		resolvers[i].Metrics = m
 	}
 	domNS := map[string][]string{}
 	for _, domain := range ds.CloudDomains() {

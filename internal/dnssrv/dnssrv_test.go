@@ -8,6 +8,7 @@ import (
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/simnet"
+	"cloudscope/internal/telemetry"
 )
 
 var (
@@ -184,6 +185,70 @@ func TestCacheHitAndFlush(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("flush did not force re-query (calls=%d)", calls)
+	}
+}
+
+// TestCacheMetricsDeterministic pins the exact cache-size and hit/miss
+// accounting of a caching resolver: two names resolved twice each, a
+// flush, then one re-resolution. Every number below is forced by the
+// query sequence, so cache-hit metrics are testable without relying on
+// timing or ordering.
+func TestCacheMetricsDeterministic(t *testing.T) {
+	_, _, _, rv := testWorld(t)
+	reg := telemetry.NewRegistry()
+	rv.Metrics = NewResolverMetrics(reg)
+
+	for i := 0; i < 2; i++ {
+		if _, err := rv.LookupA("www.example.com"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rv.LookupA("m.example.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// www caches 1 key; m caches its own key plus the chased www key
+	// (already present) — 2 distinct keys total.
+	if got := rv.CacheSize(); got != 2 {
+		t.Fatalf("CacheSize = %d, want 2", got)
+	}
+	snap := reg.Snapshot()
+	// The authoritative server chases in-zone CNAMEs, so each name costs
+	// exactly one wire query. Round 1: two misses. Round 2: two hits.
+	if got := snap.Counter("dns.cache.misses"); got != 2 {
+		t.Fatalf("cache misses = %d, want 2", got)
+	}
+	if got := snap.Counter("dns.cache.hits"); got != 2 {
+		t.Fatalf("cache hits = %d, want 2", got)
+	}
+	if got := snap.Gauge("dns.cache.entries"); got != 2 {
+		t.Fatalf("cache entries gauge = %d, want 2", got)
+	}
+	if got := snap.Counter("dns.queries"); got != 2 {
+		t.Fatalf("wire queries = %d, want 2", got)
+	}
+
+	// FlushCache must zero both the resolver's view and the gauge.
+	rv.FlushCache()
+	if got := rv.CacheSize(); got != 0 {
+		t.Fatalf("CacheSize after flush = %d, want 0", got)
+	}
+	if got := reg.Snapshot().Gauge("dns.cache.entries"); got != 0 {
+		t.Fatalf("cache entries gauge after flush = %d, want 0", got)
+	}
+
+	// Re-resolution after the flush is a miss again, not a hit.
+	if _, err := rv.LookupA("www.example.com"); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("dns.cache.misses"); got != 3 {
+		t.Fatalf("cache misses after flush = %d, want 3", got)
+	}
+	if got := snap.Counter("dns.rcode.noerror"); got != 3 {
+		t.Fatalf("noerror responses = %d, want 3", got)
+	}
+	if h, ok := snap.Histogram("dns.cname_chain_len"); !ok || h.Count != 5 {
+		t.Fatalf("chain-length histogram = %+v, want 5 observations", h)
 	}
 }
 

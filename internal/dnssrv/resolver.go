@@ -10,6 +10,7 @@ import (
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/simnet"
+	"cloudscope/internal/telemetry"
 )
 
 // Resolution errors.
@@ -21,12 +22,75 @@ var (
 	ErrChainTooLong = errors.New("dnssrv: CNAME chain too long")
 )
 
+// ResolverMetrics holds a resolver's instrumentation hooks. One
+// ResolverMetrics is typically shared by every resolver of a
+// measurement campaign (the instruments are concurrency-safe), so the
+// counters aggregate across vantage points and CacheEntries tracks the
+// fleet-wide cached-record total. A nil *ResolverMetrics disables
+// accounting.
+type ResolverMetrics struct {
+	// Queries counts questions that reached the wire (cache misses and
+	// uncached queries).
+	Queries *telemetry.Counter
+	// CacheHits / CacheMisses count cache consultations on resolvers
+	// with recursion (caching) enabled.
+	CacheHits   *telemetry.Counter
+	CacheMisses *telemetry.Counter
+	// Retries counts extra server attempts after the first failed.
+	Retries *telemetry.Counter
+	// Failed counts queries that exhausted every authoritative server.
+	Failed *telemetry.Counter
+	// CacheEntries tracks the aggregate number of live cache entries.
+	CacheEntries *telemetry.Gauge
+	// ChainLen is the distribution of CNAME hops per LookupA.
+	ChainLen *telemetry.Histogram
+	// Per-rcode response counts.
+	NoError, NXDomain, Refused, ServFail *telemetry.Counter
+}
+
+// NewResolverMetrics registers the resolver's standard instruments on r.
+func NewResolverMetrics(r *telemetry.Registry) *ResolverMetrics {
+	return &ResolverMetrics{
+		Queries:      r.Counter("dns.queries"),
+		CacheHits:    r.Counter("dns.cache.hits"),
+		CacheMisses:  r.Counter("dns.cache.misses"),
+		Retries:      r.Counter("dns.retries"),
+		Failed:       r.Counter("dns.failed"),
+		CacheEntries: r.Gauge("dns.cache.entries"),
+		ChainLen:     r.Histogram("dns.cname_chain_len", telemetry.SmallCountBuckets),
+		NoError:      r.Counter("dns.rcode.noerror"),
+		NXDomain:     r.Counter("dns.rcode.nxdomain"),
+		Refused:      r.Counter("dns.rcode.refused"),
+		ServFail:     r.Counter("dns.rcode.servfail"),
+	}
+}
+
+// countRCode tallies one response's rcode.
+func (m *ResolverMetrics) countRCode(rcode dnswire.RCode) {
+	if m == nil {
+		return
+	}
+	switch rcode {
+	case dnswire.RCodeNoError:
+		m.NoError.Inc()
+	case dnswire.RCodeNXDomain:
+		m.NXDomain.Inc()
+	case dnswire.RCodeRefused:
+		m.Refused.Inc()
+	default:
+		m.ServFail.Inc()
+	}
+}
+
 // Resolver resolves names against the simulated DNS from one vantage
 // point. It mirrors the controls the study used with dig: per-query
 // recursion control and an explicitly flushable cache.
 type Resolver struct {
 	Fabric   *simnet.Fabric
 	Registry *Registry
+	// Metrics, when set, receives query/cache/rcode accounting. Set it
+	// before the resolver is used; it may be shared across resolvers.
+	Metrics *ResolverMetrics
 	// Source is the IP queries originate from. Authoritative servers see
 	// it and may answer geo-dependently, so two resolvers with different
 	// sources can legitimately receive different records.
@@ -54,7 +118,26 @@ func NewResolver(fabric *simnet.Fabric, reg *Registry, source netaddr.IP) *Resol
 func (rv *Resolver) FlushCache() {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	if n := len(rv.cache); n > 0 {
+		rv.Metrics.cacheEntriesAdd(-int64(n))
+	}
 	rv.cache = make(map[string]cacheEntry)
+}
+
+// CacheSize returns the number of live cache entries (expired entries
+// still count until the next flush or overwrite).
+func (rv *Resolver) CacheSize() int {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return len(rv.cache)
+}
+
+// cacheEntriesAdd moves the aggregate cache gauge, tolerating nil.
+func (m *ResolverMetrics) cacheEntriesAdd(delta int64) {
+	if m == nil {
+		return
+	}
+	m.CacheEntries.Add(delta)
 }
 
 // Query sends one question to the authoritative servers for name and
@@ -62,14 +145,21 @@ func (rv *Resolver) FlushCache() {
 // delegation's server IPs on timeout.
 func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	name = dnswire.CanonicalName(name)
+	m := rv.Metrics
 	key := fmt.Sprintf("%s|%d", name, qtype)
 	if !rv.NoRecurse {
 		rv.mu.Lock()
 		if e, ok := rv.cache[key]; ok && rv.Fabric.Clock().Now().Before(e.expires) {
 			rv.mu.Unlock()
+			if m != nil {
+				m.CacheHits.Inc()
+			}
 			return e.msg, nil
 		}
 		rv.mu.Unlock()
+		if m != nil {
+			m.CacheMisses.Inc()
+		}
 	}
 	_, servers, ok := rv.Registry.Authoritative(name)
 	if !ok {
@@ -82,8 +172,14 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 	if err != nil {
 		return nil, err
 	}
+	if m != nil {
+		m.Queries.Inc()
+	}
 	var lastErr error = simnet.ErrTimeout
-	for _, server := range servers {
+	for attempt, server := range servers {
+		if m != nil && attempt > 0 {
+			m.Retries.Inc()
+		}
 		raw, _, err := rv.Fabric.Query(rv.Source, server, payload)
 		if err != nil {
 			lastErr = err
@@ -98,6 +194,7 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 			lastErr = errors.New("dnssrv: mismatched response")
 			continue
 		}
+		m.countRCode(resp.Header.RCode)
 		switch resp.Header.RCode {
 		case dnswire.RCodeNoError:
 		case dnswire.RCodeNXDomain:
@@ -110,10 +207,16 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 		if !rv.NoRecurse {
 			ttl := minTTL(resp.Answers)
 			rv.mu.Lock()
+			if _, existed := rv.cache[key]; !existed {
+				rv.Metrics.cacheEntriesAdd(1)
+			}
 			rv.cache[key] = cacheEntry{msg: resp, expires: rv.Fabric.Clock().Now().Add(time.Duration(ttl) * time.Second)}
 			rv.mu.Unlock()
 		}
 		return resp, nil
+	}
+	if m != nil {
+		m.Failed.Inc()
 	}
 	return nil, lastErr
 }
@@ -138,6 +241,20 @@ type Answer = dnswire.RR
 // by the A records of the final target. ErrNXDomain is returned only if
 // the first name does not exist.
 func (rv *Resolver) LookupA(name string) ([]Answer, error) {
+	chain, err := rv.lookupA(name)
+	if err == nil && rv.Metrics != nil {
+		cnames := 0
+		for _, rr := range chain {
+			if rr.Type == dnswire.TypeCNAME {
+				cnames++
+			}
+		}
+		rv.Metrics.ChainLen.Observe(float64(cnames))
+	}
+	return chain, err
+}
+
+func (rv *Resolver) lookupA(name string) ([]Answer, error) {
 	var chain []Answer
 	seen := map[string]bool{}
 	current := dnswire.CanonicalName(name)

@@ -18,6 +18,7 @@ import (
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/simnet"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/wan"
 	"cloudscope/internal/xrand"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// VantageIndex selects the PlanetLab vantage the prober runs from.
 	VantageIndex int
 	Seed         int64
+	// Telemetry, when set, instruments the prober's resolver and WAN
+	// model against the handle's registry. Instrument names are shared
+	// (get-or-create), so passing a Study's handle aggregates with the
+	// pipeline's own counters.
+	Telemetry *telemetry.Telemetry
 }
 
 // New builds a Prober.
@@ -60,6 +66,15 @@ func New(cfg Config) *Prober {
 	if cfg.Fabric != nil && cfg.Registry != nil {
 		p.resolver = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, src)
 		p.resolver.NoRecurse = true
+	}
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry.Registry()
+		if p.resolver != nil {
+			p.resolver.Metrics = dnssrv.NewResolverMetrics(reg)
+		}
+		if p.wan != nil {
+			p.wan.SetMetrics(wan.NewMetrics(reg))
+		}
 	}
 	return p
 }

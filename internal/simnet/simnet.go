@@ -12,10 +12,12 @@ package simnet
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/xrand"
 )
 
@@ -80,7 +82,42 @@ type LatencyFunc func(src, dst netaddr.IP) time.Duration
 var (
 	ErrHostUnreachable = errors.New("simnet: no host at destination")
 	ErrTimeout         = errors.New("simnet: request timed out")
+	// ErrInjectedLoss reports a datagram dropped by SetLoss failure
+	// injection. It wraps ErrTimeout — to a caller an injected drop looks
+	// like any other timeout — but errors.Is(err, ErrInjectedLoss) lets
+	// tests and metrics split injected drops from handler-refused
+	// requests.
+	ErrInjectedLoss = fmt.Errorf("simnet: injected packet loss: %w", ErrTimeout)
 )
+
+// FabricMetrics holds the fabric's instrumentation hooks. All fields
+// are optional; a nil *FabricMetrics (or nil fields) disables
+// accounting with no other behavior change.
+type FabricMetrics struct {
+	// Sent counts every datagram handed to Query or Ping.
+	Sent *telemetry.Counter
+	// Delivered counts datagrams answered by a handler.
+	Delivered *telemetry.Counter
+	// Dropped counts datagrams lost to failure injection (SetLoss).
+	Dropped *telemetry.Counter
+	// Failed counts unreachable destinations and handler-refused
+	// (nil-response) requests.
+	Failed *telemetry.Counter
+	// RTTms is the round-trip latency distribution of delivered
+	// datagrams, in milliseconds.
+	RTTms *telemetry.Histogram
+}
+
+// NewFabricMetrics registers the fabric's standard instruments on r.
+func NewFabricMetrics(r *telemetry.Registry) *FabricMetrics {
+	return &FabricMetrics{
+		Sent:      r.Counter("fabric.datagrams.sent"),
+		Delivered: r.Counter("fabric.datagrams.delivered"),
+		Dropped:   r.Counter("fabric.datagrams.dropped"),
+		Failed:    r.Counter("fabric.datagrams.failed"),
+		RTTms:     r.Histogram("fabric.rtt_ms", telemetry.LatencyBucketsMs),
+	}
+}
 
 // Fabric is an in-memory datagram network. The zero value is not
 // usable; construct with NewFabric.
@@ -91,6 +128,7 @@ type Fabric struct {
 	lossProb float64
 	lossRand *xrand.Rand
 	clock    *Clock
+	metrics  *FabricMetrics
 }
 
 // NewFabric returns an empty fabric using clock for time accounting.
@@ -139,9 +177,16 @@ func (f *Fabric) SetLatency(fn LatencyFunc) {
 	f.latency = fn
 }
 
+// SetMetrics installs instrumentation hooks; nil disables them.
+func (f *Fabric) SetMetrics(m *FabricMetrics) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.metrics = m
+}
+
 // SetLoss makes each Query independently fail with probability p,
-// returning ErrTimeout. Used for failure-injection tests. The seed makes
-// loss deterministic.
+// returning ErrInjectedLoss. Used for failure-injection tests. The seed
+// makes loss deterministic.
 func (f *Fabric) SetLoss(p float64, seed int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -157,8 +202,15 @@ func (f *Fabric) Query(src, dst netaddr.IP, payload []byte) (resp []byte, rtt ti
 	h, ok := f.hosts[dst]
 	lat := f.latency
 	lossProb, lossRand := f.lossProb, f.lossRand
+	m := f.metrics
 	f.mu.RUnlock()
+	if m != nil {
+		m.Sent.Inc()
+	}
 	if !ok {
+		if m != nil {
+			m.Failed.Inc()
+		}
 		return nil, 0, ErrHostUnreachable
 	}
 	if lossProb > 0 && lossRand != nil {
@@ -166,14 +218,24 @@ func (f *Fabric) Query(src, dst netaddr.IP, payload []byte) (resp []byte, rtt ti
 		drop := lossRand.Bool(lossProb)
 		f.mu.Unlock()
 		if drop {
-			return nil, 0, ErrTimeout
+			if m != nil {
+				m.Dropped.Inc()
+			}
+			return nil, 0, ErrInjectedLoss
 		}
 	}
 	rtt = lat(src, dst) + lat(dst, src)
 	resp = h.ServePacket(src, dst, payload)
 	f.clock.Advance(rtt)
 	if resp == nil {
+		if m != nil {
+			m.Failed.Inc()
+		}
 		return nil, rtt, ErrTimeout
+	}
+	if m != nil {
+		m.Delivered.Inc()
+		m.RTTms.Observe(float64(rtt) / float64(time.Millisecond))
 	}
 	return resp, rtt, nil
 }
@@ -185,11 +247,22 @@ func (f *Fabric) Ping(src, dst netaddr.IP) (time.Duration, error) {
 	f.mu.RLock()
 	_, ok := f.hosts[dst]
 	lat := f.latency
+	m := f.metrics
 	f.mu.RUnlock()
+	if m != nil {
+		m.Sent.Inc()
+	}
 	if !ok {
+		if m != nil {
+			m.Failed.Inc()
+		}
 		return 0, ErrHostUnreachable
 	}
 	rtt := lat(src, dst) + lat(dst, src)
 	f.clock.Advance(rtt)
+	if m != nil {
+		m.Delivered.Inc()
+		m.RTTms.Observe(float64(rtt) / float64(time.Millisecond))
+	}
 	return rtt, nil
 }

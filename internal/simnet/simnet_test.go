@@ -2,11 +2,13 @@ package simnet
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/telemetry"
 )
 
 func TestClockAdvance(t *testing.T) {
@@ -125,7 +127,11 @@ func TestLossInjection(t *testing.T) {
 	f.SetLoss(0.5, 99)
 	drops := 0
 	for i := 0; i < 1000; i++ {
-		if _, _, err := f.Query(1, 4, []byte("x")); err == ErrTimeout {
+		if _, _, err := f.Query(1, 4, []byte("x")); err != nil {
+			// Injected drops are typed — and still read as timeouts.
+			if !errors.Is(err, ErrInjectedLoss) || !errors.Is(err, ErrTimeout) {
+				t.Fatalf("loss error = %v", err)
+			}
 			drops++
 		}
 	}
@@ -138,12 +144,52 @@ func TestLossInjection(t *testing.T) {
 	g.SetLoss(0.5, 99)
 	gd := 0
 	for i := 0; i < 1000; i++ {
-		if _, _, err := g.Query(1, 4, []byte("x")); err == ErrTimeout {
+		if _, _, err := g.Query(1, 4, []byte("x")); errors.Is(err, ErrInjectedLoss) {
 			gd++
 		}
 	}
 	if gd != drops {
 		t.Fatalf("loss not deterministic: %d vs %d", gd, drops)
+	}
+}
+
+func TestLossErrorDistinguishableFromRefusal(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(5, HandlerFunc(func(_, _ netaddr.IP, _ []byte) []byte { return nil }))
+	_, _, err := f.Query(1, 5, []byte("x"))
+	if !errors.Is(err, ErrTimeout) || errors.Is(err, ErrInjectedLoss) {
+		t.Fatalf("handler refusal err = %v; must be a timeout but not injected loss", err)
+	}
+}
+
+func TestFabricMetricsSplit(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	f := NewFabric(nil)
+	f.SetMetrics(NewFabricMetrics(reg))
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	f.Register(5, HandlerFunc(func(_, _ netaddr.IP, _ []byte) []byte { return nil }))
+
+	f.Query(1, 4, []byte("ok"))   // delivered
+	f.Query(1, 5, []byte("nil"))  // failed: handler refused
+	f.Query(1, 99, []byte("un"))  // failed: unreachable
+	f.SetLoss(1.0, 7)             // every subsequent query drops
+	f.Query(1, 4, []byte("drop")) // dropped: injected
+	f.SetLoss(0, 0)
+	f.Ping(1, 4) // delivered
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"fabric.datagrams.sent":      5,
+		"fabric.datagrams.delivered": 2,
+		"fabric.datagrams.dropped":   1,
+		"fabric.datagrams.failed":    2,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if h, ok := snap.Histogram("fabric.rtt_ms"); !ok || h.Count != 2 {
+		t.Errorf("rtt histogram count = %+v, want 2 observations", h)
 	}
 }
 

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans. Spans nest by call order: a
+// span started while another is open becomes its child. Each span
+// measures wall-clock time and, when a simulated clock is installed,
+// simulated time — the two diverge wildly in this codebase (a
+// three-day measurement campaign runs in milliseconds of wall time),
+// so both are worth seeing.
+//
+// A nil *Tracer (and the nil *Span it returns) is a no-op.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time // wall clock; swappable for tests
+	simNow func() time.Time // simulated clock; zero time when absent
+	roots  []*Span
+	stack  []*Span
+}
+
+// NewTracer returns an empty tracer on the real wall clock.
+func NewTracer() *Tracer {
+	return &Tracer{now: time.Now}
+}
+
+// SetSimClock installs the simulated-time source. fn may return the
+// zero time while the simulation is not yet constructed; spans open
+// across that boundary report zero simulated duration.
+func (t *Tracer) SetSimClock(fn func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.simNow = fn
+}
+
+// Span is one timed region of the pipeline.
+type Span struct {
+	tr       *Tracer
+	name     string
+	start    time.Time
+	simStart time.Time
+	wall     time.Duration
+	sim      time.Duration
+	children []*Span
+	ended    bool
+}
+
+// StartSpan opens a span named name as a child of the innermost open
+// span (or as a root). Close it with End.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, name: name, start: t.now()}
+	if t.simNow != nil {
+		sp.simStart = t.simNow()
+	}
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		parent.children = append(parent.children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// End closes the span, fixing its durations. Ending a span that is not
+// the innermost open one also closes nothing else — it is simply
+// removed from the open stack wherever it sits. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = t.now().Sub(s.start)
+	if t.simNow != nil && !s.simStart.IsZero() {
+		if end := t.simNow(); !end.IsZero() {
+			s.sim = end.Sub(s.simStart)
+		}
+	}
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Wall returns the wall-clock duration (zero until End).
+func (s *Span) Wall() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.wall
+}
+
+// Sim returns the simulated-clock duration (zero until End, or when no
+// simulated clock spanned the region).
+func (s *Span) Sim() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.sim
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Roots returns the tracer's top-level spans.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Find returns the first span named name in depth-first order, or nil.
+func (t *Tracer) Find(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(spans []*Span) *Span
+	walk = func(spans []*Span) *Span {
+		for _, sp := range spans {
+			if sp.name == name {
+				return sp
+			}
+			if hit := walk(sp.children); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(t.roots)
+}
+
+// Tree renders the span forest, one span per line, indented by depth:
+//
+//	study/dataset              wall=412ms   sim=71h12m3s
+//	  study/world              wall=98ms    sim=0s
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	var walk func(spans []*Span, depth int)
+	walk = func(spans []*Span, depth int) {
+		for _, sp := range spans {
+			pad := strings.Repeat("  ", depth)
+			state := ""
+			if !sp.ended {
+				state = "  (open)"
+			}
+			fmt.Fprintf(&b, "%-44s wall=%-12s sim=%s%s\n",
+				pad+sp.name, fmtDur(sp.wall), fmtDur(sp.sim), state)
+			walk(sp.children, depth+1)
+		}
+	}
+	walk(t.roots, 0)
+	return b.String()
+}
+
+// fmtDur trims sub-microsecond noise from rendered durations.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -22,19 +22,47 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"cloudscope/internal/geo"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/xrand"
 )
+
+// Metrics counts wide-area measurement traffic: latency samples,
+// throughput downloads, and traceroutes, with the RTT distribution. A
+// nil *Metrics disables accounting.
+type Metrics struct {
+	RTTSamples        *telemetry.Counter
+	ThroughputSamples *telemetry.Counter
+	Traceroutes       *telemetry.Counter
+	RTTms             *telemetry.Histogram
+}
+
+// NewMetrics registers the WAN instruments on r.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		RTTSamples:        r.Counter("wan.rtt.samples"),
+		ThroughputSamples: r.Counter("wan.throughput.samples"),
+		Traceroutes:       r.Counter("wan.traceroutes"),
+		RTTms:             r.Histogram("wan.rtt_ms", telemetry.LatencyBucketsMs),
+	}
+}
 
 // Model is a deterministic wide-area network.
 type Model struct {
 	seed    int64
 	Clients []geo.Vantage
 	Regions []string
+
+	// metrics is read on every sample, so it bypasses any locking.
+	metrics atomic.Pointer[Metrics]
 }
+
+// SetMetrics installs measurement instrumentation; nil disables it.
+func (m *Model) SetMetrics(mm *Metrics) { m.metrics.Store(mm) }
 
 // New builds a model over nClients PlanetLab vantages and the given
 // regions.
@@ -89,7 +117,12 @@ func (m *Model) RTT(client geo.Vantage, region string, t time.Time, rng *xrand.R
 	if rng.Bool(0.01) {
 		jitter += rng.Float64() * 80 // transient spike
 	}
-	return base + jitter
+	rtt := base + jitter
+	if mm := m.metrics.Load(); mm != nil {
+		mm.RTTSamples.Inc()
+		mm.RTTms.Observe(rtt)
+	}
+	return rtt
 }
 
 // Throughput returns one HTTP-download throughput sample in KB/s at
@@ -101,6 +134,9 @@ func (m *Model) Throughput(client geo.Vantage, region string, t time.Time, rng *
 	windowLimited := 64.0 / (rtt / 1000)
 	bottleneck := 2200 + 7000*pairHash(client.ID, region, "cap")
 	thr := math.Min(windowLimited, bottleneck)
+	if mm := m.metrics.Load(); mm != nil {
+		mm.ThroughputSamples.Inc()
+	}
 	// Multiplicative sampling noise.
 	return thr * (0.85 + 0.3*rng.Float64())
 }
@@ -174,6 +210,9 @@ func (m *Model) routeISP(client geo.Vantage, region string, zone int) int {
 // zone) out to client — the direction the paper probed. The first
 // non-cloud hop's ASN identifies the downstream ISP.
 func (m *Model) Traceroute(client geo.Vantage, region string, zone int, rng *xrand.Rand) []Hop {
+	if mm := m.metrics.Load(); mm != nil {
+		mm.Traceroutes.Inc()
+	}
 	total := m.BaseRTT(client, region)
 	isp := m.routeISP(client, region, zone)
 	clientASN := 64500 + int(pairHash(client.ID, "asn")*400)
