@@ -10,10 +10,17 @@ build:
 	$(GO) build ./...
 
 # Static analysis plus race-detector runs over the packages with the
-# hottest concurrent paths (telemetry instruments, fabric, resolver).
+# hottest concurrent paths (telemetry instruments, fabric, resolver,
+# the worker pool, and every parallelized analysis stage), plus a
+# repeated small-shard stress run that forces shard-boundary
+# interleavings in the pool.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/telemetry ./internal/simnet ./internal/dnssrv
+	$(GO) test -race ./internal/telemetry ./internal/simnet ./internal/dnssrv \
+		./internal/parallel ./internal/core/patterns ./internal/core/regions \
+		./internal/core/zones ./internal/core/wanperf ./internal/cartography \
+		./internal/wan
+	$(GO) test -race -count=5 -run TestStressShardBoundaries ./internal/parallel
 
 test:
 	$(GO) test ./...

@@ -23,6 +23,7 @@ import (
 	"cloudscope/internal/core/traffic"
 	"cloudscope/internal/core/wanperf"
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
 	"cloudscope/internal/wan"
 	"cloudscope/internal/wordlist"
@@ -308,6 +309,60 @@ func BenchmarkPipelineCaptureGen(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// --- Worker-pool scaling -----------------------------------------------
+
+var (
+	benchWorkersOnce  sync.Once
+	benchWorkersStudy *Study
+)
+
+// workersStudy prepares the 10K-domain study the scaling benchmark
+// shards, with the expensive one-off stages (world, discovery, zone
+// cartography targets) prebuilt and shared.
+func workersStudy(b *testing.B) *Study {
+	b.Helper()
+	benchWorkersOnce.Do(func() {
+		benchWorkersStudy = NewStudy(Config{
+			Seed: 9, Domains: 10000, Vantages: 20, CaptureFlows: 1000, WANClients: 80,
+			NoTelemetry: true,
+		})
+		benchWorkersStudy.Dataset()
+		benchWorkersStudy.Detection()
+		benchWorkersStudy.Zones()
+		benchWorkersStudy.Campaign()
+	})
+	return benchWorkersStudy
+}
+
+// BenchmarkPipelineWorkers measures one pass of every parallelized
+// analysis stage — pattern detection, region mapping, zone latency
+// probing, and the WAN matrix — at fixed worker counts over the
+// 10K-domain study. Outputs are bit-identical across sub-benchmarks;
+// only the wall clock moves.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	s := workersStudy(b)
+	ds := s.Dataset()
+	ec2 := s.World().EC2
+	targets := s.Zones().Targets
+	campaign := s.Campaign()
+	latCfg := cartography.DefaultLatencyConfig()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opt := parallel.Options{Workers: workers}
+			acct := ec2.NewAccount(fmt.Sprintf("pipeworkers-%d", workers))
+			campaign.Par = opt
+			campaign.Model.Par = opt
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := patterns.DetectAllPar(ds, opt)
+				_ = regions.AnalyzePar(ds, d, opt)
+				_ = cartography.IdentifyByLatencyPar(ec2, acct, targets, latCfg, int64(i), opt)
+				_ = campaign.Matrix(wan.MetricLatency, usRegions, 0)
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"cloudscope/internal/deploy"
 	"cloudscope/internal/dnssrv"
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
 	"cloudscope/internal/simnet"
 	"cloudscope/internal/telemetry"
@@ -53,6 +54,10 @@ type Config struct {
 	CaptureFlows int
 	// WANClients is the PlanetLab client count for §5 (paper: 80).
 	WANClients int
+	// Workers bounds the analysis stages' fan-out: 0 uses GOMAXPROCS,
+	// 1 forces the exact sequential path. Results are bit-identical at
+	// every setting; see internal/parallel.
+	Workers int
 	// NoTelemetry disables the study's metrics registry and span tracer.
 	// The default (telemetry on) costs a few atomic increments per probe;
 	// see BenchmarkTelemetryOverhead.
@@ -70,6 +75,10 @@ func (c Config) WithDomains(n int) Config { c.Domains = n; return c }
 
 // WithSeed returns the config reseeded.
 func (c Config) WithSeed(seed int64) Config { c.Seed = seed; return c }
+
+// WithWorkers returns the config with a different fan-out bound
+// (0 = GOMAXPROCS, 1 = sequential).
+func (c Config) WithWorkers(n int) Config { c.Workers = n; return c }
 
 // Study runs the paper's pipeline over one generated world. All stages
 // are computed lazily and memoized; a Study is safe for concurrent use.
@@ -142,6 +151,16 @@ func NewStudy(cfg Config) *Study {
 	return s
 }
 
+// par builds one stage's fan-out options: the study's worker bound
+// plus that stage's parallel.<stage>.* instruments (nil-safe when
+// telemetry is off).
+func (s *Study) par(stage string) parallel.Options {
+	return parallel.Options{
+		Workers: s.Cfg.Workers,
+		Metrics: parallel.NewMetrics(s.tel.Registry(), stage),
+	}
+}
+
 // Telemetry returns the study's observability handle: the metric
 // registry every instrumented layer (fabric, resolvers, cloud and WAN
 // probing) reports into, and the tracer holding the per-stage span
@@ -193,7 +212,7 @@ func (s *Study) Detection() *patterns.Result {
 	s.detOnce.Do(func() {
 		ds := s.Dataset() // resolve dependencies outside the span
 		defer s.tel.StartSpan("study/detect").End()
-		s.det = patterns.DetectAll(ds)
+		s.det = patterns.DetectAllPar(ds, s.par("detect"))
 	})
 	return s.det
 }
@@ -210,7 +229,7 @@ func (s *Study) Regions() *regions.Analysis {
 	s.regOnce.Do(func() {
 		ds, det := s.Dataset(), s.Detection()
 		defer s.tel.StartSpan("study/regions").End()
-		s.reg = regions.Analyze(ds, det)
+		s.reg = regions.AnalyzePar(ds, det, s.par("regions"))
 	})
 	return s.reg
 }
@@ -222,6 +241,7 @@ func (s *Study) Zones() *zones.Study {
 		defer s.tel.StartSpan("study/zones").End()
 		cfg := zones.DefaultConfig()
 		cfg.Seed = s.Cfg.Seed
+		cfg.Par = s.par("zones")
 		s.zone = zones.Run(ds, det, ec2, cfg)
 	})
 	return s.zone
@@ -278,6 +298,8 @@ func (s *Study) Campaign() *wanperf.Campaign {
 	s.campaignOnce.Do(func() {
 		defer s.tel.StartSpan("study/wanperf").End()
 		s.campaign = wanperf.NewCampaign(s.Cfg.Seed, s.Cfg.WANClients, ipranges.EC2Regions)
+		s.campaign.Par = s.par("wanperf")
+		s.campaign.Model.Par = s.par("wanperf")
 		if s.tel != nil {
 			s.campaign.Model.SetMetrics(wan.NewMetrics(s.tel.Registry()))
 		}

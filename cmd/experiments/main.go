@@ -22,6 +22,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	flows := flag.Int("flows", 30000, "border-capture flows")
 	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
+	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
 	telemetry := flag.Bool("telemetry", false, "print the study's metric and span report after the run")
@@ -29,7 +30,7 @@ func main() {
 	flag.Parse()
 
 	study := cloudscope.NewStudy(cloudscope.Config{
-		Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages,
+		Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages, Workers: *workers,
 	})
 
 	want := map[string]bool{}

@@ -27,6 +27,7 @@ func main() {
 	domains := flag.Int("domains", 2000, "world size")
 	seed := flag.Int64("seed", 1, "world seed")
 	vantage := flag.Int("vantage", 0, "vantage index (0 = Seattle)")
+	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	telemetry := flag.Bool("telemetry", false, "print the telemetry report after the probe")
 	flag.Parse()
 	args := flag.Args()
@@ -34,7 +35,7 @@ func main() {
 		usage()
 	}
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains})
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, Workers: *workers})
 	world := study.World()
 	p := probes.New(probes.Config{
 		Fabric:       world.Fabric,

@@ -13,9 +13,10 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	clients := flag.Int("clients", 80, "PlanetLab clients")
+	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.Parse()
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients})
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients, Workers: *workers})
 	for _, id := range []string{"figure9", "figure10", "figure11", "figure12", "table11", "table16"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {

@@ -1,0 +1,93 @@
+package cloudscope
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// detConfig is the golden-test study: small enough that a full
+// experiment sweep per (seed, worker-count) stays cheap, large enough
+// that every stage has real work to shard.
+func detConfig(seed int64, workers int) Config {
+	return Config{
+		Seed:         seed,
+		Domains:      700,
+		Vantages:     12,
+		CaptureFlows: 600,
+		WANClients:   10,
+		Workers:      workers,
+		NoTelemetry:  true,
+	}
+}
+
+// TestParallelDeterminism is the harness behind the parallel pipeline's
+// central promise: every Table/Figure experiment produces byte-identical
+// output at Workers=1 (the sequential path), Workers=4, and
+// Workers=GOMAXPROCS, at two different seeds. Any scheduling
+// dependence — a shared rng, a map-order merge, a shard layout that
+// consults the worker count — breaks these goldens immediately.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several full studies")
+	}
+	workerCounts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	exps := Experiments()
+
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			// Golden: the sequential path.
+			golden := map[string]string{}
+			seq := NewStudy(detConfig(seed, 1))
+			for _, e := range exps {
+				golden[e.ID] = e.Run(seq)
+			}
+
+			for _, workers := range workerCounts[1:] {
+				s := NewStudy(detConfig(seed, workers))
+				for _, e := range exps {
+					e := e
+					t.Run(fmt.Sprintf("%s/workers%d", e.ID, workers), func(t *testing.T) {
+						got := e.Run(s)
+						if got != golden[e.ID] {
+							t.Errorf("%s differs between Workers=1 and Workers=%d at seed %d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+								e.ID, workers, seed, golden[e.ID], got)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersConfigThreading checks the knob reaches the stages: a
+// telemetry-on study run with an explicit worker bound must report it
+// through every stage's parallel gauges.
+func TestWorkersConfigThreading(t *testing.T) {
+	s := NewStudy(Config{Seed: 5, Domains: 400, Vantages: 8, CaptureFlows: 400, WANClients: 8, Workers: 3})
+	s.Detection()
+	s.Regions()
+	s.Zones()
+	if _, err := s.RunExperiment("figure10"); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Telemetry().Registry().Snapshot()
+	for _, stage := range []string{"detect", "regions", "zones", "wanperf"} {
+		shards := snap.Gauge("parallel." + stage + ".shards")
+		if shards == 0 {
+			t.Errorf("stage %s reported no shards", stage)
+		}
+		got := snap.Gauge("parallel." + stage + ".workers")
+		want := int64(3)
+		if shards < want {
+			want = shards // pools never run more workers than shards
+		}
+		if got != want {
+			t.Errorf("parallel.%s.workers = %d, want %d", stage, got, want)
+		}
+	}
+}

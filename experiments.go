@@ -27,7 +27,11 @@ type Experiment struct {
 
 // instrumented wraps an experiment body in an "experiment/<id>" span on
 // the study's tracer, so any pipeline stage the experiment triggers
-// nests under it in the span tree.
+// nests under it in the span tree. The span records simulated time as
+// well as wall-clock — even when the experiment itself constructs the
+// world, the tracer backfills the span's sim start at the clock's
+// first non-zero reading — so parallel speedups show up as shrinking
+// wall times against an unchanged sim duration.
 func instrumented(id string, fn func(*Study) string) func(*Study) string {
 	return func(s *Study) string {
 		defer s.tel.StartSpan("experiment/" + id).End()

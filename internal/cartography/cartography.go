@@ -21,6 +21,7 @@ import (
 
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/xrand"
 )
 
@@ -87,49 +88,112 @@ func (r *LatencyRegionResult) UnknownRate() float64 {
 // fraction of targets (2%) are treated as unresponsive, like filtered
 // hosts in the wild.
 func IdentifyByLatency(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64) map[string]*LatencyRegionResult {
-	rng := xrand.SplitSeeded(seed, "cartography/latency")
+	return IdentifyByLatencyPar(c, acct, targets, cfg, seed, parallel.Options{})
+}
+
+// zoneProbes is one zone's probe instances, kept in a slice sorted by
+// zone index so probing visits zones in a deterministic order.
+type zoneProbes struct {
+	zone  int
+	insts []*cloud.Instance
+}
+
+// IdentifyByLatencyPar is IdentifyByLatency fanned out over a worker
+// pool. Probe launches stay sequential (they move the account's
+// allocation cursors) and visit regions in sorted order; the per-target
+// probing — the expensive part — shards across workers, each shard
+// drawing from its own stream split from the stage seed by shard
+// index. The shard layout depends only on the target count, so results
+// are bit-identical at every worker count and on every machine.
+func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64, opt parallel.Options) map[string]*LatencyRegionResult {
 	byRegion := map[string][]*cloud.Instance{}
+	var regionOrder []string
 	for _, t := range targets {
+		if byRegion[t.Region] == nil {
+			regionOrder = append(regionOrder, t.Region)
+		}
 		byRegion[t.Region] = append(byRegion[t.Region], t)
 	}
-	results := map[string]*LatencyRegionResult{}
-	for region, regionTargets := range byRegion {
-		res := &LatencyRegionResult{Region: region, ZoneCounts: map[int]int{}}
-		results[region] = res
+	sort.Strings(regionOrder)
+
+	// Launch every region's probes first, in sorted-region order, so
+	// instance allocation is deterministic and workers only read.
+	type workItem struct {
+		region string
+		target *cloud.Instance
+	}
+	var work []workItem
+	probesOf := map[string][]zoneProbes{}
+	for _, region := range regionOrder {
 		missing := map[int]bool{}
 		for _, z := range cfg.MissingProbeZones[region] {
 			missing[z] = true
 		}
-		// Launch probe instances per account-visible zone label.
-		probes := map[int][]*cloud.Instance{}
+		var probes []zoneProbes
 		for li, label := range acct.ZoneLabels(region) {
 			if missing[li] {
 				continue
 			}
+			zp := zoneProbes{zone: li}
 			for r := 0; r < cfg.Repeats; r++ {
-				probes[li] = append(probes[li], acct.Launch(region, label, "m1.medium"))
+				zp.insts = append(zp.insts, acct.Launch(region, label, "m1.medium"))
+			}
+			probes = append(probes, zp)
+		}
+		probesOf[region] = probes
+		for _, t := range byRegion[region] {
+			work = append(work, workItem{region: region, target: t})
+		}
+	}
+
+	// Probe all targets on the pool; outcome i belongs to work[i].
+	type outcome struct {
+		responding bool
+		zone       int
+	}
+	outs := make([]outcome, len(work))
+	err := parallel.Run(opt, len(work), func(sh parallel.Shard) error {
+		rng := xrand.SplitSeeded(seed, fmt.Sprintf("cartography/latency/shard%d", sh.Index))
+		for i := sh.Lo; i < sh.Hi; i++ {
+			if rng.Bool(0.02) {
+				continue // unresponsive, like filtered hosts in the wild
+			}
+			outs[i] = outcome{
+				responding: true,
+				zone:       identifyOne(c, rng, probesOf[work[i].region], work[i].target, cfg),
 			}
 		}
-		for _, target := range regionTargets {
-			res.Targets++
-			if rng.Bool(0.02) {
-				continue // unresponsive
-			}
-			res.Responding++
-			zone := identifyOne(c, rng, probes, target, cfg)
-			res.Outcomes = append(res.Outcomes, LatencyOutcome{Target: target, Zone: zone})
-			if zone < 0 {
-				res.Unknown++
-			} else {
-				res.ZoneCounts[zone]++
-			}
+		return nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+
+	// Aggregate in input order on the caller's goroutine.
+	results := map[string]*LatencyRegionResult{}
+	for i, w := range work {
+		res := results[w.region]
+		if res == nil {
+			res = &LatencyRegionResult{Region: w.region, ZoneCounts: map[int]int{}}
+			results[w.region] = res
+		}
+		res.Targets++
+		if !outs[i].responding {
+			continue
+		}
+		res.Responding++
+		res.Outcomes = append(res.Outcomes, LatencyOutcome{Target: w.target, Zone: outs[i].zone})
+		if outs[i].zone < 0 {
+			res.Unknown++
+		} else {
+			res.ZoneCounts[outs[i].zone]++
 		}
 	}
 	return results
 }
 
 // identifyOne applies the paper's decision rule to one target.
-func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes map[int][]*cloud.Instance, target *cloud.Instance, cfg LatencyConfig) int {
+func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes []zoneProbes, target *cloud.Instance, cfg LatencyConfig) int {
 	// Loaded targets answer slowly no matter who probes them: a stable
 	// per-instance floor that min-of-N cannot strip.
 	busyMs := 0.0
@@ -141,14 +205,14 @@ func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes map[int][]*cloud.Instan
 		ms   float64
 	}
 	var times []zt
-	for zone, insts := range probes {
+	for _, zp := range probes {
 		min := time.Duration(1<<62 - 1)
-		for _, p := range insts {
+		for _, p := range zp.insts {
 			if d := c.MinProbeRTT(rng, p, target, cfg.ProbesPerInstance); d < min {
 				min = d
 			}
 		}
-		times = append(times, zt{zone, busyMs + float64(min)/float64(time.Millisecond)})
+		times = append(times, zt{zp.zone, busyMs + float64(min)/float64(time.Millisecond)})
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i].ms < times[j].ms })
 	if len(times) == 0 {

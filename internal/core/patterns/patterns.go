@@ -17,6 +17,7 @@ import (
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/simnet"
 	"cloudscope/internal/stats"
 )
@@ -152,16 +153,38 @@ type Result struct {
 
 // DetectAll classifies the whole dataset and builds Table 7's counts.
 func DetectAll(ds *dataset.Dataset) *Result {
+	return DetectAllPar(ds, parallel.Options{})
+}
+
+// DetectAllPar is DetectAll fanned out over a worker pool. Detect is a
+// pure function, so the per-subdomain classification shards freely;
+// the Table 7 aggregation walks the results in sorted-FQDN order on
+// the caller's goroutine, making the output independent of worker
+// count and scheduling.
+func DetectAllPar(ds *dataset.Dataset, opt parallel.Options) *Result {
+	fqdns := make([]string, 0, len(ds.Subdomains))
+	for fqdn := range ds.Subdomains {
+		fqdns = append(fqdns, fqdn)
+	}
+	sort.Strings(fqdns)
+	classes, err := parallel.Map(opt, fqdns, func(_ int, fqdn string) (*Class, error) {
+		return Detect(ds.Subdomains[fqdn], ds.Ranges), nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+
 	r := &Result{
-		Classes:    map[string]*Class{},
+		Classes:    make(map[string]*Class, len(fqdns)),
 		SubCounts:  map[Feature]int{},
 		DomCounts:  map[Feature]int{},
 		InstCounts: map[Feature]int{},
 	}
 	domFeatures := map[string]map[Feature]bool{}
 	instances := map[Feature]map[netaddr.IP]bool{}
-	for fqdn, o := range ds.Subdomains {
-		c := Detect(o, ds.Ranges)
+	for i, fqdn := range fqdns {
+		c := classes[i]
+		o := c.Obs
 		r.Classes[fqdn] = c
 		r.SubCounts[c.Primary]++
 		switch c.Provider {

@@ -15,6 +15,7 @@ import (
 	"cloudscope/internal/core/patterns"
 	"cloudscope/internal/geo"
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/stats"
 )
 
@@ -37,15 +38,27 @@ type Analysis struct {
 
 // Analyze maps every classified subdomain to its regions.
 func Analyze(ds *dataset.Dataset, det *patterns.Result) *Analysis {
-	a := &Analysis{RegionSubs: map[string]int{}, RegionDoms: map[string]int{}}
-	domRegions := map[string]map[string]bool{}
-	for fqdn, c := range det.Classes {
+	return AnalyzePar(ds, det, parallel.Options{})
+}
+
+// AnalyzePar is Analyze fanned out over a worker pool. The per-subdomain
+// region lookup is pure, so it shards over sorted FQDNs; the per-region
+// and per-domain tallies run sequentially over the ordered results, so
+// the output is independent of worker count.
+func AnalyzePar(ds *dataset.Dataset, det *patterns.Result, opt parallel.Options) *Analysis {
+	fqdns := make([]string, 0, len(det.Classes))
+	for fqdn := range det.Classes {
+		fqdns = append(fqdns, fqdn)
+	}
+	sort.Strings(fqdns)
+	mapped, err := parallel.Map(opt, fqdns, func(_ int, fqdn string) (*SubdomainRegions, error) {
+		c := det.Classes[fqdn]
 		if c.Primary == patterns.FeatureCloudFront {
-			continue // no region signal
+			return nil, nil // no region signal
 		}
 		o := ds.Subdomains[fqdn]
 		if o == nil {
-			continue
+			return nil, nil
 		}
 		regionSet := map[string]bool{}
 		for _, ip := range o.IPs {
@@ -56,23 +69,34 @@ func Analyze(ds *dataset.Dataset, det *patterns.Result) *Analysis {
 			regionSet[e.Region] = true
 		}
 		if len(regionSet) == 0 {
-			continue
+			return nil, nil
 		}
-		sr := SubdomainRegions{FQDN: fqdn, Domain: o.Domain, Cloud: c.Provider}
+		sr := &SubdomainRegions{FQDN: fqdn, Domain: o.Domain, Cloud: c.Provider}
 		for r := range regionSet {
 			sr.Regions = append(sr.Regions, r)
-			a.RegionSubs[r]++
 		}
 		sort.Strings(sr.Regions)
-		a.Subdomains = append(a.Subdomains, sr)
-		if domRegions[o.Domain] == nil {
-			domRegions[o.Domain] = map[string]bool{}
+		return sr, nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+
+	a := &Analysis{RegionSubs: map[string]int{}, RegionDoms: map[string]int{}}
+	domRegions := map[string]map[string]bool{}
+	for _, sr := range mapped {
+		if sr == nil {
+			continue
 		}
-		for r := range regionSet {
-			domRegions[o.Domain][r] = true
+		a.Subdomains = append(a.Subdomains, *sr)
+		if domRegions[sr.Domain] == nil {
+			domRegions[sr.Domain] = map[string]bool{}
+		}
+		for _, r := range sr.Regions {
+			a.RegionSubs[r]++
+			domRegions[sr.Domain][r] = true
 		}
 	}
-	sort.Slice(a.Subdomains, func(i, j int) bool { return a.Subdomains[i].FQDN < a.Subdomains[j].FQDN })
 	for _, regs := range domRegions {
 		for r := range regs {
 			a.RegionDoms[r]++

@@ -12,6 +12,7 @@ import (
 
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/geo"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/stats"
 	"cloudscope/internal/wan"
 	"cloudscope/internal/xrand"
@@ -25,6 +26,11 @@ type Campaign struct {
 	Interval time.Duration
 	Rounds   int
 	Seed     int64
+	// Par controls the campaign's measurement fan-out. Each client
+	// (and, in TimeSeries, each region) draws from its own
+	// seed-derived stream, so results are identical at every worker
+	// count.
+	Par parallel.Options
 }
 
 // NewCampaign builds the paper's default campaign over regions.
@@ -48,14 +54,15 @@ type MatrixCell struct {
 
 // Matrix measures the mean metric for every (client, region) pair —
 // Figures 9 (throughput) and 10 (latency) restrict to the US regions.
+// Clients fan out across workers, each on its own seed-derived stream.
 func (c *Campaign) Matrix(metric wan.Metric, regions []string, maxClients int) []MatrixCell {
-	rng := xrand.SplitSeeded(c.Seed, "wanperf/matrix")
 	clients := c.Model.Clients
 	if maxClients > 0 && len(clients) > maxClients {
 		clients = clients[:maxClients]
 	}
-	var cells []MatrixCell
-	for _, client := range clients {
+	perClient, err := parallel.Map(c.Par, clients, func(_ int, client geo.Vantage) ([]MatrixCell, error) {
+		rng := xrand.SplitSeeded(c.Seed, "wanperf/matrix/"+client.ID)
+		cells := make([]MatrixCell, 0, len(regions))
 		for _, region := range regions {
 			sum := 0.0
 			for round := 0; round < c.Rounds; round++ {
@@ -73,14 +80,22 @@ func (c *Campaign) Matrix(metric wan.Metric, regions []string, maxClients int) [
 				Samples: c.Rounds,
 			})
 		}
+		return cells, nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+	var cells []MatrixCell
+	for _, cs := range perClient {
+		cells = append(cells, cs...)
 	}
 	return cells
 }
 
 // TimeSeries measures one client's latency to several regions over the
-// campaign (Figure 11's Boulder plot).
+// campaign (Figure 11's Boulder plot). Regions fan out across workers,
+// each series on its own seed-derived stream.
 func (c *Campaign) TimeSeries(clientName string, regions []string) map[string][]stats.Point {
-	rng := xrand.SplitSeeded(c.Seed, "wanperf/series")
 	var client geo.Vantage
 	found := false
 	for _, cl := range c.Model.Clients {
@@ -92,13 +107,22 @@ func (c *Campaign) TimeSeries(clientName string, regions []string) map[string][]
 	if !found {
 		return nil
 	}
-	out := map[string][]stats.Point{}
-	for _, region := range regions {
+	series, err := parallel.Map(c.Par, regions, func(_ int, region string) ([]stats.Point, error) {
+		rng := xrand.SplitSeeded(c.Seed, "wanperf/series/"+client.ID+"/"+region)
+		pts := make([]stats.Point, 0, c.Rounds)
 		for round := 0; round < c.Rounds; round++ {
 			t := c.Start.Add(time.Duration(round) * c.Interval)
 			hours := float64(round) * c.Interval.Hours()
-			out[region] = append(out[region], stats.Point{X: hours, Y: c.Model.RTT(client, region, t, rng)})
+			pts = append(pts, stats.Point{X: hours, Y: c.Model.RTT(client, region, t, rng)})
 		}
+		return pts, nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+	out := map[string][]stats.Point{}
+	for i, region := range regions {
+		out[region] = series[i]
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"cloudscope/internal/core/patterns"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type Config struct {
 	SamplesPerZone int
 	Latency        cartography.LatencyConfig
 	Seed           int64
+	// Par controls the latency-probing fan-out; results are identical
+	// at every worker count.
+	Par parallel.Options
 }
 
 // DefaultConfig mirrors the paper's setup at library scale.
@@ -97,7 +101,7 @@ func Run(ds *dataset.Dataset, det *patterns.Result, ec2 *cloud.Cloud, cfg Config
 	s.Ref = ec2.NewAccount("zones-reference")
 	s.Samples = cartography.SampleAccounts(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed)
 	s.PM = cartography.MergeAccounts(s.Samples)
-	s.Lat = cartography.IdentifyByLatency(ec2, s.Ref, s.Targets, cfg.Latency, cfg.Seed)
+	s.Lat = cartography.IdentifyByLatencyPar(ec2, s.Ref, s.Targets, cfg.Latency, cfg.Seed, cfg.Par)
 	s.Combined = cartography.IdentifyCombined(s.Targets, s.PM, s.Lat)
 
 	// Subdomain zone sets from combined identifications.

@@ -52,6 +52,27 @@ type Span struct {
 	ended    bool
 }
 
+// sampleSim reads the simulated clock and, on the first non-zero
+// reading, backfills every open span that started before the clock was
+// wired. A span that triggers the simulation's construction (an
+// experiment forcing world generation) therefore charges the simulated
+// time spent from the moment the clock existed, instead of reporting
+// zero forever. Callers must hold t.mu.
+func (t *Tracer) sampleSim() time.Time {
+	if t.simNow == nil {
+		return time.Time{}
+	}
+	now := t.simNow()
+	if !now.IsZero() {
+		for _, sp := range t.stack {
+			if sp.simStart.IsZero() {
+				sp.simStart = now
+			}
+		}
+	}
+	return now
+}
+
 // StartSpan opens a span named name as a child of the innermost open
 // span (or as a root). Close it with End.
 func (t *Tracer) StartSpan(name string) *Span {
@@ -60,10 +81,7 @@ func (t *Tracer) StartSpan(name string) *Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp := &Span{tr: t, name: name, start: t.now()}
-	if t.simNow != nil {
-		sp.simStart = t.simNow()
-	}
+	sp := &Span{tr: t, name: name, start: t.now(), simStart: t.sampleSim()}
 	if n := len(t.stack); n > 0 {
 		parent := t.stack[n-1]
 		parent.children = append(parent.children, sp)
@@ -89,10 +107,8 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	s.wall = t.now().Sub(s.start)
-	if t.simNow != nil && !s.simStart.IsZero() {
-		if end := t.simNow(); !end.IsZero() {
-			s.sim = end.Sub(s.simStart)
-		}
+	if end := t.sampleSim(); !end.IsZero() && !s.simStart.IsZero() {
+		s.sim = end.Sub(s.simStart)
 	}
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == s {

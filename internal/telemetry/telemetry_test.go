@@ -303,3 +303,39 @@ func TestConcurrentSpans(t *testing.T) {
 		t.Fatalf("recorded %d spans, want 800", got)
 	}
 }
+
+// TestSpanSimBackfill covers spans opened before the simulated clock
+// starts: once the clock turns non-zero, every still-open span is
+// backfilled so it charges sim time from that moment on — the
+// experiment-span case, where a span triggers world construction and
+// then drives a long simulated campaign.
+func TestSpanSimBackfill(t *testing.T) {
+	tr := NewTracer()
+	var sim time.Time // zero: simulation not built yet
+	tr.SetSimClock(func() time.Time { return sim })
+
+	outer := tr.StartSpan("experiment/x") // opens before the sim clock runs
+	sim = time.Date(2013, 4, 4, 0, 0, 0, 0, time.UTC)
+	inner := tr.StartSpan("study/dataset") // first non-zero sample: backfills outer
+	sim = sim.Add(71 * time.Hour)
+	inner.End()
+	sim = sim.Add(time.Hour)
+	outer.End()
+
+	if got := inner.Sim(); got != 71*time.Hour {
+		t.Errorf("inner sim = %v, want 71h", got)
+	}
+	if got := outer.Sim(); got != 72*time.Hour {
+		t.Errorf("outer sim = %v, want 72h (backfilled from first non-zero sample)", got)
+	}
+
+	// A span whose whole life predates the clock still reports zero.
+	tr2 := NewTracer()
+	var sim2 time.Time
+	tr2.SetSimClock(func() time.Time { return sim2 })
+	sp := tr2.StartSpan("early")
+	sp.End()
+	if sp.Sim() != 0 {
+		t.Errorf("pre-clock span sim = %v, want 0", sp.Sim())
+	}
+}

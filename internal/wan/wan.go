@@ -27,6 +27,7 @@ import (
 
 	"cloudscope/internal/geo"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/telemetry"
 	"cloudscope/internal/xrand"
 )
@@ -56,6 +57,11 @@ type Model struct {
 	seed    int64
 	Clients []geo.Vantage
 	Regions []string
+
+	// Par controls the sample-collection fan-out. Each client draws
+	// from its own seed-derived stream, so results are identical at
+	// every worker count.
+	Par parallel.Options
 
 	// metrics is read on every sample, so it bypasses any locking.
 	metrics atomic.Pointer[Metrics]
@@ -332,25 +338,36 @@ type samples struct {
 	vals [][][]float64 // round → client → region
 }
 
-// collect samples every (client, region) pair once per round.
+// collect samples every (client, region) pair once per round. Clients
+// fan out across workers, each drawing from its own seed-derived
+// stream and writing only its column of every round, so the sample
+// tensor is identical at every worker count.
 func (m *Model) collect(metric Metric, rounds int, interval time.Duration, start time.Time, seed int64) *samples {
-	rng := xrand.SplitSeeded(seed, "wan/collect")
-	s := &samples{}
-	for round := 0; round < rounds; round++ {
-		t := start.Add(time.Duration(round) * interval)
-		perClient := make([][]float64, len(m.Clients))
-		for ci, c := range m.Clients {
-			vals := make([]float64, len(m.Regions))
-			for ri, r := range m.Regions {
-				if metric == MetricLatency {
-					vals[ri] = m.RTT(c, r, t, rng)
-				} else {
-					vals[ri] = m.Throughput(c, r, t, rng)
+	s := &samples{vals: make([][][]float64, rounds)}
+	for round := range s.vals {
+		s.vals[round] = make([][]float64, len(m.Clients))
+	}
+	err := parallel.Run(m.Par, len(m.Clients), func(sh parallel.Shard) error {
+		for ci := sh.Lo; ci < sh.Hi; ci++ {
+			c := m.Clients[ci]
+			rng := xrand.SplitSeeded(seed, "wan/collect/"+c.ID)
+			for round := 0; round < rounds; round++ {
+				t := start.Add(time.Duration(round) * interval)
+				vals := make([]float64, len(m.Regions))
+				for ri, r := range m.Regions {
+					if metric == MetricLatency {
+						vals[ri] = m.RTT(c, r, t, rng)
+					} else {
+						vals[ri] = m.Throughput(c, r, t, rng)
+					}
 				}
+				s.vals[round][ci] = vals
 			}
-			perClient[ci] = vals
 		}
-		s.vals = append(s.vals, perClient)
+		return nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
 	}
 	return s
 }

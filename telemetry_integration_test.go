@@ -42,6 +42,15 @@ func TestStudyTelemetry(t *testing.T) {
 			t.Errorf("counter %s = 0 after full pipeline\n%s", name, snap.Table())
 		}
 	}
+	// The parallelized stages report their fan-out shape.
+	for _, stage := range []string{"detect", "regions", "zones", "wanperf"} {
+		if snap.Gauge("parallel."+stage+".workers") == 0 {
+			t.Errorf("parallel.%s.workers = 0 after full pipeline", stage)
+		}
+		if snap.Gauge("parallel."+stage+".shards") == 0 {
+			t.Errorf("parallel.%s.shards = 0 after full pipeline", stage)
+		}
+	}
 	rcodes := snap.Counter("dns.rcode.noerror") + snap.Counter("dns.rcode.nxdomain") +
 		snap.Counter("dns.rcode.refused") + snap.Counter("dns.rcode.servfail")
 	if rcodes == 0 {
@@ -82,6 +91,19 @@ func TestStudyTelemetry(t *testing.T) {
 	}
 	if strings.Contains(tr.Tree(), "(open)") {
 		t.Errorf("unclosed span after pipeline:\n%s", tr.Tree())
+	}
+
+	// An experiment span opened on a cold study triggers world
+	// construction inside itself; the tracer backfills its sim start,
+	// so it still charges the discovery campaign's simulated time.
+	cold := NewStudy(Config{Seed: 7, Domains: 300, Vantages: 10, CaptureFlows: 400, WANClients: 16})
+	if _, err := cold.RunExperiment("table3"); err != nil {
+		t.Fatal(err)
+	}
+	if sp := cold.Telemetry().Tracer().Find("experiment/table3"); sp == nil {
+		t.Error("cold study has no experiment span")
+	} else if sp.Sim() <= 0 {
+		t.Errorf("cold experiment/table3 sim duration = %v, want > 0", sp.Sim())
 	}
 
 	var buf bytes.Buffer
