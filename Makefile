@@ -21,6 +21,8 @@ check:
 		./internal/core/zones ./internal/core/wanperf ./internal/cartography \
 		./internal/wan
 	$(GO) test -race -count=5 -run TestStressShardBoundaries ./internal/parallel
+	$(GO) test -race -count=5 -run 'WorkerCountInvariant|ArrivalOrderInvariant|WorkersParallelismAlias' \
+		./internal/deploy ./internal/core/dataset ./internal/capture ./internal/cartography
 
 test:
 	$(GO) test ./...

@@ -173,6 +173,7 @@ func (s *Study) World() *deploy.World {
 		defer s.tel.StartSpan("study/world").End()
 		wcfg := deploy.DefaultConfig().Scaled(s.Cfg.Domains)
 		wcfg.Seed = s.Cfg.Seed
+		wcfg.Par = s.par("world")
 		s.world = deploy.Generate(wcfg)
 		s.simClock.Store(s.world.Fabric.Clock())
 		if s.tel != nil {
@@ -202,6 +203,8 @@ func (s *Study) Dataset() *dataset.Dataset {
 			Domains:  names,
 			Vantages: s.Cfg.Vantages,
 			Metrics:  s.dnsMetrics,
+			Workers:    s.Cfg.Workers,
+			ParMetrics: parallel.NewMetrics(s.tel.Registry(), "dataset"),
 		})
 	})
 	return s.ds
@@ -252,7 +255,7 @@ func (s *Study) NameServers() *patterns.NSAnalysis {
 	s.nsOnce.Do(func() {
 		w, ds := s.World(), s.Dataset()
 		defer s.tel.StartSpan("study/nameservers").End()
-		s.ns = patterns.AnalyzeNSMetered(ds, w.Fabric, w.Registry, 50, s.dnsMetrics)
+		s.ns = patterns.AnalyzeNSPar(ds, w.Fabric, w.Registry, 50, s.dnsMetrics, s.par("nameservers"))
 	})
 	return s.ns
 }
@@ -266,13 +269,14 @@ func (s *Study) Capture() (*capture.Truth, *capture.Analysis) {
 		ccfg := capture.DefaultConfig()
 		ccfg.Seed = s.Cfg.Seed
 		ccfg.Flows = s.Cfg.CaptureFlows
+		ccfg.Par = s.par("capture")
 		var buf bytes.Buffer
 		g := capture.NewGenerator(ccfg, w)
 		truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
 		if err != nil {
 			panic(err) // bytes.Buffer writes cannot fail
 		}
-		an, err := capture.Analyze(&buf, w.Ranges)
+		an, err := capture.AnalyzePar(&buf, w.Ranges, s.par("capture_analyze"))
 		if err != nil {
 			panic(err)
 		}
@@ -289,6 +293,7 @@ func (s *Study) WriteCapture(w pcapWriter) (*capture.Truth, error) {
 	ccfg := capture.DefaultConfig()
 	ccfg.Seed = s.Cfg.Seed
 	ccfg.Flows = s.Cfg.CaptureFlows
+	ccfg.Par = s.par("capture")
 	g := capture.NewGenerator(ccfg, s.World())
 	return g.Generate(pcapio.NewWriter(w, ccfg.Snaplen))
 }

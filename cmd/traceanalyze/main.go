@@ -10,12 +10,14 @@ import (
 	"cloudscope/internal/capture"
 	"cloudscope/internal/core/traffic"
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceanalyze <capture.pcap>")
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-workers n] <capture.pcap>")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -23,7 +25,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	an, err := capture.Analyze(f, ipranges.Published())
+	an, err := capture.AnalyzePar(f, ipranges.Published(), parallel.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

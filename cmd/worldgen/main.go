@@ -17,13 +17,14 @@ func main() {
 	domains := flag.Int("domains", 10000, "ranked-list size")
 	seed := flag.Int64("seed", 1, "world seed")
 	flows := flag.Int("flows", 20000, "capture flows")
+	workers := flag.Int("workers", 0, "generation worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	outDir := flag.String("out", "world", "output directory")
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows})
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows, Workers: *workers})
 	world := study.World()
 
 	// Published IP ranges.

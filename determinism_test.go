@@ -72,11 +72,18 @@ func TestWorkersConfigThreading(t *testing.T) {
 	s.Detection()
 	s.Regions()
 	s.Zones()
-	if _, err := s.RunExperiment("figure10"); err != nil {
-		t.Fatal(err)
+	s.NameServers()
+	s.Capture()
+	for _, id := range []string{"figure10", "table11", "table16"} {
+		if _, err := s.RunExperiment(id); err != nil {
+			t.Fatal(err)
+		}
 	}
 	snap := s.Telemetry().Registry().Snapshot()
-	for _, stage := range []string{"detect", "regions", "zones", "wanperf"} {
+	for _, stage := range []string{
+		"world", "dataset", "detect", "regions", "zones", "nameservers",
+		"capture", "capture_analyze", "wanperf", "rtt", "isp",
+	} {
 		shards := snap.Gauge("parallel." + stage + ".shards")
 		if shards == 0 {
 			t.Errorf("stage %s reported no shards", stage)

@@ -184,7 +184,7 @@ func runTable10(s *Study) string {
 }
 
 func runTable11(s *Study) string {
-	rows := wanperf.IntraCloudRTTs(s.World().EC2, "ec2.us-east-1", s.Cfg.Seed)
+	rows := wanperf.IntraCloudRTTsPar(s.World().EC2, "ec2.us-east-1", s.Cfg.Seed, s.par("rtt"))
 	t := &stats.Table{
 		Title:  "Table 11: RTTs (least / median, ms) from a us-east-1a micro instance",
 		Header: []string{"Instance type", "Zone", "Min (ms)", "Median (ms)"},
@@ -263,7 +263,8 @@ func runTable16(s *Study) string {
 	// The paper's traceroute leg used 200 PlanetLab nodes (Figure 2) —
 	// more than the 80 used for latency/throughput probing.
 	m := wan.New(s.Cfg.Seed, 200, ipranges.EC2Regions)
-	rows := wanperf.ISPDiversity(m, zoneCounts, s.Cfg.Seed)
+	m.Par = s.par("isp")
+	rows := wanperf.ISPDiversityPar(m, zoneCounts, s.Cfg.Seed, s.par("isp"))
 	t := &stats.Table{
 		Title:  "Table 16: downstream ISPs per region and zone",
 		Header: []string{"Region", "AZ1", "AZ2", "AZ3", "top-ISP route share"},

@@ -10,6 +10,7 @@ import (
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/packet"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
 	"cloudscope/internal/tlswire"
 )
@@ -97,12 +98,112 @@ type flowKey struct {
 // whose non-campus endpoint is inside the published cloud ranges are
 // kept — the same filter the border tap applied.
 func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
+	return AnalyzePar(r, ranges, parallel.Options{Workers: 1})
+}
+
+// predecode is the parallel phase's per-packet result: everything the
+// sequential assembly step needs that is computable from one packet
+// alone. App-layer extractions are speculative — computed for every
+// payload-bearing TCP packet, used only when assembly decides the
+// packet is the first payload in its direction. The extraction
+// functions are pure on the payload, so the speculative result equals
+// what the streaming analyzer computed in-line.
+type predecode struct {
+	p              *packet.Packet
+	bad            bool // decode failure, counted and skipped
+	unknown        bool // packet.ErrUnknownTransport
+	clientToServer bool
+	client, server netaddr.IP
+	cport, sport   uint16
+	cloud          ipranges.Provider
+	inRange        bool
+	key            flowKey
+	kind           Kind
+
+	sni    string
+	sniOK  bool
+	host   string
+	hostOK bool
+	certCN string
+	certOK bool
+	ctype  string
+	clen   int64
+	respOK bool
+}
+
+func predecodeRecord(ranges *ipranges.List, rec pcapio.Record) (d predecode) {
+	p, derr := packet.Decode(rec.Data)
+	if p == nil {
+		d.bad = true
+		return d
+	}
+	d.p = p
+	d.unknown = errors.Is(derr, packet.ErrUnknownTransport)
+	d.clientToServer = InCampus(p.IPv4.Src)
+	fl := p.Flow()
+	if d.clientToServer {
+		d.client, d.server, d.cport, d.sport = fl.Src, fl.Dst, fl.SrcPort, fl.DstPort
+	} else {
+		d.client, d.server, d.cport, d.sport = fl.Dst, fl.Src, fl.DstPort, fl.SrcPort
+	}
+	entry, okRange := ranges.Lookup(d.server)
+	if !okRange {
+		return d // not cloud traffic; the tap would not have kept it
+	}
+	d.inRange = true
+	d.cloud = entry.Provider
+	if d.cloud == ipranges.CloudFront {
+		d.cloud = ipranges.EC2
+	}
+	d.key = flowKey{client: d.client, server: d.server, cport: d.cport, sport: d.sport, proto: p.IPv4.Protocol}
+	// The per-packet kind matches the flow's for branch selection: a
+	// flow is KindHTTPS iff its server port is 443, and the only
+	// in-flight reclassification (OtherTCP → HTTP on a nonstandard
+	// port) keeps both sides in the non-HTTPS branches.
+	d.kind = classify(p.IPv4.Protocol, d.sport)
+	if d.unknown || p.IPv4.Protocol != packet.ProtoTCP || len(p.Payload) == 0 {
+		return d
+	}
+	if d.clientToServer {
+		if d.kind == KindHTTPS {
+			d.sni, d.sniOK = tlswire.SNI(p.Payload)
+		} else if req, ok := httpwire.ParseRequest(p.Payload); ok {
+			d.host, d.hostOK = req.Host, true
+		}
+	} else {
+		if d.kind == KindHTTPS {
+			// Walk the server's handshake flight looking for the
+			// certificate.
+			rest := p.Payload
+			for len(rest) > 5 {
+				if cn, ok := tlswire.CertificateCN(rest); ok {
+					d.certCN, d.certOK = cn, true
+					break
+				}
+				_, _, next, err := tlswire.ParseRecord(rest)
+				if err != nil || next == nil {
+					break
+				}
+				rest = next
+			}
+		} else if resp, ok := httpwire.ParseResponse(p.Payload); ok {
+			d.ctype, d.clen, d.respOK = resp.ContentType, resp.ContentLength, true
+		}
+	}
+	return d
+}
+
+// AnalyzePar is Analyze with the per-packet work fanned out over opt:
+// packet decode, range lookup, and speculative app-layer parsing are
+// pure, so they shard freely; flow assembly — the only stateful step —
+// stays sequential in capture order. The result is byte-identical to
+// the sequential analyzer at every worker count.
+func AnalyzePar(r io.Reader, ranges *ipranges.List, opt parallel.Options) (*Analysis, error) {
 	rd, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	a := &Analysis{}
-	table := map[flowKey]*FlowRecord{}
+	var recs []pcapio.Record
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
@@ -111,45 +212,40 @@ func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, derr := packet.Decode(rec.Data)
-		if derr != nil && !errors.Is(derr, packet.ErrUnknownTransport) {
-			if p == nil {
-				a.DecodeErrs++
-				continue
-			}
+		recs = append(recs, rec)
+	}
+
+	pre := make([]predecode, len(recs))
+	if err := parallel.Run(opt, len(recs), func(sh parallel.Shard) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			pre[i] = predecodeRecord(ranges, recs[i])
 		}
-		if p == nil {
+		return nil
+	}); err != nil {
+		return nil, err // only worker panics land here
+	}
+
+	a := &Analysis{}
+	table := map[flowKey]*FlowRecord{}
+	for i := range recs {
+		rec, d := recs[i], &pre[i]
+		if d.bad {
 			a.DecodeErrs++
 			continue
 		}
-		clientToServer := InCampus(p.IPv4.Src)
-		var client, server netaddr.IP
-		var cport, sport uint16
-		fl := p.Flow()
-		if clientToServer {
-			client, server, cport, sport = fl.Src, fl.Dst, fl.SrcPort, fl.DstPort
-		} else {
-			client, server, cport, sport = fl.Dst, fl.Src, fl.DstPort, fl.SrcPort
+		if !d.inRange {
+			continue
 		}
-		entry, okRange := ranges.Lookup(server)
-		if !okRange {
-			continue // not cloud traffic; the tap would not have kept it
-		}
-		cloud := entry.Provider
-		if cloud == ipranges.CloudFront {
-			cloud = ipranges.EC2
-		}
-		key := flowKey{client: client, server: server, cport: cport, sport: sport, proto: p.IPv4.Protocol}
-		fr := table[key]
+		fr := table[d.key]
 		if fr == nil {
 			fr = &FlowRecord{
-				Client: client, Server: server, ServerPort: sport,
-				Proto: p.IPv4.Protocol, Cloud: cloud,
+				Client: d.client, Server: d.server, ServerPort: d.sport,
+				Proto: d.p.IPv4.Protocol, Cloud: d.cloud,
 				First: rec.Time, Last: rec.Time,
 				ContentLength: -1,
 			}
-			fr.Kind = classify(p.IPv4.Protocol, sport)
-			table[key] = fr
+			fr.Kind = d.kind
+			table[d.key] = fr
 			a.Flows = append(a.Flows, fr)
 		}
 		if rec.Time.Before(fr.First) {
@@ -159,14 +255,14 @@ func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
 			fr.Last = rec.Time
 		}
 		fr.Packets++
-		if errors.Is(derr, packet.ErrUnknownTransport) {
+		if d.unknown {
 			a.UnknownIP++
 			fr.udpBytes += int64(rec.OrigLen)
 			continue
 		}
-		switch p.IPv4.Protocol {
+		switch d.p.IPv4.Protocol {
 		case packet.ProtoTCP:
-			analyzeTCP(fr, p, clientToServer)
+			analyzeTCP(fr, d)
 		default:
 			fr.udpBytes += int64(rec.OrigLen)
 		}
@@ -196,60 +292,52 @@ func classify(proto uint8, serverPort uint16) Kind {
 	return KindOtherUDP
 }
 
-func analyzeTCP(fr *FlowRecord, p *packet.Packet, clientToServer bool) {
-	t := p.TCP
+// analyzeTCP folds one pre-decoded TCP packet into its flow record,
+// committing the speculative extractions when the packet turns out to
+// be the first payload in its direction.
+func analyzeTCP(fr *FlowRecord, d *predecode) {
+	t := d.p.TCP
 	if t.Flags&packet.FlagSYN != 0 {
-		if clientToServer {
+		if d.clientToServer {
 			fr.isnC, fr.haveSynC = t.Seq, true
 		} else {
 			fr.isnS, fr.haveSynS = t.Seq, true
 		}
 	}
 	if t.Flags&packet.FlagFIN != 0 {
-		if clientToServer {
+		if d.clientToServer {
 			fr.finC, fr.haveFinC = t.Seq, true
 		} else {
 			fr.finS, fr.haveFinS = t.Seq, true
 		}
 	}
-	if len(p.Payload) == 0 {
+	if len(d.p.Payload) == 0 {
 		return
 	}
-	if clientToServer && !fr.sawClientPayload {
+	if d.clientToServer && !fr.sawClientPayload {
 		fr.sawClientPayload = true
 		if fr.Kind == KindHTTPS {
-			if sni, ok := tlswire.SNI(p.Payload); ok {
-				fr.Host = sni
+			if d.sniOK {
+				fr.Host = d.sni
 			}
-		} else if req, ok := httpwire.ParseRequest(p.Payload); ok {
-			fr.Host = req.Host
+		} else if d.hostOK {
+			fr.Host = d.host
 			if fr.Kind == KindOtherTCP {
 				fr.Kind = KindHTTP // HTTP on a nonstandard port
 			}
 		}
 	}
-	if !clientToServer && !fr.sawServerPayload {
+	if !d.clientToServer && !fr.sawServerPayload {
 		fr.sawServerPayload = true
 		switch fr.Kind {
 		case KindHTTPS:
-			// Walk the server's handshake flight looking for the
-			// certificate.
-			rest := p.Payload
-			for len(rest) > 5 {
-				if cn, ok := tlswire.CertificateCN(rest); ok {
-					fr.CertCN = cn
-					break
-				}
-				_, _, next, err := tlswire.ParseRecord(rest)
-				if err != nil || next == nil {
-					break
-				}
-				rest = next
+			if d.certOK {
+				fr.CertCN = d.certCN
 			}
 		default:
-			if resp, ok := httpwire.ParseResponse(p.Payload); ok {
-				fr.ContentType = resp.ContentType
-				fr.ContentLength = resp.ContentLength
+			if d.respOK {
+				fr.ContentType = d.ctype
+				fr.ContentLength = d.clen
 			}
 		}
 	}

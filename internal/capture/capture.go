@@ -24,6 +24,7 @@ import (
 
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 )
 
 // Kind classifies a generated flow.
@@ -75,6 +76,12 @@ type Config struct {
 	Snaplen int
 	// Start is the capture start time.
 	Start time.Time
+	// Par bounds and instruments the generator's and analyzer's
+	// fan-outs. The capture is bit-identical at every worker count:
+	// flow shards draw from per-shard split streams and merge in shard
+	// order, and the analyzer's parallel phase is a pure per-packet
+	// pre-decode ahead of sequential flow assembly.
+	Par parallel.Options
 }
 
 // DefaultConfig returns a capture config matching the paper's June
@@ -102,6 +109,54 @@ type Truth struct {
 	ContentTypeBytes map[string]int64
 	TotalFlows       int
 	TotalBytes       int64
+}
+
+// newTruth returns a Truth with every map allocated.
+func newTruth() *Truth {
+	return &Truth{
+		FlowsByCloud:       map[ipranges.Provider]int{},
+		BytesByCloud:       map[ipranges.Provider]int64{},
+		BytesByKind:        map[ipranges.Provider]map[Kind]int64{ipranges.EC2: {}, ipranges.Azure: {}},
+		FlowsByKind:        map[ipranges.Provider]map[Kind]int{ipranges.EC2: {}, ipranges.Azure: {}},
+		HTTPVolumeByDomain: map[string]int64{},
+		ContentTypeBytes:   map[string]int64{},
+	}
+}
+
+// merge folds o into t. Every field is a sum, so the result does not
+// depend on merge order — but callers still fold shards in shard order
+// to keep the invariant obvious.
+func (t *Truth) merge(o *Truth) {
+	t.TotalFlows += o.TotalFlows
+	t.TotalBytes += o.TotalBytes
+	for c, v := range o.FlowsByCloud {
+		t.FlowsByCloud[c] += v
+	}
+	for c, v := range o.BytesByCloud {
+		t.BytesByCloud[c] += v
+	}
+	for c, m := range o.FlowsByKind {
+		if t.FlowsByKind[c] == nil {
+			t.FlowsByKind[c] = map[Kind]int{}
+		}
+		for k, v := range m {
+			t.FlowsByKind[c][k] += v
+		}
+	}
+	for c, m := range o.BytesByKind {
+		if t.BytesByKind[c] == nil {
+			t.BytesByKind[c] = map[Kind]int64{}
+		}
+		for k, v := range m {
+			t.BytesByKind[c][k] += v
+		}
+	}
+	for d, v := range o.HTTPVolumeByDomain {
+		t.HTTPVolumeByDomain[d] += v
+	}
+	for ct, v := range o.ContentTypeBytes {
+		t.ContentTypeBytes[ct] += v
+	}
 }
 
 // campusNet is the university prefix clients come from (anonymized in

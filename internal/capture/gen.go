@@ -13,6 +13,7 @@ import (
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/packet"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
 	"cloudscope/internal/tlswire"
 	"cloudscope/internal/xrand"
@@ -57,16 +58,52 @@ func NewGenerator(cfg Config, world *deploy.World) *Generator {
 		bgZipf:      map[ipranges.Provider]*xrand.Zipf{},
 		ipCursor:    map[ipranges.Provider]uint64{ipranges.EC2: 977, ipranges.Azure: 1409},
 	}
-	g.truth = Truth{
-		FlowsByCloud:       map[ipranges.Provider]int{},
-		BytesByCloud:       map[ipranges.Provider]int64{},
-		BytesByKind:        map[ipranges.Provider]map[Kind]int64{ipranges.EC2: {}, ipranges.Azure: {}},
-		FlowsByKind:        map[ipranges.Provider]map[Kind]int{ipranges.EC2: {}, ipranges.Azure: {}},
-		HTTPVolumeByDomain: map[string]int64{},
-		ContentTypeBytes:   map[string]int64{},
-	}
+	g.truth = *newTruth()
 	g.buildCatalog()
 	return g
+}
+
+// flowgen is one shard's flow factory: a per-shard split stream plus a
+// private Truth, so concurrent shards never contend on the generator.
+// The stream is derived from the shard's position in the deterministic
+// layout, never from the worker that runs it, so the capture is
+// bit-identical at every worker count.
+type flowgen struct {
+	g     *Generator
+	rng   *xrand.Rand
+	truth *Truth
+}
+
+// shardGen derives the flow factory for one labeled shard.
+func (g *Generator) shardGen(label string) *flowgen {
+	return &flowgen{
+		g:     g,
+		rng:   xrand.SplitSeeded(g.cfg.Seed, "capture/"+label),
+		truth: newTruth(),
+	}
+}
+
+// syntheticIP draws a stable address inside a provider's published
+// ranges from the shard's stream. (The catalog builder keeps the
+// sequential cursor allocator; flows cannot share a cursor without
+// contending across shards.)
+func (fg *flowgen) syntheticIP(p ipranges.Provider) netaddr.IP {
+	var cidrs []netaddr.CIDR
+	for _, region := range fg.g.ranges.Regions(p) {
+		cidrs = append(cidrs, fg.g.ranges.RegionCIDRs(region)...)
+	}
+	total := uint64(0)
+	for _, c := range cidrs {
+		total += c.Size()
+	}
+	off := uint64(fg.rng.Int63()) % total
+	for _, c := range cidrs {
+		if off < c.Size() {
+			return c.Nth(off)
+		}
+		off -= c.Size()
+	}
+	panic("unreachable")
 }
 
 // syntheticIP allocates a stable address inside a provider's ranges.
@@ -180,6 +217,14 @@ func anchorShareTotal() float64 {
 // the resulting total matches Table 5 exactly in expectation: with the
 // anchors jointly holding fraction S of all HTTP(S) bytes, the anchor
 // byte pool is B_bg * S / (1 - S).
+//
+// Both passes shard their flow ranges over cfg.Par. Each shard draws
+// from its own split stream and accounts into a private Truth; event
+// slices and truths merge in shard order, so the pcap's pre-sort event
+// order — and with it the whole capture — is independent of worker
+// count and scheduling. The pass-B barrier (anchor sizing needs the
+// full background HTTP mass) is inherent to the calibration, not an
+// artifact of the fan-out.
 func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 	var events []event
 	shareS := anchorShareTotal()
@@ -212,44 +257,65 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 		}
 	}
 
-	// Pass A: background flows fill the protocol mix.
+	// Pass A: background flows fill the protocol mix. The per-cloud
+	// kind CDF is precomputed once and shared read-only across shards
+	// (NextR draws from the shard's stream, like the Zipf samplers).
 	ctWeights := contentCountWeights()
-	idx := 0
+	base := 0
 	for _, cloud := range clouds {
+		cloud := cloud
 		kindPick := xrand.NewWeighted(g.rng, flowKindWeights[cloud])
-		for i := 0; i < bgBudget[cloud]; i++ {
-			idx++
-			kind := Kinds[kindPick.Next()]
-			switch kind {
-			case KindHTTP, KindHTTPS:
-				h := g.background[cloud][g.bgZipf[cloud].Next()]
-				var size int64
-				var ctype string
-				if kind == KindHTTP {
-					ct := contentTypes[xrand.NewWeighted(g.rng, ctWeights).Next()]
-					size = g.lognormalMean(ct.meanBytes, 1.2, ct.maxBytes)
-					ctype = ct.name
-				} else {
-					median := 10 << 10
-					if cloud == ipranges.Azure {
-						median = 8 << 10
+		shards := parallel.Shards(bgBudget[cloud], g.cfg.Par.ShardSize)
+		evs := make([][]event, len(shards))
+		truths := make([]*Truth, len(shards))
+		cloudBase := base
+		if err := parallel.Run(g.cfg.Par, bgBudget[cloud], func(sh parallel.Shard) error {
+			fg := g.shardGen(fmt.Sprintf("bg/%s/shard%d", cloud, sh.Index))
+			var out []event
+			for i := sh.Lo; i < sh.Hi; i++ {
+				idx := cloudBase + i + 1
+				kind := Kinds[kindPick.NextR(fg.rng)]
+				switch kind {
+				case KindHTTP, KindHTTPS:
+					h := g.background[cloud][g.bgZipf[cloud].NextR(fg.rng)]
+					var size int64
+					var ctype string
+					if kind == KindHTTP {
+						ct := contentTypes[xrand.NewWeighted(fg.rng, ctWeights).Next()]
+						size = fg.lognormalMean(ct.meanBytes, 1.2, ct.maxBytes)
+						ctype = ct.name
+					} else {
+						median := 10 << 10
+						if cloud == ipranges.Azure {
+							median = 8 << 10
+						}
+						size = fg.lognormalMedian(float64(median), 1.4, 500_000_000)
 					}
-					size = g.lognormalMedian(float64(median), 1.4, 500_000_000)
+					out = append(out, fg.tcpFlowTyped(idx, kind, h, size, ctype)...)
+				case KindDNS:
+					h := g.background[cloud][g.bgZipf[cloud].NextR(fg.rng)]
+					out = append(out, fg.dnsFlow(idx, cloud, h)...)
+				case KindICMP:
+					out = append(out, fg.icmpFlow(idx, cloud)...)
+				case KindOtherTCP:
+					h := g.background[cloud][g.bgZipf[cloud].NextR(fg.rng)]
+					size := fg.lognormalMedian(30_000, 1.5, 100_000_000)
+					out = append(out, fg.otherTCPFlow(idx, cloud, h, size)...)
+				case KindOtherUDP:
+					out = append(out, fg.otherUDPFlow(idx, cloud)...)
 				}
-				events = append(events, g.tcpFlowTyped(idx, kind, h, size, ctype)...)
-			case KindDNS:
-				h := g.background[cloud][g.bgZipf[cloud].Next()]
-				events = append(events, g.dnsFlow(idx, cloud, h)...)
-			case KindICMP:
-				events = append(events, g.icmpFlow(idx, cloud)...)
-			case KindOtherTCP:
-				h := g.background[cloud][g.bgZipf[cloud].Next()]
-				size := g.lognormalMedian(30_000, 1.5, 100_000_000)
-				events = append(events, g.otherTCPFlow(idx, cloud, h, size)...)
-			case KindOtherUDP:
-				events = append(events, g.otherUDPFlow(idx, cloud)...)
 			}
+			evs[sh.Index] = out
+			truths[sh.Index] = fg.truth
+			return nil
+		}); err != nil {
+			return nil, err
 		}
+		for i := range evs {
+			events = append(events, evs[i]...)
+			g.truth.merge(truths[i])
+		}
+		base += bgBudget[cloud]
 	}
 
 	// Pass B: anchors sized from the actual background HTTP(S) mass.
@@ -258,20 +324,42 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 		bgHTTPBytes += float64(g.truth.BytesByKind[c][KindHTTP] + g.truth.BytesByKind[c][KindHTTPS])
 	}
 	anchorPool := bgHTTPBytes * shareS / (1 - shareS)
+	// Flatten the anchors into one flow list so the shard layout is a
+	// pure function of the total anchor flow count.
+	var anchorOf []int
+	per := make([]float64, len(trafficAnchors))
 	for ai, a := range trafficAnchors {
-		bytes := a.share / shareS * anchorPool
-		n := anchorN[ai]
-		per := bytes / float64(n)
-		for i := 0; i < n; i++ {
-			idx++
+		per[ai] = a.share / shareS * anchorPool / float64(anchorN[ai])
+		for i := 0; i < anchorN[ai]; i++ {
+			anchorOf = append(anchorOf, ai)
+		}
+	}
+	shards := parallel.Shards(len(anchorOf), g.cfg.Par.ShardSize)
+	evs := make([][]event, len(shards))
+	truths := make([]*Truth, len(shards))
+	if err := parallel.Run(g.cfg.Par, len(anchorOf), func(sh parallel.Shard) error {
+		fg := g.shardGen(fmt.Sprintf("anchor/shard%d", sh.Index))
+		var out []event
+		for j := sh.Lo; j < sh.Hi; j++ {
+			idx := base + j + 1
+			a := trafficAnchors[anchorOf[j]]
 			kind := KindHTTP
-			if g.rng.Bool(a.httpsBias) {
+			if fg.rng.Bool(a.httpsBias) {
 				kind = KindHTTPS
 			}
-			h := xrand.PickUniform(g.rng, g.anchorHosts[a.domain])
-			size := g.lognormalMean(per, 1.1, 2_000_000_000)
-			events = append(events, g.tcpFlow(idx, kind, h, size)...)
+			h := xrand.PickUniform(fg.rng, g.anchorHosts[a.domain])
+			size := fg.lognormalMean(per[anchorOf[j]], 1.1, 2_000_000_000)
+			out = append(out, fg.tcpFlow(idx, kind, h, size)...)
 		}
+		evs[sh.Index] = out
+		truths[sh.Index] = fg.truth
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i := range evs {
+		events = append(events, evs[i]...)
+		g.truth.merge(truths[i])
 	}
 
 	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
@@ -288,9 +376,9 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 }
 
 // lognormalMean draws a heavy-tailed size with the given mean.
-func (g *Generator) lognormalMean(mean, sigma float64, max int64) int64 {
+func (fg *flowgen) lognormalMean(mean, sigma float64, max int64) int64 {
 	mu := math.Log(mean) - sigma*sigma/2
-	v := int64(g.rng.LogNormal(mu, sigma))
+	v := int64(fg.rng.LogNormal(mu, sigma))
 	if v < 64 {
 		v = 64
 	}
@@ -301,8 +389,8 @@ func (g *Generator) lognormalMean(mean, sigma float64, max int64) int64 {
 }
 
 // lognormalMedian draws a heavy-tailed size with the given median.
-func (g *Generator) lognormalMedian(median, sigma float64, max int64) int64 {
-	v := int64(g.rng.LogNormal(math.Log(median), sigma))
+func (fg *flowgen) lognormalMedian(median, sigma float64, max int64) int64 {
+	v := int64(fg.rng.LogNormal(math.Log(median), sigma))
 	if v < 64 {
 		v = 64
 	}
@@ -313,14 +401,14 @@ func (g *Generator) lognormalMedian(median, sigma float64, max int64) int64 {
 }
 
 // flowTiming picks a diurnal start time and a transfer duration.
-func (g *Generator) flowTiming(bytes int64) (start time.Time, dur time.Duration) {
-	day := g.rng.Intn(g.cfg.Days)
-	hour := g.diurnalHour()
+func (fg *flowgen) flowTiming(bytes int64) (start time.Time, dur time.Duration) {
+	day := fg.rng.Intn(fg.g.cfg.Days)
+	hour := fg.diurnalHour()
 	offset := time.Duration(day)*24*time.Hour +
 		time.Duration(hour)*time.Hour +
-		time.Duration(g.rng.Intn(3600*1000))*time.Millisecond
-	start = g.cfg.Start.Add(offset)
-	rate := g.rng.LogNormal(math.Log(400_000), 1.0) // bytes/sec
+		time.Duration(fg.rng.Intn(3600*1000))*time.Millisecond
+	start = fg.g.cfg.Start.Add(offset)
+	rate := fg.rng.LogNormal(math.Log(400_000), 1.0) // bytes/sec
 	dur = time.Duration(float64(bytes) / rate * float64(time.Second))
 	if dur < 10*time.Millisecond {
 		dur = 10 * time.Millisecond
@@ -328,8 +416,8 @@ func (g *Generator) flowTiming(bytes int64) (start time.Time, dur time.Duration)
 	// A thin tail of long-lived sessions (notification long-polls, sync
 	// channels) keeps connections open for hours — the paper observed
 	// flows "that last for a few hours".
-	if g.rng.Bool(0.004) {
-		dur = 30*time.Minute + time.Duration(g.rng.Float64()*float64(3*time.Hour))
+	if fg.rng.Bool(0.004) {
+		dur = 30*time.Minute + time.Duration(fg.rng.Float64()*float64(3*time.Hour))
 	}
 	if dur > 4*time.Hour {
 		dur = 4 * time.Hour
@@ -337,13 +425,13 @@ func (g *Generator) flowTiming(bytes int64) (start time.Time, dur time.Duration)
 	return start, dur
 }
 
-func (g *Generator) diurnalHour() int {
+func (fg *flowgen) diurnalHour() int {
 	// Campus traffic peaks mid-afternoon.
 	weights := make([]float64, 24)
 	for h := 0; h < 24; h++ {
 		weights[h] = 1 + 0.8*math.Sin(float64(h-8)/24*2*math.Pi)
 	}
-	return xrand.NewWeighted(g.rng, weights).Next()
+	return xrand.NewWeighted(fg.rng, weights).Next()
 }
 
 // clientEndpoint derives a unique campus client address/port per flow.
@@ -353,30 +441,30 @@ func clientEndpoint(idx int) (netaddr.IP, uint16) {
 	return ip, port
 }
 
-func (g *Generator) account(cloud ipranges.Provider, kind Kind, domain string, bytes int64) {
-	g.truth.TotalFlows++
-	g.truth.TotalBytes += bytes
-	g.truth.FlowsByCloud[cloud]++
-	g.truth.BytesByCloud[cloud] += bytes
-	g.truth.FlowsByKind[cloud][kind]++
-	g.truth.BytesByKind[cloud][kind] += bytes
+func (fg *flowgen) account(cloud ipranges.Provider, kind Kind, domain string, bytes int64) {
+	fg.truth.TotalFlows++
+	fg.truth.TotalBytes += bytes
+	fg.truth.FlowsByCloud[cloud]++
+	fg.truth.BytesByCloud[cloud] += bytes
+	fg.truth.FlowsByKind[cloud][kind]++
+	fg.truth.BytesByKind[cloud][kind] += bytes
 	if domain != "" && (kind == KindHTTP || kind == KindHTTPS) {
-		g.truth.HTTPVolumeByDomain[domain] += bytes
+		fg.truth.HTTPVolumeByDomain[domain] += bytes
 	}
 }
 
 // tcpFlow emits an HTTP or HTTPS flow, drawing a size-appropriate
 // content type (anchor flows carry calibrated sizes, so their type must
 // follow the size or Table 6's type/size correlations break).
-func (g *Generator) tcpFlow(idx int, kind Kind, h host, size int64) []event {
-	return g.tcpFlowTyped(idx, kind, h, size, g.contentTypeForSize(size))
+func (fg *flowgen) tcpFlow(idx int, kind Kind, h host, size int64) []event {
+	return fg.tcpFlowTyped(idx, kind, h, size, fg.contentTypeForSize(size))
 }
 
 // contentTypeForSize picks a Content-Type for a transfer of the given
 // size by Table 6's byte shares, restricted to types whose observed
 // maximum accommodates the size (a 20 MB object can be text/plain — the
 // paper saw 24 MB ones — but not text/xml).
-func (g *Generator) contentTypeForSize(size int64) string {
+func (fg *flowgen) contentTypeForSize(size int64) string {
 	names := make([]string, 0, len(contentTypes))
 	weights := make([]float64, 0, len(contentTypes))
 	for _, ct := range contentTypes {
@@ -388,13 +476,13 @@ func (g *Generator) contentTypeForSize(size int64) string {
 	if len(names) == 0 {
 		return "application/octet-stream"
 	}
-	return xrand.Pick(g.rng, names, weights)
+	return xrand.Pick(fg.rng, names, weights)
 }
 
 // tcpFlowTyped emits a full TCP exchange: handshake, application heads,
 // representative data packets, and FINs whose sequence numbers encode
 // the transferred volume.
-func (g *Generator) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype string) []event {
+func (fg *flowgen) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype string) []event {
 	clientIP, clientPort := clientEndpoint(idx)
 	serverPort := uint16(80)
 	if kind == KindHTTPS {
@@ -407,7 +495,7 @@ func (g *Generator) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype s
 		resp := httpwire.Response{StatusCode: 200, ContentType: ctype, ContentLength: size}
 		respPayload = resp.SerializeResponse()
 		if kind == KindHTTP && ctype != "" {
-			g.truth.ContentTypeBytes[ctype] += size
+			fg.truth.ContentTypeBytes[ctype] += size
 		}
 	} else {
 		reqPayload = tlswire.ClientHello(h.name)
@@ -415,26 +503,26 @@ func (g *Generator) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype s
 	}
 	reqBytes := int64(len(reqPayload)) + 300 // request head + client app data
 	respBytes := int64(len(respPayload)) + size
-	g.account(h.cloud, kind, h.domain, reqBytes+respBytes)
-	return g.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, reqPayload, respPayload, reqBytes, respBytes)
+	fg.account(h.cloud, kind, h.domain, reqBytes+respBytes)
+	return fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, reqPayload, respPayload, reqBytes, respBytes)
 }
 
 // otherTCPFlow emits a non-HTTP TCP exchange (SMTP/SSH/FTP-ish).
-func (g *Generator) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size int64) []event {
+func (fg *flowgen) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size int64) []event {
 	clientIP, clientPort := clientEndpoint(idx)
 	ports := []uint16{25, 22, 21, 6667, 8080}
-	serverPort := ports[g.rng.Intn(len(ports))]
+	serverPort := ports[fg.rng.Intn(len(ports))]
 	banner := []byte("220 service ready\r\n")
-	g.account(cloud, KindOtherTCP, "", size)
-	return g.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, []byte("EHLO campus\r\n"), banner, 200, size)
+	fg.account(cloud, KindOtherTCP, "", size)
+	return fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, []byte("EHLO campus\r\n"), banner, 200, size)
 }
 
 // emitTCP produces the packet series for one connection.
-func (g *Generator) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) []event {
-	start, dur := g.flowTiming(respBytes)
-	isnC := uint32(g.rng.Intn(1 << 30))
-	isnS := uint32(g.rng.Intn(1 << 30))
-	rtt := time.Duration(20+g.rng.Intn(60)) * time.Millisecond
+func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) []event {
+	start, dur := fg.flowTiming(respBytes)
+	isnC := uint32(fg.rng.Intn(1 << 30))
+	isnS := uint32(fg.rng.Intn(1 << 30))
+	rtt := time.Duration(20+fg.rng.Intn(60)) * time.Millisecond
 
 	mac := packet.MAC{0x00, 0x16, 0x3e, byte(idx >> 16), byte(idx >> 8), byte(idx)}
 	rmac := packet.MAC{0x00, 0x0c, 0x29, 1, 2, 3}
@@ -484,15 +572,15 @@ func (g *Generator) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.I
 }
 
 // dnsFlow emits a UDP query/response pair to a cloud-hosted resolver.
-func (g *Generator) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
+func (fg *flowgen) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
 	clientIP, clientPort := clientEndpoint(idx)
-	serverIP := g.syntheticIP(cloud)
+	serverIP := fg.syntheticIP(cloud)
 	q := dnswire.NewQuery(uint16(idx), h.name, dnswire.TypeA)
 	qbuf, _ := q.Pack()
 	r := q.Reply()
 	r.Answers = []dnswire.RR{{Name: h.name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: h.ip}}
 	rbuf, _ := r.Pack()
-	start, _ := g.flowTiming(int64(len(rbuf)))
+	start, _ := fg.flowTiming(int64(len(rbuf)))
 
 	build := func(src, dst netaddr.IP, sp, dp uint16, payload []byte) []byte {
 		udp := &packet.UDP{SrcPort: sp, DstPort: dp}
@@ -502,7 +590,7 @@ func (g *Generator) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
 	}
 	qf := build(clientIP, serverIP, clientPort, 53, qbuf)
 	rf := build(serverIP, clientIP, 53, clientPort, rbuf)
-	g.account(cloud, KindDNS, "", int64(len(qf)+len(rf)))
+	fg.account(cloud, KindDNS, "", int64(len(qf)+len(rf)))
 	return []event{
 		{t: start, data: qf, orig: len(qf)},
 		{t: start.Add(15 * time.Millisecond), data: rf, orig: len(rf)},
@@ -510,10 +598,10 @@ func (g *Generator) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
 }
 
 // icmpFlow emits an echo request/reply pair.
-func (g *Generator) icmpFlow(idx int, cloud ipranges.Provider) []event {
+func (fg *flowgen) icmpFlow(idx int, cloud ipranges.Provider) []event {
 	clientIP, _ := clientEndpoint(idx)
-	serverIP := g.syntheticIP(cloud)
-	start, _ := g.flowTiming(100)
+	serverIP := fg.syntheticIP(cloud)
+	start, _ := fg.flowTiming(100)
 	build := func(src, dst netaddr.IP, typ uint8) []byte {
 		ic := &packet.ICMP{Type: typ}
 		ip := &packet.IPv4{Protocol: packet.ProtoICMP, Src: src, Dst: dst}
@@ -522,7 +610,7 @@ func (g *Generator) icmpFlow(idx int, cloud ipranges.Provider) []event {
 	}
 	req := build(clientIP, serverIP, 8)
 	rep := build(serverIP, clientIP, 0)
-	g.account(cloud, KindICMP, "", int64(len(req)+len(rep)))
+	fg.account(cloud, KindICMP, "", int64(len(req)+len(rep)))
 	return []event{
 		{t: start, data: req, orig: len(req)},
 		{t: start.Add(30 * time.Millisecond), data: rep, orig: len(rep)},
@@ -530,11 +618,11 @@ func (g *Generator) icmpFlow(idx int, cloud ipranges.Provider) []event {
 }
 
 // otherUDPFlow emits a small unclassified UDP exchange.
-func (g *Generator) otherUDPFlow(idx int, cloud ipranges.Provider) []event {
+func (fg *flowgen) otherUDPFlow(idx int, cloud ipranges.Provider) []event {
 	clientIP, clientPort := clientEndpoint(idx)
-	serverIP := g.syntheticIP(cloud)
-	start, _ := g.flowTiming(500)
-	payload := make([]byte, 48+g.rng.Intn(400))
+	serverIP := fg.syntheticIP(cloud)
+	start, _ := fg.flowTiming(500)
+	payload := make([]byte, 48+fg.rng.Intn(400))
 	udp := &packet.UDP{SrcPort: clientPort, DstPort: 3544}
 	ip := &packet.IPv4{Protocol: packet.ProtoUDP, Src: clientIP, Dst: serverIP}
 	eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
@@ -542,7 +630,7 @@ func (g *Generator) otherUDPFlow(idx int, cloud ipranges.Provider) []event {
 	udp2 := &packet.UDP{SrcPort: 3544, DstPort: clientPort}
 	ip2 := &packet.IPv4{Protocol: packet.ProtoUDP, Src: serverIP, Dst: clientIP}
 	f2 := eth.Serialize(ip2.Serialize(udp2.Serialize(serverIP, clientIP, payload[:32])))
-	g.account(cloud, KindOtherUDP, "", int64(len(f1)+len(f2)))
+	fg.account(cloud, KindOtherUDP, "", int64(len(f1)+len(f2)))
 	return []event{
 		{t: start, data: f1, orig: len(f1)},
 		{t: start.Add(40 * time.Millisecond), data: f2, orig: len(f2)},

@@ -255,24 +255,49 @@ type Sample struct {
 // over several accounts and years). The reference account's samples
 // come first, making it MergeAccounts' label anchor.
 func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64) []Sample {
-	var samples []Sample
+	return SampleAccountsPar(c, ref, nExtra, perZone, seed, parallel.Options{Workers: 1})
+}
+
+// SampleAccountsPar is SampleAccounts in plan/commit form: each
+// account's launch schedule is planned on the pool (reading only static
+// zone metadata — account label permutations are split streams keyed by
+// account name, fixed at NewAccount), then every launch commits
+// sequentially in account order, because instance allocation moves the
+// cloud's shared address cursors. The sample list is identical at every
+// worker count.
+func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options) []Sample {
 	accounts := []*cloud.Account{ref}
 	for ai := 0; ai < nExtra; ai++ {
 		accounts = append(accounts, c.NewAccount(fmt.Sprintf("carto-%03d", ai)))
 	}
-	for _, acct := range accounts {
+	type launch struct {
+		acct          *cloud.Account
+		region, label string
+	}
+	plans, err := parallel.Map(opt, accounts, func(_ int, acct *cloud.Account) ([]launch, error) {
+		var ls []launch
 		for _, region := range c.Regions() {
 			for _, label := range acct.ZoneLabels(region) {
 				for i := 0; i < perZone; i++ {
-					inst := acct.Launch(region, label, "t1.micro")
-					samples = append(samples, Sample{
-						Account:    acct.Name,
-						Region:     region,
-						Label:      label,
-						InternalIP: inst.InternalIP,
-					})
+					ls = append(ls, launch{acct: acct, region: region, label: label})
 				}
 			}
+		}
+		return ls, nil
+	})
+	if err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+	var samples []Sample
+	for _, ls := range plans {
+		for _, l := range ls {
+			inst := l.acct.Launch(l.region, l.label, "t1.micro")
+			samples = append(samples, Sample{
+				Account:    l.acct.Name,
+				Region:     l.region,
+				Label:      l.label,
+				InternalIP: inst.InternalIP,
+			})
 		}
 	}
 	return samples
@@ -304,124 +329,202 @@ type ProximityMap struct {
 // maximizing shared-/16 agreement pairwise, then builds the /16 → zone
 // map. This is the label-permutation merge of §4.3.
 func MergeAccounts(samples []Sample) *ProximityMap {
+	return MergeAccountsPar(samples, "", parallel.Options{Workers: 1})
+}
+
+// mergeKey groups samples by (account, region, label).
+type mergeKey struct{ account, region, label string }
+
+// mergeGroups is the arrival-order-free view of a sample set: /16
+// evidence sets, raw IPs (sorted), and sorted label lists per account.
+type mergeGroups struct {
+	groups   map[mergeKey]map[netaddr.IP]bool
+	rawIPs   map[mergeKey][]netaddr.IP
+	labelsOf map[string]map[string][]string // account → region → sorted labels
+}
+
+// regionMerge is one region's independent merge result, folded into the
+// ProximityMap in sorted-region order by the commit step.
+type regionMerge struct {
+	zoneOf16 map[netaddr.IP]int
+	perms    map[string][]int // account → permutation
+	samples  []refSample
+}
+
+// MergeAccountsPar is MergeAccounts with the per-region merges fanned
+// out over opt and a canonical fold order. ref names the reference
+// (label-anchor) account; "" means the first account seen in samples.
+// Given an explicit ref, the result is a pure function of the sample
+// SET: non-reference accounts fold in sorted-name order, regions merge
+// independently over the sorted region list, and retained samples are
+// sorted — so shuffling sample arrival order (or the worker count)
+// cannot change the map.
+func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *ProximityMap {
 	if len(samples) == 0 {
 		return &ProximityMap{ZoneOf16: map[string]map[netaddr.IP]int{}, Permutations: map[string]map[string][]int{}}
 	}
-	// Group: account → region → label → set of /16s.
-	type key struct{ account, region, label string }
-	groups := map[key]map[netaddr.IP]bool{}
+	g := mergeGroups{
+		groups:   map[mergeKey]map[netaddr.IP]bool{},
+		rawIPs:   map[mergeKey][]netaddr.IP{},
+		labelsOf: map[string]map[string][]string{},
+	}
 	accounts := []string{}
 	seenAcct := map[string]bool{}
-	regions := map[string]bool{}
-	labelsOf := map[string]map[string][]string{} // account → region → labels
+	regionSet := map[string]bool{}
 	for _, s := range samples {
-		k := key{s.Account, s.Region, s.Label}
-		if groups[k] == nil {
-			groups[k] = map[netaddr.IP]bool{}
+		k := mergeKey{s.Account, s.Region, s.Label}
+		if g.groups[k] == nil {
+			g.groups[k] = map[netaddr.IP]bool{}
 		}
-		groups[k][s.InternalIP.Prefix(16)] = true
+		g.groups[k][s.InternalIP.Prefix(16)] = true
+		g.rawIPs[k] = append(g.rawIPs[k], s.InternalIP)
 		if !seenAcct[s.Account] {
 			seenAcct[s.Account] = true
 			accounts = append(accounts, s.Account)
 		}
-		regions[s.Region] = true
-		if labelsOf[s.Account] == nil {
-			labelsOf[s.Account] = map[string][]string{}
+		regionSet[s.Region] = true
+		if g.labelsOf[s.Account] == nil {
+			g.labelsOf[s.Account] = map[string][]string{}
 		}
 		found := false
-		for _, l := range labelsOf[s.Account][s.Region] {
+		for _, l := range g.labelsOf[s.Account][s.Region] {
 			if l == s.Label {
 				found = true
 			}
 		}
 		if !found {
-			labelsOf[s.Account][s.Region] = append(labelsOf[s.Account][s.Region], s.Label)
+			g.labelsOf[s.Account][s.Region] = append(g.labelsOf[s.Account][s.Region], s.Label)
 		}
 	}
-	ref := accounts[0]
+	if ref == "" {
+		ref = accounts[0]
+	}
+	// Canonical orders: labels and raw IPs sorted, non-reference
+	// accounts by name, regions sorted.
+	for _, byRegion := range g.labelsOf {
+		for _, labels := range byRegion {
+			sort.Strings(labels)
+		}
+	}
+	for _, ips := range g.rawIPs {
+		sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	}
+	others := make([]string, 0, len(accounts))
+	for _, a := range accounts {
+		if a != ref {
+			others = append(others, a)
+		}
+	}
+	sort.Strings(others)
+	regions := make([]string, 0, len(regionSet))
+	for r := range regionSet {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+
+	merges := make([]regionMerge, len(regions))
+	if err := parallel.Run(opt, len(regions), func(sh parallel.Shard) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			merges[i] = mergeRegion(regions[i], ref, others, &g)
+		}
+		return nil
+	}); err != nil {
+		panic(err) // workers only surface panics; re-raise on the caller
+	}
+
 	pm := &ProximityMap{
 		ZoneOf16:     map[string]map[netaddr.IP]int{},
 		Reference:    ref,
 		Permutations: map[string]map[string][]int{},
 		samples:      map[string][]refSample{},
 	}
-	// Raw sample IPs per (account, region, label) for sample retention.
-	rawIPs := map[key][]netaddr.IP{}
-	for _, s := range samples {
-		k := key{s.Account, s.Region, s.Label}
-		rawIPs[k] = append(rawIPs[k], s.InternalIP)
-	}
-	for region := range regions {
-		pm.ZoneOf16[region] = map[netaddr.IP]int{}
-		refLabels := labelsOf[ref][region]
-		sort.Strings(refLabels)
-		// Seed the map from the reference account.
-		for li, label := range refLabels {
-			for p16 := range groups[key{ref, region, label}] {
-				pm.ZoneOf16[region][p16] = li
-			}
-			for _, ip := range rawIPs[key{ref, region, label}] {
-				pm.samples[region] = append(pm.samples[region], refSample{ip: ip, zone: li})
-			}
-		}
-		// Fold the other accounts in, always merging the account with
-		// the strongest /16 overlap against the accumulated map next.
-		// Accounts with no overlapping evidence are left unmerged
-		// rather than guessed at — a wrong permutation would poison
-		// the map for every later target in those /16s.
-		pending := append([]string(nil), accounts[1:]...)
-		for len(pending) > 0 {
-			bestAcct, bestScore := -1, 0
-			var bestPerm []int
-			for pi, acct := range pending {
-				labels := labelsOf[acct][region]
-				sort.Strings(labels)
-				score := 0
-				perm := bestPermutation(labels, refLabels, func(label string, refIdx int) int {
-					agree := 0
-					for p16 := range groups[key{acct, region, label}] {
-						if zi, ok := pm.ZoneOf16[region][p16]; ok && zi == refIdx {
-							agree++
-						}
-					}
-					return agree
-				})
-				for li, label := range labels {
-					for p16 := range groups[key{acct, region, label}] {
-						if zi, ok := pm.ZoneOf16[region][p16]; ok && zi == perm[li] {
-							score++
-						}
-					}
-				}
-				if score > bestScore {
-					bestAcct, bestScore, bestPerm = pi, score, perm
-				}
-			}
-			if bestAcct < 0 {
-				break // no remaining account shares evidence
-			}
-			acct := pending[bestAcct]
-			pending = append(pending[:bestAcct], pending[bestAcct+1:]...)
-			labels := labelsOf[acct][region]
-			sort.Strings(labels)
+	for i, region := range regions {
+		pm.ZoneOf16[region] = merges[i].zoneOf16
+		pm.samples[region] = merges[i].samples
+		for acct, perm := range merges[i].perms {
 			if pm.Permutations[acct] == nil {
 				pm.Permutations[acct] = map[string][]int{}
 			}
-			pm.Permutations[acct][region] = bestPerm
-			for li, label := range labels {
-				refIdx := bestPerm[li]
-				for p16 := range groups[key{acct, region, label}] {
-					if _, ok := pm.ZoneOf16[region][p16]; !ok {
-						pm.ZoneOf16[region][p16] = refIdx
-					}
-				}
-				for _, ip := range rawIPs[key{acct, region, label}] {
-					pm.samples[region] = append(pm.samples[region], refSample{ip: ip, zone: refIdx})
-				}
-			}
+			pm.Permutations[acct][region] = perm
 		}
 	}
 	return pm
+}
+
+// mergeRegion runs the label-permutation merge for one region. It only
+// reads the shared groups, so regions merge concurrently.
+func mergeRegion(region, ref string, others []string, g *mergeGroups) regionMerge {
+	rm := regionMerge{zoneOf16: map[netaddr.IP]int{}, perms: map[string][]int{}}
+	refLabels := g.labelsOf[ref][region]
+	// Seed the map from the reference account.
+	for li, label := range refLabels {
+		for p16 := range g.groups[mergeKey{ref, region, label}] {
+			rm.zoneOf16[p16] = li
+		}
+		for _, ip := range g.rawIPs[mergeKey{ref, region, label}] {
+			rm.samples = append(rm.samples, refSample{ip: ip, zone: li})
+		}
+	}
+	// Fold the other accounts in, always merging the account with the
+	// strongest /16 overlap against the accumulated map next (ties go
+	// to the earliest account in sorted-name order). Accounts with no
+	// overlapping evidence are left unmerged rather than guessed at — a
+	// wrong permutation would poison the map for every later target in
+	// those /16s.
+	pending := append([]string(nil), others...)
+	for len(pending) > 0 {
+		bestAcct, bestScore := -1, 0
+		var bestPerm []int
+		for pi, acct := range pending {
+			labels := g.labelsOf[acct][region]
+			score := 0
+			perm := bestPermutation(labels, refLabels, func(label string, refIdx int) int {
+				agree := 0
+				for p16 := range g.groups[mergeKey{acct, region, label}] {
+					if zi, ok := rm.zoneOf16[p16]; ok && zi == refIdx {
+						agree++
+					}
+				}
+				return agree
+			})
+			for li, label := range labels {
+				for p16 := range g.groups[mergeKey{acct, region, label}] {
+					if zi, ok := rm.zoneOf16[p16]; ok && zi == perm[li] {
+						score++
+					}
+				}
+			}
+			if score > bestScore {
+				bestAcct, bestScore, bestPerm = pi, score, perm
+			}
+		}
+		if bestAcct < 0 {
+			break // no remaining account shares evidence
+		}
+		acct := pending[bestAcct]
+		pending = append(pending[:bestAcct], pending[bestAcct+1:]...)
+		labels := g.labelsOf[acct][region]
+		rm.perms[acct] = bestPerm
+		for li, label := range labels {
+			refIdx := bestPerm[li]
+			for p16 := range g.groups[mergeKey{acct, region, label}] {
+				if _, ok := rm.zoneOf16[p16]; !ok {
+					rm.zoneOf16[p16] = refIdx
+				}
+			}
+			for _, ip := range g.rawIPs[mergeKey{acct, region, label}] {
+				rm.samples = append(rm.samples, refSample{ip: ip, zone: refIdx})
+			}
+		}
+	}
+	// Canonical retained-sample order, independent of fold history.
+	sort.Slice(rm.samples, func(i, j int) bool {
+		if rm.samples[i].ip != rm.samples[j].ip {
+			return rm.samples[i].ip < rm.samples[j].ip
+		}
+		return rm.samples[i].zone < rm.samples[j].zone
+	})
+	return rm
 }
 
 // bestPermutation assigns each label an exclusive reference index
@@ -490,7 +593,9 @@ func (pm *ProximityMap) Index(region string, prefixBits int) map[netaddr.IP]int 
 	for p, vs := range votes {
 		bestZ, bestN := -1, 0
 		for z, n := range vs {
-			if n > bestN {
+			// Ties go to the lowest zone so the index never depends on
+			// map iteration order.
+			if n > bestN || (n == bestN && z < bestZ) {
 				bestZ, bestN = z, n
 			}
 		}

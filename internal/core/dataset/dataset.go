@@ -16,15 +16,14 @@
 package dataset
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"cloudscope/internal/dnssrv"
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/simnet"
 	"cloudscope/internal/wordlist"
 )
@@ -125,8 +124,20 @@ type Config struct {
 	// Vantages is the number of distributed resolvers for the full
 	// re-resolution pass (200 in the paper).
 	Vantages int
-	// Parallelism bounds concurrent domain scans.
+	// Workers bounds concurrent domain scans: 0 uses GOMAXPROCS, 1
+	// forces the sequential path. The dataset is identical at every
+	// setting — domains land in rank slots, brute-force resolvers are
+	// assigned by domain index, and the simulated clock sums probe time
+	// commutatively.
+	Workers int
+	// Parallelism is a deprecated alias for Workers, honored only when
+	// Workers is zero. New code should set Workers.
+	//
+	// Deprecated: use Workers.
 	Parallelism int
+	// ParMetrics, when set, receives the scan fan-out's worker/shard
+	// gauges and queue-wait histogram (parallel.dataset.*).
+	ParMetrics *parallel.Metrics
 	// Metrics, when set, is shared by every resolver the pipeline
 	// creates, aggregating query/rcode accounting across vantages.
 	Metrics *dnssrv.ResolverMetrics
@@ -145,8 +156,8 @@ func Build(cfg Config) *Dataset {
 	if cfg.Vantages <= 0 {
 		cfg.Vantages = 200
 	}
-	if cfg.Parallelism <= 0 {
-		cfg.Parallelism = runtime.NumCPU()
+	if cfg.Workers == 0 {
+		cfg.Workers = cfg.Parallelism // deprecated alias; 0 still means GOMAXPROCS
 	}
 	ds := &Dataset{
 		Ranges:     cfg.Ranges,
@@ -178,18 +189,18 @@ func Build(cfg Config) *Dataset {
 		queries int64
 	}
 	results := make([]domainResult, len(cfg.Domains))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for i, domain := range cfg.Domains {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, domain string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = scanDomain(cfg, brute[i%len(brute)], vantages, domain)
-		}(i, domain)
+	opt := parallel.Options{Workers: cfg.Workers, Metrics: cfg.ParMetrics}
+	if err := parallel.Run(opt, len(cfg.Domains), func(sh parallel.Shard) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			// Brute-force resolver assignment stays a function of the
+			// domain index, not the shard, so results match the legacy
+			// per-domain goroutine loop byte for byte.
+			results[i] = scanDomain(cfg, brute[i%len(brute)], vantages, cfg.Domains[i])
+		}
+		return nil
+	}); err != nil {
+		panic(err) // scan fns return nil errors; only worker panics land here
 	}
-	wg.Wait()
 
 	for _, r := range results {
 		ds.Stats.DomainsScanned++

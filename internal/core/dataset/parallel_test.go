@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cloudscope/internal/deploy"
+)
+
+// freshWorld generates a small world per build: scan results embed
+// simulated-clock-dependent state, so builds only compare equal when
+// each starts from an identical clock.
+func freshWorld() *deploy.World {
+	return deploy.Generate(deploy.DefaultConfig().Scaled(200))
+}
+
+func buildWith(w *deploy.World, workers, parallelism int) *Dataset {
+	names := make([]string, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		names = append(names, d.Name)
+	}
+	return Build(Config{
+		Fabric:      w.Fabric,
+		Registry:    w.Registry,
+		Ranges:      w.Ranges,
+		Domains:     names,
+		Vantages:    8,
+		Workers:     workers,
+		Parallelism: parallelism,
+	})
+}
+
+func datasetBytes(t testing.TB, d *Dataset) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestWorkersParallelismAlias pins the deprecated knob's contract:
+// Parallelism=n must behave exactly like Workers=n, and an explicit
+// Workers wins when both are set.
+func TestWorkersParallelismAlias(t *testing.T) {
+	golden := datasetBytes(t, buildWith(freshWorld(), 1, 0))
+	if got := datasetBytes(t, buildWith(freshWorld(), 0, 1)); got != golden {
+		t.Error("Parallelism=1 differs from Workers=1")
+	}
+	if got := datasetBytes(t, buildWith(freshWorld(), 1, 4)); got != golden {
+		t.Error("Workers=1 did not take precedence over Parallelism=4")
+	}
+	if got := datasetBytes(t, buildWith(freshWorld(), 0, 4)); got != golden {
+		t.Error("Parallelism=4 output differs from sequential")
+	}
+}
+
+// TestBuildWorkerCountInvariant checks the discovery pipeline is
+// byte-identical at every worker bound. Run under -race this doubles as
+// the scan fan-out's concurrency stress test.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	golden := datasetBytes(t, buildWith(freshWorld(), 1, 0))
+	for _, workers := range []int{2, 4} {
+		if got := datasetBytes(t, buildWith(freshWorld(), workers, 0)); got != golden {
+			t.Errorf("dataset differs at Workers=%d", workers)
+		}
+	}
+}
+
+// BenchmarkDatasetBuildWorkers measures the discovery scan at several
+// worker bounds. On a single-core host the parallel runs mostly measure
+// pool overhead; multi-core hosts see the fan-out.
+func BenchmarkDatasetBuildWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := freshWorld()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buildWith(w, workers, 0)
+			}
+		})
+	}
+}

@@ -314,6 +314,14 @@ func AnalyzeNS(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Regi
 // AnalyzeNSMetered is AnalyzeNS with resolver instrumentation shared
 // across its vantage resolvers.
 func AnalyzeNSMetered(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Registry, vantages int, m *dnssrv.ResolverMetrics) *NSAnalysis {
+	return AnalyzeNSPar(ds, fabric, registry, vantages, m, parallel.Options{Workers: 1})
+}
+
+// AnalyzeNSPar is AnalyzeNSMetered with the per-domain NS lookups and
+// per-server location scans fanned out over opt. The analysis draws no
+// randomness and folds results in sorted-domain (then first-seen
+// server) order, so the output is byte-identical at every worker count.
+func AnalyzeNSPar(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnssrv.Registry, vantages int, m *dnssrv.ResolverMetrics, opt parallel.Options) *NSAnalysis {
 	if vantages <= 0 {
 		vantages = 50
 	}
@@ -324,41 +332,67 @@ func AnalyzeNSMetered(ds *dataset.Dataset, fabric *simnet.Fabric, registry *dnss
 		resolvers[i].NoRecurse = true
 		resolvers[i].Metrics = m
 	}
-	domNS := map[string][]string{}
-	for _, domain := range ds.CloudDomains() {
+	// Fan out the per-domain NS lookups (NoRecurse resolvers carry no
+	// per-query state, so one resolver serves all workers).
+	domains := ds.CloudDomains()
+	nsLists, err := parallel.Map(opt, domains, func(_ int, domain string) ([]string, error) {
 		names, err := resolvers[0].LookupNS(domain)
 		if err != nil {
+			return nil, nil // unresolvable domains are skipped, not fatal
+		}
+		return names, nil
+	})
+	if err != nil {
+		panic(err) // lookups return nil on failure; only re-raised panics arrive here
+	}
+	// Collect unique servers in first-seen order over the sorted
+	// domain list — the same order the sequential loop produced.
+	domNS := map[string][]string{}
+	var uniqueNS []string
+	seenNS := map[string]bool{}
+	for i, domain := range domains {
+		if nsLists[i] == nil {
 			continue
 		}
-		domNS[domain] = names
-		for _, ns := range names {
-			if _, seen := out.Servers[ns]; seen {
+		domNS[domain] = nsLists[i]
+		for _, ns := range nsLists[i] {
+			if !seenNS[ns] {
+				seenNS[ns] = true
+				uniqueNS = append(uniqueNS, ns)
+			}
+		}
+	}
+	// Fan out the per-server location scans.
+	locs, err := parallel.Map(opt, uniqueNS, func(_ int, ns string) (NSLocation, error) {
+		loc := NSOutside
+		for _, rv := range resolvers {
+			chain, err := rv.LookupA(ns)
+			if err != nil {
 				continue
 			}
-			loc := NSOutside
-			for _, rv := range resolvers {
-				chain, err := rv.LookupA(ns)
-				if err != nil {
+			for _, rr := range chain {
+				if rr.Type != dnswire.TypeA {
 					continue
 				}
-				for _, rr := range chain {
-					if rr.Type != dnswire.TypeA {
-						continue
-					}
-					if e, ok := ds.Ranges.Lookup(rr.IP); ok {
-						switch e.Provider {
-						case ipranges.CloudFront:
-							loc = NSCloudFront
-						case ipranges.EC2:
-							loc = NSEC2VM
-						case ipranges.Azure:
-							loc = NSAzure
-						}
+				if e, ok := ds.Ranges.Lookup(rr.IP); ok {
+					switch e.Provider {
+					case ipranges.CloudFront:
+						loc = NSCloudFront
+					case ipranges.EC2:
+						loc = NSEC2VM
+					case ipranges.Azure:
+						loc = NSAzure
 					}
 				}
 			}
-			out.Servers[ns] = loc
 		}
+		return loc, nil
+	})
+	if err != nil {
+		panic(err) // scans cannot fail; only re-raised panics arrive here
+	}
+	for i, ns := range uniqueNS {
+		out.Servers[ns] = locs[i]
 	}
 	for _, loc := range out.Servers {
 		out.Counts[loc]++

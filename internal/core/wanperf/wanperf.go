@@ -7,6 +7,7 @@
 package wanperf
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -150,25 +151,43 @@ type RTTRow struct {
 // IntraCloudRTTs reproduces Table 11: a micro instance in one zone
 // probes instances of each type in each zone, 10 pings each.
 func IntraCloudRTTs(c *cloud.Cloud, region string, seed int64) []RTTRow {
-	rng := xrand.SplitSeeded(seed, "wanperf/rtt")
+	return IntraCloudRTTsPar(c, region, seed, parallel.Options{Workers: 1})
+}
+
+// IntraCloudRTTsPar is IntraCloudRTTs with the probe loops fanned out
+// over opt. Instance launches mutate the cloud's address allocators, so
+// they all happen up front in the original order; only the pure probe
+// sampling runs in parallel, each (instance type, zone) pair on its own
+// seed-derived stream so results match at every worker count.
+func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.Options) []RTTRow {
 	acct := c.NewAccount("rtt-bench")
 	labels := acct.ZoneLabels(region)
 	src := acct.Launch(region, labels[0], "t1.micro")
-	var rows []RTTRow
+	type pair struct {
+		itype, label string
+		dst          *cloud.Instance
+	}
+	var pairs []pair
 	for _, itype := range cloud.InstanceTypes {
 		for _, label := range labels {
-			dst := acct.Launch(region, label, itype)
-			var samples []float64
-			for i := 0; i < 10; i++ {
-				samples = append(samples, float64(c.ProbeRTT(rng, src, dst))/1e6)
-			}
-			rows = append(rows, RTTRow{
-				InstanceType: itype,
-				DestZone:     label,
-				MinMs:        stats.Min(samples),
-				MedianMs:     stats.Median(samples),
-			})
+			pairs = append(pairs, pair{itype, label, acct.Launch(region, label, itype)})
 		}
+	}
+	rows, err := parallel.Map(opt, pairs, func(_ int, p pair) (RTTRow, error) {
+		rng := xrand.SplitSeeded(seed, "wanperf/rtt/"+p.itype+"/"+p.label)
+		var samples []float64
+		for i := 0; i < 10; i++ {
+			samples = append(samples, float64(c.ProbeRTT(rng, src, p.dst))/1e6)
+		}
+		return RTTRow{
+			InstanceType: p.itype,
+			DestZone:     p.label,
+			MinMs:        stats.Min(samples),
+			MedianMs:     stats.Median(samples),
+		}, nil
+	})
+	if err != nil {
+		panic(err) // probes cannot fail; only re-raised panics arrive here
 	}
 	return rows
 }
@@ -186,37 +205,71 @@ type ISPRow struct {
 // zone traceroute to every client; the first non-cloud AS is the
 // downstream ISP. Counts are observed lower bounds, like the paper's.
 func ISPDiversity(m *wan.Model, zoneCounts map[string]int, seed int64) []ISPRow {
-	rng := xrand.SplitSeeded(seed, "wanperf/isp")
-	var rows []ISPRow
+	return ISPDiversityPar(m, zoneCounts, seed, parallel.Options{Workers: 1})
+}
+
+// ISPDiversityPar is ISPDiversity with the (region, zone) traceroute
+// sweeps fanned out over opt. Each pair draws from its own seed-derived
+// stream and results fold back in sorted-region order, so the table is
+// identical at every worker count.
+func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options) []ISPRow {
 	regions := make([]string, 0, len(zoneCounts))
 	for r := range zoneCounts {
 		regions = append(regions, r)
 	}
 	sort.Strings(regions)
+	type zoneKey struct {
+		region string
+		zone   int
+	}
+	var pairs []zoneKey
+	for _, region := range regions {
+		for z := 0; z < zoneCounts[region]; z++ {
+			pairs = append(pairs, zoneKey{region, z})
+		}
+	}
+	type zoneStat struct {
+		nISPs    int
+		topShare float64 // meaningful for zone 0 only
+	}
+	zstats, err := parallel.Map(opt, pairs, func(_ int, p zoneKey) (zoneStat, error) {
+		rng := xrand.SplitSeeded(seed, fmt.Sprintf("wanperf/isp/%s/%d", p.region, p.zone))
+		seen := map[int]bool{}
+		ispRoutes := map[int]int{}
+		total := 0
+		for _, client := range m.Clients {
+			hops := m.Traceroute(client, p.region, p.zone, rng)
+			if asn, ok := wan.FirstDownstream(hops); ok {
+				seen[asn] = true
+				ispRoutes[asn]++
+				total++
+			}
+		}
+		st := zoneStat{nISPs: len(seen)}
+		if p.zone == 0 && total > 0 {
+			max := 0
+			for _, n := range ispRoutes {
+				if n > max {
+					max = n
+				}
+			}
+			st.topShare = float64(max) / float64(total)
+		}
+		return st, nil
+	})
+	if err != nil {
+		panic(err) // traceroutes cannot fail; only re-raised panics arrive here
+	}
+	var rows []ISPRow
+	i := 0
 	for _, region := range regions {
 		row := ISPRow{Region: region}
 		for z := 0; z < zoneCounts[region]; z++ {
-			seen := map[int]bool{}
-			ispRoutes := map[int]int{}
-			total := 0
-			for _, client := range m.Clients {
-				hops := m.Traceroute(client, region, z, rng)
-				if asn, ok := wan.FirstDownstream(hops); ok {
-					seen[asn] = true
-					ispRoutes[asn]++
-					total++
-				}
+			row.PerZone = append(row.PerZone, zstats[i].nISPs)
+			if z == 0 {
+				row.TopShare = zstats[i].topShare
 			}
-			row.PerZone = append(row.PerZone, len(seen))
-			if z == 0 && total > 0 {
-				max := 0
-				for _, n := range ispRoutes {
-					if n > max {
-						max = n
-					}
-				}
-				row.TopShare = float64(max) / float64(total)
-			}
+			i++
 		}
 		rows = append(rows, row)
 	}

@@ -99,8 +99,8 @@ func Run(ds *dataset.Dataset, det *patterns.Result, ec2 *cloud.Cloud, cfg Config
 
 	// Cartography.
 	s.Ref = ec2.NewAccount("zones-reference")
-	s.Samples = cartography.SampleAccounts(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed)
-	s.PM = cartography.MergeAccounts(s.Samples)
+	s.Samples = cartography.SampleAccountsPar(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed, cfg.Par)
+	s.PM = cartography.MergeAccountsPar(s.Samples, s.Ref.Name, cfg.Par)
 	s.Lat = cartography.IdentifyByLatencyPar(ec2, s.Ref, s.Targets, cfg.Latency, cfg.Seed, cfg.Par)
 	s.Combined = cartography.IdentifyCombined(s.Targets, s.PM, s.Lat)
 

@@ -159,7 +159,7 @@ func anchorNames() map[string]bool {
 // — the paper's top-domain tables (4, 8, 10, 15) enumerate these
 // domains completely, which wordlist brute forcing alone cannot
 // guarantee for their numbered host names.
-func (w *World) deployAnchor(rng *xrand.Rand, d *Domain) {
+func (w *World) deployAnchor(p *domainPlan, rng *xrand.Rand, d *Domain) {
 	spec := anchorSpecs[d.Name]
 	d.Zone.AllowAXFR = true
 	d.HomeRegion = spec.home
@@ -178,19 +178,21 @@ func (w *World) deployAnchor(rng *xrand.Rand, d *Domain) {
 			if n > 1 {
 				label = fmt.Sprintf("%s%d", as.label, i+1)
 			}
-			w.deployAnchorSub(rng, d, label, as)
+			w.deployAnchorSub(p, rng, d, label, as)
 		}
 	}
 	for i := 0; i < spec.extraOther; i++ {
 		label := fmt.Sprintf("corp%d", i+1)
 		s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther}
-		s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
-		w.registerSubdomain(s)
+		p.op(func() {
+			s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+			w.registerSubdomain(s)
+		})
 	}
 }
 
-func (w *World) deployAnchorSub(rng *xrand.Rand, d *Domain, label string, as anchorSub) {
+func (w *World) deployAnchorSub(p *domainPlan, rng *xrand.Rand, d *Domain, label string, as anchorSub) {
 	region := as.region
 	if region == "" {
 		region = d.HomeRegion
@@ -233,11 +235,13 @@ func (w *World) deployAnchorSub(rng *xrand.Rand, d *Domain, label string, as anc
 	case PatternVM:
 		zs := clampZones(zones, w.EC2.ZoneCount(region))
 		s.Zones[region] = zs
-		for i := 0; i < len(zs); i++ {
-			inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
-			s.VMs = append(s.VMs, inst)
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
-		}
+		p.op(func() {
+			for i := 0; i < len(zs); i++ {
+				inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
+				s.VMs = append(s.VMs, inst)
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+			}
+		})
 	case PatternELB, PatternBeanstalk:
 		zs := clampZones(zones, w.EC2.ZoneCount(region))
 		s.Zones[region] = zs
@@ -246,70 +250,88 @@ func (w *World) deployAnchorSub(rng *xrand.Rand, d *Domain, label string, as anc
 			placements = append(placements, zs[i%len(zs)])
 		}
 		if as.pattern == PatternBeanstalk {
-			s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, placements)
-			s.ELB = s.Beanstalk.ELB
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+			p.op(func() {
+				s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, placements)
+				s.ELB = s.Beanstalk.ELB
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+			})
 		} else {
-			s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0)
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+			p.op(func() {
+				s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0)
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+			})
 		}
 	case PatternHeroku:
-		app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(d.Name), false, false)
-		s.Heroku = app
 		s.Regions = []string{"ec2.us-east-1"}
 		s.Zones["ec2.us-east-1"] = []int{0}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+		p.op(func() {
+			app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(d.Name), false, false)
+			s.Heroku = app
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+		})
 	case PatternOpaqueCNAME:
 		zs := clampZones(zones, w.EC2.ZoneCount(region))
 		s.Zones[region] = zs
-		var vanity string
 		if as.otherCDN {
-			vanity = fmt.Sprintf("%s-%s.edgekey-cdn.net", sanitize(label), sanitize(d.Name))
-			zoneTarget := w.otherCDNZone
-			for range zs {
-				ip := w.otherIPs.next()
-				s.OtherIPs = append(s.OtherIPs, ip)
-				zoneTarget.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: ip})
-			}
+			vanity := fmt.Sprintf("%s-%s.edgekey-cdn.net", sanitize(label), sanitize(d.Name))
 			// Non-CloudFront CDN serves from outside the clouds: the
 			// subdomain is not itself cloud-using.
 			s.Provider = ""
 			s.Pattern = PatternOther
 			s.Regions = nil
 			s.Zones = map[string][]int{}
+			p.op(func() {
+				for range zs {
+					ip := w.otherIPs.next()
+					s.OtherIPs = append(s.OtherIPs, ip)
+					w.otherCDNZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: ip})
+				}
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+			})
 		} else {
-			vanity = fmt.Sprintf("edge-%s-%s.ghs-hosting.net", sanitize(label), sanitize(d.Name))
-			for i := 0; i < len(zs); i++ {
-				inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
-				s.VMs = append(s.VMs, inst)
-				w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
-			}
+			vanity := fmt.Sprintf("edge-%s-%s.ghs-hosting.net", sanitize(label), sanitize(d.Name))
+			p.op(func() {
+				for i := 0; i < len(zs); i++ {
+					inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")
+					s.VMs = append(s.VMs, inst)
+					w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+				}
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+			})
 		}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
 	case PatternCDN:
-		s.CDN = w.EC2.CreateDistribution(3)
 		s.Regions = nil
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+		p.op(func() {
+			s.CDN = w.EC2.CreateDistribution(3)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+		})
 	case PatternAzureCS:
-		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
-		s.CS = cs
 		s.Zones[region] = []int{0}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
+		contents := csContents(rng)
+		p.op(func() {
+			cs := w.Azure.CreateCloudService(sanitize(label), region, contents)
+			s.CS = cs
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
+		})
 	case PatternAzureTM:
 		// TM over two CSs: home region plus one more (Table 10's k=2 rows).
 		second := "az.us-east"
 		if region == second {
 			second = "az.us-west"
 		}
-		csA := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
-		csB := w.Azure.CreateCloudService(sanitize(label), second, csContents(rng))
-		s.TM = w.Azure.CreateTrafficManager(sanitize(label), "performance", []*cloud.CloudService{csA, csB})
+		contentsA := csContents(rng)
+		contentsB := csContents(rng)
 		s.Regions = []string{region, second}
 		s.Zones[region] = []int{0}
 		s.Zones[second] = []int{0}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+		p.op(func() {
+			csA := w.Azure.CreateCloudService(sanitize(label), region, contentsA)
+			csB := w.Azure.CreateCloudService(sanitize(label), second, contentsB)
+			s.TM = w.Azure.CreateTrafficManager(sanitize(label), "performance", []*cloud.CloudService{csA, csB})
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+		})
 	default:
 		panic("deploy: unhandled anchor pattern " + string(as.pattern))
 	}
-	w.registerSubdomain(s)
+	p.op(func() { w.registerSubdomain(s) })
 }

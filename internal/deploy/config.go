@@ -13,6 +13,7 @@ package deploy
 
 import (
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 )
 
 // Config parameterizes world generation. The zero value is not useful;
@@ -52,6 +53,11 @@ type Config struct {
 	// but the generator plants them so the extension analysis in
 	// internal/core/backend has ground truth to study.
 	BackendFraction float64
+	// Par bounds and instruments the generator's plan-phase fan-out.
+	// The generated world is bit-identical at every worker count: domain
+	// plans run in parallel on per-domain split streams, and all shared
+	// allocator mutations commit sequentially in rank order.
+	Par parallel.Options
 }
 
 // DefaultConfig returns the paper-calibrated configuration at 50k-domain

@@ -109,32 +109,42 @@ func (w *World) providerOfKind(kind string) *DNSProvider {
 // assignDNS hosts d's zone: picks a provider kind by the paper's NS
 // location mix, installs NS records, and delegates. Self-hosters get a
 // fresh per-domain provider whose name servers are VMs in the domain's
-// home region.
-func (w *World) assignDNS(rng *xrand.Rand, d *Domain) {
+// home region. The provider choice (and every draw behind it) happens
+// at plan time — the pools it reads are fixed before deployDomains
+// runs, and self-hosters only ever append "ec2-vm" providers the
+// plan-time lookups filter out — while the zone delegation and any VM
+// launches land in commit ops.
+func (w *World) assignDNS(pl *domainPlan, rng *xrand.Rand, d *Domain) {
 	kind := pickKind(rng)
 	if (kind == "ec2-vm" || kind == "azure") && d.HomeRegion == "" {
 		kind = "external"
 	}
-	var p *DNSProvider
 	switch kind {
 	case "route53":
 		base := w.providerOfKind("route53")
 		// Pick 4 fleet servers for this domain.
-		p = &DNSProvider{Name: "route53", Kind: "route53", Server: base.Server}
+		p := &DNSProvider{Name: "route53", Kind: "route53", Server: base.Server}
 		start := rng.Intn(len(base.NSIPs))
 		for j := 0; j < 4 && j < len(base.NSIPs); j++ {
 			i := (start + j) % len(base.NSIPs)
 			p.NSNames = append(p.NSNames, base.NSNames[i])
 			p.NSIPs = append(p.NSIPs, base.NSIPs[i])
 		}
+		pl.op(func() { w.attachDNS(d, p) })
 	case "ec2-vm":
-		p = w.selfHostedProvider(rng, d, w.EC2)
+		pl.op(func() { w.attachDNS(d, w.selfHostedProvider(d, w.EC2)) })
 	case "azure":
-		p = w.providerOfKind("azure")
+		p := w.providerOfKind("azure")
+		pl.op(func() { w.attachDNS(d, p) })
 	default:
 		ps, weights := w.externalProviders()
-		p = xrand.Pick(rng, ps, weights)
+		p := xrand.Pick(rng, ps, weights)
+		pl.op(func() { w.attachDNS(d, p) })
 	}
+}
+
+// attachDNS installs p's NS records in d's zone and delegates to it.
+func (w *World) attachDNS(d *Domain, p *DNSProvider) {
 	d.DNS = p
 	for _, nsName := range p.NSNames {
 		d.Zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeNS, TTL: 86400, Target: nsName})
@@ -145,7 +155,7 @@ func (w *World) assignDNS(rng *xrand.Rand, d *Domain) {
 
 // selfHostedProvider launches name-server VMs inside the tenant's cloud
 // (the 5% of cloud-using subdomains whose DNS itself runs on VMs).
-func (w *World) selfHostedProvider(rng *xrand.Rand, d *Domain, c *cloud.Cloud) *DNSProvider {
+func (w *World) selfHostedProvider(d *Domain, c *cloud.Cloud) *DNSProvider {
 	region := d.HomeRegion
 	if c.Region(region) == nil {
 		region = c.Regions()[0]

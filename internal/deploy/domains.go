@@ -2,13 +2,16 @@ package deploy
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"cloudscope/internal/alexa"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/dnssrv"
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/wordlist"
 	"cloudscope/internal/xrand"
 )
@@ -20,8 +23,33 @@ const (
 	PatternAzureCDN Pattern = "azure-cdn"  // CNAME to *.msecnd.net (P4)
 )
 
+// domainPlan is one domain's deferred deployment. The plan phase —
+// which runs in parallel, one call per domain — performs every random
+// draw on the domain's private split stream and records each mutation
+// of shared or ordered state (cloud launches, allocator advances,
+// shared-zone writes, subdomain registration) as an op closure. The
+// commit phase replays the ops sequentially in rank order, so every
+// shared allocator sees exactly the call sequence the legacy
+// sequential generator produced and the world is bit-for-bit
+// identical at any worker count.
+type domainPlan struct {
+	d   *Domain
+	ops []func()
+}
+
+// op defers a mutation of shared or ordered state to the commit phase.
+func (p *domainPlan) op(f func()) { p.ops = append(p.ops, f) }
+
+// commit replays the plan's mutations in order.
+func (p *domainPlan) commit() {
+	for _, f := range p.ops {
+		f()
+	}
+}
+
 // deployDomains walks the ranked list, decides who is cloud-using, and
-// deploys every domain's zone and subdomains.
+// deploys every domain's zone and subdomains: domains are planned in
+// parallel, then committed sequentially in rank order.
 func (w *World) deployDomains() {
 	rng := w.rng.Split("domains")
 	cfg := w.Cfg
@@ -44,73 +72,107 @@ func (w *World) deployDomains() {
 	cdnSrv := dnssrv.NewServer(w.otherCDNZone)
 	dnssrv.Deploy(w.Fabric, w.Registry, cdnSrv, netaddr.MustParseIP("204.14.81.2"))
 
-	for _, ad := range w.List.Domains {
-		d := &Domain{
-			Name:            ad.Name,
-			Rank:            ad.Rank,
-			CustomerCountry: ad.CustomerCountry(),
-			Zone:            dnssrv.NewZone(ad.Name),
-		}
-		d.Zone.AllowAXFR = rng.Bool(cfg.AXFRFraction)
-		drng := rng.Split("domain/" + ad.Name)
+	// The only draws on the shared "domains" stream are the per-domain
+	// AXFR flags; consume them here in rank order so the stream stays
+	// byte-compatible with the sequential generator.
+	doms := w.List.Domains
+	axfr := make([]bool, len(doms))
+	for i := range doms {
+		axfr[i] = rng.Bool(cfg.AXFRFraction)
+	}
 
-		_, isAnchor := anchorSpecs[ad.Name]
-		p := pRest
-		if ad.Rank <= quarter {
-			p = pTop
+	plans := make([]*domainPlan, len(doms))
+	if err := parallel.Run(cfg.Par, len(doms), func(sh parallel.Shard) error {
+		for i := sh.Lo; i < sh.Hi; i++ {
+			plans[i] = w.planDomain(rng, doms[i], axfr[i], quarter, pTop, pRest, forced)
 		}
-		// Cloud adoption skews toward US-customer sites (the paper finds
-		// 53% of subdomains hosted in their customer country while
-		// us-east alone holds 73% — only possible if the cloud-using
-		// population is US-heavy). The bias factors keep the overall
-		// adoption rate at CloudFraction.
-		if d.CustomerCountry == "US" {
-			p *= 2.2 / 1.15
-		} else {
-			p *= 0.7 / 1.15
-		}
-		// The 2013 top-of-list giants (google, facebook, youtube, ...)
-		// ran their own infrastructure; the highest-ranked cloud-using
-		// domains were the anchors (live.com at 7, amazon.com at 9).
-		if ad.Rank < 7 {
-			p = 0
-		}
-		cloudUsing := isAnchor || forced[ad.Name] || drng.Bool(p)
+		return nil
+	}); err != nil {
+		panic(err) // plan fns return nil errors; only worker panics land here
+	}
 
-		if cloudUsing {
-			if isAnchor {
-				w.deployAnchor(drng, d)
-			} else {
-				w.deployCloudDomain(drng, d)
-			}
-		} else {
-			w.deployPlainDomain(drng, d)
-		}
-		// Apex record so the bare domain resolves.
-		d.Zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeA, TTL: 300, IP: w.otherIPs.next()})
-		w.assignDNS(drng, d)
-		w.Domains = append(w.Domains, d)
-		if d.CloudUsing() {
-			w.CloudDomains = append(w.CloudDomains, d)
+	for _, p := range plans {
+		p.commit()
+		w.Domains = append(w.Domains, p.d)
+		if p.d.CloudUsing() {
+			w.CloudDomains = append(w.CloudDomains, p.d)
 		}
 	}
 }
 
+// planDomain decides one domain's fate on its private stream and plans
+// its deployment. Everything it reads besides the domain itself is
+// static by the time deployDomains runs (weight tables, anchor specs,
+// zone counts, the external DNS-provider pool); everything it writes
+// outside the domain's own structs is deferred to commit ops.
+func (w *World) planDomain(rng *xrand.Rand, ad *alexa.Domain, axfr bool, quarter int, pTop, pRest float64, forced map[string]bool) *domainPlan {
+	d := &Domain{
+		Name:            ad.Name,
+		Rank:            ad.Rank,
+		CustomerCountry: ad.CustomerCountry(),
+		Zone:            dnssrv.NewZone(ad.Name),
+	}
+	d.Zone.AllowAXFR = axfr
+	drng := rng.Split("domain/" + ad.Name)
+	p := &domainPlan{d: d}
+
+	_, isAnchor := anchorSpecs[ad.Name]
+	prob := pRest
+	if ad.Rank <= quarter {
+		prob = pTop
+	}
+	// Cloud adoption skews toward US-customer sites (the paper finds
+	// 53% of subdomains hosted in their customer country while
+	// us-east alone holds 73% — only possible if the cloud-using
+	// population is US-heavy). The bias factors keep the overall
+	// adoption rate at CloudFraction.
+	if d.CustomerCountry == "US" {
+		prob *= 2.2 / 1.15
+	} else {
+		prob *= 0.7 / 1.15
+	}
+	// The 2013 top-of-list giants (google, facebook, youtube, ...)
+	// ran their own infrastructure; the highest-ranked cloud-using
+	// domains were the anchors (live.com at 7, amazon.com at 9).
+	if ad.Rank < 7 {
+		prob = 0
+	}
+	cloudUsing := isAnchor || forced[ad.Name] || drng.Bool(prob)
+
+	if cloudUsing {
+		if isAnchor {
+			w.deployAnchor(p, drng, d)
+		} else {
+			w.deployCloudDomain(p, drng, d)
+		}
+	} else {
+		w.deployPlainDomain(p, drng, d)
+	}
+	// Apex record so the bare domain resolves.
+	p.op(func() {
+		d.Zone.MustAdd(dnswire.RR{Name: d.Name, Type: dnswire.TypeA, TTL: 300, IP: w.otherIPs.next()})
+	})
+	w.assignDNS(p, drng, d)
+	return p
+}
+
 // deployPlainDomain gives a non-cloud domain a few ordinary subdomains.
-func (w *World) deployPlainDomain(rng *xrand.Rand, d *Domain) {
+func (w *World) deployPlainDomain(p *domainPlan, rng *xrand.Rand, d *Domain) {
 	labels := newLabelPicker(rng, w.Cfg.WordlistBias)
 	n := rng.Range(1, 5)
 	for i := 0; i < n; i++ {
 		label, inList := labels.next()
 		s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther, InWordlist: inList}
-		s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
-		w.registerSubdomain(s)
+		p.op(func() {
+			s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+			w.registerSubdomain(s)
+		})
 	}
 }
 
 // deployCloudDomain deploys a generic (non-anchor) cloud-using domain.
-func (w *World) deployCloudDomain(rng *xrand.Rand, d *Domain) {
+func (w *World) deployCloudDomain(p *domainPlan, rng *xrand.Rand, d *Domain) {
 	d.Category = providerCategory(xrand.NewWeighted(rng, providerCategoryWeights).Next())
 	primary := ipranges.EC2
 	if d.Category == catAzureOnly || d.Category == catAzureOther {
@@ -136,7 +198,7 @@ func (w *World) deployCloudDomain(rng *xrand.Rand, d *Domain) {
 			provider = ipranges.Azure
 		}
 		pattern := w.pickPattern(rng, provider, label)
-		w.deploySubdomain(rng, d, label, inList, pattern)
+		w.deploySubdomain(p, rng, d, label, inList, pattern)
 	}
 
 	// Other-hosted subdomains for the "+Other" categories.
@@ -145,9 +207,11 @@ func (w *World) deployCloudDomain(rng *xrand.Rand, d *Domain) {
 		for i := 0; i < m; i++ {
 			label, inList := labels.next()
 			s := &Subdomain{FQDN: fqdn(label, d.Name), Label: label, Domain: d, Pattern: PatternOther, InWordlist: inList}
-			s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
-			w.registerSubdomain(s)
+			p.op(func() {
+				s.OtherIPs = []netaddr.IP{w.otherIPs.next()}
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: s.OtherIPs[0]})
+				w.registerSubdomain(s)
+			})
 		}
 	}
 }
@@ -191,8 +255,9 @@ func sortPatterns(ps []Pattern) {
 	}
 }
 
-// deploySubdomain provisions infrastructure and DNS for one subdomain.
-func (w *World) deploySubdomain(rng *xrand.Rand, d *Domain, label string, inList bool, pattern Pattern) *Subdomain {
+// deploySubdomain plans infrastructure and DNS for one subdomain: all
+// draws happen here, all provisioning lands in commit ops.
+func (w *World) deploySubdomain(p *domainPlan, rng *xrand.Rand, d *Domain, label string, inList bool, pattern Pattern) *Subdomain {
 	s := &Subdomain{
 		FQDN:       fqdn(label, d.Name),
 		Label:      label,
@@ -214,146 +279,201 @@ func (w *World) deploySubdomain(rng *xrand.Rand, d *Domain, label string, inList
 
 	switch pattern {
 	case PatternVM:
-		w.deployVMFront(rng, d, s, regions, 0)
+		w.deployVMFront(p, rng, d, s, regions, 0)
 	case PatternHybrid:
-		w.deployVMFront(rng, d, s, regions[:1], rng.Range(1, 2))
+		w.deployVMFront(p, rng, d, s, regions[:1], rng.Range(1, 2))
 	case PatternELB:
 		region := regions[0]
 		s.Regions = regions[:1]
 		zones := w.pickZones(rng, w.EC2, region)
 		placements := elbPlacements(rng, zones)
-		s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0.55)
 		s.Zones[region] = zones
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+		p.op(func() {
+			s.ELB = w.EC2.CreateELB(sanitize(label), region, placements, 0.55)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.ELB.Name})
+		})
 	case PatternBeanstalk:
 		region := regions[0]
 		s.Regions = regions[:1]
 		zones := w.pickZones(rng, w.EC2, region)
-		s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, zones)
-		s.ELB = s.Beanstalk.ELB
 		s.Zones[region] = zones
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+		p.op(func() {
+			s.Beanstalk = w.EC2.CreateBeanstalk(sanitize(label)+"-"+sanitize(d.Name), region, zones)
+			s.ELB = s.Beanstalk.ELB
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.Beanstalk.Name})
+		})
 	case PatternHeroku, PatternHerokuELB:
 		s.Regions = []string{"ec2.us-east-1"}
 		useProxy := pattern == PatternHeroku && rng.Bool(0.35)
-		app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(strings.Split(d.Name, ".")[0]), useProxy, pattern == PatternHerokuELB)
-		s.Heroku = app
-		s.ELB = app.ELB
-		zones := map[int]bool{}
-		for _, node := range append(app.Nodes, w.Heroku.Pool[:min(2, len(w.Heroku.Pool))]...) {
-			zones[node.ZoneIndex] = true
-		}
-		for z := range zones {
-			s.Zones["ec2.us-east-1"] = append(s.Zones["ec2.us-east-1"], z)
-		}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+		p.op(func() {
+			app := w.Heroku.CreateApp(sanitize(label)+"-"+sanitize(strings.Split(d.Name, ".")[0]), useProxy, pattern == PatternHerokuELB)
+			s.Heroku = app
+			s.ELB = app.ELB
+			zones := map[int]bool{}
+			for _, node := range append(app.Nodes, w.Heroku.Pool[:min(2, len(w.Heroku.Pool))]...) {
+				zones[node.ZoneIndex] = true
+			}
+			zs := make([]int, 0, len(zones))
+			for z := range zones {
+				zs = append(zs, z)
+			}
+			sort.Ints(zs)
+			s.Zones["ec2.us-east-1"] = zs
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: app.Name})
+		})
 	case PatternOpaqueCNAME:
-		w.deployOpaque(rng, d, s, regions[:1])
+		w.deployOpaque(p, rng, d, s, regions[:1])
 	case PatternCDN:
-		s.CDN = w.EC2.CreateDistribution(rng.Range(2, 4))
+		locs := rng.Range(2, 4)
 		s.Regions = nil // CloudFront IPs carry no region
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+		p.op(func() {
+			s.CDN = w.EC2.CreateDistribution(locs)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.CDN.Name})
+		})
 	case PatternAzureCDN:
 		region := regions[0]
 		s.Regions = regions[:1]
-		ep := w.Azure.CreateAzureCDN(region)
-		s.AzureCDN = ep
 		s.Zones[region] = []int{0}
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: ep.Name})
+		p.op(func() {
+			ep := w.Azure.CreateAzureCDN(region)
+			s.AzureCDN = ep
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: ep.Name})
+		})
 	case PatternAzureCS, PatternAzureIP:
 		region := regions[0]
 		s.Regions = regions[:1]
-		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
-		s.CS = cs
 		s.Zones[region] = []int{0}
-		if pattern == PatternAzureIP {
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
-		} else {
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
-		}
+		contents := csContents(rng)
+		p.op(func() {
+			cs := w.Azure.CreateCloudService(sanitize(label), region, contents)
+			s.CS = cs
+			if pattern == PatternAzureIP {
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
+			} else {
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: cs.Name})
+			}
+		})
 	case PatternAzureTM:
-		var members []*cloud.CloudService
-		for _, region := range regions {
-			members = append(members, w.Azure.CreateCloudService(sanitize(label), region, csContents(rng)))
+		contents := make([]string, len(regions))
+		for i, region := range regions {
+			contents[i] = csContents(rng)
 			s.Zones[region] = []int{0}
 		}
 		policy := xrand.Pick(rng, []string{"performance", "failover", "round-robin"}, []float64{0.5, 0.25, 0.25})
-		s.TM = w.Azure.CreateTrafficManager(sanitize(label), policy, members)
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+		p.op(func() {
+			var members []*cloud.CloudService
+			for i, region := range regions {
+				members = append(members, w.Azure.CreateCloudService(sanitize(label), region, contents[i]))
+			}
+			s.TM = w.Azure.CreateTrafficManager(sanitize(label), policy, members)
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: s.TM.Name})
+		})
 	case PatternAzureOpaque:
 		region := regions[0]
 		s.Regions = regions[:1]
-		cs := w.Azure.CreateCloudService(sanitize(label), region, csContents(rng))
-		s.CS = cs
 		s.Zones[region] = []int{0}
-		vanity := fmt.Sprintf("az-%s-%d.ghs-hosting.net", sanitize(label), len(w.bySub))
-		w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
-		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+		contents := csContents(rng)
+		p.op(func() {
+			cs := w.Azure.CreateCloudService(sanitize(label), region, contents)
+			s.CS = cs
+			vanity := fmt.Sprintf("az-%s-%d.ghs-hosting.net", sanitize(label), len(w.bySub))
+			w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
+			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+		})
 	default:
 		panic("deploy: unhandled pattern " + string(pattern))
 	}
-	w.registerSubdomain(s)
+	p.op(func() { w.registerSubdomain(s) })
 	return s
 }
 
-// deployVMFront launches front-end VMs (pattern P1) in each region with
+// deployVMFront plans front-end VMs (pattern P1) in each region with
 // the Figure 4a instance-count distribution, plus optional other-hosted
 // A records (hybrid). Multi-region subdomains answer geo-dependently.
-func (w *World) deployVMFront(rng *xrand.Rand, d *Domain, s *Subdomain, regions []string, otherCount int) {
+func (w *World) deployVMFront(p *domainPlan, rng *xrand.Rand, d *Domain, s *Subdomain, regions []string, otherCount int) {
 	s.Regions = regions
-	perRegion := make(map[string][]*cloud.Instance)
+	type regionVMs struct {
+		region string
+		zones  []int
+		types  []string // instance type per VM
+	}
+	vmPlans := make([]regionVMs, 0, len(regions))
+	plannedVMs := 0
 	for _, region := range regions {
 		zones := w.pickZones(rng, w.EC2, region)
 		s.Zones[region] = zones
 		nVMs := len(zones) + xrand.Pick(rng, []int{0, 1, 2}, []float64{0.70, 0.25, 0.05})
+		rp := regionVMs{region: region, zones: zones}
 		for i := 0; i < nVMs; i++ {
-			inst := w.EC2.Launch(region, zones[i%len(zones)], xrand.PickUniform(rng, cloud.InstanceTypes), cloud.KindVM)
-			s.VMs = append(s.VMs, inst)
-			perRegion[region] = append(perRegion[region], inst)
+			rp.types = append(rp.types, xrand.PickUniform(rng, cloud.InstanceTypes))
 		}
+		plannedVMs += nVMs
+		vmPlans = append(vmPlans, rp)
 	}
-	for i := 0; i < otherCount; i++ {
-		s.OtherIPs = append(s.OtherIPs, w.otherIPs.next())
-	}
+	perRegion := make(map[string][]*cloud.Instance)
+	p.op(func() {
+		for _, rp := range vmPlans {
+			for i, itype := range rp.types {
+				inst := w.EC2.Launch(rp.region, rp.zones[i%len(rp.zones)], itype, cloud.KindVM)
+				s.VMs = append(s.VMs, inst)
+				perRegion[rp.region] = append(perRegion[rp.region], inst)
+			}
+		}
+		for i := 0; i < otherCount; i++ {
+			s.OtherIPs = append(s.OtherIPs, w.otherIPs.next())
+		}
+	})
 	if len(regions) == 1 {
-		w.deployBackends(rng, s, regions[0])
-		for _, inst := range s.VMs {
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
-		}
-		for _, ip := range s.OtherIPs {
-			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: ip})
-		}
+		w.deployBackends(p, rng, s, regions[0], plannedVMs)
+		p.op(func() {
+			for _, inst := range s.VMs {
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+			}
+			for _, ip := range s.OtherIPs {
+				d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeA, TTL: 300, IP: ip})
+			}
+		})
 		return
 	}
 	// Geo-dependent answers: each client source is stably mapped to one
 	// region's VM set, so only globally distributed probing reveals the
 	// full deployment.
 	name := s.FQDN
-	d.Zone.SetDynamic(name, func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
-		if qtype != dnswire.TypeA && qtype != dnswire.TypeANY {
-			return nil
-		}
-		region := regions[int(src>>6)%len(regions)]
-		var out []dnswire.RR
-		for _, inst := range perRegion[region] {
-			out = append(out, dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: inst.PublicIP})
-		}
-		return out
+	p.op(func() {
+		d.Zone.SetDynamic(name, func(src netaddr.IP, qtype dnswire.Type) []dnswire.RR {
+			if qtype != dnswire.TypeA && qtype != dnswire.TypeANY {
+				return nil
+			}
+			region := regions[int(src>>6)%len(regions)]
+			var out []dnswire.RR
+			for _, inst := range perRegion[region] {
+				out = append(out, dnswire.RR{Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, IP: inst.PublicIP})
+			}
+			return out
+		})
 	})
 }
 
-// deployBackends plants the DNS-invisible back-end tier behind a
+// deployBackends plans the DNS-invisible back-end tier behind a
 // VM-front subdomain (the paper's dashed boxes in Figure 1, left to
 // future work). Placement policy: mostly colocated with the front
 // ends' zones, sometimes spread across the region's other zones, rarely
-// in another region entirely.
-func (w *World) deployBackends(rng *xrand.Rand, s *Subdomain, homeRegion string) {
-	if !rng.Bool(w.Cfg.BackendFraction) || len(s.VMs) == 0 {
+// in another region entirely. plannedVMs is the front-end VM count the
+// plan will launch — the sequential code checked len(s.VMs), which is
+// not populated until commit.
+func (w *World) deployBackends(p *domainPlan, rng *xrand.Rand, s *Subdomain, homeRegion string, plannedVMs int) {
+	if !rng.Bool(w.Cfg.BackendFraction) || plannedVMs == 0 {
 		return
 	}
 	n := rng.Range(1, 3)
 	s.BackendPolicy = xrand.Pick(rng, []string{"colocated", "spread", "remote"}, []float64{0.6, 0.3, 0.1})
 	frontZones := s.Zones[homeRegion]
+	type backendPlan struct {
+		region string
+		zone   int
+		itype  string
+	}
+	plans := make([]backendPlan, 0, n)
 	for i := 0; i < n; i++ {
 		region := homeRegion
 		zone := -1
@@ -378,26 +498,38 @@ func (w *World) deployBackends(rng *xrand.Rand, s *Subdomain, homeRegion string)
 				}
 			}
 		}
-		inst := w.EC2.Launch(region, zone, xrand.PickUniform(rng, []string{"m1.xlarge", "m3.2xlarge", "m1.medium"}), "backend")
-		s.Backends = append(s.Backends, inst)
+		itype := xrand.PickUniform(rng, []string{"m1.xlarge", "m3.2xlarge", "m1.medium"})
+		plans = append(plans, backendPlan{region: region, zone: zone, itype: itype})
 	}
+	p.op(func() {
+		for _, bp := range plans {
+			s.Backends = append(s.Backends, w.EC2.Launch(bp.region, bp.zone, bp.itype, "backend"))
+		}
+	})
 }
 
 // deployOpaque hides EC2 VMs behind a vanity CNAME in a third-party
 // zone — the 16% of EC2-using subdomains the paper's filters could not
-// classify.
-func (w *World) deployOpaque(rng *xrand.Rand, d *Domain, s *Subdomain, regions []string) {
+// classify. The vanity name embeds the registration counter, so it is
+// computed at commit when len(w.bySub) matches the sequential order.
+func (w *World) deployOpaque(p *domainPlan, rng *xrand.Rand, d *Domain, s *Subdomain, regions []string) {
 	s.Regions = regions
 	region := regions[0]
 	zones := w.pickZones(rng, w.EC2, region)
 	s.Zones[region] = zones
-	vanity := fmt.Sprintf("edge-%s-%d.ghs-hosting.net", sanitize(s.Label), len(w.bySub))
-	for i := 0; i < len(zones); i++ {
-		inst := w.EC2.Launch(region, zones[i], xrand.PickUniform(rng, cloud.InstanceTypes), cloud.KindVM)
-		s.VMs = append(s.VMs, inst)
-		w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+	types := make([]string, len(zones))
+	for i := range zones {
+		types[i] = xrand.PickUniform(rng, cloud.InstanceTypes)
 	}
-	d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+	p.op(func() {
+		vanity := fmt.Sprintf("edge-%s-%d.ghs-hosting.net", sanitize(s.Label), len(w.bySub))
+		for i := 0; i < len(zones); i++ {
+			inst := w.EC2.Launch(region, zones[i], types[i], cloud.KindVM)
+			s.VMs = append(s.VMs, inst)
+			w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: inst.PublicIP})
+		}
+		d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
+	})
 }
 
 // pickSubRegions selects a subdomain's regions: home region first, then
@@ -456,7 +588,8 @@ type labelPicker struct {
 }
 
 // wordZipf is the shared label-popularity CDF; the word list is static,
-// so one table serves every domain.
+// so one table serves every domain (NextR keeps draws on the caller's
+// stream, so concurrent planners never contend).
 var (
 	sharedWords = wordlist.Common()
 	wordZipf    = xrand.NewZipf(xrand.New(0), len(sharedWords), 0.9)

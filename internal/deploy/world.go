@@ -2,6 +2,7 @@ package deploy
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -111,6 +112,64 @@ type World struct {
 	rng          *xrand.Rand
 	opaqueZone   *dnssrv.Zone // shared vanity zone hiding cloud IPs behind CNAMEs
 	otherCDNZone *dnssrv.Zone // shared third-party CDN zone
+}
+
+// DumpTruth writes a deterministic plain-text rendering of the world's
+// entire ground truth — every domain, subdomain, deployment artifact,
+// and zone file. Two worlds are behaviorally identical iff their dumps
+// match, which is what the worker-count-invariance goldens hash.
+func (w *World) DumpTruth(dst io.Writer) {
+	for _, d := range w.Domains {
+		fmt.Fprintf(dst, "D %s rank=%d cat=%v cc=%s home=%s axfr=%v", d.Name, d.Rank, d.Category, d.CustomerCountry, d.HomeRegion, d.Zone.AllowAXFR)
+		if d.DNS != nil {
+			fmt.Fprintf(dst, " dns=%s/%s ns=%v ips=%v", d.DNS.Name, d.DNS.Kind, d.DNS.NSNames, d.DNS.NSIPs)
+		}
+		fmt.Fprintln(dst)
+		for _, s := range d.Subdomains {
+			fmt.Fprintf(dst, "  S %s pat=%s prov=%s regs=%v wl=%v bp=%s ocdn=%v", s.FQDN, s.Pattern, s.Provider, s.Regions, s.InWordlist, s.BackendPolicy, s.OtherCDN)
+			regs := make([]string, 0, len(s.Zones))
+			for r := range s.Zones {
+				regs = append(regs, r)
+			}
+			sort.Strings(regs)
+			for _, r := range regs {
+				zs := append([]int(nil), s.Zones[r]...)
+				sort.Ints(zs)
+				fmt.Fprintf(dst, " z[%s]=%v", r, zs)
+			}
+			for _, vm := range s.VMs {
+				fmt.Fprintf(dst, " vm=%s/%d/%s/%s", vm.Region, vm.ZoneIndex, vm.Type, vm.PublicIP)
+			}
+			for _, b := range s.Backends {
+				fmt.Fprintf(dst, " be=%s/%d/%s/%s", b.Region, b.ZoneIndex, b.Type, b.PublicIP)
+			}
+			if s.ELB != nil {
+				fmt.Fprintf(dst, " elb=%s", s.ELB.Name)
+			}
+			if s.Heroku != nil {
+				fmt.Fprintf(dst, " heroku=%s", s.Heroku.Name)
+			}
+			if s.Beanstalk != nil {
+				fmt.Fprintf(dst, " bean=%s", s.Beanstalk.Name)
+			}
+			if s.CS != nil {
+				fmt.Fprintf(dst, " cs=%s/%s", s.CS.Name, s.CS.Node.PublicIP)
+			}
+			if s.TM != nil {
+				fmt.Fprintf(dst, " tm=%s", s.TM.Name)
+			}
+			if s.CDN != nil {
+				fmt.Fprintf(dst, " cdn=%s", s.CDN.Name)
+			}
+			if s.AzureCDN != nil {
+				fmt.Fprintf(dst, " azcdn=%s", s.AzureCDN.Name)
+			}
+			fmt.Fprintf(dst, " oips=%v\n", s.OtherIPs)
+		}
+		// Full zone content as seen from a fixed client.
+		d.Zone.WriteTo(dst, netaddr.MustParseIP("8.8.8.8"))
+	}
+	fmt.Fprintf(dst, "cloudDomains=%d subs=%d\n", len(w.CloudDomains), w.NumSubdomains())
 }
 
 // Subdomain returns ground truth for an FQDN.

@@ -279,33 +279,49 @@ type OutageResult struct {
 // its route traverses a failed ISP. Deployments of size k use the first
 // k regions of bestOrder.
 func (m *Model) SimulateOutages(bestOrder []string, maxK, trials int, seed int64) OutageResult {
-	rng := xrand.SplitSeeded(seed, "wan/outage")
 	res := OutageResult{Trials: trials, MeanUnreachable: map[int]float64{}}
 	for k := 1; k <= maxK && k <= len(bestOrder); k++ {
 		regions := bestOrder[:k]
-		sum := 0.0
-		for trial := 0; trial < trials; trial++ {
-			failed := map[string]int{}
-			for _, r := range regions {
-				pool := m.DownstreamISPs(r, 0)
-				// Fail a popular ISP with rank-weighted probability —
-				// outages in big ISPs hurt more routes.
-				failed[r] = pool[int(float64(len(pool))*rng.Float64()*rng.Float64())]
-			}
-			cut := 0
-			for _, c := range m.Clients {
-				lost := true
+		shards := parallel.Shards(trials, m.Par.ShardSize)
+		sums := make([]float64, len(shards))
+		if err := parallel.Run(m.Par, trials, func(sh parallel.Shard) error {
+			// Each trial draws from its own seed-derived stream, so
+			// shard boundaries and worker count cannot shift outcomes.
+			sum := 0.0
+			for trial := sh.Lo; trial < sh.Hi; trial++ {
+				rng := xrand.SplitSeeded(seed, fmt.Sprintf("wan/outage/k%d/trial%d", k, trial))
+				failed := map[string]int{}
 				for _, r := range regions {
-					if m.routeISP(c, r, 0) != failed[r] {
-						lost = false
-						break
+					pool := m.DownstreamISPs(r, 0)
+					// Fail a popular ISP with rank-weighted probability —
+					// outages in big ISPs hurt more routes.
+					failed[r] = pool[int(float64(len(pool))*rng.Float64()*rng.Float64())]
+				}
+				cut := 0
+				for _, c := range m.Clients {
+					lost := true
+					for _, r := range regions {
+						if m.routeISP(c, r, 0) != failed[r] {
+							lost = false
+							break
+						}
+					}
+					if lost {
+						cut++
 					}
 				}
-				if lost {
-					cut++
-				}
+				sum += float64(cut) / float64(len(m.Clients))
 			}
-			sum += float64(cut) / float64(len(m.Clients))
+			sums[sh.Index] = sum
+			return nil
+		}); err != nil {
+			panic(err) // trials cannot fail; only re-raised panics arrive here
+		}
+		// Fold per-shard partial sums in shard order so float addition
+		// order is fixed regardless of completion order.
+		sum := 0.0
+		for _, s := range sums {
+			sum += s
 		}
 		res.MeanUnreachable[k] = sum / float64(trials)
 	}

@@ -164,7 +164,13 @@ func NewWeighted(rn *Rand, weights []float64) *Weighted {
 
 // Next returns the next weighted index.
 func (w *Weighted) Next() int {
-	u := w.rn.Float64()
+	return w.NextR(w.rn)
+}
+
+// NextR draws an index using an explicit source, letting one
+// precomputed CDF be shared across many independent streams.
+func (w *Weighted) NextR(rn *Rand) int {
+	u := rn.Float64()
 	i := sort.SearchFloat64s(w.cdf, u)
 	if i >= len(w.cdf) {
 		i = len(w.cdf) - 1

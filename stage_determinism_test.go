@@ -1,0 +1,143 @@
+package cloudscope
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cloudscope/internal/capture"
+	"cloudscope/internal/cartography"
+	"cloudscope/internal/core/dataset"
+	"cloudscope/internal/core/traffic"
+	"cloudscope/internal/deploy"
+	"cloudscope/internal/parallel"
+	"cloudscope/internal/pcapio"
+)
+
+// stageWorkerCounts are the bounds every stage golden is checked at:
+// the sequential path, a fixed parallel bound, and whatever the host
+// really has.
+func stageWorkerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// stageHashes runs each pipeline stage in isolation at the given worker
+// bound and returns a content hash per stage. Every stage uses a small
+// explicit shard size so shard boundaries cut through real work even on
+// small inputs.
+func stageHashes(t *testing.T, seed int64, workers int) map[string]string {
+	t.Helper()
+	opt := parallel.Options{Workers: workers, ShardSize: 19}
+	hashes := map[string]string{}
+	digest := func(stage string, render func(h *sha256Writer)) {
+		h := &sha256Writer{}
+		render(h)
+		hashes[stage] = h.Sum()
+	}
+
+	// Stage 1: world synthesis.
+	wcfg := deploy.DefaultConfig().Scaled(400)
+	wcfg.Seed = seed
+	wcfg.Par = opt
+	world := deploy.Generate(wcfg)
+	digest("world", func(h *sha256Writer) { world.DumpTruth(h) })
+
+	// Stage 2: subdomain discovery over the world.
+	names := make([]string, 0, len(world.Domains))
+	for _, d := range world.Domains {
+		names = append(names, d.Name)
+	}
+	ds := dataset.Build(dataset.Config{
+		Fabric:   world.Fabric,
+		Registry: world.Registry,
+		Ranges:   world.Ranges,
+		Domains:  names,
+		Vantages: 8,
+		Workers:  workers,
+	})
+	digest("dataset", func(h *sha256Writer) {
+		if _, err := ds.WriteTo(h); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Stage 3: border capture generation and analysis.
+	ccfg := capture.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Flows = 500
+	ccfg.Par = opt
+	var pcap bytes.Buffer
+	g := capture.NewGenerator(ccfg, world)
+	if _, err := g.Generate(pcapio.NewWriter(&pcap, ccfg.Snaplen)); err != nil {
+		t.Fatal(err)
+	}
+	digest("capture", func(h *sha256Writer) { h.Write(pcap.Bytes()) })
+	an, err := capture.AnalyzePar(&pcap, world.Ranges, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest("capture_analysis", func(h *sha256Writer) {
+		fmt.Fprintln(h, traffic.Table1(an))
+		fmt.Fprintln(h, traffic.Table2(an))
+		fmt.Fprintln(h, traffic.Table5(an, 15))
+		fmt.Fprintln(h, traffic.Table6(an, 10))
+	})
+
+	// Stage 4: cartography sampling and the proximity-map merge.
+	ref := world.EC2.NewAccount("stage-ref")
+	samples := cartography.SampleAccountsPar(world.EC2, ref, 3, 3, seed, opt)
+	pm := cartography.MergeAccountsPar(samples, ref.Name, opt)
+	digest("cartography", func(h *sha256Writer) {
+		for _, s := range samples {
+			fmt.Fprintf(h, "S %s %s %s %s\n", s.Account, s.Region, s.Label, s.InternalIP)
+		}
+		for _, region := range world.EC2.Regions() {
+			fmt.Fprintf(h, "R %s %v %v\n", region, pm.Index(region, 16), pm.Index(region, 24))
+		}
+		fmt.Fprintf(h, "ref=%s perms=%v\n", pm.Reference, pm.Permutations)
+	})
+	return hashes
+}
+
+// sha256Writer hashes everything written through it.
+type sha256Writer struct{ data []byte }
+
+func (w *sha256Writer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+func (w *sha256Writer) Sum() string { return fmt.Sprintf("%x", sha256.Sum256(w.data)) }
+
+// TestStageDeterminism pins each pipeline stage individually — world
+// synthesis, discovery, capture generation and analysis, and the
+// cartography merge — to be bit-identical at Workers=1, Workers=4, and
+// Workers=GOMAXPROCS, at two seeds. The golden is the runtime Workers=1
+// run, so the test needs no checked-in fixtures and survives intended
+// output changes; what it cannot survive is any worker-count
+// dependence.
+func TestStageDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every stage several times")
+	}
+	counts := stageWorkerCounts()
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			golden := stageHashes(t, seed, 1)
+			for _, workers := range counts[1:] {
+				got := stageHashes(t, seed, workers)
+				for stage, want := range golden {
+					if got[stage] != want {
+						t.Errorf("stage %s differs between Workers=1 and Workers=%d at seed %d", stage, workers, seed)
+					}
+				}
+			}
+		})
+	}
+}
