@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench experiments world clean
+.PHONY: all build check test race bench experiments world chaos fuzz-chaos clean
 
 all: build check test
 
@@ -23,6 +23,8 @@ check:
 	$(GO) test -race -count=5 -run TestStressShardBoundaries ./internal/parallel
 	$(GO) test -race -count=5 -run 'WorkerCountInvariant|ArrivalOrderInvariant|WorkersParallelismAlias' \
 		./internal/deploy ./internal/core/dataset ./internal/capture ./internal/cartography
+	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
+		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
 
 test:
 	$(GO) test ./...
@@ -36,6 +38,20 @@ bench:
 # Regenerate every table and figure of the paper.
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Run the fault-injection suite: the chaos engine's own tests, every
+# campaign's failure/invariance tests, and the full-study chaos goldens
+# (byte-identical outputs at every worker count under fault scenarios).
+chaos:
+	$(GO) test ./internal/chaos
+	$(GO) test -run 'UnderLoss|Chaos|Outage|Brownout|ServFail|Backoff' \
+		./internal/core/dataset ./internal/cartography ./internal/core/wanperf ./internal/dnssrv
+	$(GO) test -run 'TestChaosDeterminism|TestChaosChangesOutcomes' .
+
+# Fuzz the chaos scenario parser (accepted specs must validate,
+# round-trip, and drive the engine without panicking).
+fuzz-chaos:
+	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/chaos
 
 # Generate a world with shareable artifacts (pcap, zone files, CSVs).
 world:

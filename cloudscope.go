@@ -23,6 +23,7 @@ import (
 
 	"cloudscope/internal/capture"
 	"cloudscope/internal/cartography"
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/core/classify"
 	"cloudscope/internal/core/dataset"
@@ -62,6 +63,12 @@ type Config struct {
 	// The default (telemetry on) costs a few atomic increments per probe;
 	// see BenchmarkTelemetryOverhead.
 	NoTelemetry bool
+	// Chaos, when non-nil, runs the whole study under that fault
+	// scenario: the fabric drops and forges datagrams, vantages and
+	// accounts go dark mid-campaign, and regions brown out. Outputs stay
+	// bit-identical at every worker count; Completeness reports what the
+	// faults cost. See internal/chaos.
+	Chaos *chaos.Scenario
 }
 
 // DefaultConfig returns a library-scale configuration: large enough for
@@ -80,6 +87,9 @@ func (c Config) WithSeed(seed int64) Config { c.Seed = seed; return c }
 // (0 = GOMAXPROCS, 1 = sequential).
 func (c Config) WithWorkers(n int) Config { c.Workers = n; return c }
 
+// WithChaos returns the config running under a fault scenario.
+func (c Config) WithChaos(sc *chaos.Scenario) Config { c.Chaos = sc; return c }
+
 // Study runs the paper's pipeline over one generated world. All stages
 // are computed lazily and memoized; a Study is safe for concurrent use.
 type Study struct {
@@ -92,6 +102,9 @@ type Study struct {
 	tel        *telemetry.Telemetry
 	dnsMetrics *dnssrv.ResolverMetrics
 	simClock   atomic.Pointer[simnet.Clock]
+
+	// eng is the fault engine built from Cfg.Chaos (nil without it).
+	eng *chaos.Engine
 
 	worldOnce sync.Once
 	world     *deploy.World
@@ -148,8 +161,17 @@ func NewStudy(cfg Config) *Study {
 		})
 		s.dnsMetrics = dnssrv.NewResolverMetrics(s.tel.Registry())
 	}
+	s.eng = chaos.New(cfg.Chaos, cfg.Seed)
 	return s
 }
+
+// Chaos returns the study's fault engine (nil when no scenario is set).
+func (s *Study) Chaos() *chaos.Engine { return s.eng }
+
+// Completeness returns the study's measurement-coverage accounting: how
+// much of each stage's planned probing was attempted, retried, and
+// abandoned. Nil with NoTelemetry; empty until stages run.
+func (s *Study) Completeness() *telemetry.Completeness { return s.tel.Completeness() }
 
 // par builds one stage's fan-out options: the study's worker bound
 // plus that stage's parallel.<stage>.* instruments (nil-safe when
@@ -176,6 +198,9 @@ func (s *Study) World() *deploy.World {
 		wcfg.Par = s.par("world")
 		s.world = deploy.Generate(wcfg)
 		s.simClock.Store(s.world.Fabric.Clock())
+		if s.eng != nil {
+			s.world.Fabric.SetInterceptor(s.eng)
+		}
 		if s.tel != nil {
 			reg := s.tel.Registry()
 			s.world.Fabric.SetMetrics(simnet.NewFabricMetrics(reg))
@@ -196,16 +221,28 @@ func (s *Study) Dataset() *dataset.Dataset {
 		for _, d := range w.Domains {
 			names = append(names, d.Name)
 		}
-		s.ds = dataset.Build(dataset.Config{
+		dcfg := dataset.Config{
 			Fabric:   w.Fabric,
 			Registry: w.Registry,
 			Ranges:   w.Ranges,
 			Domains:  names,
 			Vantages: s.Cfg.Vantages,
 			Metrics:  s.dnsMetrics,
-			Workers:    s.Cfg.Workers,
-			ParMetrics: parallel.NewMetrics(s.tel.Registry(), "dataset"),
-		})
+			Workers:      s.Cfg.Workers,
+			ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset"),
+			Completeness: s.tel.Completeness(),
+		}
+		if s.eng != nil {
+			// Under chaos the pipeline hardens: retries with backoff,
+			// a generous per-domain budget so pathological domains
+			// cannot stall the crawl, and a per-vantage breaker.
+			dcfg.Chaos = s.eng
+			dcfg.Backoff = dnssrv.Backoff{MaxAttempts: 6, Base: 100 * time.Millisecond, Max: 2 * time.Second}
+			dcfg.MaxQueriesPerDomain = 4096
+			dcfg.DomainDeadline = 10 * time.Minute
+			dcfg.BreakerFailures = 4
+		}
+		s.ds = dataset.Build(dcfg)
 	})
 	return s.ds
 }
@@ -245,6 +282,8 @@ func (s *Study) Zones() *zones.Study {
 		cfg := zones.DefaultConfig()
 		cfg.Seed = s.Cfg.Seed
 		cfg.Par = s.par("zones")
+		cfg.Chaos = s.eng
+		cfg.Completeness = s.tel.Completeness()
 		s.zone = zones.Run(ds, det, ec2, cfg)
 	})
 	return s.zone
@@ -307,6 +346,24 @@ func (s *Study) Campaign() *wanperf.Campaign {
 		s.campaign.Model.Par = s.par("wanperf")
 		if s.tel != nil {
 			s.campaign.Model.SetMetrics(wan.NewMetrics(s.tel.Registry()))
+		}
+		if s.eng != nil {
+			s.campaign.Chaos = s.eng
+			s.campaign.Completeness = s.tel.Completeness()
+			// Regional brownouts reach the WAN model as extra path
+			// delay; the fault phase is the campaign-time fraction, a
+			// pure function of t.
+			eng, start := s.eng, s.campaign.Start
+			span := s.campaign.Interval * time.Duration(s.campaign.Rounds)
+			s.campaign.Model.SetChaos(func(_, region string, t time.Time) float64 {
+				phase := float64(t.Sub(start)) / float64(span)
+				if phase < 0 {
+					phase = 0
+				} else if phase > 1 {
+					phase = 1
+				}
+				return eng.RegionExtraMs(region, phase)
+			})
 		}
 	})
 	return s.campaign

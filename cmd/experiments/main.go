@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cloudscope"
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/stats"
 )
 
@@ -24,13 +25,20 @@ func main() {
 	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
 	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	chaosSpec := flag.String("chaos", "", "fault scenario: a library name ("+strings.Join(chaos.Library(), ", ")+") or an inline spec like 'loss,p=0.05;servfail,p=0.3,window=0.3-0.7'")
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
 	telemetry := flag.Bool("telemetry", false, "print the study's metric and span report after the run")
 	telemetryJSON := flag.String("telemetry-json", "", "write the telemetry dump as JSON to this file (- for stdout)")
 	flag.Parse()
 
+	scenario, err := chaos.Load(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
 	study := cloudscope.NewStudy(cloudscope.Config{
 		Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages, Workers: *workers,
+		Chaos: scenario,
 	})
 
 	want := map[string]bool{}
@@ -63,6 +71,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "  "+e.ID)
 		}
 		os.Exit(1)
+	}
+	if scenario != nil {
+		fmt.Printf("==== completeness under scenario %q ====\n%s\n", scenario.Name, study.Completeness().Report())
 	}
 	if *telemetry {
 		fmt.Print(study.Telemetry().Report())

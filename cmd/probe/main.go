@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"cloudscope"
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/probes"
 	"cloudscope/internal/wan"
@@ -29,13 +30,16 @@ func main() {
 	vantage := flag.Int("vantage", 0, "vantage index (0 = Seattle)")
 	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	telemetry := flag.Bool("telemetry", false, "print the telemetry report after the probe")
+	chaosSpec := flag.String("chaos", "", "fault scenario: a library name or an inline spec (see internal/chaos)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 	}
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, Workers: *workers})
+	scenario, err := chaos.Load(*chaosSpec)
+	check(err)
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, Workers: *workers, Chaos: scenario})
 	world := study.World()
 	p := probes.New(probes.Config{
 		Fabric:       world.Fabric,

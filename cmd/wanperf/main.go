@@ -6,17 +6,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"cloudscope"
+	"cloudscope/internal/chaos"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	clients := flag.Int("clients", 80, "PlanetLab clients")
 	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	chaosSpec := flag.String("chaos", "", "fault scenario: a library name or an inline spec (see internal/chaos)")
 	flag.Parse()
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients, Workers: *workers})
+	scenario, err := chaos.Load(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients, Workers: *workers, Chaos: scenario})
 	for _, id := range []string{"figure9", "figure10", "figure11", "figure12", "table11", "table16"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {
@@ -28,5 +36,8 @@ func main() {
 	fmt.Println("Route-outage simulation (mean fraction of clients cut off):")
 	for k := 1; k <= 3; k++ {
 		fmt.Printf("  k=%d regions: %.4f\n", k, res.MeanUnreachable[k])
+	}
+	if scenario != nil {
+		fmt.Printf("\nCompleteness under scenario %q:\n%s", scenario.Name, study.Completeness().Report())
 	}
 }

@@ -19,9 +19,11 @@ import (
 	"sort"
 	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/parallel"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/xrand"
 )
 
@@ -42,6 +44,13 @@ type LatencyConfig struct {
 	// to inflate even minimum RTTs past useful thresholds — the noise
 	// source behind Table 12's 10–30% unknown rates.
 	BusyFraction float64
+	// Chaos, when set, injects faults: region-scoped loss makes targets
+	// unreachable and region-scoped brownouts inflate probe RTTs
+	// (pushing more verdicts to "unknown" without ever flipping one).
+	Chaos *chaos.Engine
+	// Completeness, when set, receives per-region probe accounting under
+	// stage "cartography/latency".
+	Completeness *telemetry.Completeness
 }
 
 // DefaultLatencyConfig mirrors the paper: T = 1.1 ms, 10 pings, 5
@@ -146,21 +155,31 @@ func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.
 		}
 	}
 
-	// Probe all targets on the pool; outcome i belongs to work[i].
+	// Probe all targets on the pool; outcome i belongs to work[i]. The
+	// chaos phase is the target's index over the work list — the
+	// campaign's progress when this target would have been probed — so
+	// fault windows land identically at any worker count.
 	type outcome struct {
 		responding bool
+		chaosLost  bool
 		zone       int
 	}
 	outs := make([]outcome, len(work))
 	err := parallel.Run(opt, len(work), func(sh parallel.Shard) error {
 		rng := xrand.SplitSeeded(seed, fmt.Sprintf("cartography/latency/shard%d", sh.Index))
 		for i := sh.Lo; i < sh.Hi; i++ {
+			phase := float64(i) / float64(len(work))
+			if cfg.Chaos.ProbeLost(work[i].region, work[i].target.ID, phase) {
+				outs[i] = outcome{chaosLost: true}
+				continue
+			}
 			if rng.Bool(0.02) {
 				continue // unresponsive, like filtered hosts in the wild
 			}
+			extraMs := cfg.Chaos.RegionExtraMs(work[i].region, phase)
 			outs[i] = outcome{
 				responding: true,
-				zone:       identifyOne(c, rng, probesOf[work[i].region], work[i].target, cfg),
+				zone:       identifyOne(c, rng, probesOf[work[i].region], work[i].target, cfg, extraMs),
 			}
 		}
 		return nil
@@ -171,13 +190,25 @@ func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.
 
 	// Aggregate in input order on the caller's goroutine.
 	results := map[string]*LatencyRegionResult{}
+	comp := map[string]*telemetry.Counts{}
 	for i, w := range work {
 		res := results[w.region]
 		if res == nil {
 			res = &LatencyRegionResult{Region: w.region, ZoneCounts: map[int]int{}}
 			results[w.region] = res
+			comp[w.region] = &telemetry.Counts{}
 		}
 		res.Targets++
+		cc := comp[w.region]
+		cc.Attempted++
+		if outs[i].chaosLost {
+			cc.Abandoned++
+			continue
+		}
+		// Naturally unresponsive targets completed their measurement —
+		// the verdict is just "filtered" — so only chaos losses count as
+		// abandoned work.
+		cc.Succeeded++
 		if !outs[i].responding {
 			continue
 		}
@@ -189,16 +220,24 @@ func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.
 			res.ZoneCounts[outs[i].zone]++
 		}
 	}
+	for _, region := range regionOrder {
+		if cc := comp[region]; cc != nil {
+			cfg.Completeness.Merge("cartography/latency", region, *cc)
+		}
+	}
 	return results
 }
 
-// identifyOne applies the paper's decision rule to one target.
-func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes []zoneProbes, target *cloud.Instance, cfg LatencyConfig) int {
+// identifyOne applies the paper's decision rule to one target. extraMs
+// is chaos brownout latency added to every probe's floor; it shifts all
+// of a target's zone minima equally, so it can push verdicts to
+// "unknown" (past the threshold) but never flip one zone to another.
+func identifyOne(c *cloud.Cloud, rng *xrand.Rand, probes []zoneProbes, target *cloud.Instance, cfg LatencyConfig, extraMs float64) int {
 	// Loaded targets answer slowly no matter who probes them: a stable
 	// per-instance floor that min-of-N cannot strip.
-	busyMs := 0.0
+	busyMs := extraMs
 	if h := idHash(target.ID); float64(h%1000)/1000 < cfg.BusyFraction {
-		busyMs = 0.4 + float64(h%977)/977*2.6
+		busyMs += 0.4 + float64(h%977)/977*2.6
 	}
 	type zt struct {
 		zone int
@@ -266,6 +305,16 @@ func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, see
 // cloud's shared address cursors. The sample list is identical at every
 // worker count.
 func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options) []Sample {
+	return SampleAccountsObserved(c, ref, nExtra, perZone, seed, opt, nil, nil)
+}
+
+// SampleAccountsObserved is SampleAccountsPar under fault injection:
+// launches planned for an account that is chaos-dark at that point of
+// the campaign are skipped (the paper's accounts hit API throttles and
+// closures mid-campaign), and per-account accounting lands in comp
+// under stage "cartography/sample". The commit loop stays sequential in
+// plan order, so the sample list is identical at every worker count.
+func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []Sample {
 	accounts := []*cloud.Account{ref}
 	for ai := 0; ai < nExtra; ai++ {
 		accounts = append(accounts, c.NewAccount(fmt.Sprintf("carto-%03d", ai)))
@@ -288,9 +337,28 @@ func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, 
 	if err != nil {
 		panic(err) // workers only surface panics; re-raise on the caller
 	}
+	total := 0
+	for _, ls := range plans {
+		total += len(ls)
+	}
 	var samples []Sample
+	stats := map[string]*telemetry.Counts{}
+	li := 0
 	for _, ls := range plans {
 		for _, l := range ls {
+			phase := float64(li) / float64(total)
+			li++
+			cc := stats[l.acct.Name]
+			if cc == nil {
+				cc = &telemetry.Counts{}
+				stats[l.acct.Name] = cc
+			}
+			cc.Attempted++
+			if eng.AccountOut(l.acct.Name, phase) {
+				cc.Abandoned++
+				continue
+			}
+			cc.Succeeded++
 			inst := l.acct.Launch(l.region, l.label, "t1.micro")
 			samples = append(samples, Sample{
 				Account:    l.acct.Name,
@@ -298,6 +366,13 @@ func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, 
 				Label:      l.label,
 				InternalIP: inst.InternalIP,
 			})
+		}
+	}
+	if comp != nil {
+		for _, acct := range accounts {
+			if cc := stats[acct.Name]; cc != nil {
+				comp.Merge("cartography/sample", acct.Name, *cc)
+			}
 		}
 	}
 	return samples

@@ -1,0 +1,404 @@
+// Package chaos is the study's deterministic fault engine. A Scenario
+// describes a set of faults — packet loss and latency brownouts on the
+// fabric, SERVFAIL/REFUSED bursts and zone-transfer lockdowns at the
+// authoritative DNS layer, vantage-point and measurement-account
+// outages, and host blackouts — and an Engine injects them into a run.
+//
+// Determinism is the design center. Real measurement campaigns meet
+// real failures at unpredictable moments; a simulation that reproduces
+// a paper must meet the *same* failures at the *same* moments on every
+// run, at every worker count. Every fault verdict is therefore a pure
+// hash of (scenario seed, fault index, the thing being decided): which
+// datagram drops, which vantage is dark at 40% campaign progress, which
+// domain refuses AXFR. Nothing reads a clock, counts arrivals, or keeps
+// generator state, so a fixed fault plan is byte-identical whether the
+// campaign runs on one worker or sixteen.
+//
+// Faults see time as *campaign progress*, a fraction in [0,1):
+// campaign-level faults (vantage/account outages, regional brownouts)
+// are handed the campaign's own progress (domain index over total,
+// round over rounds), while wire-level faults (loss, SERVFAIL bursts)
+// derive a pseudo-phase from the datagram's flow identity — a
+// deterministic stand-in for "when in the campaign this packet flew".
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cloudscope/internal/dnswire"
+	"cloudscope/internal/netaddr"
+	"cloudscope/internal/simnet"
+	"cloudscope/internal/xrand"
+)
+
+// Kind names one fault class.
+type Kind string
+
+// The fault taxonomy. See the README's fault-model table for the
+// layer each kind acts at and the error clients observe.
+const (
+	// Loss drops datagrams with probability Prob. With a Region it is
+	// consulted by model-level probes (ProbeLost) instead of the fabric.
+	Loss Kind = "loss"
+	// Brownout adds ExtraRTT to round trips. With a Region it applies
+	// to that region's model-level probes (RegionExtraMs).
+	Brownout Kind = "brownout"
+	// VantageDown marks measurement vantage points dark during the
+	// window; campaigns skip and account for them.
+	VantageDown Kind = "vantage-down"
+	// AccountDown marks cloud measurement accounts unusable during the
+	// window (the paper's probe accounts hit API limits and closures).
+	AccountDown Kind = "account-down"
+	// ServFail forges SERVFAIL responses from authoritative DNS.
+	ServFail Kind = "servfail"
+	// Refused forges REFUSED responses from authoritative DNS.
+	Refused Kind = "refused"
+	// AXFRRefuse locks down zone transfers for a stable subset of
+	// domains — the paper's crawl found most zones refuse AXFR.
+	AXFRRefuse Kind = "axfr-refuse"
+	// Blackout silently drops every datagram to a hash-chosen fraction
+	// of destination hosts, for the whole run (a dead prefix).
+	Blackout Kind = "blackout"
+)
+
+// Fault is one fault clause of a scenario.
+type Fault struct {
+	Kind Kind
+	// From/To bound the fault's activity window in campaign progress
+	// [0,1). From==To means always active.
+	From, To float64
+	// Prob is the per-decision probability for loss/servfail/refused
+	// (0 means 1: always, within scope and window).
+	Prob float64
+	// Src/Dst scope wire-level faults to address ranges.
+	Src, Dst       netaddr.CIDR
+	HasSrc, HasDst bool
+	// Region scopes loss/brownout to one region's model-level probes
+	// (substring match), and is ignored by other kinds.
+	Region string
+	// DomainSuffix scopes DNS-layer faults to names under one suffix.
+	DomainSuffix string
+	// DomainFrac selects a stable hash-chosen fraction of base domains
+	// for DNS-layer faults (0 means all in scope).
+	DomainFrac float64
+	// Frac selects a stable fraction of vantages/accounts/hosts for
+	// vantage-down/account-down/blackout (0 means all in scope).
+	Frac float64
+	// ExtraRTT is the brownout's added round-trip latency.
+	ExtraRTT time.Duration
+}
+
+// active reports whether the fault's window covers campaign phase p.
+func (f *Fault) active(p float64) bool {
+	if f.From == f.To {
+		return true
+	}
+	return p >= f.From && p < f.To
+}
+
+// prob returns the effective decision probability.
+func (f *Fault) prob() float64 {
+	if f.Prob == 0 {
+		return 1
+	}
+	return f.Prob
+}
+
+// frac returns the effective selection fraction.
+func (f *Fault) frac() float64 {
+	if f.Frac == 0 {
+		return 1
+	}
+	return f.Frac
+}
+
+// Scenario is a named fault plan.
+type Scenario struct {
+	Name   string
+	Faults []Fault
+}
+
+// Validate checks the scenario's clauses for well-formedness.
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return nil
+	}
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		switch f.Kind {
+		case Loss, Brownout, VantageDown, AccountDown, ServFail, Refused, AXFRRefuse, Blackout:
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return fmt.Errorf("chaos: fault %d (%s): p=%g out of [0,1]", i, f.Kind, f.Prob)
+		}
+		if f.Frac < 0 || f.Frac > 1 || f.DomainFrac < 0 || f.DomainFrac > 1 {
+			return fmt.Errorf("chaos: fault %d (%s): fraction out of [0,1]", i, f.Kind)
+		}
+		if f.From < 0 || f.To > 1 || f.From > f.To {
+			return fmt.Errorf("chaos: fault %d (%s): window %g-%g out of order or range", i, f.Kind, f.From, f.To)
+		}
+		if f.Kind == Brownout && f.ExtraRTT <= 0 {
+			return fmt.Errorf("chaos: fault %d: brownout needs add=<duration>", i)
+		}
+		if f.ExtraRTT < 0 {
+			return fmt.Errorf("chaos: fault %d (%s): negative add", i, f.Kind)
+		}
+	}
+	return nil
+}
+
+// Engine evaluates a scenario's faults. It is stateless after
+// construction and safe for concurrent use; all methods are nil-safe,
+// so un-chaosed runs pay only a nil check. Engine implements
+// simnet.Interceptor for the wire-level faults.
+type Engine struct {
+	sc *Scenario
+	h0 uint64   // scenario hash root
+	fh []uint64 // per-fault sub-stream roots
+}
+
+// New builds an engine for sc with all fault draws derived from seed.
+// A nil or empty scenario yields a nil engine (no faults).
+func New(sc *Scenario, seed int64) *Engine {
+	if sc == nil || len(sc.Faults) == 0 {
+		return nil
+	}
+	h0 := xrand.HashString(uint64(seed), "chaos/"+sc.Name)
+	e := &Engine{sc: sc, h0: h0, fh: make([]uint64, len(sc.Faults))}
+	for i := range sc.Faults {
+		e.fh[i] = xrand.Hash64(h0, uint64(i)+1)
+	}
+	return e
+}
+
+// Scenario returns the engine's fault plan (nil for a nil engine).
+func (e *Engine) Scenario() *Scenario {
+	if e == nil {
+		return nil
+	}
+	return e.sc
+}
+
+// salts keep the independent draw families uncorrelated.
+const (
+	saltPhase  = 0x7068 // pseudo-phase of a wire datagram
+	saltSelect = 0x73656c // stable subset selection
+	saltDraw   = 0x6472 // per-decision probability draw
+)
+
+// scopeMatch reports whether the fault's CIDR scopes cover (src, dst).
+func (f *Fault) scopeMatch(src, dst netaddr.IP) bool {
+	if f.HasSrc && !f.Src.Contains(src) {
+		return false
+	}
+	if f.HasDst && !f.Dst.Contains(dst) {
+		return false
+	}
+	return true
+}
+
+// baseDomain returns the last two labels of a canonical name — the
+// unit AXFR policies and DNS bursts select domains by.
+func baseDomain(name string) string {
+	name = dnswire.CanonicalName(name)
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return name
+	}
+	j := strings.LastIndexByte(name[:i], '.')
+	if j < 0 {
+		return name
+	}
+	return name[j+1:]
+}
+
+// domainMatch reports whether fault i's domain scope covers name.
+func (e *Engine) domainMatch(i int, name string) bool {
+	f := &e.sc.Faults[i]
+	if f.DomainSuffix != "" {
+		suf := dnswire.CanonicalName(f.DomainSuffix)
+		if name != suf && !strings.HasSuffix(name, "."+suf) {
+			return false
+		}
+	}
+	if f.DomainFrac > 0 {
+		h := xrand.HashString(xrand.Hash64(e.fh[i], saltSelect), baseDomain(name))
+		if xrand.Frac(h) >= f.DomainFrac {
+			return false
+		}
+	}
+	return true
+}
+
+// forge builds a response to q with the given rcode, or nil if the
+// query cannot be answered in kind.
+func forge(q *dnswire.Message, rcode dnswire.RCode) []byte {
+	r := q.Reply()
+	r.Header.RCode = rcode
+	raw, err := r.Pack()
+	if err != nil {
+		return nil
+	}
+	return raw
+}
+
+// Intercept implements simnet.Interceptor: blackouts, unscoped loss
+// and brownouts, and the DNS-layer faults. The datagram's pseudo-phase
+// — its stand-in position in the campaign — is a hash of its identity,
+// so the same packet meets the same window on every run.
+func (e *Engine) Intercept(src, dst netaddr.IP, flow uint64, payload []byte) simnet.Verdict {
+	if e == nil {
+		return simnet.Verdict{}
+	}
+	phase := xrand.Frac(xrand.HashBytes(xrand.Hash64(e.h0, saltPhase, uint64(src), uint64(dst), flow), payload))
+	var v simnet.Verdict
+	var q *dnswire.Message
+	unpacked := false
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		switch f.Kind {
+		case Blackout:
+			if !f.scopeMatch(src, dst) || f.Region != "" {
+				continue
+			}
+			if xrand.Frac(xrand.Hash64(e.fh[i], saltSelect, uint64(dst))) < f.frac() {
+				return simnet.Verdict{Drop: true}
+			}
+		case Loss:
+			if f.Region != "" || !f.active(phase) || !f.scopeMatch(src, dst) {
+				continue
+			}
+			if xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload)) < f.prob() {
+				return simnet.Verdict{Drop: true}
+			}
+		case Brownout:
+			if f.Region != "" || !f.active(phase) || !f.scopeMatch(src, dst) {
+				continue
+			}
+			v.ExtraRTT += f.ExtraRTT
+		case ServFail, Refused, AXFRRefuse:
+			if !f.scopeMatch(src, dst) {
+				continue
+			}
+			if !unpacked {
+				unpacked = true
+				if m, err := dnswire.Unpack(payload); err == nil && !m.Header.Response && len(m.Questions) == 1 {
+					q = m
+				}
+			}
+			if q == nil || !e.domainMatch(i, q.Questions[0].Name) {
+				continue
+			}
+			if f.Kind == AXFRRefuse {
+				// A zone-transfer policy, not a transient: no window, no
+				// draw — the selected domains always refuse.
+				if q.Questions[0].Type != dnswire.TypeAXFR {
+					continue
+				}
+				if raw := forge(q, dnswire.RCodeRefused); raw != nil {
+					v.Respond = raw
+					return v
+				}
+				continue
+			}
+			if !f.active(phase) {
+				continue
+			}
+			if xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload)) >= f.prob() {
+				continue
+			}
+			rcode := dnswire.RCodeServFail
+			if f.Kind == Refused {
+				rcode = dnswire.RCodeRefused
+			}
+			if raw := forge(q, rcode); raw != nil {
+				v.Respond = raw
+				return v
+			}
+		}
+	}
+	return v
+}
+
+// outAt reports whether the named unit (vantage or account) is dark at
+// campaign phase for any fault of the given kind.
+func (e *Engine) outAt(kind Kind, name string, phase float64) bool {
+	if e == nil {
+		return false
+	}
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		if f.Kind != kind || !f.active(phase) {
+			continue
+		}
+		if f.Frac == 0 {
+			return true
+		}
+		if xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltSelect), name)) < f.Frac {
+			return true
+		}
+	}
+	return false
+}
+
+// VantageOut reports whether a measurement vantage point is dark at
+// campaign phase in [0,1). Campaigns pass their own progress fraction.
+func (e *Engine) VantageOut(vantage string, phase float64) bool {
+	return e.outAt(VantageDown, vantage, phase)
+}
+
+// AccountOut reports whether a cloud measurement account is unusable at
+// campaign phase.
+func (e *Engine) AccountOut(account string, phase float64) bool {
+	return e.outAt(AccountDown, account, phase)
+}
+
+// RegionExtraMs returns the extra round-trip milliseconds region-scoped
+// brownouts add to probes in region at campaign phase.
+func (e *Engine) RegionExtraMs(region string, phase float64) float64 {
+	if e == nil {
+		return 0
+	}
+	var ms float64
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		if f.Kind != Brownout || f.Region == "" || !f.active(phase) {
+			continue
+		}
+		if strings.Contains(region, f.Region) {
+			ms += float64(f.ExtraRTT) / float64(time.Millisecond)
+		}
+	}
+	return ms
+}
+
+// ProbeLost reports whether a model-level probe in region, identified
+// by a stable key, is lost at campaign phase — region-scoped loss draws
+// per key, region-scoped blackouts drop everything.
+func (e *Engine) ProbeLost(region, key string, phase float64) bool {
+	if e == nil {
+		return false
+	}
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		if f.Region == "" || !strings.Contains(region, f.Region) {
+			continue
+		}
+		switch f.Kind {
+		case Blackout:
+			return true
+		case Loss:
+			if !f.active(phase) {
+				continue
+			}
+			if xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltDraw), key)) < f.prob() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package chaos
+
+import "testing"
+
+// FuzzParseScenario: the spec parser must never panic, and anything it
+// accepts must validate, round-trip through String, and build an
+// engine.
+func FuzzParseScenario(f *testing.F) {
+	for _, spec := range library {
+		f.Add(spec)
+	}
+	f.Add("loss,p=0.5;brownout,add=10ms,window=0.1-0.9")
+	f.Add("blackout,frac=0.02,dst=54.0.0.0/8")
+	f.Add("vantage-down")
+	f.Add("loss,p=;;")
+	f.Add("axfr-refuse,domains=example.com,dfrac=2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sc, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejected: %v", spec, err)
+		}
+		rt, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("String() of accepted spec %q does not re-parse: %v", spec, err)
+		}
+		if rt.String() != sc.String() {
+			t.Fatalf("String round trip unstable: %q vs %q", rt.String(), sc.String())
+		}
+		e := New(sc, 1)
+		if e == nil {
+			t.Fatalf("accepted scenario %q built no engine", spec)
+		}
+		e.Intercept(1, 2, 3, []byte(spec))
+		e.VantageOut("v", 0.5)
+		e.ProbeLost("r", "k", 0.5)
+	})
+}

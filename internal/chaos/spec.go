@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudscope/internal/netaddr"
+)
+
+// The textual scenario format, accepted by every CLI's -chaos flag:
+//
+//	fault[;fault...]
+//	fault = kind[,key=value...]
+//
+// Keys: p=<prob> window=<from>-<to> src=<cidr> dst=<cidr>
+// region=<substr> domains=<suffix> dfrac=<frac> frac=<frac> add=<dur>.
+//
+// Example: "loss,p=0.1,window=0.2-0.8;axfr-refuse,dfrac=0.9".
+
+// Parse parses a scenario spec. The scenario's name is the spec itself,
+// so two runs with the same spec and seed draw identical faults.
+func Parse(spec string) (*Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("chaos: empty scenario spec")
+	}
+	sc := &Scenario{Name: spec}
+	for ci, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return nil, fmt.Errorf("chaos: clause %d is empty", ci)
+		}
+		parts := strings.Split(clause, ",")
+		f := Fault{Kind: Kind(strings.TrimSpace(parts[0]))}
+		for _, kv := range parts[1:] {
+			kv = strings.TrimSpace(kv)
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok || val == "" {
+				return nil, fmt.Errorf("chaos: clause %d: malformed option %q", ci, kv)
+			}
+			var err error
+			switch key {
+			case "p":
+				f.Prob, err = parseFrac(val)
+			case "frac":
+				f.Frac, err = parseFrac(val)
+			case "dfrac":
+				f.DomainFrac, err = parseFrac(val)
+			case "window":
+				from, to, cut := strings.Cut(val, "-")
+				if !cut {
+					return nil, fmt.Errorf("chaos: clause %d: window %q is not from-to", ci, val)
+				}
+				if f.From, err = parseFrac(from); err == nil {
+					f.To, err = parseFrac(to)
+				}
+			case "src":
+				f.Src, err = netaddr.ParseCIDR(val)
+				f.HasSrc = err == nil
+			case "dst":
+				f.Dst, err = netaddr.ParseCIDR(val)
+				f.HasDst = err == nil
+			case "region":
+				f.Region = val
+			case "domains":
+				f.DomainSuffix = val
+			case "add":
+				f.ExtraRTT, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("chaos: clause %d: unknown option %q", ci, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: clause %d: option %q: %v", ci, kv, err)
+			}
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseFrac(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("%g out of [0,1]", v)
+	}
+	return v, nil
+}
+
+// String renders the scenario in the spec format; Parse(sc.String())
+// yields an equivalent scenario.
+func (s *Scenario) String() string {
+	if s == nil {
+		return ""
+	}
+	var clauses []string
+	for i := range s.Faults {
+		f := &s.Faults[i]
+		parts := []string{string(f.Kind)}
+		if f.Prob > 0 {
+			parts = append(parts, fmt.Sprintf("p=%g", f.Prob))
+		}
+		if f.From != 0 || f.To != 0 {
+			parts = append(parts, fmt.Sprintf("window=%g-%g", f.From, f.To))
+		}
+		if f.HasSrc {
+			parts = append(parts, "src="+f.Src.String())
+		}
+		if f.HasDst {
+			parts = append(parts, "dst="+f.Dst.String())
+		}
+		if f.Region != "" {
+			parts = append(parts, "region="+f.Region)
+		}
+		if f.DomainSuffix != "" {
+			parts = append(parts, "domains="+f.DomainSuffix)
+		}
+		if f.DomainFrac > 0 {
+			parts = append(parts, fmt.Sprintf("dfrac=%g", f.DomainFrac))
+		}
+		if f.Frac > 0 {
+			parts = append(parts, fmt.Sprintf("frac=%g", f.Frac))
+		}
+		if f.ExtraRTT > 0 {
+			parts = append(parts, "add="+f.ExtraRTT.String())
+		}
+		clauses = append(clauses, strings.Join(parts, ","))
+	}
+	return strings.Join(clauses, ";")
+}
+
+// library holds the named scenarios shipped with the CLIs, each
+// modelling a failure mode the paper's measurement campaign actually
+// met.
+var library = map[string]string{
+	// flaky-internet: background packet loss plus a mid-campaign burst
+	// of overloaded authorities.
+	"flaky-internet": "loss,p=0.05;servfail,p=0.3,window=0.3-0.7",
+	// axfr-lockdown: most zones refuse transfers (the paper's crawl got
+	// AXFR from only a small minority of zones).
+	"axfr-lockdown": "axfr-refuse,dfrac=0.85",
+	// planetlab-flux: PlanetLab-style vantage churn — a third of the
+	// vantage fleet dark through the campaign's middle half, with
+	// background loss.
+	"planetlab-flux": "vantage-down,frac=0.35,window=0.25-0.75;loss,p=0.03",
+	// brownout-us-east: a regional latency event with correlated probe
+	// loss, in the style of the 2012 us-east incidents.
+	"brownout-us-east": "brownout,region=us-east,add=120ms,window=0.2-0.8;loss,p=0.15,region=us-east,window=0.2-0.8",
+	// hostile: everything at once — the stress scenario the chaos
+	// goldens run.
+	"hostile": "loss,p=0.08;servfail,p=0.25,window=0.1-0.9;refused,p=0.05,window=0.5-0.6;" +
+		"axfr-refuse,dfrac=0.9;vantage-down,frac=0.25,window=0.3-0.8;account-down,frac=0.25,window=0.4-0.9;" +
+		"brownout,region=us-east,add=80ms,window=0.2-0.7;brownout,add=5ms,window=0.6-0.9;blackout,frac=0.02",
+}
+
+// Library returns the names of the built-in scenarios, sorted.
+func Library() []string {
+	names := make([]string, 0, len(library))
+	for name := range library {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load resolves a -chaos flag value: empty means no scenario, a library
+// name loads the built-in of that name, and anything else parses as an
+// inline spec.
+func Load(s string) (*Scenario, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if spec, ok := library[s]; ok {
+		sc, err := Parse(spec)
+		if err != nil {
+			panic("chaos: bad library scenario " + s + ": " + err.Error())
+		}
+		sc.Name = s
+		return sc, nil
+	}
+	return Parse(s)
+}

@@ -16,15 +16,18 @@
 package dataset
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/dnssrv"
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/simnet"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/wordlist"
 )
 
@@ -141,11 +144,39 @@ type Config struct {
 	// Metrics, when set, is shared by every resolver the pipeline
 	// creates, aggregating query/rcode accounting across vantages.
 	Metrics *dnssrv.ResolverMetrics
+	// Chaos, when set, injects campaign-level faults: vantage points go
+	// dark for stretches of the scan and their work is skipped and
+	// accounted. Wire-level faults (loss, SERVFAIL bursts) arrive
+	// through the fabric's interceptor, not here.
+	Chaos *chaos.Engine
+	// Completeness, when set, receives per-vantage
+	// attempted/succeeded/retried/abandoned accounting under stages
+	// "dataset" (re-resolution vantages) and "dataset/brute".
+	Completeness *telemetry.Completeness
+	// Backoff configures retries on every resolver the pipeline creates;
+	// the zero value keeps the legacy single-pass semantics.
+	Backoff dnssrv.Backoff
+	// MaxQueriesPerDomain and DomainDeadline bound each domain scan's
+	// probe budget (0 = unlimited). An exhausted budget abandons the
+	// rest of that domain's queries; the dataset stays valid, just
+	// partial, and Completeness says by how much.
+	MaxQueriesPerDomain int64
+	DomainDeadline      time.Duration
+	// BreakerFailures trips a per-vantage circuit breaker within one
+	// domain scan: after this many consecutive failed lookups the
+	// vantage sits out the rest of that scan (0 disables).
+	BreakerFailures int
 }
 
 // vantageIP derives the i-th vantage's source address.
 func vantageIP(i int) netaddr.IP {
 	return netaddr.MustParseIP("193.5.0.0") + netaddr.IP(i*131+7)
+}
+
+// vantageLabel names the i-th re-resolution vantage in chaos plans and
+// completeness reports.
+func vantageLabel(i int) string {
+	return fmt.Sprintf("v%03d", i)
 }
 
 // Build runs the full pipeline.
@@ -175,12 +206,14 @@ func Build(cfg Config) *Dataset {
 		brute[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
 		brute[i].NoRecurse = true
 		brute[i].Metrics = cfg.Metrics
+		brute[i].Backoff = cfg.Backoff
 	}
 	vantages := make([]*dnssrv.Resolver, cfg.Vantages)
 	for i := range vantages {
 		vantages[i] = dnssrv.NewResolver(cfg.Fabric, cfg.Registry, vantageIP(i))
 		vantages[i].NoRecurse = true
 		vantages[i].Metrics = cfg.Metrics
+		vantages[i].Backoff = cfg.Backoff
 	}
 
 	type domainResult struct {
@@ -195,7 +228,7 @@ func Build(cfg Config) *Dataset {
 			// Brute-force resolver assignment stays a function of the
 			// domain index, not the shard, so results match the legacy
 			// per-domain goroutine loop byte for byte.
-			results[i] = scanDomain(cfg, brute[i%len(brute)], vantages, cfg.Domains[i])
+			results[i] = scanDomain(cfg, brute[i%len(brute)], vantages, cfg.Domains[i], i, len(cfg.Domains))
 		}
 		return nil
 	}); err != nil {
@@ -220,13 +253,30 @@ func Build(cfg Config) *Dataset {
 	return ds
 }
 
-// scanDomain runs steps 1–4 for one domain.
-func scanDomain(cfg Config, bruteRV *dnssrv.Resolver, vantages []*dnssrv.Resolver, domain string) (r struct {
+// scanDomain runs steps 1–4 for one domain. idx/total is the domain's
+// position in the ranked list — the campaign-progress phase chaos
+// windows are evaluated against. Everything fault-related is a function
+// of (domain, vantage, phase), never of scheduling, so scans compose
+// identically at any worker count; completeness counts merge through
+// the commutative accumulator for the same reason.
+func scanDomain(cfg Config, bruteRV *dnssrv.Resolver, vantages []*dnssrv.Resolver, domain string, idx, total int) (r struct {
 	summary *DomainSummary
 	obs     []*Observation
 	queries int64
 }) {
 	r.summary = &DomainSummary{Domain: domain}
+	phase := float64(idx) / float64(total)
+
+	// Per-scan probe budget, shared by every step of this domain.
+	var budget *dnssrv.Budget
+	if cfg.MaxQueriesPerDomain > 0 || cfg.DomainDeadline > 0 {
+		budget = &dnssrv.Budget{MaxQueries: cfg.MaxQueriesPerDomain, Deadline: cfg.DomainDeadline}
+	}
+	var bstats telemetry.Counts
+	bruteRV = bruteRV.ForUnit("dataset/"+domain, budget, &bstats)
+	defer func() {
+		cfg.Completeness.Merge("dataset/brute", vantageLabel(idx%150), bstats)
+	}()
 
 	// Step 1: zone transfer.
 	var names []string
@@ -268,16 +318,39 @@ func scanDomain(cfg Config, bruteRV *dnssrv.Resolver, vantages []*dnssrv.Resolve
 	}
 
 	// Step 4: distributed re-resolution of cloud-using subdomains.
+	// Name-outer, vantage-inner preserves the legacy first-seen record
+	// order. Per-vantage unit clones carry the scan's budget plus their
+	// own completeness counts; a vantage that is chaos-dark or has
+	// tripped its circuit breaker sits the lookup out, and the
+	// observation is built from whoever answered.
+	vrvs := make([]*dnssrv.Resolver, len(vantages))
+	vstats := make([]telemetry.Counts, len(vantages))
+	fails := make([]int, len(vantages))
 	for _, fqdn := range cloudNames {
 		o := &Observation{FQDN: fqdn, Domain: domain}
 		seenRR := map[string]bool{}
 		seenIP := map[netaddr.IP]bool{}
-		for _, rv := range vantages {
-			chain, err := rv.LookupA(fqdn)
-			r.queries++
-			if err != nil {
+		for vi, rv := range vantages {
+			if cfg.Chaos.VantageOut(vantageLabel(vi), phase) {
+				vstats[vi].Attempted++
+				vstats[vi].Abandoned++
 				continue
 			}
+			if cfg.BreakerFailures > 0 && fails[vi] >= cfg.BreakerFailures {
+				vstats[vi].Attempted++
+				vstats[vi].Abandoned++
+				continue
+			}
+			if vrvs[vi] == nil {
+				vrvs[vi] = rv.ForUnit(domain+"|"+vantageLabel(vi), budget, &vstats[vi])
+			}
+			chain, err := vrvs[vi].LookupA(fqdn)
+			r.queries++
+			if err != nil {
+				fails[vi]++
+				continue
+			}
+			fails[vi] = 0
 			for _, rr := range chain {
 				k := rr.String()
 				if !seenRR[k] {
@@ -294,6 +367,9 @@ func scanDomain(cfg Config, bruteRV *dnssrv.Resolver, vantages []*dnssrv.Resolve
 			r.obs = append(r.obs, o)
 			r.summary.CloudUsing++
 		}
+	}
+	for vi := range vstats {
+		cfg.Completeness.Merge("dataset", vantageLabel(vi), vstats[vi])
 	}
 	return r
 }

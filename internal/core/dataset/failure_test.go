@@ -1,9 +1,14 @@
 package dataset
 
 import (
+	"strings"
 	"testing"
+	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/deploy"
+	"cloudscope/internal/dnssrv"
+	"cloudscope/internal/telemetry"
 )
 
 // Failure injection: the discovery pipeline must degrade gracefully,
@@ -72,6 +77,106 @@ func TestDiscoveryUnderHeavyLossIsLowerBound(t *testing.T) {
 		}
 		if len(obs.IPs) == 0 {
 			t.Fatalf("%s kept with no addresses", fqdn)
+		}
+	}
+}
+
+// --- Worker-count invariance under faults ---------------------------
+//
+// The invariance contract must survive fault injection: every loss
+// verdict, retry, breaker trip, and completeness count is a pure
+// function of stable identities, never of worker scheduling.
+
+func buildFaulted(w *deploy.World, workers int, eng *chaos.Engine, comp *telemetry.Completeness) *Dataset {
+	names := make([]string, 0, len(w.Domains))
+	for _, d := range w.Domains {
+		names = append(names, d.Name)
+	}
+	return Build(Config{
+		Fabric: w.Fabric, Registry: w.Registry, Ranges: w.Ranges,
+		Domains: names, Vantages: 8, Workers: workers,
+		Chaos:           eng,
+		Completeness:    comp,
+		Backoff:         dnssrv.Backoff{MaxAttempts: 4, Base: 50 * time.Millisecond, Max: time.Second},
+		BreakerFailures: 4,
+	})
+}
+
+func TestBuildUnderLossWorkerInvariant(t *testing.T) {
+	run := func(workers int) (string, string) {
+		w := freshWorld()
+		w.Fabric.SetLoss(0.15, 7)
+		comp := telemetry.NewCompleteness()
+		ds := buildFaulted(w, workers, nil, comp)
+		return datasetBytes(t, ds), comp.Report()
+	}
+	goldenDS, goldenComp := run(1)
+	for _, workers := range []int{2, 4} {
+		ds, comp := run(workers)
+		if ds != goldenDS {
+			t.Errorf("dataset differs at Workers=%d under loss", workers)
+		}
+		if comp != goldenComp {
+			t.Errorf("completeness differs at Workers=%d under loss:\n%s\nvs\n%s", workers, comp, goldenComp)
+		}
+	}
+}
+
+func TestBuildChaosWorkerInvariant(t *testing.T) {
+	sc, err := chaos.Load("planetlab-flux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (string, string) {
+		w := freshWorld()
+		eng := chaos.New(sc, 42)
+		w.Fabric.SetInterceptor(eng)
+		comp := telemetry.NewCompleteness()
+		ds := buildFaulted(w, workers, eng, comp)
+		return datasetBytes(t, ds), comp.Report()
+	}
+	goldenDS, goldenComp := run(1)
+	if !strings.Contains(goldenComp, "dataset") {
+		t.Fatalf("completeness report records nothing:\n%s", goldenComp)
+	}
+	for _, workers := range []int{2, 4} {
+		ds, comp := run(workers)
+		if ds != goldenDS {
+			t.Errorf("dataset differs at Workers=%d under chaos", workers)
+		}
+		if comp != goldenComp {
+			t.Errorf("completeness differs at Workers=%d under chaos:\n%s\nvs\n%s", workers, comp, goldenComp)
+		}
+	}
+}
+
+// TestVantageOutageRecordsAbandonment pins the degradation contract: a
+// vantage outage mid-campaign yields a partial dataset that is still a
+// subset of truth, and Completeness reports the abandoned work.
+func TestVantageOutageRecordsAbandonment(t *testing.T) {
+	sc, err := chaos.Parse("vantage-down,frac=0.5,window=0.2-0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := freshWorld()
+	eng := chaos.New(sc, 3)
+	comp := telemetry.NewCompleteness()
+	ds := buildFaulted(w, 2, eng, comp)
+	if !comp.Degraded() {
+		t.Fatalf("expected degraded completeness, got:\n%s", comp.Report())
+	}
+	abandoned := int64(0)
+	for _, st := range comp.Snapshot() {
+		if st.Stage == "dataset" {
+			abandoned += st.Abandoned
+		}
+	}
+	if abandoned == 0 {
+		t.Fatal("vantage outage recorded no abandoned probes")
+	}
+	for fqdn := range ds.Subdomains {
+		if _, ok := w.Subdomain(fqdn); !ok {
+			t.Fatalf("phantom subdomain %s under outage", fqdn)
 		}
 	}
 }

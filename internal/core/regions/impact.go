@@ -48,7 +48,12 @@ func (a *Analysis) RegionOutages() []OutageImpact {
 		imp.DomainsHit = len(domainsHit[r])
 		out = append(out, *imp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SubdomainsDown > out[j].SubdomainsDown })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SubdomainsDown != out[j].SubdomainsDown {
+			return out[i].SubdomainsDown > out[j].SubdomainsDown
+		}
+		return out[i].Region < out[j].Region
+	})
 	return out
 }
 

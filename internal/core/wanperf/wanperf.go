@@ -11,10 +11,12 @@ import (
 	"sort"
 	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/geo"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/stats"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/wan"
 	"cloudscope/internal/xrand"
 )
@@ -32,6 +34,14 @@ type Campaign struct {
 	// seed-derived stream, so results are identical at every worker
 	// count.
 	Par parallel.Options
+	// Chaos, when set, injects faults: PlanetLab clients go dark for
+	// stretches of the campaign (vantage-down) and region-scoped
+	// loss/blackouts eat individual probes. Fault windows see the
+	// campaign's round fraction as their phase.
+	Chaos *chaos.Engine
+	// Completeness, when set, receives per-client probe accounting
+	// under stages "wanperf" (Matrix) and "wanperf/series".
+	Completeness *telemetry.Completeness
 }
 
 // NewCampaign builds the paper's default campaign over regions.
@@ -64,23 +74,44 @@ func (c *Campaign) Matrix(metric wan.Metric, regions []string, maxClients int) [
 	perClient, err := parallel.Map(c.Par, clients, func(_ int, client geo.Vantage) ([]MatrixCell, error) {
 		rng := xrand.SplitSeeded(c.Seed, "wanperf/matrix/"+client.ID)
 		cells := make([]MatrixCell, 0, len(regions))
+		var cc telemetry.Counts
 		for _, region := range regions {
-			sum := 0.0
+			sum, n := 0.0, 0
 			for round := 0; round < c.Rounds; round++ {
 				t := c.Start.Add(time.Duration(round) * c.Interval)
+				phase := float64(round) / float64(c.Rounds)
+				// The probe value draws first so that surviving rounds
+				// see the same stream with or without faults.
+				var v float64
 				if metric == wan.MetricLatency {
-					sum += c.Model.RTT(client, region, t, rng)
+					v = c.Model.RTT(client, region, t, rng)
 				} else {
-					sum += c.Model.Throughput(client, region, t, rng)
+					v = c.Model.Throughput(client, region, t, rng)
 				}
+				cc.Attempted++
+				if c.Chaos.VantageOut(client.Name, phase) ||
+					c.Chaos.ProbeLost(region, fmt.Sprintf("%s/%s/%d", client.ID, region, round), phase) {
+					cc.Abandoned++
+					continue
+				}
+				cc.Succeeded++
+				sum += v
+				n++
+			}
+			mean := 0.0
+			if n > 0 {
+				mean = sum / float64(n)
 			}
 			cells = append(cells, MatrixCell{
 				Client:  client.Name,
 				Region:  region,
-				Mean:    sum / float64(c.Rounds),
-				Samples: c.Rounds,
+				Mean:    mean,
+				Samples: n,
 			})
 		}
+		// Completeness additions commute, so recording from the worker
+		// cannot perturb worker-count invariance.
+		c.Completeness.Merge("wanperf", client.Name, cc)
 		return cells, nil
 	})
 	if err != nil {
@@ -108,13 +139,28 @@ func (c *Campaign) TimeSeries(clientName string, regions []string) map[string][]
 	if !found {
 		return nil
 	}
-	series, err := parallel.Map(c.Par, regions, func(_ int, region string) ([]stats.Point, error) {
+	series, err := parallel.Map(c.Par, regions, func(ri int, region string) ([]stats.Point, error) {
 		rng := xrand.SplitSeeded(c.Seed, "wanperf/series/"+client.ID+"/"+region)
 		pts := make([]stats.Point, 0, c.Rounds)
+		var cc telemetry.Counts
 		for round := 0; round < c.Rounds; round++ {
 			t := c.Start.Add(time.Duration(round) * c.Interval)
 			hours := float64(round) * c.Interval.Hours()
-			pts = append(pts, stats.Point{X: hours, Y: c.Model.RTT(client, region, t, rng)})
+			y := c.Model.RTT(client, region, t, rng)
+			cc.Attempted++
+			// Only client-level outages gate the series — the skip is
+			// region-independent, so every region's series keeps the
+			// same round set and Figure 11 stays aligned.
+			if c.Chaos.VantageOut(client.Name, float64(round)/float64(c.Rounds)) {
+				cc.Abandoned++
+				continue
+			}
+			cc.Succeeded++
+			pts = append(pts, stats.Point{X: hours, Y: y})
+		}
+		if ri == 0 {
+			// Identical per region; record once.
+			c.Completeness.Merge("wanperf/series", client.Name, cc)
 		}
 		return pts, nil
 	})
@@ -160,6 +206,16 @@ func IntraCloudRTTs(c *cloud.Cloud, region string, seed int64) []RTTRow {
 // sampling runs in parallel, each (instance type, zone) pair on its own
 // seed-derived stream so results match at every worker count.
 func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.Options) []RTTRow {
+	return IntraCloudRTTsObserved(c, region, seed, opt, nil, nil)
+}
+
+// IntraCloudRTTsObserved is IntraCloudRTTsPar under fault injection:
+// region-scoped loss eats individual pings (a pair losing all ten drops
+// out of the table), brownouts inflate every sample, and per-pair
+// accounting lands in comp under stage "wanperf/rtt". The fault phase
+// is the pair's index over the benchmark, and probe values draw before
+// the loss verdict, so surviving samples equal the fault-free run's.
+func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []RTTRow {
 	acct := c.NewAccount("rtt-bench")
 	labels := acct.ZoneLabels(region)
 	src := acct.Launch(region, labels[0], "t1.micro")
@@ -173,23 +229,50 @@ func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.O
 			pairs = append(pairs, pair{itype, label, acct.Launch(region, label, itype)})
 		}
 	}
-	rows, err := parallel.Map(opt, pairs, func(_ int, p pair) (RTTRow, error) {
+	type rowResult struct {
+		row RTTRow
+		ok  bool
+	}
+	rows, err := parallel.Map(opt, pairs, func(pi int, p pair) (rowResult, error) {
 		rng := xrand.SplitSeeded(seed, "wanperf/rtt/"+p.itype+"/"+p.label)
+		phase := float64(pi) / float64(len(pairs))
+		extraMs := eng.RegionExtraMs(region, phase)
 		var samples []float64
+		var cc telemetry.Counts
 		for i := 0; i < 10; i++ {
-			samples = append(samples, float64(c.ProbeRTT(rng, src, p.dst))/1e6)
+			v := float64(c.ProbeRTT(rng, src, p.dst))/1e6 + extraMs
+			cc.Attempted++
+			if eng.ProbeLost(region, fmt.Sprintf("%s/%s/%d", p.itype, p.label, i), phase) {
+				cc.Abandoned++
+				continue
+			}
+			cc.Succeeded++
+			samples = append(samples, v)
 		}
-		return RTTRow{
-			InstanceType: p.itype,
-			DestZone:     p.label,
-			MinMs:        stats.Min(samples),
-			MedianMs:     stats.Median(samples),
+		comp.Merge("wanperf/rtt", p.itype+"/"+p.label, cc)
+		if len(samples) == 0 {
+			return rowResult{}, nil // every ping lost: no row
+		}
+		return rowResult{
+			row: RTTRow{
+				InstanceType: p.itype,
+				DestZone:     p.label,
+				MinMs:        stats.Min(samples),
+				MedianMs:     stats.Median(samples),
+			},
+			ok: true,
 		}, nil
 	})
 	if err != nil {
 		panic(err) // probes cannot fail; only re-raised panics arrive here
 	}
-	return rows
+	out := make([]RTTRow, 0, len(rows))
+	for _, r := range rows {
+		if r.ok {
+			out = append(out, r.row)
+		}
+	}
+	return out
 }
 
 // --- Table 16: downstream-ISP diversity -------------------------------
@@ -213,6 +296,15 @@ func ISPDiversity(m *wan.Model, zoneCounts map[string]int, seed int64) []ISPRow 
 // stream and results fold back in sorted-region order, so the table is
 // identical at every worker count.
 func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options) []ISPRow {
+	return ISPDiversityObserved(m, zoneCounts, seed, opt, nil, nil)
+}
+
+// ISPDiversityObserved is ISPDiversityPar under fault injection:
+// chaos-dark clients contribute no traceroutes (phase = the pair's
+// index over the sweep), so observed ISP counts are lower bounds of the
+// fault-free run's, and per-zone accounting lands in comp under stage
+// "wanperf/isp".
+func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []ISPRow {
 	regions := make([]string, 0, len(zoneCounts))
 	for r := range zoneCounts {
 		regions = append(regions, r)
@@ -232,19 +324,30 @@ func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt pa
 		nISPs    int
 		topShare float64 // meaningful for zone 0 only
 	}
-	zstats, err := parallel.Map(opt, pairs, func(_ int, p zoneKey) (zoneStat, error) {
+	zstats, err := parallel.Map(opt, pairs, func(pi int, p zoneKey) (zoneStat, error) {
 		rng := xrand.SplitSeeded(seed, fmt.Sprintf("wanperf/isp/%s/%d", p.region, p.zone))
+		phase := float64(pi) / float64(len(pairs))
 		seen := map[int]bool{}
 		ispRoutes := map[int]int{}
 		total := 0
+		var cc telemetry.Counts
 		for _, client := range m.Clients {
+			// Draw the traceroute first so surviving clients' routes
+			// match the fault-free run's streams.
 			hops := m.Traceroute(client, p.region, p.zone, rng)
+			cc.Attempted++
+			if eng.VantageOut(client.Name, phase) {
+				cc.Abandoned++
+				continue
+			}
+			cc.Succeeded++
 			if asn, ok := wan.FirstDownstream(hops); ok {
 				seen[asn] = true
 				ispRoutes[asn]++
 				total++
 			}
 		}
+		comp.Merge("wanperf/isp", fmt.Sprintf("%s/%d", p.region, p.zone), cc)
 		st := zoneStat{nISPs: len(seen)}
 		if p.zone == 0 && total > 0 {
 			max := 0

@@ -50,7 +50,15 @@ func (s *Study) ZoneOutages() []ZoneImpact {
 		imp.DomainsDown = len(domDown[z])
 		out = append(out, *imp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].SubdomainsDown > out[j].SubdomainsDown })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SubdomainsDown != out[j].SubdomainsDown {
+			return out[i].SubdomainsDown > out[j].SubdomainsDown
+		}
+		if out[i].Zone.Region != out[j].Zone.Region {
+			return out[i].Zone.Region < out[j].Zone.Region
+		}
+		return out[i].Zone.Zone < out[j].Zone.Zone
+	})
 	return out
 }
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"cloudscope/internal/cartography"
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/core/dataset"
 	"cloudscope/internal/core/patterns"
@@ -15,6 +16,7 @@ import (
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/stats"
+	"cloudscope/internal/telemetry"
 )
 
 // Config parameterizes the zone study.
@@ -28,6 +30,10 @@ type Config struct {
 	// Par controls the latency-probing fan-out; results are identical
 	// at every worker count.
 	Par parallel.Options
+	// Chaos, when non-nil, injects account outages and regional probe
+	// faults; Completeness records the resulting coverage.
+	Chaos        *chaos.Engine
+	Completeness *telemetry.Completeness
 }
 
 // DefaultConfig mirrors the paper's setup at library scale.
@@ -99,8 +105,10 @@ func Run(ds *dataset.Dataset, det *patterns.Result, ec2 *cloud.Cloud, cfg Config
 
 	// Cartography.
 	s.Ref = ec2.NewAccount("zones-reference")
-	s.Samples = cartography.SampleAccountsPar(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed, cfg.Par)
+	s.Samples = cartography.SampleAccountsObserved(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed, cfg.Par, cfg.Chaos, cfg.Completeness)
 	s.PM = cartography.MergeAccountsPar(s.Samples, s.Ref.Name, cfg.Par)
+	cfg.Latency.Chaos = cfg.Chaos
+	cfg.Latency.Completeness = cfg.Completeness
 	s.Lat = cartography.IdentifyByLatencyPar(ec2, s.Ref, s.Targets, cfg.Latency, cfg.Seed, cfg.Par)
 	s.Combined = cartography.IdentifyCombined(s.Targets, s.PM, s.Lat)
 

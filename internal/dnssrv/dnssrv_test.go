@@ -401,3 +401,166 @@ func TestTransferIncludesDynamic(t *testing.T) {
 		t.Fatal("dynamic record missing from transfer")
 	}
 }
+
+// servfailServer forges SERVFAIL for every question — a broken
+// authority that still answers the wire.
+func servfailServer() simnet.HandlerFunc {
+	return func(_, _ netaddr.IP, payload []byte) []byte {
+		q, err := dnswire.Unpack(payload)
+		if err != nil {
+			return nil
+		}
+		r := q.Reply()
+		r.Header.RCode = dnswire.RCodeServFail
+		raw, err := r.Pack()
+		if err != nil {
+			return nil
+		}
+		return raw
+	}
+}
+
+// TestServFailFailsOverToNextServer: SERVFAIL says "this server is
+// broken", not "this name is bad" — the resolver must try the
+// delegation's remaining servers instead of giving up.
+func TestServFailFailsOverToNextServer(t *testing.T) {
+	fabric, reg, _, rv := testWorld(t)
+	m := NewResolverMetrics(telemetry.NewRegistry())
+	rv.Metrics = m
+
+	sickIP := netaddr.MustParseIP("198.51.100.66")
+	fabric.Register(sickIP, servfailServer())
+	// Sick server listed first: the naive resolver would return its
+	// SERVFAIL as the final verdict.
+	reg.Delegate("example.com", sickIP, nsIP)
+
+	resp, err := rv.Query("www.example.com", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("query did not fail over past SERVFAIL: %v", err)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].IP != vmIP {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if got := m.Retries.Value(); got < 1 {
+		t.Fatalf("retries = %d, want >= 1", got)
+	}
+	if got := m.ServFail.Value(); got < 1 {
+		t.Fatalf("servfail count = %d, want >= 1", got)
+	}
+	if got := m.Failed.Value(); got != 0 {
+		t.Fatalf("failed = %d, want 0", got)
+	}
+}
+
+// TestServFailOnAllServersReported: when every server is sick, the
+// caller still gets the SERVFAIL verdict and Failed accounting.
+func TestServFailOnAllServersReported(t *testing.T) {
+	fabric, reg, _, rv := testWorld(t)
+	m := NewResolverMetrics(telemetry.NewRegistry())
+	rv.Metrics = m
+	sickIP := netaddr.MustParseIP("198.51.100.66")
+	fabric.Register(sickIP, servfailServer())
+	reg.Delegate("example.com", sickIP)
+
+	resp, err := rv.Query("www.example.com", dnswire.TypeA)
+	if !errors.Is(err, ErrServFail) {
+		t.Fatalf("err = %v, want ErrServFail", err)
+	}
+	if resp == nil || resp.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("resp = %+v, want the SERVFAIL message", resp)
+	}
+	if m.Failed.Value() != 1 {
+		t.Fatalf("failed = %d, want 1", m.Failed.Value())
+	}
+}
+
+// TestNXDomainDoesNotFailOver: NXDOMAIN is an authoritative verdict
+// about the name; asking another server would just waste probes.
+func TestNXDomainDoesNotFailOver(t *testing.T) {
+	_, reg, _, rv := testWorld(t)
+	m := NewResolverMetrics(telemetry.NewRegistry())
+	rv.Metrics = m
+	reg.Delegate("example.com", nsIP, nsIP, nsIP)
+	if _, err := rv.Query("missing.example.com", dnswire.TypeA); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.Retries.Value(); got != 0 {
+		t.Fatalf("retries = %d after NXDOMAIN, want 0", got)
+	}
+}
+
+// TestBackoffRetriesAndBudget: with loss on the path, a hardened
+// resolver retries with sim-time backoff; a budget bounds the effort
+// and the unit counts record what was abandoned.
+func TestBackoffRetriesAndBudget(t *testing.T) {
+	fabric, _, _, rv := testWorld(t)
+	m := NewResolverMetrics(telemetry.NewRegistry())
+	rv.Metrics = m
+	rv.Backoff = Backoff{MaxAttempts: 4, Base: 100 * time.Millisecond, Max: time.Second}
+	fabric.SetLoss(1.0, 9) // nothing gets through
+
+	var unit telemetry.Counts
+	budget := &Budget{MaxQueries: 100}
+	urv := rv.ForUnit("test/unit", budget, &unit)
+
+	start := fabric.Clock().Now()
+	_, err := urv.Query("www.example.com", dnswire.TypeA)
+	if !errors.Is(err, simnet.ErrInjectedLoss) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.Retries.Value(); got != 3 {
+		t.Fatalf("retries = %d, want 3 (MaxAttempts=4)", got)
+	}
+	if q, _ := budget.Spent(); q != 4 {
+		t.Fatalf("budget queries = %d, want 4", q)
+	}
+	if elapsed := fabric.Clock().Now().Sub(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("sim clock advanced %v, backoff delays must be charged", elapsed)
+	}
+	if unit.Attempted != 1 || unit.Abandoned != 1 || unit.Retried != 1 || unit.Succeeded != 0 {
+		t.Fatalf("unit = %+v", unit)
+	}
+
+	// Budget exhaustion short-circuits the next question.
+	budget.MaxQueries = 4
+	if _, err := urv.Query("m.example.com", dnswire.TypeA); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if unit.Attempted != 2 || unit.Abandoned != 2 {
+		t.Fatalf("unit after exhaustion = %+v", unit)
+	}
+
+	// Lifting the loss: the clone answers and counts a success.
+	fabric.SetLoss(0, 0)
+	budget.MaxQueries = 100
+	if _, err := urv.Query("www.example.com", dnswire.TypeA); err != nil {
+		t.Fatalf("recovered query: %v", err)
+	}
+	if unit.Succeeded != 1 {
+		t.Fatalf("unit after recovery = %+v", unit)
+	}
+}
+
+// TestZeroBackoffKeepsLegacySemantics: the zero value tries each
+// delegated server once with no delay — the pre-hardening behavior.
+func TestZeroBackoffKeepsLegacySemantics(t *testing.T) {
+	fabric, reg, _, rv := testWorld(t)
+	m := NewResolverMetrics(telemetry.NewRegistry())
+	rv.Metrics = m
+	deadIP := netaddr.MustParseIP("198.51.100.77")
+	fabric.Register(deadIP, simnet.HandlerFunc(func(_, _ netaddr.IP, _ []byte) []byte { return nil }))
+	reg.Delegate("example.com", deadIP, nsIP)
+
+	start := fabric.Clock().Now()
+	resp, err := rv.Query("www.example.com", dnswire.TypeA)
+	if err != nil || len(resp.Answers) != 1 {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if m.Retries.Value() != 1 {
+		t.Fatalf("retries = %d, want 1 (second server)", m.Retries.Value())
+	}
+	// Two RTTs at the 0.5ms default one-way latency; no backoff delay.
+	if elapsed := fabric.Clock().Now().Sub(start); elapsed != 2*time.Millisecond {
+		t.Fatalf("sim time = %v, want 2ms (two queries, no backoff)", elapsed)
+	}
+}

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/simnet"
 	"cloudscope/internal/telemetry"
+	"cloudscope/internal/xrand"
 )
 
 // Resolution errors.
@@ -20,7 +20,91 @@ var (
 	ErrRefused      = errors.New("dnssrv: query refused")
 	ErrServFail     = errors.New("dnssrv: server failure")
 	ErrChainTooLong = errors.New("dnssrv: CNAME chain too long")
+	// ErrBudgetExhausted reports a question abandoned because its
+	// measurement unit spent its probe budget or deadline.
+	ErrBudgetExhausted = errors.New("dnssrv: probe budget exhausted")
 )
+
+// Backoff configures retry behavior for one resolver. The zero value
+// reproduces the legacy semantics exactly — one attempt per known
+// authoritative server, no delay between attempts — so un-hardened
+// callers are bit-identical to before.
+type Backoff struct {
+	// MaxAttempts caps wire attempts per question. Zero means one
+	// attempt per authoritative server; larger values cycle through the
+	// servers again (with backoff delays), the way the study's crawlers
+	// re-asked flaky authorities.
+	MaxAttempts int
+	// Base is the delay before the second attempt; each further attempt
+	// doubles it, capped at Max. Delays carry deterministic jitter in
+	// [0.5, 1.5)× derived from the question identity — never from shared
+	// generator state — and are charged to simulated time.
+	Base time.Duration
+	// Max caps the per-attempt delay. Zero with a nonzero Base means no
+	// cap.
+	Max time.Duration
+}
+
+// delay returns the pre-attempt backoff for attempt (1-based retry
+// index), jittered by a pure hash of the question identity.
+func (b Backoff) delay(h uint64, attempt int) time.Duration {
+	if b.Base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := b.Base << uint(attempt-1)
+	if b.Max > 0 && (d > b.Max || d <= 0) { // <=0: shift overflow
+		d = b.Max
+	}
+	jitter := 0.5 + xrand.Frac(xrand.Hash64(h, uint64(attempt), 0x6a69)) // [0.5, 1.5)
+	return time.Duration(float64(d) * jitter)
+}
+
+// Budget bounds the probing effort one measurement unit (for the
+// dataset crawl: one domain scan) may spend. It is consulted by every
+// Query on a resolver carrying it and is not safe for concurrent use —
+// a budget belongs to exactly one unit worker, mirroring how per-scan
+// state stays worker-local to keep campaigns order-invariant.
+type Budget struct {
+	// MaxQueries caps wire questions; zero means unlimited.
+	MaxQueries int64
+	// Deadline caps the simulated time spent (RTTs, timeouts, backoff
+	// delays); zero means unlimited.
+	Deadline time.Duration
+
+	queries int64
+	spent   time.Duration
+}
+
+// Exhausted reports whether the budget has run out. Nil budgets never
+// exhaust.
+func (b *Budget) Exhausted() bool {
+	if b == nil {
+		return false
+	}
+	if b.MaxQueries > 0 && b.queries >= b.MaxQueries {
+		return true
+	}
+	if b.Deadline > 0 && b.spent >= b.Deadline {
+		return true
+	}
+	return false
+}
+
+// Spent returns the consumed (queries, simulated time) so far.
+func (b *Budget) Spent() (int64, time.Duration) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.queries, b.spent
+}
+
+func (b *Budget) charge(queries int64, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.queries += queries
+	b.spent += d
+}
 
 // ResolverMetrics holds a resolver's instrumentation hooks. One
 // ResolverMetrics is typically shared by every resolver of a
@@ -98,10 +182,23 @@ type Resolver struct {
 	// NoRecurse disables the cache entirely (the paper's dig calls used
 	// norecurse plus cache flushes to see authoritative data each time).
 	NoRecurse bool
+	// Backoff configures retries; the zero value keeps legacy semantics.
+	Backoff Backoff
+	// FlowLabel names the measurement unit this resolver works for. It
+	// feeds the DNS message ID and the fabric flow identity, so fault
+	// draws depend on what is being measured, never on when — the
+	// property that keeps chaos runs worker-count invariant.
+	FlowLabel string
+	// Budget, when set, bounds this unit's probing effort. Must not be
+	// shared across goroutines; see Budget.
+	Budget *Budget
+	// Unit, when set, accumulates this unit's completeness accounting.
+	// Like Budget it belongs to one worker; campaigns fold units into a
+	// telemetry.Completeness afterwards.
+	Unit *telemetry.Counts
 
-	nextID atomic.Uint32
-	mu     sync.Mutex
-	cache  map[string]cacheEntry
+	mu    sync.Mutex
+	cache map[string]cacheEntry
 }
 
 type cacheEntry struct {
@@ -112,6 +209,26 @@ type cacheEntry struct {
 // NewResolver returns a resolver on fabric using reg for delegation.
 func NewResolver(fabric *simnet.Fabric, reg *Registry, source netaddr.IP) *Resolver {
 	return &Resolver{Fabric: fabric, Registry: reg, Source: source, cache: make(map[string]cacheEntry)}
+}
+
+// ForUnit returns a clone of rv dedicated to one measurement unit: it
+// shares the fabric, registry, metrics, vantage, and backoff policy but
+// carries its own flow label, budget, completeness counts, and a fresh
+// cache. The clone (and its budget and unit counts) must stay on one
+// goroutine.
+func (rv *Resolver) ForUnit(flowLabel string, b *Budget, u *telemetry.Counts) *Resolver {
+	return &Resolver{
+		Fabric:    rv.Fabric,
+		Registry:  rv.Registry,
+		Metrics:   rv.Metrics,
+		Source:    rv.Source,
+		NoRecurse: rv.NoRecurse,
+		Backoff:   rv.Backoff,
+		FlowLabel: flowLabel,
+		Budget:    b,
+		Unit:      u,
+		cache:     make(map[string]cacheEntry),
+	}
 }
 
 // FlushCache drops all cached responses.
@@ -140,9 +257,20 @@ func (m *ResolverMetrics) cacheEntriesAdd(delta int64) {
 	m.CacheEntries.Add(delta)
 }
 
+// lossTimeout is the simulated client-side wait charged to a unit's
+// budget when a datagram is lost. The fabric itself charges no time for
+// drops (a lost packet delivers nothing), but the measuring client
+// still burned a timeout waiting for it.
+const lossTimeout = time.Second
+
 // Query sends one question to the authoritative servers for name and
-// returns the validated response message. It retries across the
-// delegation's server IPs on timeout.
+// returns the validated response message. Failed attempts — timeouts,
+// injected loss, and SERVFAIL responses — fail over across the
+// delegation's server IPs, with optional exponential backoff between
+// attempts (see Backoff). NXDOMAIN and REFUSED are authoritative
+// verdicts and return immediately. The DNS message ID and fabric flow
+// derive from (FlowLabel, name, qtype, attempt), so retries redraw
+// their loss fate deterministically.
 func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, error) {
 	name = dnswire.CanonicalName(name)
 	m := rv.Metrics
@@ -161,30 +289,67 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 			m.CacheMisses.Inc()
 		}
 	}
+	if rv.Budget.Exhausted() {
+		if rv.Unit != nil {
+			rv.Unit.Attempted++
+			rv.Unit.Abandoned++
+		}
+		return nil, ErrBudgetExhausted
+	}
 	_, servers, ok := rv.Registry.Authoritative(name)
 	if !ok {
 		return nil, ErrNoDelegation
 	}
-	id := uint16(rv.nextID.Add(1))
-	q := dnswire.NewQuery(id, name, qtype)
-	q.Header.RecursionDesired = !rv.NoRecurse
-	payload, err := q.Pack()
-	if err != nil {
-		return nil, err
-	}
+	qh := xrand.Hash64(xrand.HashString(uint64(qtype), rv.FlowLabel+"|"+name))
 	if m != nil {
 		m.Queries.Inc()
 	}
+	if rv.Unit != nil {
+		rv.Unit.Attempted++
+	}
+	attempts := rv.Backoff.MaxAttempts
+	if attempts <= 0 {
+		attempts = len(servers)
+	}
+	var lastResp *dnswire.Message
 	var lastErr error = simnet.ErrTimeout
-	for attempt, server := range servers {
-		if m != nil && attempt > 0 {
-			m.Retries.Inc()
+	retried := false
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if m != nil {
+				m.Retries.Inc()
+			}
+			retried = true
+			if d := rv.Backoff.delay(qh, attempt); d > 0 {
+				rv.Fabric.Clock().Advance(d)
+				rv.Budget.charge(0, d)
+			}
+			if rv.Budget.Exhausted() {
+				break
+			}
 		}
-		raw, _, err := rv.Fabric.Query(rv.Source, server, payload)
+		server := servers[attempt%len(servers)]
+		// Per-attempt identity: retries are distinct datagrams on the
+		// wire and draw independent fault fates.
+		ah := xrand.Hash64(qh, uint64(attempt))
+		id := uint16(ah)
+		q := dnswire.NewQuery(id, name, qtype)
+		q.Header.RecursionDesired = !rv.NoRecurse
+		payload, err := q.Pack()
 		if err != nil {
+			return nil, err
+		}
+		raw, rtt, err := rv.Fabric.QueryFlow(rv.Source, server, ah, payload)
+		if err != nil {
+			if errors.Is(err, simnet.ErrTimeout) {
+				rv.Budget.charge(1, lossTimeout)
+			} else {
+				rv.Budget.charge(1, rtt)
+			}
 			lastErr = err
 			continue
 		}
+		rv.Budget.charge(1, rtt)
 		resp, err := dnswire.Unpack(raw)
 		if err != nil {
 			lastErr = err
@@ -198,11 +363,16 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 		switch resp.Header.RCode {
 		case dnswire.RCodeNoError:
 		case dnswire.RCodeNXDomain:
+			rv.unitDone(retried, true)
 			return resp, ErrNXDomain
 		case dnswire.RCodeRefused:
+			rv.unitDone(retried, true)
 			return resp, ErrRefused
 		default:
-			return resp, ErrServFail
+			// SERVFAIL: a broken or overloaded authority, not a verdict
+			// about the name — fail over to the remaining servers.
+			lastResp, lastErr = resp, ErrServFail
+			continue
 		}
 		if !rv.NoRecurse {
 			ttl := minTTL(resp.Answers)
@@ -213,12 +383,29 @@ func (rv *Resolver) Query(name string, qtype dnswire.Type) (*dnswire.Message, er
 			rv.cache[key] = cacheEntry{msg: resp, expires: rv.Fabric.Clock().Now().Add(time.Duration(ttl) * time.Second)}
 			rv.mu.Unlock()
 		}
+		rv.unitDone(retried, true)
 		return resp, nil
 	}
 	if m != nil {
 		m.Failed.Inc()
 	}
-	return nil, lastErr
+	rv.unitDone(retried, false)
+	return lastResp, lastErr
+}
+
+// unitDone finalizes one question's completeness accounting.
+func (rv *Resolver) unitDone(retried, succeeded bool) {
+	if rv.Unit == nil {
+		return
+	}
+	if retried {
+		rv.Unit.Retried++
+	}
+	if succeeded {
+		rv.Unit.Succeeded++
+	} else {
+		rv.Unit.Abandoned++
+	}
 }
 
 func minTTL(rrs []dnswire.RR) uint32 {

@@ -78,6 +78,28 @@ func (f HandlerFunc) ServePacket(src, dst netaddr.IP, payload []byte) []byte {
 // LatencyFunc models one-way delay between two addresses.
 type LatencyFunc func(src, dst netaddr.IP) time.Duration
 
+// Verdict is an Interceptor's decision about one datagram.
+type Verdict struct {
+	// Drop discards the datagram; the caller sees ErrInjectedLoss.
+	Drop bool
+	// ExtraRTT is added to the round-trip time (brownouts).
+	ExtraRTT time.Duration
+	// Respond, when non-nil, is delivered as the response instead of
+	// invoking the destination handler — how chaos scenarios forge
+	// SERVFAIL bursts without touching the servers themselves.
+	Respond []byte
+}
+
+// Interceptor inspects datagrams in flight and injects faults. flow is
+// the caller-supplied flow identity from QueryFlow (0 for plain Query
+// and Ping); payload is nil for pings. Implementations must be pure
+// functions of their arguments — any internal state would make fault
+// patterns depend on goroutine scheduling and break worker-count
+// invariance.
+type Interceptor interface {
+	Intercept(src, dst netaddr.IP, flow uint64, payload []byte) Verdict
+}
+
 // Errors returned by Query.
 var (
 	ErrHostUnreachable = errors.New("simnet: no host at destination")
@@ -122,13 +144,14 @@ func NewFabricMetrics(r *telemetry.Registry) *FabricMetrics {
 // Fabric is an in-memory datagram network. The zero value is not
 // usable; construct with NewFabric.
 type Fabric struct {
-	mu       sync.RWMutex
-	hosts    map[netaddr.IP]Handler
-	latency  LatencyFunc
-	lossProb float64
-	lossRand *xrand.Rand
-	clock    *Clock
-	metrics  *FabricMetrics
+	mu          sync.RWMutex
+	hosts       map[netaddr.IP]Handler
+	latency     LatencyFunc
+	lossProb    float64
+	lossSeed    int64
+	interceptor Interceptor
+	clock       *Clock
+	metrics     *FabricMetrics
 }
 
 // NewFabric returns an empty fabric using clock for time accounting.
@@ -184,24 +207,55 @@ func (f *Fabric) SetMetrics(m *FabricMetrics) {
 	f.metrics = m
 }
 
-// SetLoss makes each Query independently fail with probability p,
-// returning ErrInjectedLoss. Used for failure-injection tests. The seed
-// makes loss deterministic.
+// SetLoss makes each datagram independently fail with probability p,
+// returning ErrInjectedLoss. Used for failure-injection tests. The
+// verdict is a pure hash of (seed, src, dst, flow, payload) — no shared
+// generator state, so the loss pattern is a property of the traffic
+// itself, identical at every worker count and free of the hot-path
+// write lock a shared stream would need. Identical datagrams on the
+// same flow share one fate; callers wanting independent retry draws
+// vary the flow (see QueryFlow).
 func (f *Fabric) SetLoss(p float64, seed int64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.lossProb = p
-	f.lossRand = xrand.New(seed)
+	f.lossSeed = seed
+}
+
+// SetInterceptor installs a fault-injection hook consulted on every
+// datagram and ping; nil removes it.
+func (f *Fabric) SetInterceptor(ic Interceptor) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.interceptor = ic
+}
+
+// lossDraw returns the uniform [0,1) fate of one datagram.
+func lossDraw(seed int64, src, dst netaddr.IP, flow uint64, payload []byte) float64 {
+	h := xrand.Hash64(uint64(seed), uint64(src), uint64(dst), flow)
+	return xrand.Frac(xrand.HashBytes(h, payload))
 }
 
 // Query sends payload from src to dst and returns the response and the
 // round-trip time. The RTT is also charged to the fabric's clock so
-// measurement campaigns consume simulated time.
+// measurement campaigns consume simulated time. Query is QueryFlow with
+// a zero flow identity.
 func (f *Fabric) Query(src, dst netaddr.IP, payload []byte) (resp []byte, rtt time.Duration, err error) {
+	return f.QueryFlow(src, dst, 0, payload)
+}
+
+// QueryFlow is Query with an explicit flow identity. The flow value
+// feeds the loss draw and the interceptor but never the handler: two
+// identical payloads sent on different flows (e.g. a retry after a
+// timeout) draw independent loss fates, while replays on the same flow
+// share one. Callers derive flows from stable measurement identities —
+// never from arrival order.
+func (f *Fabric) QueryFlow(src, dst netaddr.IP, flow uint64, payload []byte) (resp []byte, rtt time.Duration, err error) {
 	f.mu.RLock()
 	h, ok := f.hosts[dst]
 	lat := f.latency
-	lossProb, lossRand := f.lossProb, f.lossRand
+	lossProb, lossSeed := f.lossProb, f.lossSeed
+	ic := f.interceptor
 	m := f.metrics
 	f.mu.RUnlock()
 	if m != nil {
@@ -213,19 +267,31 @@ func (f *Fabric) Query(src, dst netaddr.IP, payload []byte) (resp []byte, rtt ti
 		}
 		return nil, 0, ErrHostUnreachable
 	}
-	if lossProb > 0 && lossRand != nil {
-		f.mu.Lock()
-		drop := lossRand.Bool(lossProb)
-		f.mu.Unlock()
-		if drop {
+	if lossProb > 0 && lossDraw(lossSeed, src, dst, flow, payload) < lossProb {
+		if m != nil {
+			m.Dropped.Inc()
+		}
+		return nil, 0, ErrInjectedLoss
+	}
+	var forged []byte
+	var extra time.Duration
+	if ic != nil {
+		v := ic.Intercept(src, dst, flow, payload)
+		if v.Drop {
 			if m != nil {
 				m.Dropped.Inc()
 			}
 			return nil, 0, ErrInjectedLoss
 		}
+		extra = v.ExtraRTT
+		forged = v.Respond
 	}
-	rtt = lat(src, dst) + lat(dst, src)
-	resp = h.ServePacket(src, dst, payload)
+	rtt = lat(src, dst) + lat(dst, src) + extra
+	if forged != nil {
+		resp = forged
+	} else {
+		resp = h.ServePacket(src, dst, payload)
+	}
 	f.clock.Advance(rtt)
 	if resp == nil {
 		if m != nil {

@@ -122,12 +122,14 @@ func TestPing(t *testing.T) {
 }
 
 func TestLossInjection(t *testing.T) {
+	// Loss fate is a hash of the datagram's identity, so distinct flows
+	// draw independently while replays share a fate.
 	f := NewFabric(nil)
 	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
 	f.SetLoss(0.5, 99)
 	drops := 0
 	for i := 0; i < 1000; i++ {
-		if _, _, err := f.Query(1, 4, []byte("x")); err != nil {
+		if _, _, err := f.QueryFlow(1, 4, uint64(i), []byte("x")); err != nil {
 			// Injected drops are typed — and still read as timeouts.
 			if !errors.Is(err, ErrInjectedLoss) || !errors.Is(err, ErrTimeout) {
 				t.Fatalf("loss error = %v", err)
@@ -138,18 +140,41 @@ func TestLossInjection(t *testing.T) {
 	if drops < 400 || drops > 600 {
 		t.Fatalf("drops = %d/1000 with p=0.5", drops)
 	}
-	// Determinism: same seed, same drop pattern.
+	// Determinism: same seed, same drop pattern — even sent in reverse.
 	g := NewFabric(nil)
 	g.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
 	g.SetLoss(0.5, 99)
 	gd := 0
-	for i := 0; i < 1000; i++ {
-		if _, _, err := g.Query(1, 4, []byte("x")); errors.Is(err, ErrInjectedLoss) {
+	for i := 999; i >= 0; i-- {
+		if _, _, err := g.QueryFlow(1, 4, uint64(i), []byte("x")); errors.Is(err, ErrInjectedLoss) {
 			gd++
 		}
 	}
 	if gd != drops {
-		t.Fatalf("loss not deterministic: %d vs %d", gd, drops)
+		t.Fatalf("loss not order-invariant: %d vs %d", gd, drops)
+	}
+}
+
+func TestLossFateIsPerDatagram(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	f.SetLoss(0.5, 1)
+	// Identical datagram on the same flow: one fate, every time.
+	_, _, first := f.QueryFlow(1, 4, 42, []byte("probe"))
+	for i := 0; i < 20; i++ {
+		if _, _, err := f.QueryFlow(1, 4, 42, []byte("probe")); errors.Is(err, ErrInjectedLoss) != errors.Is(first, ErrInjectedLoss) {
+			t.Fatal("replay on the same flow changed fate")
+		}
+	}
+	// Varying the flow redraws.
+	varied := 0
+	for i := 0; i < 100; i++ {
+		if _, _, err := f.QueryFlow(1, 4, uint64(i), []byte("probe")); errors.Is(err, ErrInjectedLoss) != errors.Is(first, ErrInjectedLoss) {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Fatal("flow identity does not affect the loss draw")
 	}
 }
 
@@ -205,6 +230,72 @@ func TestUnregister(t *testing.T) {
 	}
 	if _, _, err := f.Query(1, 8, nil); err != ErrHostUnreachable {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+type verdictFunc func(src, dst netaddr.IP, flow uint64, payload []byte) Verdict
+
+func (f verdictFunc) Intercept(src, dst netaddr.IP, flow uint64, payload []byte) Verdict {
+	return f(src, dst, flow, payload)
+}
+
+func TestInterceptorDrop(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	f.SetInterceptor(verdictFunc(func(_, dst netaddr.IP, _ uint64, _ []byte) Verdict {
+		return Verdict{Drop: dst == 4}
+	}))
+	if _, _, err := f.Query(1, 4, []byte("x")); !errors.Is(err, ErrInjectedLoss) {
+		t.Fatalf("intercepted query err = %v, want injected loss", err)
+	}
+	f.Register(5, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	if _, _, err := f.Query(1, 5, []byte("x")); err != nil {
+		t.Fatalf("unintercepted query err = %v", err)
+	}
+	f.SetInterceptor(nil)
+	if _, _, err := f.Query(1, 4, []byte("x")); err != nil {
+		t.Fatalf("query after interceptor removed err = %v", err)
+	}
+}
+
+func TestInterceptorExtraRTT(t *testing.T) {
+	f := NewFabric(nil)
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte { return p }))
+	f.SetInterceptor(verdictFunc(func(_, _ netaddr.IP, _ uint64, _ []byte) Verdict {
+		return Verdict{ExtraRTT: 80 * time.Millisecond}
+	}))
+	start := f.Clock().Now()
+	_, rtt, err := f.Query(1, 4, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 81*time.Millisecond {
+		t.Fatalf("rtt = %v, want base 1ms + 80ms brownout", rtt)
+	}
+	if got := f.Clock().Now().Sub(start); got != 81*time.Millisecond {
+		t.Fatalf("clock advanced %v, brownout delay must be charged to sim time", got)
+	}
+}
+
+func TestInterceptorForgedResponse(t *testing.T) {
+	f := NewFabric(nil)
+	handlerHit := false
+	f.Register(4, HandlerFunc(func(_, _ netaddr.IP, p []byte) []byte {
+		handlerHit = true
+		return p
+	}))
+	f.SetInterceptor(verdictFunc(func(_, _ netaddr.IP, _ uint64, _ []byte) Verdict {
+		return Verdict{Respond: []byte("forged")}
+	}))
+	resp, _, err := f.Query(1, 4, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("forged")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	if handlerHit {
+		t.Fatal("forged response must short-circuit the handler")
 	}
 }
 

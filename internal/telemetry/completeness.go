@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counts is one unit of completeness accounting: how many operations a
+// measurement stage planned, how many produced an answer, how many
+// needed more than one attempt, and how many were given up on
+// (exhausted retries, tripped breakers, spent budgets, or deliberate
+// skips of a dead vantage). Attempted == Succeeded + Abandoned.
+type Counts struct {
+	Attempted, Succeeded, Retried, Abandoned int64
+}
+
+// Add folds d into c.
+func (c *Counts) Add(d Counts) {
+	c.Attempted += d.Attempted
+	c.Succeeded += d.Succeeded
+	c.Retried += d.Retried
+	c.Abandoned += d.Abandoned
+}
+
+// IsZero reports whether nothing was recorded.
+func (c Counts) IsZero() bool {
+	return c.Attempted == 0 && c.Succeeded == 0 && c.Retried == 0 && c.Abandoned == 0
+}
+
+// SuccessRate returns Succeeded/Attempted (1 when nothing was attempted).
+func (c Counts) SuccessRate() float64 {
+	if c.Attempted == 0 {
+		return 1
+	}
+	return float64(c.Succeeded) / float64(c.Attempted)
+}
+
+// Completeness accumulates per-(stage, vantage) operation accounting
+// across a study, so every campaign can report exactly how much of its
+// planned measurement it actually completed — the paper's crawls ran
+// against refused zone transfers and flaking PlanetLab nodes, and the
+// honest result is "partial, and here is how partial".
+//
+// All additions commute, so the final snapshot is identical no matter
+// how many workers recorded concurrently or in what order — the same
+// property that keeps the rest of the pipeline worker-count invariant.
+// A nil *Completeness ignores all recordings.
+type Completeness struct {
+	mu     sync.Mutex
+	stages map[string]*stageAcc
+}
+
+type stageAcc struct {
+	total    Counts
+	vantages map[string]*Counts
+}
+
+// NewCompleteness returns an empty accumulator.
+func NewCompleteness() *Completeness {
+	return &Completeness{stages: map[string]*stageAcc{}}
+}
+
+// Merge folds d into the (stage, vantage) cell. An empty vantage
+// attributes the counts to the stage total only.
+func (c *Completeness) Merge(stage, vantage string, d Counts) {
+	if c == nil || d.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acc := c.stages[stage]
+	if acc == nil {
+		acc = &stageAcc{vantages: map[string]*Counts{}}
+		c.stages[stage] = acc
+	}
+	acc.total.Add(d)
+	if vantage != "" {
+		vc := acc.vantages[vantage]
+		if vc == nil {
+			vc = &Counts{}
+			acc.vantages[vantage] = vc
+		}
+		vc.Add(d)
+	}
+}
+
+// Stage returns one stage's totals.
+func (c *Completeness) Stage(stage string) (Counts, bool) {
+	if c == nil {
+		return Counts{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acc := c.stages[stage]
+	if acc == nil {
+		return Counts{}, false
+	}
+	return acc.total, true
+}
+
+// VantageCounts is one vantage's counts within a stage.
+type VantageCounts struct {
+	Vantage string
+	Counts
+}
+
+// StageCompleteness is one stage's completeness, vantages sorted by name.
+type StageCompleteness struct {
+	Stage string
+	Counts
+	Vantages []VantageCounts
+}
+
+// Snapshot returns every stage's accounting, stages and vantages sorted
+// by name — a pure function of the recorded multiset.
+func (c *Completeness) Snapshot() []StageCompleteness {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.stages))
+	for name := range c.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StageCompleteness, 0, len(names))
+	for _, name := range names {
+		acc := c.stages[name]
+		sc := StageCompleteness{Stage: name, Counts: acc.total}
+		vnames := make([]string, 0, len(acc.vantages))
+		for v := range acc.vantages {
+			vnames = append(vnames, v)
+		}
+		sort.Strings(vnames)
+		for _, v := range vnames {
+			sc.Vantages = append(sc.Vantages, VantageCounts{Vantage: v, Counts: *acc.vantages[v]})
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// Degraded reports whether any stage abandoned work — i.e. whether the
+// study's results are partial.
+func (c *Completeness) Degraded() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, acc := range c.stages {
+		if acc.total.Abandoned > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Report renders the completeness table. Output is deterministic:
+// stages sorted, per-stage vantage impact summarized by the worst
+// (most-abandoning, ties to the lexicographically first) vantage.
+func (c *Completeness) Report() string {
+	snap := c.Snapshot()
+	if len(snap) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("completeness (per stage):\n")
+	fmt.Fprintf(&b, "  %-22s %10s %10s %8s %10s %8s\n",
+		"stage", "attempted", "succeeded", "retried", "abandoned", "success")
+	for _, sc := range snap {
+		fmt.Fprintf(&b, "  %-22s %10d %10d %8d %10d %7.1f%%\n",
+			sc.Stage, sc.Attempted, sc.Succeeded, sc.Retried, sc.Abandoned, 100*sc.SuccessRate())
+		hit := 0
+		var worst *VantageCounts
+		for i := range sc.Vantages {
+			v := &sc.Vantages[i]
+			if v.Abandoned == 0 {
+				continue
+			}
+			hit++
+			if worst == nil || v.Abandoned > worst.Abandoned {
+				worst = v
+			}
+		}
+		if worst != nil {
+			fmt.Fprintf(&b, "  %-22s   %d/%d vantages degraded; worst %s: %d/%d abandoned\n",
+				"", hit, len(sc.Vantages), worst.Vantage, worst.Abandoned, worst.Attempted)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCompletenessMergeAndSnapshot(t *testing.T) {
+	c := NewCompleteness()
+	c.Merge("dataset", "v001", Counts{Attempted: 10, Succeeded: 8, Retried: 3, Abandoned: 2})
+	c.Merge("dataset", "v000", Counts{Attempted: 5, Succeeded: 5})
+	c.Merge("dataset", "v001", Counts{Attempted: 1, Abandoned: 1})
+	c.Merge("wanperf", "Boulder", Counts{Attempted: 4, Succeeded: 4})
+	c.Merge("empty", "", Counts{}) // zero counts are dropped entirely
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d stages, want 2", len(snap))
+	}
+	if snap[0].Stage != "dataset" || snap[1].Stage != "wanperf" {
+		t.Fatalf("stages not sorted: %v %v", snap[0].Stage, snap[1].Stage)
+	}
+	ds := snap[0]
+	if ds.Attempted != 16 || ds.Succeeded != 13 || ds.Retried != 3 || ds.Abandoned != 3 {
+		t.Fatalf("dataset totals = %+v", ds.Counts)
+	}
+	if len(ds.Vantages) != 2 || ds.Vantages[0].Vantage != "v000" || ds.Vantages[1].Abandoned != 3 {
+		t.Fatalf("vantages = %+v", ds.Vantages)
+	}
+	if !c.Degraded() {
+		t.Fatal("Degraded() = false with abandoned work")
+	}
+	if got, ok := c.Stage("dataset"); !ok || got.Attempted != 16 {
+		t.Fatalf("Stage(dataset) = %+v, %v", got, ok)
+	}
+}
+
+func TestCompletenessNilSafe(t *testing.T) {
+	var c *Completeness
+	c.Merge("x", "y", Counts{Attempted: 1})
+	if c.Degraded() || c.Snapshot() != nil || c.Report() != "" {
+		t.Fatal("nil Completeness must be inert")
+	}
+	if _, ok := c.Stage("x"); ok {
+		t.Fatal("nil Completeness reported a stage")
+	}
+}
+
+// TestCompletenessOrderInvariant: the snapshot is a pure function of
+// the merged multiset — concurrent recording from many goroutines in
+// any interleaving yields the same report. This is the property that
+// lets campaign workers record completeness directly.
+func TestCompletenessOrderInvariant(t *testing.T) {
+	build := func(parallelism int) string {
+		c := NewCompleteness()
+		var wg sync.WaitGroup
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < 100; i += parallelism {
+					stage := "a"
+					if i%3 == 0 {
+						stage = "b"
+					}
+					c.Merge(stage, "v"+string(rune('0'+i%7)), Counts{
+						Attempted: int64(i), Succeeded: int64(i / 2), Abandoned: int64(i - i/2),
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		return c.Report()
+	}
+	want := build(1)
+	for _, p := range []int{2, 5} {
+		if got := build(p); got != want {
+			t.Fatalf("report differs at parallelism %d:\n%s\nvs\n%s", p, got, want)
+		}
+	}
+}
+
+func TestCompletenessReportShape(t *testing.T) {
+	c := NewCompleteness()
+	c.Merge("dataset", "v003", Counts{Attempted: 12, Succeeded: 4, Abandoned: 8})
+	c.Merge("dataset", "v001", Counts{Attempted: 10, Succeeded: 9, Abandoned: 1})
+	r := c.Report()
+	if !strings.Contains(r, "dataset") || !strings.Contains(r, "worst v003: 8/12 abandoned") {
+		t.Fatalf("report missing expected lines:\n%s", r)
+	}
+	if !strings.Contains(r, "2/2 vantages degraded") {
+		t.Fatalf("report missing vantage summary:\n%s", r)
+	}
+}

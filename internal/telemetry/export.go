@@ -126,6 +126,9 @@ type jsonDump struct {
 	Gauges     map[string]int64         `json:"gauges"`
 	Histograms map[string]jsonHistogram `json:"histograms"`
 	Spans      []jsonSpan               `json:"spans,omitempty"`
+	// Completeness reports per-stage attempted/succeeded/retried/
+	// abandoned measurement accounting; present only when recorded.
+	Completeness []StageCompleteness `json:"completeness,omitempty"`
 }
 
 type jsonHistogram struct {
@@ -148,10 +151,10 @@ type jsonSpan struct {
 
 // WriteJSON writes the snapshot as an expvar-style JSON document.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
-	return writeDump(w, s, nil)
+	return writeDump(w, s, nil, nil)
 }
 
-func writeDump(w io.Writer, s *Snapshot, tr *Tracer) error {
+func writeDump(w io.Writer, s *Snapshot, tr *Tracer, comp *Completeness) error {
 	d := jsonDump{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
@@ -190,6 +193,7 @@ func writeDump(w io.Writer, s *Snapshot, tr *Tracer) error {
 		}
 		d.Spans = convert(tr.Roots())
 	}
+	d.Completeness = comp.Snapshot()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(d)
@@ -204,6 +208,9 @@ func (t *Telemetry) Report() string {
 	var b strings.Builder
 	b.WriteString("=== telemetry ===\n")
 	b.WriteString(t.reg.Snapshot().Table())
+	if comp := t.comp.Report(); comp != "" {
+		b.WriteString(comp)
+	}
 	if tree := t.tr.Tree(); tree != "" {
 		b.WriteString("spans:\n")
 		b.WriteString(tree)
@@ -211,11 +218,12 @@ func (t *Telemetry) Report() string {
 	return b.String()
 }
 
-// WriteJSON dumps metrics and the span tree as one JSON document.
+// WriteJSON dumps metrics, completeness, and the span tree as one JSON
+// document.
 func (t *Telemetry) WriteJSON(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, "{}\n")
 		return err
 	}
-	return writeDump(w, t.reg.Snapshot(), t.tr)
+	return writeDump(w, t.reg.Snapshot(), t.tr, t.comp)
 }

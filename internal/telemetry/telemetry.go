@@ -254,17 +254,18 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
-// Telemetry bundles a Registry with a Tracer: one handle a Study (or
-// any pipeline) carries for all its observability. A nil *Telemetry is
-// a complete no-op.
+// Telemetry bundles a Registry with a Tracer and a Completeness
+// accumulator: one handle a Study (or any pipeline) carries for all
+// its observability. A nil *Telemetry is a complete no-op.
 type Telemetry struct {
-	reg *Registry
-	tr  *Tracer
+	reg  *Registry
+	tr   *Tracer
+	comp *Completeness
 }
 
 // New returns a fresh Telemetry with an empty registry and tracer.
 func New() *Telemetry {
-	return &Telemetry{reg: NewRegistry(), tr: NewTracer()}
+	return &Telemetry{reg: NewRegistry(), tr: NewTracer(), comp: NewCompleteness()}
 }
 
 // Registry returns the metric registry (nil on a nil Telemetry).
@@ -286,4 +287,13 @@ func (t *Telemetry) Tracer() *Tracer {
 // StartSpan opens a span on the tracer; see Tracer.StartSpan.
 func (t *Telemetry) StartSpan(name string) *Span {
 	return t.Tracer().StartSpan(name)
+}
+
+// Completeness returns the per-stage completeness accumulator (nil on
+// a nil Telemetry; a nil accumulator ignores all recordings).
+func (t *Telemetry) Completeness() *Completeness {
+	if t == nil {
+		return nil
+	}
+	return t.comp
 }

@@ -65,10 +65,36 @@ type Model struct {
 
 	// metrics is read on every sample, so it bypasses any locking.
 	metrics atomic.Pointer[Metrics]
+
+	// chaos is read on every sample, so it bypasses any locking.
+	chaos atomic.Pointer[ChaosFunc]
 }
 
 // SetMetrics installs measurement instrumentation; nil disables it.
 func (m *Model) SetMetrics(mm *Metrics) { m.metrics.Store(mm) }
+
+// ChaosFunc returns extra one-way path delay, in milliseconds, for a
+// (client, region) pair at time t. It must be a pure function of its
+// arguments: the model calls it from many workers and relies on it for
+// worker-count-invariant output.
+type ChaosFunc func(clientID, region string, t time.Time) float64
+
+// SetChaos installs a fault-injection delay hook; nil removes it.
+func (m *Model) SetChaos(f ChaosFunc) {
+	if f == nil {
+		m.chaos.Store(nil)
+		return
+	}
+	m.chaos.Store(&f)
+}
+
+// chaosDelayMs reports the injected extra delay for one sample.
+func (m *Model) chaosDelayMs(client geo.Vantage, region string, t time.Time) float64 {
+	if cf := m.chaos.Load(); cf != nil {
+		return (*cf)(client.ID, region, t)
+	}
+	return 0
+}
 
 // New builds a model over nClients PlanetLab vantages and the given
 // regions.
@@ -118,7 +144,7 @@ func (m *Model) congestion(client geo.Vantage, region string, t time.Time) float
 // RTT returns one latency sample in milliseconds at time t, including
 // measurement jitter.
 func (m *Model) RTT(client geo.Vantage, region string, t time.Time, rng *xrand.Rand) float64 {
-	base := m.BaseRTT(client, region) + m.congestion(client, region, t)
+	base := m.BaseRTT(client, region) + m.congestion(client, region, t) + m.chaosDelayMs(client, region, t)
 	jitter := rng.ExpFloat64() * 2.5
 	if rng.Bool(0.01) {
 		jitter += rng.Float64() * 80 // transient spike
@@ -135,7 +161,7 @@ func (m *Model) RTT(client geo.Vantage, region string, t time.Time, rng *xrand.R
 // time t. Throughput falls with RTT (TCP window limits) and is capped
 // by a per-pair bottleneck.
 func (m *Model) Throughput(client geo.Vantage, region string, t time.Time, rng *xrand.Rand) float64 {
-	rtt := m.BaseRTT(client, region) + m.congestion(client, region, t)
+	rtt := m.BaseRTT(client, region) + m.congestion(client, region, t) + m.chaosDelayMs(client, region, t)
 	// 64 KB effective window / RTT, in KB/s.
 	windowLimited := 64.0 / (rtt / 1000)
 	bottleneck := 2200 + 7000*pairHash(client.ID, region, "cap")

@@ -191,3 +191,56 @@ func Pick[T any](rn *Rand, choices []T, weights []float64) T {
 func PickUniform[T any](rn *Rand, choices []T) T {
 	return choices[rn.Intn(len(choices))]
 }
+
+// --- Stateless hashing -------------------------------------------------
+//
+// The helpers below turn arbitrary keys into well-distributed uint64
+// hashes and uniform [0,1) fractions without any generator state. They
+// back the per-event fault draws (packet loss, chaos scenarios): a
+// verdict derived purely from the event's identity is the same no
+// matter which worker evaluates it or in what order, which is what
+// keeps fault-injected runs byte-identical across worker counts.
+
+// mix64 is the splitmix64 finalizer: a cheap avalanche so related
+// inputs (consecutive indexes, nearby IPs) land far apart.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 folds the values into one well-distributed hash. Hash64() is a
+// fixed non-zero constant; every appended value permutes the state.
+func Hash64(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// HashString folds s into seed, FNV-style, and finalizes.
+func HashString(seed uint64, s string) uint64 {
+	h := seed ^ 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// HashBytes folds b into seed, FNV-style, and finalizes.
+func HashBytes(seed uint64, b []byte) uint64 {
+	h := seed ^ 14695981039346656037
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// Frac maps a hash to a uniform float64 in [0, 1).
+func Frac(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
