@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench experiments world chaos fuzz-chaos clean
+.PHONY: all build check test race bench experiments world chaos bisect-smoke fuzz-chaos fuzz-trace clean
 
 all: build check test
 
@@ -15,13 +15,14 @@ build:
 # repeated small-shard stress run that forces shard-boundary
 # interleavings in the pool.
 check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry ./internal/simnet ./internal/dnssrv \
 		./internal/parallel ./internal/core/patterns ./internal/core/regions \
 		./internal/core/zones ./internal/core/wanperf ./internal/cartography \
 		./internal/wan
 	$(GO) test -race -count=5 -run TestStressShardBoundaries ./internal/parallel
-	$(GO) test -race -count=5 -run 'WorkerCountInvariant|ArrivalOrderInvariant|WorkersParallelismAlias' \
+	$(GO) test -race -count=5 -run 'WorkerCountInvariant|ArrivalOrderInvariant' \
 		./internal/deploy ./internal/core/dataset ./internal/capture ./internal/cartography
 	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
@@ -43,15 +44,26 @@ experiments:
 # campaign's failure/invariance tests, and the full-study chaos goldens
 # (byte-identical outputs at every worker count under fault scenarios).
 chaos:
-	$(GO) test ./internal/chaos
+	$(GO) test ./internal/chaos ./internal/chaos/trace
 	$(GO) test -run 'UnderLoss|Chaos|Outage|Brownout|ServFail|Backoff' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf ./internal/dnssrv
-	$(GO) test -run 'TestChaosDeterminism|TestChaosChangesOutcomes' .
+	$(GO) test -run 'TestChaosDeterminism|TestChaosChangesOutcomes|TestChaosRecordReplay|TestChaosBisect' .
+
+# The fault-forensics loop in miniature, under the race detector:
+# record a faulted study's trace, replay it byte-identically, and
+# delta-debug it down to the culprit events.
+bisect-smoke:
+	$(GO) test -race -run 'TestChaosBisectMinimizesToCulprits' -v .
 
 # Fuzz the chaos scenario parser (accepted specs must validate,
 # round-trip, and drive the engine without panicking).
 fuzz-chaos:
 	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/chaos
+
+# Fuzz the fault-trace decoder (malformed or truncated traces must
+# error, never panic).
+fuzz-trace:
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/chaos/trace
 
 # Generate a world with shareable artifacts (pcap, zone files, CSVs).
 world:

@@ -137,7 +137,7 @@ func BenchmarkTable11(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ec2 := cloud.NewEC2(int64(i))
-		_ = wanperf.IntraCloudRTTs(ec2, "ec2.us-east-1", int64(i))
+		_ = wanperf.IntraCloudRTTs(ec2, "ec2.us-east-1", wanperf.Options{Seed: int64(i), Par: parallel.Options{Workers: 1}})
 	}
 }
 
@@ -184,7 +184,7 @@ func BenchmarkTable16(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = wanperf.ISPDiversity(m, zoneCounts, int64(i))
+		_ = wanperf.ISPDiversity(m, zoneCounts, wanperf.Options{Seed: int64(i), Par: parallel.Options{Workers: 1}})
 	}
 }
 
@@ -359,7 +359,7 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := patterns.DetectAllPar(ds, opt)
 				_ = regions.AnalyzePar(ds, d, opt)
-				_ = cartography.IdentifyByLatencyPar(ec2, acct, targets, latCfg, int64(i), opt)
+				_ = cartography.IdentifyByLatency(ec2, acct, targets, latCfg, cartography.Options{Seed: int64(i), Par: opt})
 				_ = campaign.Matrix(wan.MetricLatency, usRegions, 0)
 			}
 		})
@@ -381,7 +381,7 @@ func BenchmarkAblationZoneThreshold(b *testing.B) {
 			acct := ec2.NewAccount(fmt.Sprintf("ablation-%d", int(tMs*10)))
 			var unknownRate float64
 			for i := 0; i < b.N; i++ {
-				res := cartography.IdentifyByLatency(ec2, acct, targets, cfg, int64(i))
+				res := cartography.IdentifyByLatency(ec2, acct, targets, cfg, cartography.Options{Seed: int64(i), Par: parallel.Options{}})
 				var unknown, responding int
 				for _, rr := range res {
 					unknown += rr.Unknown
@@ -500,8 +500,8 @@ func BenchmarkAblationCartographyDensity(b *testing.B) {
 					targets = append(targets, ec2.Launch("ec2.us-east-1", j%3, "m1.small", cloud.KindVM))
 				}
 				ref := ec2.NewAccount(fmt.Sprintf("dens-%d-%d", perZone, i))
-				samples := cartography.SampleAccounts(ec2, ref, 3, perZone, int64(i))
-				pm := cartography.MergeAccounts(samples)
+				samples := cartography.SampleAccounts(ec2, ref, 3, perZone, cartography.Options{Seed: int64(i), Par: parallel.Options{Workers: 1}})
+				pm := cartography.MergeAccounts(samples, "", cartography.Options{Par: parallel.Options{Workers: 1}})
 				hit := 0
 				for _, t := range targets {
 					if _, ok := pm.Identify(t.Region, t.InternalIP); ok {

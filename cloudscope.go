@@ -17,6 +17,7 @@ package cloudscope
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"cloudscope/internal/capture"
 	"cloudscope/internal/cartography"
 	"cloudscope/internal/chaos"
+	"cloudscope/internal/chaos/trace"
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/core/classify"
 	"cloudscope/internal/core/dataset"
@@ -69,6 +71,17 @@ type Config struct {
 	// bit-identical at every worker count; Completeness reports what the
 	// faults cost. See internal/chaos.
 	Chaos *chaos.Scenario
+	// ChaosRecord arms fault-trace recording: every faulting verdict the
+	// chaos engine emits is captured, and FaultTrace returns the
+	// canonical trace after the run. Ignored without Chaos.
+	ChaosRecord bool
+	// ChaosReplay, when non-nil, replaces the hash-drawn chaos engine
+	// with one that re-injects this recorded trace verbatim (Chaos and
+	// ChaosRecord are then ignored). Replaying the trace of a recorded
+	// run — same Seed and sizing — reproduces that run's outputs
+	// byte-identically, even across engine or scenario changes. See
+	// internal/chaos/trace.
+	ChaosReplay *trace.Trace
 }
 
 // DefaultConfig returns a library-scale configuration: large enough for
@@ -103,8 +116,10 @@ type Study struct {
 	dnsMetrics *dnssrv.ResolverMetrics
 	simClock   atomic.Pointer[simnet.Clock]
 
-	// eng is the fault engine built from Cfg.Chaos (nil without it).
+	// eng is the fault engine built from Cfg.Chaos or Cfg.ChaosReplay
+	// (nil without either); rec captures its verdicts under ChaosRecord.
 	eng *chaos.Engine
+	rec *trace.Recorder
 
 	worldOnce sync.Once
 	world     *deploy.World
@@ -161,27 +176,79 @@ func NewStudy(cfg Config) *Study {
 		})
 		s.dnsMetrics = dnssrv.NewResolverMetrics(s.tel.Registry())
 	}
-	s.eng = chaos.New(cfg.Chaos, cfg.Seed)
+	if cfg.ChaosReplay != nil {
+		s.eng = chaos.NewReplay(cfg.ChaosReplay)
+	} else {
+		s.eng = chaos.New(cfg.Chaos, cfg.Seed)
+		if cfg.ChaosRecord && s.eng != nil {
+			s.rec = trace.NewRecorder(trace.Header{
+				Scenario: cfg.Chaos.Name,
+				Spec:     cfg.Chaos.String(),
+				Seed:     cfg.Seed,
+			})
+			s.eng.SetRecorder(s.rec)
+		}
+	}
 	return s
 }
 
 // Chaos returns the study's fault engine (nil when no scenario is set).
 func (s *Study) Chaos() *chaos.Engine { return s.eng }
 
+// FaultTrace returns the canonical fault trace recorded so far (run the
+// experiments first, then snapshot). Nil unless the study was built
+// with ChaosRecord and a scenario. Replaying the returned trace with
+// the same Config reproduces this run's outputs byte-identically.
+func (s *Study) FaultTrace() *trace.Trace { return s.rec.Snapshot() }
+
+// WriteFaultTrace writes the recorded fault trace to path in the JSONL
+// trace format (see internal/chaos/trace). It errors when the study is
+// not recording.
+func (s *Study) WriteFaultTrace(path string) error {
+	tr := s.FaultTrace()
+	if tr == nil {
+		return errNotRecording
+	}
+	return tr.WriteFile(path)
+}
+
+var errNotRecording = errors.New("cloudscope: study is not recording a fault trace (set Config.ChaosRecord with a Chaos scenario)")
+
+// BisectFaultTrace delta-debugs a recorded fault trace: it returns a
+// locally-minimal sub-trace whose replay under cfg still makes pred
+// true, plus the number of study runs spent. pred is handed a fresh
+// Study replaying each candidate; typical predicates re-run an
+// experiment and compare against a fault-free golden, or check
+// Completeness().Degraded(). cfg's own Chaos/ChaosRecord/ChaosReplay
+// are overridden per candidate.
+func BisectFaultTrace(cfg Config, tr *trace.Trace, pred func(*Study) bool) (*trace.Trace, int) {
+	return trace.Minimize(tr, func(cand *trace.Trace) bool {
+		c := cfg
+		c.Chaos, c.ChaosRecord, c.ChaosReplay = nil, false, cand
+		return pred(NewStudy(c))
+	})
+}
+
 // Completeness returns the study's measurement-coverage accounting: how
 // much of each stage's planned probing was attempted, retried, and
 // abandoned. Nil with NoTelemetry; empty until stages run.
 func (s *Study) Completeness() *telemetry.Completeness { return s.tel.Completeness() }
 
-// par builds one stage's fan-out options: the study's worker bound
-// plus that stage's parallel.<stage>.* instruments (nil-safe when
-// telemetry is off).
-func (s *Study) par(stage string) parallel.Options {
+// Par builds the fan-out options a pipeline stage should run with: the
+// study's worker bound plus that stage's parallel.<stage>.* instruments
+// (inert when telemetry is off). Use it to run the measurement
+// libraries' options-struct entry points (wanperf.Options.Par,
+// cartography.Options.Par, zones.Config.Par) under a study's worker
+// budget and metrics; results are bit-identical at every worker count.
+func (s *Study) Par(stage string) parallel.Options {
 	return parallel.Options{
 		Workers: s.Cfg.Workers,
 		Metrics: parallel.NewMetrics(s.tel.Registry(), stage),
 	}
 }
+
+// par is the internal shorthand for Par.
+func (s *Study) par(stage string) parallel.Options { return s.Par(stage) }
 
 // Telemetry returns the study's observability handle: the metric
 // registry every instrumented layer (fabric, resolvers, cloud and WAN
@@ -222,12 +289,12 @@ func (s *Study) Dataset() *dataset.Dataset {
 			names = append(names, d.Name)
 		}
 		dcfg := dataset.Config{
-			Fabric:   w.Fabric,
-			Registry: w.Registry,
-			Ranges:   w.Ranges,
-			Domains:  names,
-			Vantages: s.Cfg.Vantages,
-			Metrics:  s.dnsMetrics,
+			Fabric:       w.Fabric,
+			Registry:     w.Registry,
+			Ranges:       w.Ranges,
+			Domains:      names,
+			Vantages:     s.Cfg.Vantages,
+			Metrics:      s.dnsMetrics,
 			Workers:      s.Cfg.Workers,
 			ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset"),
 			Completeness: s.tel.Completeness(),

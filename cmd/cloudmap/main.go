@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"cloudscope"
+	"cloudscope/internal/cliflags"
 )
 
 func main() {
@@ -16,9 +17,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
 	save := flag.String("save", "", "write the measured dataset to this file")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, Vantages: *vantages})
+	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, Vantages: *vantages}
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
+	}
+	study := cloudscope.NewStudy(cfg)
 	ds := study.Dataset()
 	fmt.Printf("scanned %d domains, %d queries, %d AXFR successes (%.1f simulated probe-days serial)\n",
 		ds.Stats.DomainsScanned, ds.Stats.QueriesIssued, ds.Stats.AXFRSuccesses,
@@ -29,12 +35,10 @@ func main() {
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cloudmap:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if _, err := ds.WriteTo(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cloudmap:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f.Close()
 		fmt.Printf("dataset written to %s\n\n", *save)
@@ -43,8 +47,19 @@ func main() {
 	for _, id := range []string{"table3", "table4", "table7", "table9"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {
-			panic(err)
+			fatal(err)
 		}
 		fmt.Println(out)
 	}
+	if shared.Faulting() {
+		fmt.Printf("completeness:\n%s\n", study.Completeness().Report())
+	}
+	if err := shared.Finish(os.Stdout, study); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudmap:", err)
+	os.Exit(1)
 }

@@ -4,6 +4,9 @@
 // Usage:
 //
 //	experiments [-domains N] [-seed S] [-flows N] [-only table9,figure12]
+//	experiments -chaos hostile -chaos-record trace.jsonl
+//	experiments -chaos-replay trace.jsonl
+//	experiments -chaos-bisect trace.jsonl -only table9
 package main
 
 import (
@@ -14,7 +17,8 @@ import (
 	"time"
 
 	"cloudscope"
-	"cloudscope/internal/chaos"
+	"cloudscope/internal/chaos/trace"
+	"cloudscope/internal/cliflags"
 	"cloudscope/internal/stats"
 )
 
@@ -23,23 +27,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "world seed")
 	flows := flag.Int("flows", 30000, "border-capture flows")
 	vantages := flag.Int("vantages", 200, "distributed DNS vantage points")
-	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
-	chaosSpec := flag.String("chaos", "", "fault scenario: a library name ("+strings.Join(chaos.Library(), ", ")+") or an inline spec like 'loss,p=0.05;servfail,p=0.3,window=0.3-0.7'")
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
-	telemetry := flag.Bool("telemetry", false, "print the study's metric and span report after the run")
-	telemetryJSON := flag.String("telemetry-json", "", "write the telemetry dump as JSON to this file (- for stdout)")
+	bisect := flag.String("chaos-bisect", "",
+		"delta-debug the fault trace in this file to a minimal sub-trace that still changes the selected experiments' output from the fault-free run; prints the culprits and writes <file>.min")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	scenario, err := chaos.Load(*chaosSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chaos:", err)
-		os.Exit(1)
+	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages}
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
 	}
-	study := cloudscope.NewStudy(cloudscope.Config{
-		Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages, Workers: *workers,
-		Chaos: scenario,
-	})
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -47,6 +45,16 @@ func main() {
 			want[id] = true
 		}
 	}
+
+	if *bisect != "" {
+		if cfg.Chaos != nil || cfg.ChaosReplay != nil {
+			fatal(fmt.Errorf("-chaos-bisect replays sub-traces of the recorded run; drop -chaos/-chaos-replay"))
+		}
+		runBisect(cfg, *bisect, want)
+		return
+	}
+
+	study := cloudscope.NewStudy(cfg)
 	ran := 0
 	for _, e := range cloudscope.Experiments() {
 		if len(want) > 0 && !want[e.ID] {
@@ -59,8 +67,7 @@ func main() {
 		if *plotdata != "" {
 			if series, ok := study.FigureSeries(e.ID); ok {
 				if err := writeTSV(*plotdata, e.ID, series); err != nil {
-					fmt.Fprintln(os.Stderr, "plotdata:", err)
-					os.Exit(1)
+					fatal(err)
 				}
 			}
 		}
@@ -72,28 +79,64 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	if scenario != nil {
-		fmt.Printf("==== completeness under scenario %q ====\n%s\n", scenario.Name, study.Completeness().Report())
+	if shared.Faulting() {
+		fmt.Printf("==== completeness ====\n%s\n", study.Completeness().Report())
 	}
-	if *telemetry {
-		fmt.Print(study.Telemetry().Report())
+	if err := shared.Finish(os.Stdout, study); err != nil {
+		fatal(err)
 	}
-	if *telemetryJSON != "" {
-		w := os.Stdout
-		if *telemetryJSON != "-" {
-			f, err := os.Create(*telemetryJSON)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "telemetry-json:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			w = f
+}
+
+// runBisect shrinks a recorded fault trace to a locally-minimal
+// sub-trace whose replay still changes the selected experiments'
+// output from the fault-free run.
+func runBisect(cfg cloudscope.Config, path string, want map[string]bool) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	golden := outputs(cloudscope.NewStudy(cfg), want)
+	diverges := func(s *cloudscope.Study) bool { return outputs(s, want) != golden }
+
+	full := cfg
+	full.ChaosReplay = tr
+	if !diverges(cloudscope.NewStudy(full)) {
+		fatal(fmt.Errorf("replaying %s does not change the selected experiments' output; nothing to bisect", path))
+	}
+	fmt.Printf("trace %s: %d events under scenario %q (seed %d); bisecting...\n",
+		path, tr.Len(), tr.Header.Scenario, tr.Header.Seed)
+
+	min, replays := cloudscope.BisectFaultTrace(cfg, tr, diverges)
+	fmt.Printf("minimal culprit set: %d of %d events (%d replays)\n", min.Len(), tr.Len(), replays)
+	for _, ev := range min.Events {
+		line := fmt.Sprintf("  %-8s %-12s phase=%.3f id=%016x", ev.Point, ev.Kind, ev.Phase, ev.ID)
+		if ev.Name != "" {
+			line += " " + ev.Name
 		}
-		if err := study.Telemetry().WriteJSON(w); err != nil {
-			fmt.Fprintln(os.Stderr, "telemetry-json:", err)
-			os.Exit(1)
+		if ev.Cause != "" {
+			line += " cause=" + ev.Cause
 		}
+		fmt.Println(line)
 	}
+	out := path + ".min"
+	if err := min.WriteFile(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("minimal trace written to %s (replay with -chaos-replay %s)\n", out, out)
+}
+
+// outputs concatenates the selected experiments' text plus the
+// completeness report — the byte string record/replay/bisect compare.
+func outputs(s *cloudscope.Study, want map[string]bool) string {
+	var b strings.Builder
+	for _, e := range cloudscope.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		b.WriteString(e.Run(s))
+	}
+	b.WriteString(s.Completeness().Report())
+	return b.String()
 }
 
 func writeTSV(dir, id string, series map[string][]stats.Point) error {
@@ -106,4 +149,9 @@ func writeTSV(dir, id string, series map[string][]stats.Point) error {
 	}
 	defer f.Close()
 	return cloudscope.WriteSeriesTSV(f, series)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

@@ -15,10 +15,11 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"cloudscope"
-	"cloudscope/internal/chaos"
+	"cloudscope/internal/cliflags"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/probes"
 	"cloudscope/internal/wan"
@@ -28,18 +29,16 @@ func main() {
 	domains := flag.Int("domains", 2000, "world size")
 	seed := flag.Int64("seed", 1, "world seed")
 	vantage := flag.Int("vantage", 0, "vantage index (0 = Seattle)")
-	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
-	telemetry := flag.Bool("telemetry", false, "print the telemetry report after the probe")
-	chaosSpec := flag.String("chaos", "", "fault scenario: a library name or an inline spec (see internal/chaos)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		usage()
 	}
 
-	scenario, err := chaos.Load(*chaosSpec)
-	check(err)
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, Workers: *workers, Chaos: scenario})
+	cfg := cloudscope.Config{Seed: *seed, Domains: *domains}
+	check(shared.Apply(&cfg))
+	study := cloudscope.NewStudy(cfg)
 	world := study.World()
 	p := probes.New(probes.Config{
 		Fabric:       world.Fabric,
@@ -53,44 +52,67 @@ func main() {
 	})
 	fmt.Printf("probing from %s (%s)\n\n", p.Vantage().Name, p.Vantage().ID)
 
+	out, err := run(p, args)
+	check(err)
+	fmt.Print(out)
+	check(shared.Finish(os.Stdout, study))
+}
+
+// run executes one subcommand and returns its report, so the shared
+// post-run output (telemetry, fault trace) always lands after it.
+func run(p *probes.Prober, args []string) (string, error) {
 	switch args[0] {
 	case "dig":
 		need(args, 2)
 		answers, err := p.Dig(args[1])
-		check(err)
-		fmt.Print(probes.FormatDig(args[1], answers))
+		if err != nil {
+			return "", err
+		}
+		return probes.FormatDig(args[1], answers), nil
 	case "ns":
 		need(args, 2)
 		locs, err := p.DigNS(args[1])
-		check(err)
-		for ns, loc := range locs {
-			fmt.Printf("%-40s %s\n", ns, loc)
+		if err != nil {
+			return "", err
 		}
+		var b strings.Builder
+		for ns, loc := range locs {
+			fmt.Fprintf(&b, "%-40s %s\n", ns, loc)
+		}
+		return b.String(), nil
 	case "traceroute":
 		need(args, 3)
 		zone, err := strconv.Atoi(args[2])
-		check(err)
+		if err != nil {
+			return "", err
+		}
 		hops, err := p.Traceroute(args[1], zone)
-		check(err)
-		fmt.Print(probes.FormatTraceroute(hops))
+		if err != nil {
+			return "", err
+		}
+		return probes.FormatTraceroute(hops), nil
 	case "rtt":
 		need(args, 2)
 		at := time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC)
+		var b strings.Builder
 		for i := 0; i < 5; i++ {
 			v, err := p.RTT(args[1], at.Add(time.Duration(i)*time.Minute))
-			check(err)
-			fmt.Printf("rtt to %s: %.1f ms\n", args[1], v)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "rtt to %s: %.1f ms\n", args[1], v)
 		}
+		return b.String(), nil
 	case "get":
 		need(args, 2)
 		v, err := p.Get(args[1], time.Date(2013, 4, 5, 12, 0, 0, 0, time.UTC))
-		check(err)
-		fmt.Printf("throughput from %s: %.0f KB/s\n", args[1], v)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("throughput from %s: %.0f KB/s\n", args[1], v), nil
 	default:
 		usage()
-	}
-	if *telemetry {
-		fmt.Print(study.Telemetry().Report())
+		return "", nil
 	}
 }
 

@@ -8,14 +8,21 @@ import (
 	"os"
 
 	"cloudscope/internal/capture"
+	"cloudscope/internal/cliflags"
 	"cloudscope/internal/core/traffic"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/parallel"
 )
 
 func main() {
-	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	// The flags are registered identically across all commands, but this
+	// one analyzes an existing capture and runs no study — say so rather
+	// than silently ignoring a chaos or telemetry request.
+	if err := shared.RejectStudyFlags("traceanalyze"); err != nil {
+		fatal(err)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-workers n] <capture.pcap>")
 		os.Exit(2)
@@ -25,7 +32,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	an, err := capture.AnalyzePar(f, ipranges.Published(), parallel.Options{Workers: *workers})
+	an, err := capture.AnalyzePar(f, ipranges.Published(), parallel.Options{Workers: shared.Workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -9,26 +9,24 @@ import (
 	"os"
 
 	"cloudscope"
-	"cloudscope/internal/chaos"
+	"cloudscope/internal/cliflags"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	clients := flag.Int("clients", 80, "PlanetLab clients")
-	workers := flag.Int("workers", 0, "analysis worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
-	chaosSpec := flag.String("chaos", "", "fault scenario: a library name or an inline spec (see internal/chaos)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	scenario, err := chaos.Load(*chaosSpec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chaos:", err)
-		os.Exit(1)
+	cfg := cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients}
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
 	}
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: 500, WANClients: *clients, Workers: *workers, Chaos: scenario})
+	study := cloudscope.NewStudy(cfg)
 	for _, id := range []string{"figure9", "figure10", "figure11", "figure12", "table11", "table16"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {
-			panic(err)
+			fatal(err)
 		}
 		fmt.Println(out)
 	}
@@ -37,7 +35,15 @@ func main() {
 	for k := 1; k <= 3; k++ {
 		fmt.Printf("  k=%d regions: %.4f\n", k, res.MeanUnreachable[k])
 	}
-	if scenario != nil {
-		fmt.Printf("\nCompleteness under scenario %q:\n%s", scenario.Name, study.Completeness().Report())
+	if shared.Faulting() {
+		fmt.Printf("\ncompleteness:\n%s", study.Completeness().Report())
 	}
+	if err := shared.Finish(os.Stdout, study); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wanperf:", err)
+	os.Exit(1)
 }

@@ -11,20 +11,25 @@ import (
 	"path/filepath"
 
 	"cloudscope"
+	"cloudscope/internal/cliflags"
 )
 
 func main() {
 	domains := flag.Int("domains", 10000, "ranked-list size")
 	seed := flag.Int64("seed", 1, "world seed")
 	flows := flag.Int("flows", 20000, "capture flows")
-	workers := flag.Int("workers", 0, "generation worker bound (0 = GOMAXPROCS, 1 = sequential; results identical)")
 	outDir := flag.String("out", "world", "output directory")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows, Workers: *workers})
+	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows}
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
+	}
+	study := cloudscope.NewStudy(cfg)
 	world := study.World()
 
 	// Published IP ranges.
@@ -94,6 +99,9 @@ func main() {
 
 	fmt.Printf("wrote %s: %d domains (%d cloud-using), %d-flow capture (%d bytes of app traffic)\n",
 		*outDir, len(world.Domains), len(world.CloudDomains), truth.TotalFlows, truth.TotalBytes)
+	if err := shared.Finish(os.Stdout, study); err != nil {
+		fatal(err)
+	}
 }
 
 func join(ss []string) string {

@@ -6,24 +6,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"cloudscope"
+	"cloudscope/internal/cliflags"
 )
 
 func main() {
 	domains := flag.Int("domains", 8000, "ranked-list size")
 	seed := flag.Int64("seed", 1, "world seed")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	study := cloudscope.NewStudy(cloudscope.Config{Seed: *seed, Domains: *domains})
+	cfg := cloudscope.Config{Seed: *seed, Domains: *domains}
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
+	}
+	study := cloudscope.NewStudy(cfg)
 	z := study.Zones()
 	fmt.Printf("targets: %d physical EC2 instances; combined coverage %.1f%%\n\n",
 		len(z.Targets), 100*z.Combined.Coverage())
 	for _, id := range []string{"table12", "table13", "table14", "table15", "figure7", "figure8"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {
-			panic(err)
+			fatal(err)
 		}
 		fmt.Println(out)
 	}
+	if shared.Faulting() {
+		fmt.Printf("completeness:\n%s\n", study.Completeness().Report())
+	}
+	if err := shared.Finish(os.Stdout, study); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zonemap:", err)
+	os.Exit(1)
 }

@@ -25,11 +25,12 @@ func main() {
 
 	// Technique 1: address proximity. Sample instances under several
 	// accounts, merge by /16 co-occurrence.
-	samples := cartography.SampleAccounts(ec2, ref, 4, 6, 1)
-	pm := cartography.MergeAccounts(samples)
+	opt := cartography.Options{Seed: 1}
+	samples := cartography.SampleAccounts(ec2, ref, 4, 6, opt)
+	pm := cartography.MergeAccounts(samples, ref.Name, opt)
 
 	// Technique 2: latency. Probe instances in each zone ping targets.
-	lat := cartography.IdentifyByLatency(ec2, ref, targets, cartography.DefaultLatencyConfig(), 1)
+	lat := cartography.IdentifyByLatency(ec2, ref, targets, cartography.DefaultLatencyConfig(), opt)
 
 	// Combined estimator.
 	comb := cartography.IdentifyCombined(targets, pm, lat)

@@ -184,7 +184,12 @@ func runTable10(s *Study) string {
 }
 
 func runTable11(s *Study) string {
-	rows := wanperf.IntraCloudRTTsObserved(s.World().EC2, "ec2.us-east-1", s.Cfg.Seed, s.par("rtt"), s.eng, s.tel.Completeness())
+	rows := wanperf.IntraCloudRTTs(s.World().EC2, "ec2.us-east-1", wanperf.Options{
+		Seed:         s.Cfg.Seed,
+		Par:          s.par("rtt"),
+		Chaos:        s.eng,
+		Completeness: s.tel.Completeness(),
+	})
 	t := &stats.Table{
 		Title:  "Table 11: RTTs (least / median, ms) from a us-east-1a micro instance",
 		Header: []string{"Instance type", "Zone", "Min (ms)", "Median (ms)"},
@@ -264,7 +269,12 @@ func runTable16(s *Study) string {
 	// more than the 80 used for latency/throughput probing.
 	m := wan.New(s.Cfg.Seed, 200, ipranges.EC2Regions)
 	m.Par = s.par("isp")
-	rows := wanperf.ISPDiversityObserved(m, zoneCounts, s.Cfg.Seed, s.par("isp"), s.eng, s.tel.Completeness())
+	rows := wanperf.ISPDiversity(m, zoneCounts, wanperf.Options{
+		Seed:         s.Cfg.Seed,
+		Par:          s.par("isp"),
+		Chaos:        s.eng,
+		Completeness: s.tel.Completeness(),
+	})
 	t := &stats.Table{
 		Title:  "Table 16: downstream ISPs per region and zone",
 		Header: []string{"Region", "AZ1", "AZ2", "AZ3", "top-ISP route share"},

@@ -27,6 +27,28 @@ import (
 	"cloudscope/internal/xrand"
 )
 
+// Options bundles the cross-cutting run parameters every cartography
+// experiment takes: the seed its probe streams split from, the worker
+// fan-out, and the optional fault-injection handles. The zero value is
+// a bare fault-free run (Par's zero value fans out to GOMAXPROCS; set
+// Par.Workers to 1 to force the sequential path). Inside a Study,
+// build Options from the study's fields: Options{Seed: s.Cfg.Seed,
+// Par: s.Par("zones"), Chaos: s.Chaos(), Completeness:
+// s.Completeness()}.
+type Options struct {
+	// Seed roots the experiment's deterministic probe streams.
+	Seed int64
+	// Par bounds and instruments the worker fan-out; results are
+	// bit-identical at every worker count.
+	Par parallel.Options
+	// Chaos, when set, injects faults into the experiment's probes and
+	// launches.
+	Chaos *chaos.Engine
+	// Completeness, when set, receives the experiment's per-unit probe
+	// accounting.
+	Completeness *telemetry.Completeness
+}
+
 // LatencyConfig parameterizes the latency method.
 type LatencyConfig struct {
 	// ThresholdMs is T: a minimum probe RTT above it means "unknown".
@@ -47,9 +69,15 @@ type LatencyConfig struct {
 	// Chaos, when set, injects faults: region-scoped loss makes targets
 	// unreachable and region-scoped brownouts inflate probe RTTs
 	// (pushing more verdicts to "unknown" without ever flipping one).
+	//
+	// Deprecated: set Options.Chaos instead; it fills this field when
+	// unset.
 	Chaos *chaos.Engine
 	// Completeness, when set, receives per-region probe accounting under
 	// stage "cartography/latency".
+	//
+	// Deprecated: set Options.Completeness instead; it fills this field
+	// when unset.
 	Completeness *telemetry.Completeness
 }
 
@@ -89,17 +117,6 @@ func (r *LatencyRegionResult) UnknownRate() float64 {
 	return float64(r.Unknown) / float64(r.Responding)
 }
 
-// IdentifyByLatency runs the latency method over targets grouped by
-// region. Probe instances are launched under acct, so the returned zone
-// indexes are in acct's label space ('a' = 0, ...) — the same space the
-// proximity method reports in when acct is its reference, exactly as in
-// the paper where both methods ran from the authors' accounts. A small
-// fraction of targets (2%) are treated as unresponsive, like filtered
-// hosts in the wild.
-func IdentifyByLatency(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64) map[string]*LatencyRegionResult {
-	return IdentifyByLatencyPar(c, acct, targets, cfg, seed, parallel.Options{})
-}
-
 // zoneProbes is one zone's probe instances, kept in a slice sorted by
 // zone index so probing visits zones in a deterministic order.
 type zoneProbes struct {
@@ -107,14 +124,29 @@ type zoneProbes struct {
 	insts []*cloud.Instance
 }
 
-// IdentifyByLatencyPar is IdentifyByLatency fanned out over a worker
-// pool. Probe launches stay sequential (they move the account's
-// allocation cursors) and visit regions in sorted order; the per-target
-// probing — the expensive part — shards across workers, each shard
-// drawing from its own stream split from the stage seed by shard
-// index. The shard layout depends only on the target count, so results
-// are bit-identical at every worker count and on every machine.
-func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64, opt parallel.Options) map[string]*LatencyRegionResult {
+// IdentifyByLatency runs the latency method over targets grouped by
+// region. Probe instances are launched under acct, so the returned zone
+// indexes are in acct's label space ('a' = 0, ...) — the same space the
+// proximity method reports in when acct is its reference, exactly as in
+// the paper where both methods ran from the authors' accounts. A small
+// fraction of targets (2%) are treated as unresponsive, like filtered
+// hosts in the wild.
+//
+// Probe launches stay sequential (they move the account's allocation
+// cursors) and visit regions in sorted order; the per-target probing —
+// the expensive part — shards across opt.Par's workers, each shard
+// drawing from its own stream split from opt.Seed by shard index. The
+// shard layout depends only on the target count, so results are
+// bit-identical at every worker count and on every machine. opt.Chaos
+// and opt.Completeness fill cfg's equivalents when those are unset.
+func IdentifyByLatency(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, opt Options) map[string]*LatencyRegionResult {
+	seed := opt.Seed
+	if cfg.Chaos == nil {
+		cfg.Chaos = opt.Chaos
+	}
+	if cfg.Completeness == nil {
+		cfg.Completeness = opt.Completeness
+	}
 	byRegion := map[string][]*cloud.Instance{}
 	var regionOrder []string
 	for _, t := range targets {
@@ -165,7 +197,7 @@ func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.
 		zone       int
 	}
 	outs := make([]outcome, len(work))
-	err := parallel.Run(opt, len(work), func(sh parallel.Shard) error {
+	err := parallel.Run(opt.Par, len(work), func(sh parallel.Shard) error {
 		rng := xrand.SplitSeeded(seed, fmt.Sprintf("cartography/latency/shard%d", sh.Index))
 		for i := sh.Lo; i < sh.Hi; i++ {
 			phase := float64(i) / float64(len(work))
@@ -226,6 +258,14 @@ func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.
 		}
 	}
 	return results
+}
+
+// IdentifyByLatencyPar runs IdentifyByLatency with a positional seed
+// and fan-out.
+//
+// Deprecated: use IdentifyByLatency with Options.
+func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64, opt parallel.Options) map[string]*LatencyRegionResult {
+	return IdentifyByLatency(c, acct, targets, cfg, Options{Seed: seed, Par: opt})
 }
 
 // identifyOne applies the paper's decision rule to one target. extraMs
@@ -293,28 +333,19 @@ type Sample struct {
 // the account-labelled placements (the paper accumulated 5,096 samples
 // over several accounts and years). The reference account's samples
 // come first, making it MergeAccounts' label anchor.
-func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64) []Sample {
-	return SampleAccountsPar(c, ref, nExtra, perZone, seed, parallel.Options{Workers: 1})
-}
-
-// SampleAccountsPar is SampleAccounts in plan/commit form: each
-// account's launch schedule is planned on the pool (reading only static
-// zone metadata — account label permutations are split streams keyed by
-// account name, fixed at NewAccount), then every launch commits
-// sequentially in account order, because instance allocation moves the
-// cloud's shared address cursors. The sample list is identical at every
-// worker count.
-func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options) []Sample {
-	return SampleAccountsObserved(c, ref, nExtra, perZone, seed, opt, nil, nil)
-}
-
-// SampleAccountsObserved is SampleAccountsPar under fault injection:
-// launches planned for an account that is chaos-dark at that point of
-// the campaign are skipped (the paper's accounts hit API throttles and
-// closures mid-campaign), and per-account accounting lands in comp
-// under stage "cartography/sample". The commit loop stays sequential in
-// plan order, so the sample list is identical at every worker count.
-func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []Sample {
+//
+// It runs in plan/commit form: each account's launch schedule is
+// planned on opt.Par's pool (reading only static zone metadata —
+// account label permutations are split streams keyed by account name,
+// fixed at NewAccount), then every launch commits sequentially in
+// account order, because instance allocation moves the cloud's shared
+// address cursors. The sample list is identical at every worker count.
+// Under opt.Chaos, launches planned for an account that is chaos-dark
+// at that point of the campaign are skipped (the paper's accounts hit
+// API throttles and closures mid-campaign), and per-account accounting
+// lands in opt.Completeness under stage "cartography/sample".
+func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, opt Options) []Sample {
+	eng, comp := opt.Chaos, opt.Completeness
 	accounts := []*cloud.Account{ref}
 	for ai := 0; ai < nExtra; ai++ {
 		accounts = append(accounts, c.NewAccount(fmt.Sprintf("carto-%03d", ai)))
@@ -323,7 +354,7 @@ func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone 
 		acct          *cloud.Account
 		region, label string
 	}
-	plans, err := parallel.Map(opt, accounts, func(_ int, acct *cloud.Account) ([]launch, error) {
+	plans, err := parallel.Map(opt.Par, accounts, func(_ int, acct *cloud.Account) ([]launch, error) {
 		var ls []launch
 		for _, region := range c.Regions() {
 			for _, label := range acct.ZoneLabels(region) {
@@ -378,6 +409,22 @@ func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone 
 	return samples
 }
 
+// SampleAccountsPar runs SampleAccounts with a positional seed and
+// fan-out.
+//
+// Deprecated: use SampleAccounts with Options.
+func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options) []Sample {
+	return SampleAccounts(c, ref, nExtra, perZone, Options{Seed: seed, Par: opt})
+}
+
+// SampleAccountsObserved runs SampleAccounts with positional
+// fault-injection handles.
+//
+// Deprecated: use SampleAccounts with Options.
+func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []Sample {
+	return SampleAccounts(c, ref, nExtra, perZone, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
+}
+
 // refSample is one sample with its zone resolved into the reference
 // account's label space.
 type refSample struct {
@@ -400,13 +447,6 @@ type ProximityMap struct {
 	samples map[string][]refSample
 }
 
-// MergeAccounts aligns all accounts' labels to the first account's by
-// maximizing shared-/16 agreement pairwise, then builds the /16 → zone
-// map. This is the label-permutation merge of §4.3.
-func MergeAccounts(samples []Sample) *ProximityMap {
-	return MergeAccountsPar(samples, "", parallel.Options{Workers: 1})
-}
-
 // mergeKey groups samples by (account, region, label).
 type mergeKey struct{ account, region, label string }
 
@@ -426,15 +466,19 @@ type regionMerge struct {
 	samples  []refSample
 }
 
-// MergeAccountsPar is MergeAccounts with the per-region merges fanned
-// out over opt and a canonical fold order. ref names the reference
-// (label-anchor) account; "" means the first account seen in samples.
-// Given an explicit ref, the result is a pure function of the sample
-// SET: non-reference accounts fold in sorted-name order, regions merge
-// independently over the sorted region list, and retained samples are
-// sorted — so shuffling sample arrival order (or the worker count)
+// MergeAccounts aligns all accounts' labels to the reference account's
+// by maximizing shared-/16 agreement pairwise, then builds the /16 →
+// zone map — the label-permutation merge of §4.3. ref names the
+// reference (label-anchor) account; "" means the first account seen in
+// samples.
+//
+// The per-region merges fan out over opt.Par with a canonical fold
+// order. Given an explicit ref, the result is a pure function of the
+// sample SET: non-reference accounts fold in sorted-name order, regions
+// merge independently over the sorted region list, and retained samples
+// are sorted — so shuffling sample arrival order (or the worker count)
 // cannot change the map.
-func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *ProximityMap {
+func MergeAccounts(samples []Sample, ref string, opt Options) *ProximityMap {
 	if len(samples) == 0 {
 		return &ProximityMap{ZoneOf16: map[string]map[netaddr.IP]int{}, Permutations: map[string]map[string][]int{}}
 	}
@@ -498,7 +542,7 @@ func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *Proxi
 	sort.Strings(regions)
 
 	merges := make([]regionMerge, len(regions))
-	if err := parallel.Run(opt, len(regions), func(sh parallel.Shard) error {
+	if err := parallel.Run(opt.Par, len(regions), func(sh parallel.Shard) error {
 		for i := sh.Lo; i < sh.Hi; i++ {
 			merges[i] = mergeRegion(regions[i], ref, others, &g)
 		}
@@ -524,6 +568,13 @@ func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *Proxi
 		}
 	}
 	return pm
+}
+
+// MergeAccountsPar runs MergeAccounts with a positional fan-out.
+//
+// Deprecated: use MergeAccounts with Options.
+func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *ProximityMap {
+	return MergeAccounts(samples, ref, Options{Par: opt})
 }
 
 // mergeRegion runs the label-permutation merge for one region. It only

@@ -14,7 +14,7 @@ import (
 func fuzzSamples() []Sample {
 	c := cloud.NewEC2(31)
 	ref := c.NewAccount("fuzz-ref")
-	return SampleAccounts(c, ref, 3, 4, 31)
+	return SampleAccounts(c, ref, 3, 4, Options{Seed: 31, Par: parallel.Options{Workers: 1}})
 }
 
 // pmEqual compares the externally observable state of two proximity
@@ -46,7 +46,7 @@ func pmEqual(t *testing.T, a, b *ProximityMap) {
 // worker count and shard layout.
 func FuzzMergeAccountsOrder(f *testing.F) {
 	samples := fuzzSamples()
-	golden := MergeAccountsPar(samples, "fuzz-ref", parallel.Options{Workers: 1})
+	golden := MergeAccounts(samples, "fuzz-ref", Options{Par: parallel.Options{Workers: 1}})
 	f.Add(int64(1), uint8(1), uint8(0))
 	f.Add(int64(42), uint8(4), uint8(1))
 	f.Add(int64(-7), uint8(2), uint8(3))
@@ -57,7 +57,7 @@ func FuzzMergeAccountsOrder(f *testing.F) {
 			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 		})
 		opt := parallel.Options{Workers: int(workers%8) + 1, ShardSize: int(shardSize % 16)}
-		pmEqual(t, golden, MergeAccountsPar(shuffled, "fuzz-ref", opt))
+		pmEqual(t, golden, MergeAccounts(shuffled, "fuzz-ref", Options{Par: opt}))
 	})
 }
 
@@ -66,7 +66,7 @@ func FuzzMergeAccountsOrder(f *testing.F) {
 // merge fan-out's stress test).
 func TestMergeAccountsArrivalOrderInvariant(t *testing.T) {
 	samples := fuzzSamples()
-	golden := MergeAccountsPar(samples, "fuzz-ref", parallel.Options{Workers: 1})
+	golden := MergeAccounts(samples, "fuzz-ref", Options{Par: parallel.Options{Workers: 1}})
 	for _, shuffleSeed := range []int64{1, 2, 3, 99} {
 		shuffled := append([]Sample(nil), samples...)
 		rng := xrand.New(shuffleSeed)
@@ -74,7 +74,7 @@ func TestMergeAccountsArrivalOrderInvariant(t *testing.T) {
 			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 		})
 		for _, workers := range []int{1, 4} {
-			pmEqual(t, golden, MergeAccountsPar(shuffled, "fuzz-ref", parallel.Options{Workers: workers, ShardSize: 1}))
+			pmEqual(t, golden, MergeAccounts(shuffled, "fuzz-ref", Options{Par: parallel.Options{Workers: workers, ShardSize: 1}}))
 		}
 	}
 }
@@ -87,7 +87,7 @@ func TestSampleAccountsWorkerCountInvariant(t *testing.T) {
 	sample := func(workers int) []Sample {
 		c := cloud.NewEC2(32)
 		ref := c.NewAccount("inv-ref")
-		return SampleAccountsPar(c, ref, 3, 4, 32, parallel.Options{Workers: workers, ShardSize: 1})
+		return SampleAccounts(c, ref, 3, 4, Options{Seed: 32, Par: parallel.Options{Workers: workers, ShardSize: 1}})
 	}
 	golden := sample(1)
 	for _, workers := range []int{2, 4} {

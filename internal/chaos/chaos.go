@@ -20,6 +20,17 @@
 // round over rounds), while wire-level faults (loss, SERVFAIL bursts)
 // derive a pseudo-phase from the datagram's flow identity — a
 // deterministic stand-in for "when in the campaign this packet flew".
+//
+// Beyond independent faults, a scenario can declare correlated
+// failures: Trigger clauses ("brownout:us-east => servfail+0.2") raise
+// the decision probability of one fault kind while a cause fault is
+// active, so a regional brownout drags SERVFAIL rates up with it, the
+// way real incidents cascade.
+//
+// Every verdict the engine emits can be captured by a trace.Recorder
+// (SetRecorder) and later re-injected verbatim by a replay engine
+// (NewReplay) that bypasses the hash draws entirely — the
+// record/replay/bisect loop lives in internal/chaos/trace.
 package chaos
 
 import (
@@ -27,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudscope/internal/chaos/trace"
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/simnet"
@@ -114,10 +126,49 @@ func (f *Fault) frac() float64 {
 	return f.Frac
 }
 
+// Trigger is a correlated-failure clause: while any cause fault is
+// active, the target kind's decision draws run against a raised
+// threshold. Spec form: "cause[:region]=>target+boost".
+type Trigger struct {
+	// CauseKind selects the cause fault clauses by kind; CauseRegion,
+	// when non-empty, restricts them to clauses whose Region scope
+	// contains it.
+	CauseKind   Kind
+	CauseRegion string
+	// Target is the fault kind whose draws the trigger boosts: the
+	// decision probability (loss, servfail, refused) or the selection
+	// fraction (vantage-down, account-down) of every target-kind clause
+	// is raised by Boost while a cause is active. A trigger amplifies
+	// existing clauses; it cannot conjure a fault kind the scenario
+	// does not declare.
+	Target Kind
+	// Boost is the additive probability raise, in (0, 1].
+	Boost float64
+}
+
+// String renders the trigger in spec form.
+func (tr *Trigger) String() string {
+	cause := string(tr.CauseKind)
+	if tr.CauseRegion != "" {
+		cause += ":" + tr.CauseRegion
+	}
+	return fmt.Sprintf("%s=>%s+%g", cause, tr.Target, tr.Boost)
+}
+
+// triggerTargets lists the kinds whose draws a trigger may boost.
+func triggerTarget(k Kind) bool {
+	switch k {
+	case Loss, ServFail, Refused, VantageDown, AccountDown:
+		return true
+	}
+	return false
+}
+
 // Scenario is a named fault plan.
 type Scenario struct {
-	Name   string
-	Faults []Fault
+	Name     string
+	Faults   []Fault
+	Triggers []Trigger
 }
 
 // Validate checks the scenario's clauses for well-formedness.
@@ -148,17 +199,42 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("chaos: fault %d (%s): negative add", i, f.Kind)
 		}
 	}
+	for i := range s.Triggers {
+		tr := &s.Triggers[i]
+		switch tr.CauseKind {
+		case Loss, Brownout, VantageDown, AccountDown, ServFail, Refused, AXFRRefuse, Blackout:
+		default:
+			return fmt.Errorf("chaos: trigger %d: unknown cause kind %q", i, tr.CauseKind)
+		}
+		if !triggerTarget(tr.Target) {
+			return fmt.Errorf("chaos: trigger %d: kind %q cannot be a trigger target", i, tr.Target)
+		}
+		if tr.Boost <= 0 || tr.Boost > 1 {
+			return fmt.Errorf("chaos: trigger %d: boost %g out of (0,1]", i, tr.Boost)
+		}
+	}
 	return nil
 }
 
 // Engine evaluates a scenario's faults. It is stateless after
-// construction and safe for concurrent use; all methods are nil-safe,
-// so un-chaosed runs pay only a nil check. Engine implements
-// simnet.Interceptor for the wire-level faults.
+// construction (an optional trace recorder accumulates on the side)
+// and safe for concurrent use; all methods are nil-safe, so un-chaosed
+// runs pay only a nil check. Engine implements simnet.Interceptor for
+// the wire-level faults.
+//
+// An engine runs in one of two modes. A live engine (New) decides every
+// verdict by pure hash draw and can record the faulting verdicts it
+// emits. A replay engine (NewReplay) answers every decision from a
+// recorded trace instead — the hash draws are bypassed entirely, so a
+// past faulted run reproduces byte-identically even after the draw
+// logic or scenario probabilities change.
 type Engine struct {
 	sc *Scenario
 	h0 uint64   // scenario hash root
 	fh []uint64 // per-fault sub-stream roots
+
+	rec *trace.Recorder // armed via SetRecorder (live mode only)
+	rp  *trace.Lookup   // replay mode: verdicts come from here
 }
 
 // New builds an engine for sc with all fault draws derived from seed.
@@ -175,7 +251,40 @@ func New(sc *Scenario, seed int64) *Engine {
 	return e
 }
 
-// Scenario returns the engine's fault plan (nil for a nil engine).
+// NewReplay builds an engine that re-injects a recorded fault trace
+// verbatim: every decision point looks its verdict up by stable
+// identity, decisions absent from the trace are no-faults, and no hash
+// draw is ever consulted. The trace header's scenario spec is parsed
+// back (best-effort) so Scenario() still names the fault plan. A nil
+// trace yields a nil engine.
+func NewReplay(tr *trace.Trace) *Engine {
+	if tr == nil {
+		return nil
+	}
+	e := &Engine{rp: trace.NewLookup(tr)}
+	if sc, err := Parse(tr.Header.Spec); err == nil {
+		sc.Name = tr.Header.Scenario
+		e.sc = sc
+	}
+	return e
+}
+
+// Replaying reports whether the engine re-injects a recorded trace.
+func (e *Engine) Replaying() bool { return e != nil && e.rp != nil }
+
+// SetRecorder arms fault-trace recording: every faulting verdict the
+// engine emits is logged to r (see internal/chaos/trace). Arm before
+// the run starts; a nil recorder disarms. Replay engines never record
+// — the trace they would produce is their input.
+func (e *Engine) SetRecorder(r *trace.Recorder) {
+	if e != nil && e.rp == nil {
+		e.rec = r
+	}
+}
+
+// Scenario returns the engine's fault plan (nil for a nil engine, and
+// possibly nil for a replay engine whose trace header did not carry a
+// parseable spec).
 func (e *Engine) Scenario() *Scenario {
 	if e == nil {
 		return nil
@@ -185,9 +294,9 @@ func (e *Engine) Scenario() *Scenario {
 
 // salts keep the independent draw families uncorrelated.
 const (
-	saltPhase  = 0x7068 // pseudo-phase of a wire datagram
+	saltPhase  = 0x7068   // pseudo-phase of a wire datagram
 	saltSelect = 0x73656c // stable subset selection
-	saltDraw   = 0x6472 // per-decision probability draw
+	saltDraw   = 0x6472   // per-decision probability draw
 )
 
 // scopeMatch reports whether the fault's CIDR scopes cover (src, dst).
@@ -234,6 +343,40 @@ func (e *Engine) domainMatch(i int, name string) bool {
 	return true
 }
 
+// boostFor returns the total probability boost active for target-kind
+// draws at phase, plus the spec label of the first contributing
+// trigger (the causal edge recorded with induced verdicts). A trigger
+// contributes while at least one cause fault of its cause kind (and
+// region scope) is window-active.
+func (e *Engine) boostFor(target Kind, phase float64) (float64, string) {
+	if len(e.sc.Triggers) == 0 {
+		return 0, ""
+	}
+	var total float64
+	var label string
+	for ti := range e.sc.Triggers {
+		tg := &e.sc.Triggers[ti]
+		if tg.Target != target {
+			continue
+		}
+		for i := range e.sc.Faults {
+			f := &e.sc.Faults[i]
+			if f.Kind != tg.CauseKind || !f.active(phase) {
+				continue
+			}
+			if tg.CauseRegion != "" && !strings.Contains(f.Region, tg.CauseRegion) {
+				continue
+			}
+			total += tg.Boost
+			if label == "" {
+				label = tg.String()
+			}
+			break // one active cause per trigger
+		}
+	}
+	return total, label
+}
+
 // forge builds a response to q with the given rcode, or nil if the
 // query cannot be answered in kind.
 func forge(q *dnswire.Message, rcode dnswire.RCode) []byte {
@@ -249,13 +392,65 @@ func forge(q *dnswire.Message, rcode dnswire.RCode) []byte {
 // Intercept implements simnet.Interceptor: blackouts, unscoped loss
 // and brownouts, and the DNS-layer faults. The datagram's pseudo-phase
 // — its stand-in position in the campaign — is a hash of its identity,
-// so the same packet meets the same window on every run.
+// so the same packet meets the same window on every run. In replay
+// mode the verdict is looked up instead of drawn.
 func (e *Engine) Intercept(src, dst netaddr.IP, flow uint64, payload []byte) simnet.Verdict {
 	if e == nil {
 		return simnet.Verdict{}
 	}
-	phase := xrand.Frac(xrand.HashBytes(xrand.Hash64(e.h0, saltPhase, uint64(src), uint64(dst), flow), payload))
-	var v simnet.Verdict
+	if e.rp != nil {
+		ev, ok := e.rp.Get(trace.PointWire, trace.WireID(uint64(src), uint64(dst), flow, payload))
+		if !ok {
+			return simnet.Verdict{}
+		}
+		return replayVerdict(ev, payload)
+	}
+	v, kind, rcode, cause, phase := e.interceptLive(src, dst, flow, payload)
+	if e.rec != nil && (v.Drop || v.Respond != nil || v.ExtraRTT != 0) {
+		ev := trace.Event{
+			Point: trace.PointWire,
+			ID:    trace.WireID(uint64(src), uint64(dst), flow, payload),
+			Kind:  string(kind),
+			Phase: phase,
+			Drop:  v.Drop,
+			Cause: cause,
+		}
+		if !v.Drop {
+			ev.ExtraNs = int64(v.ExtraRTT)
+		}
+		if v.Respond != nil {
+			ev.Forged = true
+			ev.RCode = int(rcode)
+		}
+		e.rec.Record(ev)
+	}
+	return v
+}
+
+// replayVerdict reconstructs a recorded wire verdict against the
+// datagram actually in flight: drops replay as drops, forged responses
+// re-pack against the live query (byte-identical, since the query is),
+// and brownout delay replays as recorded.
+func replayVerdict(ev trace.Event, payload []byte) simnet.Verdict {
+	if ev.Drop {
+		return simnet.Verdict{Drop: true}
+	}
+	v := simnet.Verdict{ExtraRTT: time.Duration(ev.ExtraNs)}
+	if ev.Forged {
+		if m, err := dnswire.Unpack(payload); err == nil && !m.Header.Response && len(m.Questions) == 1 {
+			if raw := forge(m, dnswire.RCode(ev.RCode)); raw != nil {
+				v.Respond = raw
+			}
+		}
+	}
+	return v
+}
+
+// interceptLive draws the wire verdict, reporting the deciding fault
+// kind, forged rcode, causal trigger label, and pseudo-phase for the
+// recorder.
+func (e *Engine) interceptLive(src, dst netaddr.IP, flow uint64, payload []byte) (v simnet.Verdict, kind Kind, rcode dnswire.RCode, cause string, phase float64) {
+	phase = xrand.Frac(xrand.HashBytes(xrand.Hash64(e.h0, saltPhase, uint64(src), uint64(dst), flow), payload))
 	var q *dnswire.Message
 	unpacked := false
 	for i := range e.sc.Faults {
@@ -266,20 +461,25 @@ func (e *Engine) Intercept(src, dst netaddr.IP, flow uint64, payload []byte) sim
 				continue
 			}
 			if xrand.Frac(xrand.Hash64(e.fh[i], saltSelect, uint64(dst))) < f.frac() {
-				return simnet.Verdict{Drop: true}
+				return simnet.Verdict{Drop: true}, Blackout, 0, "", phase
 			}
 		case Loss:
 			if f.Region != "" || !f.active(phase) || !f.scopeMatch(src, dst) {
 				continue
 			}
-			if xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload)) < f.prob() {
-				return simnet.Verdict{Drop: true}
+			draw := xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload))
+			if draw < f.prob() {
+				return simnet.Verdict{Drop: true}, Loss, 0, "", phase
+			}
+			if boost, cz := e.boostFor(Loss, phase); boost > 0 && draw < f.prob()+boost {
+				return simnet.Verdict{Drop: true}, Loss, 0, cz, phase
 			}
 		case Brownout:
 			if f.Region != "" || !f.active(phase) || !f.scopeMatch(src, dst) {
 				continue
 			}
 			v.ExtraRTT += f.ExtraRTT
+			kind = Brownout
 		case ServFail, Refused, AXFRRefuse:
 			if !f.scopeMatch(src, dst) {
 				continue
@@ -301,60 +501,103 @@ func (e *Engine) Intercept(src, dst netaddr.IP, flow uint64, payload []byte) sim
 				}
 				if raw := forge(q, dnswire.RCodeRefused); raw != nil {
 					v.Respond = raw
-					return v
+					return v, AXFRRefuse, dnswire.RCodeRefused, "", phase
 				}
 				continue
 			}
 			if !f.active(phase) {
 				continue
 			}
-			if xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload)) >= f.prob() {
-				continue
+			draw := xrand.Frac(xrand.HashBytes(xrand.Hash64(e.fh[i], saltDraw, flow), payload))
+			var cz string
+			if draw >= f.prob() {
+				boost, label := e.boostFor(f.Kind, phase)
+				if boost <= 0 || draw >= f.prob()+boost {
+					continue
+				}
+				cz = label
 			}
-			rcode := dnswire.RCodeServFail
+			rc := dnswire.RCodeServFail
 			if f.Kind == Refused {
-				rcode = dnswire.RCodeRefused
+				rc = dnswire.RCodeRefused
 			}
-			if raw := forge(q, rcode); raw != nil {
+			if raw := forge(q, rc); raw != nil {
 				v.Respond = raw
-				return v
+				return v, f.Kind, rc, cz, phase
 			}
 		}
 	}
-	return v
+	return v, kind, 0, "", phase
 }
 
 // outAt reports whether the named unit (vantage or account) is dark at
-// campaign phase for any fault of the given kind.
-func (e *Engine) outAt(kind Kind, name string, phase float64) bool {
-	if e == nil {
-		return false
-	}
+// campaign phase for any fault of the given kind, and the causal
+// trigger label when only a boost darkened it.
+func (e *Engine) outAt(kind Kind, name string, phase float64) (bool, string) {
+	boosted := false
+	var boost float64
+	var label string
 	for i := range e.sc.Faults {
 		f := &e.sc.Faults[i]
 		if f.Kind != kind || !f.active(phase) {
 			continue
 		}
 		if f.Frac == 0 {
-			return true
+			return true, ""
 		}
-		if xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltSelect), name)) < f.Frac {
-			return true
+		draw := xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltSelect), name))
+		if draw < f.Frac {
+			return true, ""
+		}
+		if !boosted {
+			boosted = true
+			boost, label = e.boostFor(kind, phase)
+		}
+		if boost > 0 && draw < f.Frac+boost {
+			return true, label
 		}
 	}
-	return false
+	return false, ""
 }
 
 // VantageOut reports whether a measurement vantage point is dark at
 // campaign phase in [0,1). Campaigns pass their own progress fraction.
 func (e *Engine) VantageOut(vantage string, phase float64) bool {
-	return e.outAt(VantageDown, vantage, phase)
+	if e == nil {
+		return false
+	}
+	if e.rp != nil {
+		ev, ok := e.rp.Get(trace.PointVantage, trace.VantageID(vantage, phase))
+		return ok && ev.Out
+	}
+	out, cause := e.outAt(VantageDown, vantage, phase)
+	if out {
+		e.rec.Record(trace.Event{
+			Point: trace.PointVantage, ID: trace.VantageID(vantage, phase),
+			Kind: string(VantageDown), Phase: phase, Name: vantage, Out: true, Cause: cause,
+		})
+	}
+	return out
 }
 
 // AccountOut reports whether a cloud measurement account is unusable at
 // campaign phase.
 func (e *Engine) AccountOut(account string, phase float64) bool {
-	return e.outAt(AccountDown, account, phase)
+	if e == nil {
+		return false
+	}
+	if e.rp != nil {
+		ev, ok := e.rp.Get(trace.PointAccount, trace.AccountID(account, phase))
+		return ok && ev.Out
+	}
+	out, cause := e.outAt(AccountDown, account, phase)
+	if out {
+		e.rec.Record(trace.Event{
+			Point: trace.PointAccount, ID: trace.AccountID(account, phase),
+			Kind: string(AccountDown), Phase: phase, Name: account, Out: true, Cause: cause,
+		})
+	}
+	return out
 }
 
 // RegionExtraMs returns the extra round-trip milliseconds region-scoped
@@ -362,6 +605,13 @@ func (e *Engine) AccountOut(account string, phase float64) bool {
 func (e *Engine) RegionExtraMs(region string, phase float64) float64 {
 	if e == nil {
 		return 0
+	}
+	if e.rp != nil {
+		ev, ok := e.rp.Get(trace.PointRegion, trace.RegionID(region, phase))
+		if !ok {
+			return 0
+		}
+		return ev.ExtraMs
 	}
 	var ms float64
 	for i := range e.sc.Faults {
@@ -373,6 +623,12 @@ func (e *Engine) RegionExtraMs(region string, phase float64) float64 {
 			ms += float64(f.ExtraRTT) / float64(time.Millisecond)
 		}
 	}
+	if ms != 0 {
+		e.rec.Record(trace.Event{
+			Point: trace.PointRegion, ID: trace.RegionID(region, phase),
+			Kind: string(Brownout), Phase: phase, Name: region, ExtraMs: ms,
+		})
+	}
 	return ms
 }
 
@@ -383,6 +639,22 @@ func (e *Engine) ProbeLost(region, key string, phase float64) bool {
 	if e == nil {
 		return false
 	}
+	if e.rp != nil {
+		ev, ok := e.rp.Get(trace.PointProbe, trace.ProbeID(region, key, phase))
+		return ok && ev.Drop
+	}
+	lost, kind, cause := e.probeLostLive(region, key, phase)
+	if lost {
+		e.rec.Record(trace.Event{
+			Point: trace.PointProbe, ID: trace.ProbeID(region, key, phase),
+			Kind: string(kind), Phase: phase, Name: region + "/" + key, Drop: true, Cause: cause,
+		})
+	}
+	return lost
+}
+
+// probeLostLive draws the model-level loss verdict.
+func (e *Engine) probeLostLive(region, key string, phase float64) (bool, Kind, string) {
 	for i := range e.sc.Faults {
 		f := &e.sc.Faults[i]
 		if f.Region == "" || !strings.Contains(region, f.Region) {
@@ -390,15 +662,19 @@ func (e *Engine) ProbeLost(region, key string, phase float64) bool {
 		}
 		switch f.Kind {
 		case Blackout:
-			return true
+			return true, Blackout, ""
 		case Loss:
 			if !f.active(phase) {
 				continue
 			}
-			if xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltDraw), key)) < f.prob() {
-				return true
+			draw := xrand.Frac(xrand.HashString(xrand.Hash64(e.fh[i], saltDraw), key))
+			if draw < f.prob() {
+				return true, Loss, ""
+			}
+			if boost, cz := e.boostFor(Loss, phase); boost > 0 && draw < f.prob()+boost {
+				return true, Loss, cz
 			}
 		}
 	}
-	return false
+	return false, "", ""
 }

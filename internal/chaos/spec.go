@@ -12,13 +12,21 @@ import (
 
 // The textual scenario format, accepted by every CLI's -chaos flag:
 //
-//	fault[;fault...]
-//	fault = kind[,key=value...]
+//	clause[;clause...]
+//	clause  = fault | trigger
+//	fault   = kind[,key=value...]
+//	trigger = cause[:region]=>target+boost
 //
-// Keys: p=<prob> window=<from>-<to> src=<cidr> dst=<cidr>
+// Fault keys: p=<prob> window=<from>-<to> src=<cidr> dst=<cidr>
 // region=<substr> domains=<suffix> dfrac=<frac> frac=<frac> add=<dur>.
 //
-// Example: "loss,p=0.1,window=0.2-0.8;axfr-refuse,dfrac=0.9".
+// A trigger clause declares a correlated failure: while any fault of
+// the cause kind (optionally region-scoped) is window-active, the
+// target kind's decision draws run with their probability raised by
+// boost — a regional brownout dragging SERVFAIL rates up with it.
+//
+// Examples: "loss,p=0.1,window=0.2-0.8;axfr-refuse,dfrac=0.9",
+// "brownout,region=us-east,add=100ms;servfail,p=0.05;brownout:us-east=>servfail+0.2".
 
 // Parse parses a scenario spec. The scenario's name is the spec itself,
 // so two runs with the same spec and seed draw identical faults.
@@ -32,6 +40,14 @@ func Parse(spec string) (*Scenario, error) {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
 			return nil, fmt.Errorf("chaos: clause %d is empty", ci)
+		}
+		if strings.Contains(clause, "=>") {
+			tr, err := parseTrigger(clause)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: clause %d: %v", ci, err)
+			}
+			sc.Triggers = append(sc.Triggers, tr)
+			continue
 		}
 		parts := strings.Split(clause, ",")
 		f := Fault{Kind: Kind(strings.TrimSpace(parts[0]))}
@@ -84,6 +100,32 @@ func Parse(spec string) (*Scenario, error) {
 	return sc, nil
 }
 
+// parseTrigger parses one "cause[:region]=>target+boost" clause.
+func parseTrigger(clause string) (Trigger, error) {
+	lhs, rhs, _ := strings.Cut(clause, "=>")
+	var tr Trigger
+	cause, region, scoped := strings.Cut(strings.TrimSpace(lhs), ":")
+	tr.CauseKind = Kind(strings.TrimSpace(cause))
+	if scoped {
+		tr.CauseRegion = strings.TrimSpace(region)
+		if tr.CauseRegion == "" {
+			return tr, fmt.Errorf("trigger %q: empty cause region", clause)
+		}
+	}
+	rhs = strings.TrimSpace(rhs)
+	plus := strings.LastIndexByte(rhs, '+')
+	if plus < 0 {
+		return tr, fmt.Errorf("trigger %q: want target+boost after \"=>\"", clause)
+	}
+	tr.Target = Kind(strings.TrimSpace(rhs[:plus]))
+	boost, err := parseFrac(rhs[plus+1:])
+	if err != nil {
+		return tr, fmt.Errorf("trigger %q: boost: %v", clause, err)
+	}
+	tr.Boost = boost
+	return tr, nil
+}
+
 func parseFrac(s string) (float64, error) {
 	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 	if err != nil {
@@ -134,6 +176,9 @@ func (s *Scenario) String() string {
 		}
 		clauses = append(clauses, strings.Join(parts, ","))
 	}
+	for i := range s.Triggers {
+		clauses = append(clauses, s.Triggers[i].String())
+	}
 	return strings.Join(clauses, ";")
 }
 
@@ -159,6 +204,12 @@ var library = map[string]string{
 	"hostile": "loss,p=0.08;servfail,p=0.25,window=0.1-0.9;refused,p=0.05,window=0.5-0.6;" +
 		"axfr-refuse,dfrac=0.9;vantage-down,frac=0.25,window=0.3-0.8;account-down,frac=0.25,window=0.4-0.9;" +
 		"brownout,region=us-east,add=80ms,window=0.2-0.7;brownout,add=5ms,window=0.6-0.9;blackout,frac=0.02",
+	// cascade: a regional brownout whose correlated failures drag the
+	// authoritative DNS layer and the vantage fleet down with it — the
+	// trigger-clause showcase.
+	"cascade": "brownout,region=us-east,add=100ms,window=0.25-0.65;servfail,p=0.05;" +
+		"vantage-down,frac=0.1,window=0.2-0.9;loss,p=0.03;" +
+		"brownout:us-east=>servfail+0.35;brownout:us-east=>vantage-down+0.25",
 }
 
 // Library returns the names of the built-in scenarios, sorted.

@@ -1,0 +1,95 @@
+package trace
+
+// Minimize delta-debugs a trace: it returns a locally-minimal
+// sub-trace whose replay still satisfies pred, plus the number of
+// predicate evaluations spent. pred must hold on t itself (Minimize
+// returns t unchanged and zero evaluations otherwise — a predicate
+// that the full trace cannot trigger has no culprit to find).
+//
+// The algorithm is Zeller's ddmin over the event list: split into n
+// chunks, try each chunk alone, then each chunk's complement, refining
+// granularity until single events cannot be removed. The result is
+// 1-minimal — removing any one remaining event breaks the predicate —
+// but not necessarily a global minimum, the standard delta-debugging
+// contract. Every candidate keeps canonical event order, so candidate
+// traces are themselves valid, replayable traces.
+//
+// pred typically replays the candidate into a fresh run and checks an
+// outcome ("output differs from the fault-free golden", "completeness
+// reports abandonment"), so each evaluation costs a run; Minimize
+// spends O(n log n) evaluations in the usual case and O(n²) worst
+// case.
+func Minimize(t *Trace, pred func(*Trace) bool) (*Trace, int) {
+	evals := 0
+	test := func(events []Event) bool {
+		evals++
+		return pred(&Trace{Header: t.Header, Events: events})
+	}
+	if !test(t.Events) {
+		return t, evals
+	}
+	events := t.Events
+	n := 2
+	for len(events) >= 2 {
+		chunks := split(events, n)
+		reduced := false
+		// Reduce to one chunk.
+		for _, c := range chunks {
+			if len(c) < len(events) && test(c) {
+				events, n, reduced = c, 2, true
+				break
+			}
+		}
+		// Reduce to a complement: drop one chunk.
+		if !reduced {
+			for i := range chunks {
+				c := complement(chunks, i)
+				if len(c) < len(events) && test(c) {
+					events = c
+					if n > 2 {
+						n--
+					}
+					reduced = true
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break // single events; nothing removable
+			}
+			n *= 2
+			if n > len(events) {
+				n = len(events)
+			}
+		}
+	}
+	return &Trace{Header: t.Header, Events: events}, evals
+}
+
+// split partitions events into n nearly-equal contiguous chunks.
+func split(events []Event, n int) [][]Event {
+	if n > len(events) {
+		n = len(events)
+	}
+	chunks := make([][]Event, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(events) / n
+		hi := (i + 1) * len(events) / n
+		if lo < hi {
+			chunks = append(chunks, events[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// complement concatenates every chunk except chunks[skip].
+func complement(chunks [][]Event, skip int) []Event {
+	var out []Event
+	for i, c := range chunks {
+		if i != skip {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

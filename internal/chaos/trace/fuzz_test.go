@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: the trace decoder must reject malformed and truncated
+// input with an error and never panic, and accepted traces must
+// round-trip byte-identically through the encoder.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := (&Trace{
+		Header: Header{Version: 1, Scenario: "hostile", Seed: 3},
+		Events: []Event{
+			{Point: PointWire, ID: 12, Kind: "loss", Phase: 0.25, Drop: true},
+			{Point: PointVantage, ID: 7, Phase: 0.4, Name: "v003", Out: true},
+		},
+	}).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"v":1,"seed":1,"events":0}` + "\n"))
+	f.Add([]byte(`{"v":1,"seed":1,"events":1}` + "\n" + `{"pt":"wire","id":1,"ph":0.5,"d":true}` + "\n"))
+	f.Add([]byte("not a trace"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive encode → decode unchanged.
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		var out2 bytes.Buffer
+		if _, err := tr2.WriteTo(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("encode/decode not a fixed point:\n%q\nvs\n%q", out.Bytes(), out2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package trace records, replays, and minimizes fault traces.
+//
+// A Trace is the flight recorder of a chaotic run: every fault verdict
+// the chaos engine actually emitted — which datagram it dropped, which
+// vantage it darkened at which point of the campaign, which response it
+// forged — keyed by a stable hash of the decision's identity. Because
+// engine verdicts are pure functions of stable identities, the set of
+// faulting verdicts is the complete causal record of the run: replaying
+// a trace (answering each decision from the recorded verdict instead of
+// re-drawing it) reproduces the faulted run byte-identically, even
+// after the engine's draw logic or the scenario's probabilities change.
+//
+// The package has three parts:
+//
+//   - a Recorder that accumulates verdicts concurrently and snapshots
+//     them in canonical order (so record→record is itself deterministic
+//     at every worker count);
+//   - a Lookup the engine consults in replay mode;
+//   - Minimize, a delta-debugging bisector that shrinks a trace to a
+//     locally-minimal sub-trace still triggering a caller predicate —
+//     the "which fault broke this run" loop.
+//
+// Traces serialize as JSONL: one header line, then one line per event,
+// append-only and stable. The decoder rejects malformed or truncated
+// input with an error; it never panics.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cloudscope/internal/xrand"
+)
+
+// Point names a fault decision family — the engine call site a verdict
+// was emitted from. The replayer keys lookups by (Point, ID), so the
+// values are frozen: changing one orphans every recorded trace.
+type Point string
+
+const (
+	// PointWire is a fabric datagram interception (drop, forge, delay).
+	PointWire Point = "wire"
+	// PointVantage is a vantage-point outage verdict.
+	PointVantage Point = "vantage"
+	// PointAccount is a cloud-account outage verdict.
+	PointAccount Point = "account"
+	// PointProbe is a model-level probe loss verdict.
+	PointProbe Point = "probe"
+	// PointRegion is a region-scoped extra-latency verdict.
+	PointRegion Point = "region"
+)
+
+// validPoint reports whether p is a known decision family.
+func validPoint(p Point) bool {
+	switch p {
+	case PointWire, PointVantage, PointAccount, PointProbe, PointRegion:
+		return true
+	}
+	return false
+}
+
+// Event is one recorded fault verdict. Only faulting verdicts are
+// recorded; a decision absent from the trace replays as "no fault",
+// which is exactly what the original run saw.
+type Event struct {
+	// Point and ID identify the decision; ID is a stable hash of the
+	// decision's identity (see WireID and friends).
+	Point Point  `json:"pt"`
+	ID    uint64 `json:"id"`
+	// Kind is the fault kind that produced the verdict ("loss",
+	// "servfail", ...), informational for humans and bisect reports.
+	Kind string `json:"k,omitempty"`
+	// Phase is the campaign-progress fraction the decision saw.
+	Phase float64 `json:"ph"`
+	// Name labels the faulted unit where one exists (vantage, account,
+	// region, probe key) so bisect culprits are human-readable.
+	Name string `json:"n,omitempty"`
+
+	// The verdict. Exactly the fields the decision family uses are set.
+	Drop    bool    `json:"d,omitempty"`   // wire, probe: datagram/probe lost
+	RCode   int     `json:"rc,omitempty"`  // wire: forged DNS response rcode
+	Forged  bool    `json:"f,omitempty"`   // wire: RCode is a forged response (distinguishes rcode 0)
+	ExtraNs int64   `json:"xns,omitempty"` // wire: injected extra round-trip, nanoseconds
+	ExtraMs float64 `json:"xms,omitempty"` // region: injected extra round-trip, milliseconds
+	Out     bool    `json:"out,omitempty"` // vantage, account: unit dark
+
+	// Cause, when non-empty, names the correlated-failure trigger whose
+	// probability boost fired this verdict — the causal edge between a
+	// cause fault and its induced effect.
+	Cause string `json:"cz,omitempty"`
+}
+
+// validate checks an event decoded from untrusted input.
+func (e *Event) validate() error {
+	if !validPoint(e.Point) {
+		return fmt.Errorf("trace: unknown decision point %q", e.Point)
+	}
+	if math.IsNaN(e.Phase) || math.IsInf(e.Phase, 0) || e.Phase < 0 || e.Phase > 1 {
+		return fmt.Errorf("trace: event phase %v out of [0,1]", e.Phase)
+	}
+	if math.IsNaN(e.ExtraMs) || math.IsInf(e.ExtraMs, 0) || e.ExtraMs < 0 || e.ExtraNs < 0 {
+		return fmt.Errorf("trace: negative or non-finite extra latency")
+	}
+	if e.RCode < 0 || e.RCode > 15 {
+		return fmt.Errorf("trace: rcode %d out of range", e.RCode)
+	}
+	return nil
+}
+
+// Header is a trace's run metadata, serialized as the first JSONL line.
+type Header struct {
+	// Version is the encoding version; currently always 1.
+	Version int `json:"v"`
+	// Scenario and Spec describe the fault plan the trace was recorded
+	// under (name and parseable spec form).
+	Scenario string `json:"scenario,omitempty"`
+	Spec     string `json:"spec,omitempty"`
+	// Seed is the study seed of the recorded run.
+	Seed int64 `json:"seed"`
+	// Events is the event-line count that must follow; decoders use it
+	// to reject truncated traces.
+	Events int `json:"events"`
+}
+
+// Trace is a decoded or snapshotted fault trace.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// Len returns the event count (0 for a nil trace).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Events)
+}
+
+// WriteTo serializes the trace as JSONL. The header's Events count is
+// rewritten to match the event slice.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	hdr := t.Header
+	hdr.Version = 1
+	hdr.Events = len(t.Events)
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return n, err
+	}
+	m, err := bw.Write(append(line, '\n'))
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	for i := range t.Events {
+		line, err := json.Marshal(&t.Events[i])
+		if err != nil {
+			return n, err
+		}
+		m, err := bw.Write(append(line, '\n'))
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// maxLine bounds one JSONL line; real events are well under 1 KiB.
+const maxLine = 1 << 20
+
+// Read decodes a JSONL trace. Malformed and truncated input returns an
+// error; Read never panics.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var hdr Header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: malformed header: %w", err)
+	}
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr.Version)
+	}
+	if hdr.Events < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", hdr.Events)
+	}
+	t := &Trace{Header: hdr}
+	for sc.Scan() {
+		if len(t.Events) >= hdr.Events {
+			return nil, fmt.Errorf("trace: more than the declared %d events", hdr.Events)
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace: malformed event %d: %w", len(t.Events), err)
+		}
+		if err := ev.validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", len(t.Events), err)
+		}
+		t.Events = append(t.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading events: %w", err)
+	}
+	if len(t.Events) != hdr.Events {
+		return nil, fmt.Errorf("trace: truncated: header declares %d events, found %d", hdr.Events, len(t.Events))
+	}
+	return t, nil
+}
+
+// ReadFile decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteFile serializes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- decision identities ---------------------------------------------
+//
+// The ID functions below are the frozen contract between recording and
+// replay: a decision's ID is a pure hash of the decision's own inputs,
+// independent of the scenario, the seed, and the engine's draw logic.
+// Recording hashes the live decision; replay hashes the identical
+// decision the re-run presents and looks the verdict up. The salts are
+// arbitrary but MUST never change — doing so orphans every trace ever
+// recorded.
+
+const (
+	saltWire    = 0x74727761 // "trwa"
+	saltVantage = 0x74727661 // "trva"
+	saltAccount = 0x74726163 // "trac"
+	saltProbe   = 0x74727072 // "trpr"
+	saltRegion  = 0x74727267 // "trrg"
+)
+
+// WireID identifies one fabric datagram interception.
+func WireID(src, dst, flow uint64, payload []byte) uint64 {
+	return xrand.HashBytes(xrand.Hash64(saltWire, src, dst, flow), payload)
+}
+
+// VantageID identifies one vantage-outage decision at a campaign phase.
+func VantageID(vantage string, phase float64) uint64 {
+	return xrand.Hash64(xrand.HashString(saltVantage, vantage), math.Float64bits(phase))
+}
+
+// AccountID identifies one account-outage decision at a campaign phase.
+func AccountID(account string, phase float64) uint64 {
+	return xrand.Hash64(xrand.HashString(saltAccount, account), math.Float64bits(phase))
+}
+
+// ProbeID identifies one model-level probe-loss decision.
+func ProbeID(region, key string, phase float64) uint64 {
+	return xrand.Hash64(xrand.HashString(xrand.HashString(saltProbe, region), key), math.Float64bits(phase))
+}
+
+// RegionID identifies one region-latency decision at a campaign phase.
+func RegionID(region string, phase float64) uint64 {
+	return xrand.Hash64(xrand.HashString(saltRegion, region), math.Float64bits(phase))
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{Version: 1, Scenario: "hostile", Spec: "loss,p=0.08", Seed: 3},
+		Events: []Event{
+			{Point: PointWire, ID: 12, Kind: "loss", Phase: 0.25, Drop: true},
+			{Point: PointWire, ID: 99, Kind: "servfail", Phase: 0.5, RCode: 2, Forged: true, Cause: "brownout:us-east=>servfail+0.2"},
+			{Point: PointVantage, ID: 7, Kind: "vantage-down", Phase: 0.4, Name: "v003", Out: true},
+			{Point: PointRegion, ID: 3, Kind: "brownout", Phase: 0.3, Name: "ec2.us-east-1", ExtraMs: 80},
+			{Point: PointProbe, ID: 5, Kind: "loss", Phase: 0.6, Name: "t1.micro/a/3", Drop: true},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTrace()
+	want.Header.Events = len(want.Events)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := sampleTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "not json\n",
+		"bad version":    `{"v":2,"seed":1,"events":0}` + "\n",
+		"negative count": `{"v":1,"seed":1,"events":-1}` + "\n",
+		"truncated":      strings.Join(lines[:len(lines)-1], "\n") + "\n",
+		"extra event":    full + lines[1] + "\n",
+		"bad event json": lines[0] + "\n{oops\n",
+		"unknown point":  `{"v":1,"seed":1,"events":1}` + "\n" + `{"pt":"zzz","id":1,"ph":0}` + "\n",
+		"phase range":    `{"v":1,"seed":1,"events":1}` + "\n" + `{"pt":"wire","id":1,"ph":2}` + "\n",
+		"bad rcode":      `{"v":1,"seed":1,"events":1}` + "\n" + `{"pt":"wire","id":1,"ph":0,"rc":99}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}
+
+// TestRecorderCanonical: snapshots are a pure function of the verdict
+// set — recording order and duplicates cannot change the bytes.
+func TestRecorderCanonical(t *testing.T) {
+	evs := sampleTrace().Events
+	fwd := NewRecorder(Header{Seed: 3})
+	for _, ev := range evs {
+		fwd.Record(ev)
+	}
+	rev := NewRecorder(Header{Seed: 3})
+	for i := len(evs) - 1; i >= 0; i-- {
+		rev.Record(evs[i])
+		rev.Record(evs[i]) // duplicates collapse
+	}
+	var a, b bytes.Buffer
+	if _, err := fwd.Snapshot().WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rev.Snapshot().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("snapshot depends on recording order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if fwd.Len() != len(evs) {
+		t.Fatalf("Len = %d, want %d", fwd.Len(), len(evs))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	l := NewLookup(sampleTrace())
+	if ev, ok := l.Get(PointWire, 99); !ok || ev.RCode != 2 || !ev.Forged {
+		t.Fatalf("Get(wire, 99) = %+v, %v", ev, ok)
+	}
+	if _, ok := l.Get(PointWire, 1000); ok {
+		t.Fatal("Get returned a verdict for an unrecorded decision")
+	}
+	if _, ok := l.Get(PointAccount, 99); ok {
+		t.Fatal("lookup ignored the decision point")
+	}
+	var nilL *Lookup
+	if _, ok := nilL.Get(PointWire, 1); ok {
+		t.Fatal("nil lookup returned a verdict")
+	}
+	if NewLookup(nil) != nil {
+		t.Fatal("NewLookup(nil) != nil")
+	}
+}
+
+// TestMinimize: ddmin finds the minimal culprit pair among decoys.
+func TestMinimize(t *testing.T) {
+	var events []Event
+	for i := 0; i < 40; i++ {
+		events = append(events, Event{Point: PointWire, ID: uint64(i), Kind: "loss", Drop: true})
+	}
+	tr := &Trace{Events: events}
+	pred := func(c *Trace) bool {
+		has := map[uint64]bool{}
+		for _, ev := range c.Events {
+			has[ev.ID] = true
+		}
+		return has[7] && has[31]
+	}
+	min, evals := Minimize(tr, pred)
+	if len(min.Events) != 2 || min.Events[0].ID != 7 || min.Events[1].ID != 31 {
+		t.Fatalf("minimized to %+v, want IDs [7 31]", min.Events)
+	}
+	if !pred(min) {
+		t.Fatal("minimized trace no longer satisfies the predicate")
+	}
+	if evals > 200 {
+		t.Fatalf("ddmin spent %d evaluations on 40 events", evals)
+	}
+}
+
+// TestMinimizeUnsatisfied: a predicate the full trace cannot trigger
+// returns the trace unchanged.
+func TestMinimizeUnsatisfied(t *testing.T) {
+	tr := sampleTrace()
+	min, evals := Minimize(tr, func(*Trace) bool { return false })
+	if len(min.Events) != len(tr.Events) || evals != 1 {
+		t.Fatalf("Minimize on unsatisfiable predicate: %d events, %d evals", len(min.Events), evals)
+	}
+}
+
+// TestMinimizeSingle: a single-culprit trace shrinks to exactly it.
+func TestMinimizeSingle(t *testing.T) {
+	tr := sampleTrace()
+	min, _ := Minimize(tr, func(c *Trace) bool {
+		for _, ev := range c.Events {
+			if ev.Point == PointVantage {
+				return true
+			}
+		}
+		return false
+	})
+	if len(min.Events) != 1 || min.Events[0].Point != PointVantage {
+		t.Fatalf("minimized to %+v, want the single vantage event", min.Events)
+	}
+}
+
+// TestIDsAreStable pins the frozen identity hashes: any change here
+// orphans previously recorded traces.
+func TestIDsAreStable(t *testing.T) {
+	if a, b := WireID(1, 2, 3, []byte("x")), WireID(1, 2, 3, []byte("x")); a != b {
+		t.Fatal("WireID not deterministic")
+	}
+	if WireID(1, 2, 3, []byte("x")) == WireID(1, 2, 4, []byte("x")) {
+		t.Fatal("WireID ignores flow")
+	}
+	if VantageID("v1", 0.5) == VantageID("v1", 0.25) {
+		t.Fatal("VantageID ignores phase")
+	}
+	if VantageID("v1", 0.5) == AccountID("v1", 0.5) {
+		t.Fatal("vantage and account identities collide")
+	}
+	if ProbeID("us-east", "k", 0.5) == ProbeID("us-west", "k", 0.5) {
+		t.Fatal("ProbeID ignores region")
+	}
+	if RegionID("us-east", 0.5) == RegionID("us-east", 0.75) {
+		t.Fatal("RegionID ignores phase")
+	}
+}

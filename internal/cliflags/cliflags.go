@@ -1,0 +1,165 @@
+// Package cliflags registers the measurement flags every cloudscope
+// command shares, so -workers, -chaos, -telemetry[-json], and the
+// fault-trace flags have one name, one help string, and one meaning
+// across all seven binaries instead of seven drifting copies.
+//
+// Usage from a main:
+//
+//	shared := cliflags.Register(flag.CommandLine)
+//	flag.Parse()
+//	cfg := cloudscope.Config{Seed: *seed, Domains: *domains}
+//	if err := shared.Apply(&cfg); err != nil { ... }
+//	study := cloudscope.NewStudy(cfg)
+//	... run ...
+//	if err := shared.Finish(study); err != nil { ... }
+//
+// Apply validates flag combinations and fills the Config fields the
+// shared flags control; Finish handles the post-run obligations
+// (writing the recorded fault trace, printing the telemetry report,
+// dumping telemetry JSON).
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cloudscope"
+	"cloudscope/internal/chaos"
+	"cloudscope/internal/chaos/trace"
+)
+
+// Set holds the parsed values of the shared measurement flags.
+type Set struct {
+	Workers       int
+	Chaos         string
+	Telemetry     bool
+	TelemetryJSON string
+	ChaosRecord   string
+	ChaosReplay   string
+}
+
+// Register installs the shared flags on fs (flag.CommandLine from a
+// main) and returns the Set their values parse into.
+func Register(fs *flag.FlagSet) *Set {
+	s := &Set{}
+	fs.IntVar(&s.Workers, "workers", 0,
+		"worker bound for every parallel stage (0 = GOMAXPROCS, 1 = sequential; results identical)")
+	fs.StringVar(&s.Chaos, "chaos", "",
+		"fault scenario: a library name ("+strings.Join(chaos.Library(), ", ")+
+			") or an inline spec like 'loss,p=0.05;servfail,p=0.3,window=0.3-0.7'")
+	fs.BoolVar(&s.Telemetry, "telemetry", false,
+		"print the study's metric and span report after the run")
+	fs.StringVar(&s.TelemetryJSON, "telemetry-json", "",
+		"write the telemetry dump as JSON to this file (- for stdout)")
+	fs.StringVar(&s.ChaosRecord, "chaos-record", "",
+		"write this run's fault trace to this file for later -chaos-replay (requires -chaos)")
+	fs.StringVar(&s.ChaosReplay, "chaos-replay", "",
+		"re-inject the fault trace recorded in this file instead of drawing faults (excludes -chaos)")
+	return s
+}
+
+// validate rejects contradictory flag combinations with errors that
+// say what to change.
+func (s *Set) validate() error {
+	if s.ChaosReplay != "" && s.Chaos != "" {
+		return fmt.Errorf("-chaos-replay re-injects a recorded trace and cannot be combined with -chaos; drop one")
+	}
+	if s.ChaosReplay != "" && s.ChaosRecord != "" {
+		return fmt.Errorf("-chaos-record would re-record the trace being replayed; drop one of the two flags")
+	}
+	if s.ChaosRecord != "" && s.Chaos == "" {
+		return fmt.Errorf("-chaos-record needs a fault scenario to record; add -chaos")
+	}
+	return nil
+}
+
+// Apply validates the shared flags and fills the Config fields they
+// control: Workers, Chaos, ChaosRecord, and ChaosReplay. The other
+// Config fields are the caller's.
+func (s *Set) Apply(cfg *cloudscope.Config) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	cfg.Workers = s.Workers
+	sc, err := chaos.Load(s.Chaos)
+	if err != nil {
+		return err
+	}
+	cfg.Chaos = sc
+	cfg.ChaosRecord = s.ChaosRecord != ""
+	if s.ChaosReplay != "" {
+		tr, err := trace.ReadFile(s.ChaosReplay)
+		if err != nil {
+			return err
+		}
+		cfg.ChaosReplay = tr
+	}
+	return nil
+}
+
+// Faulting reports whether the study runs under injected faults —
+// from a live scenario or a replayed trace — i.e. whether a
+// completeness report is worth printing.
+func (s *Set) Faulting() bool {
+	return s.Chaos != "" || s.ChaosReplay != ""
+}
+
+// Finish performs the post-run obligations of the shared flags:
+// writes the recorded fault trace, prints the telemetry report, and
+// dumps telemetry JSON. Progress lines go to w (a main's os.Stdout).
+func (s *Set) Finish(w io.Writer, study *cloudscope.Study) error {
+	if s.ChaosRecord != "" {
+		if err := study.WriteFaultTrace(s.ChaosRecord); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fault trace: %d events written to %s\n", study.FaultTrace().Len(), s.ChaosRecord)
+	}
+	if s.Telemetry {
+		fmt.Fprint(w, study.Telemetry().Report())
+	}
+	if s.TelemetryJSON != "" {
+		out := os.Stdout
+		if s.TelemetryJSON != "-" {
+			f, err := os.Create(s.TelemetryJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := study.Telemetry().WriteJSON(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RejectStudyFlags errors when a flag that needs a full measurement
+// study is set. Commands that never build one (traceanalyze works on
+// an existing capture file) call it right after parsing so the user
+// learns the flag is inert instead of silently losing it.
+func (s *Set) RejectStudyFlags(cmd string) error {
+	var set []string
+	if s.Chaos != "" {
+		set = append(set, "-chaos")
+	}
+	if s.ChaosRecord != "" {
+		set = append(set, "-chaos-record")
+	}
+	if s.ChaosReplay != "" {
+		set = append(set, "-chaos-replay")
+	}
+	if s.Telemetry {
+		set = append(set, "-telemetry")
+	}
+	if s.TelemetryJSON != "" {
+		set = append(set, "-telemetry-json")
+	}
+	if len(set) > 0 {
+		return fmt.Errorf("%s runs no measurement study, so %s cannot apply here", cmd, strings.Join(set, ", "))
+	}
+	return nil
+}

@@ -133,11 +133,6 @@ type Config struct {
 	// assigned by domain index, and the simulated clock sums probe time
 	// commutatively.
 	Workers int
-	// Parallelism is a deprecated alias for Workers, honored only when
-	// Workers is zero. New code should set Workers.
-	//
-	// Deprecated: use Workers.
-	Parallelism int
 	// ParMetrics, when set, receives the scan fan-out's worker/shard
 	// gauges and queue-wait histogram (parallel.dataset.*).
 	ParMetrics *parallel.Metrics
@@ -179,17 +174,27 @@ func vantageLabel(i int) string {
 	return fmt.Sprintf("v%03d", i)
 }
 
-// Build runs the full pipeline.
-func Build(cfg Config) *Dataset {
+// normalize fills the Config's defaults; Build calls it exactly once,
+// so every default lives here.
+//
+// NOTE: the deprecated Parallelism alias for Workers is GONE. It was
+// honored only when Workers was zero and existed solely to ease the
+// Workers migration; callers that still set Parallelism must set
+// Workers instead. The Workers contract is unchanged: 0 means
+// GOMAXPROCS, 1 forces the exact sequential path, and the dataset is
+// byte-identical at every setting.
+func (cfg *Config) normalize() {
 	if cfg.Wordlist == nil {
 		cfg.Wordlist = wordlist.Common()
 	}
 	if cfg.Vantages <= 0 {
 		cfg.Vantages = 200
 	}
-	if cfg.Workers == 0 {
-		cfg.Workers = cfg.Parallelism // deprecated alias; 0 still means GOMAXPROCS
-	}
+}
+
+// Build runs the full pipeline.
+func Build(cfg Config) *Dataset {
+	cfg.normalize()
 	ds := &Dataset{
 		Ranges:     cfg.Ranges,
 		Domains:    map[string]*DomainSummary{},

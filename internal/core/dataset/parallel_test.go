@@ -15,19 +15,18 @@ func freshWorld() *deploy.World {
 	return deploy.Generate(deploy.DefaultConfig().Scaled(200))
 }
 
-func buildWith(w *deploy.World, workers, parallelism int) *Dataset {
+func buildWith(w *deploy.World, workers int) *Dataset {
 	names := make([]string, 0, len(w.Domains))
 	for _, d := range w.Domains {
 		names = append(names, d.Name)
 	}
 	return Build(Config{
-		Fabric:      w.Fabric,
-		Registry:    w.Registry,
-		Ranges:      w.Ranges,
-		Domains:     names,
-		Vantages:    8,
-		Workers:     workers,
-		Parallelism: parallelism,
+		Fabric:   w.Fabric,
+		Registry: w.Registry,
+		Ranges:   w.Ranges,
+		Domains:  names,
+		Vantages: 8,
+		Workers:  workers,
 	})
 }
 
@@ -40,29 +39,14 @@ func datasetBytes(t testing.TB, d *Dataset) string {
 	return buf.String()
 }
 
-// TestWorkersParallelismAlias pins the deprecated knob's contract:
-// Parallelism=n must behave exactly like Workers=n, and an explicit
-// Workers wins when both are set.
-func TestWorkersParallelismAlias(t *testing.T) {
-	golden := datasetBytes(t, buildWith(freshWorld(), 1, 0))
-	if got := datasetBytes(t, buildWith(freshWorld(), 0, 1)); got != golden {
-		t.Error("Parallelism=1 differs from Workers=1")
-	}
-	if got := datasetBytes(t, buildWith(freshWorld(), 1, 4)); got != golden {
-		t.Error("Workers=1 did not take precedence over Parallelism=4")
-	}
-	if got := datasetBytes(t, buildWith(freshWorld(), 0, 4)); got != golden {
-		t.Error("Parallelism=4 output differs from sequential")
-	}
-}
-
 // TestBuildWorkerCountInvariant checks the discovery pipeline is
-// byte-identical at every worker bound. Run under -race this doubles as
-// the scan fan-out's concurrency stress test.
+// byte-identical at every worker bound (0 = GOMAXPROCS, the only
+// worker knob now that the Parallelism alias is gone). Run under -race
+// this doubles as the scan fan-out's concurrency stress test.
 func TestBuildWorkerCountInvariant(t *testing.T) {
-	golden := datasetBytes(t, buildWith(freshWorld(), 1, 0))
-	for _, workers := range []int{2, 4} {
-		if got := datasetBytes(t, buildWith(freshWorld(), workers, 0)); got != golden {
+	golden := datasetBytes(t, buildWith(freshWorld(), 1))
+	for _, workers := range []int{0, 2, 4} {
+		if got := datasetBytes(t, buildWith(freshWorld(), workers)); got != golden {
 			t.Errorf("dataset differs at Workers=%d", workers)
 		}
 	}
@@ -77,7 +61,7 @@ func BenchmarkDatasetBuildWorkers(b *testing.B) {
 			w := freshWorld()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				buildWith(w, workers, 0)
+				buildWith(w, workers)
 			}
 		})
 	}

@@ -31,14 +31,14 @@ func renderRTTRows(rows []RTTRow) string {
 // a measurement, never skew one, unless the brownout explicitly
 // inflates it.
 func TestRegionalBrownoutIntraCloudRTTs(t *testing.T) {
-	baseline := IntraCloudRTTsPar(cloud.NewEC2(41), "ec2.us-east-1", 5, parallel.Options{})
+	baseline := IntraCloudRTTs(cloud.NewEC2(41), "ec2.us-east-1", Options{Seed: 5})
 
 	sc, err := chaos.Parse("loss,p=0.9,region=us-east,window=0.1-0.9")
 	if err != nil {
 		t.Fatal(err)
 	}
 	comp := telemetry.NewCompleteness()
-	faulted := IntraCloudRTTsObserved(cloud.NewEC2(41), "ec2.us-east-1", 5, parallel.Options{Workers: 2}, chaos.New(sc, 13), comp)
+	faulted := IntraCloudRTTs(cloud.NewEC2(41), "ec2.us-east-1", Options{Seed: 5, Par: parallel.Options{Workers: 2}, Chaos: chaos.New(sc, 13), Completeness: comp})
 
 	if len(faulted) >= len(baseline) {
 		t.Fatalf("90%% probe loss dropped no rows: %d vs %d", len(faulted), len(baseline))
@@ -152,8 +152,8 @@ func TestWanperfChaosWorkerInvariant(t *testing.T) {
 		camp.Par = parallel.Options{Workers: workers}
 		camp.Chaos, camp.Completeness = eng, comp
 		cells := camp.Matrix(wan.MetricLatency, regions, 10)
-		rows := IntraCloudRTTsObserved(cloud.NewEC2(43), "ec2.us-east-1", 5, parallel.Options{Workers: workers}, eng, comp)
-		isp := ISPDiversityObserved(camp.Model, map[string]int{"ec2.us-east-1": 3, "ec2.eu-west-1": 2}, 7, parallel.Options{Workers: workers}, eng, comp)
+		rows := IntraCloudRTTs(cloud.NewEC2(43), "ec2.us-east-1", Options{Seed: 5, Par: parallel.Options{Workers: workers}, Chaos: eng, Completeness: comp})
+		isp := ISPDiversity(camp.Model, map[string]int{"ec2.us-east-1": 3, "ec2.eu-west-1": 2}, Options{Seed: 7, Par: parallel.Options{Workers: workers}, Chaos: eng, Completeness: comp})
 		var b strings.Builder
 		for _, c := range cells {
 			fmt.Fprintf(&b, "%s %s %.6f %d\n", c.Client, c.Region, c.Mean, c.Samples)

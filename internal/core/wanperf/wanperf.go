@@ -21,6 +21,27 @@ import (
 	"cloudscope/internal/xrand"
 )
 
+// Options bundles the cross-cutting run parameters every standalone
+// wanperf experiment takes: the seed its probe streams split from, the
+// worker fan-out, and the optional fault-injection handles. The zero
+// value is a bare sequential-or-parallel fault-free run (Par's zero
+// value fans out to GOMAXPROCS; set Par.Workers to 1 to force the
+// sequential path). Inside a Study, build Options from the study's
+// fields: Options{Seed: s.Cfg.Seed, Par: s.Par("rtt"), Chaos:
+// s.Chaos(), Completeness: s.Completeness()}.
+type Options struct {
+	// Seed roots the experiment's deterministic probe streams.
+	Seed int64
+	// Par bounds and instruments the worker fan-out; results are
+	// bit-identical at every worker count.
+	Par parallel.Options
+	// Chaos, when set, injects faults into the experiment's probes.
+	Chaos *chaos.Engine
+	// Completeness, when set, receives the experiment's per-unit probe
+	// accounting.
+	Completeness *telemetry.Completeness
+}
+
 // Campaign bundles the §5 measurement setup: 80 PlanetLab clients, all
 // EC2 regions, probing every 15 minutes for three days.
 type Campaign struct {
@@ -196,26 +217,19 @@ type RTTRow struct {
 
 // IntraCloudRTTs reproduces Table 11: a micro instance in one zone
 // probes instances of each type in each zone, 10 pings each.
-func IntraCloudRTTs(c *cloud.Cloud, region string, seed int64) []RTTRow {
-	return IntraCloudRTTsPar(c, region, seed, parallel.Options{Workers: 1})
-}
-
-// IntraCloudRTTsPar is IntraCloudRTTs with the probe loops fanned out
-// over opt. Instance launches mutate the cloud's address allocators, so
-// they all happen up front in the original order; only the pure probe
-// sampling runs in parallel, each (instance type, zone) pair on its own
-// seed-derived stream so results match at every worker count.
-func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.Options) []RTTRow {
-	return IntraCloudRTTsObserved(c, region, seed, opt, nil, nil)
-}
-
-// IntraCloudRTTsObserved is IntraCloudRTTsPar under fault injection:
-// region-scoped loss eats individual pings (a pair losing all ten drops
-// out of the table), brownouts inflate every sample, and per-pair
-// accounting lands in comp under stage "wanperf/rtt". The fault phase
-// is the pair's index over the benchmark, and probe values draw before
-// the loss verdict, so surviving samples equal the fault-free run's.
-func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []RTTRow {
+//
+// Instance launches mutate the cloud's address allocators, so they all
+// happen up front in the original order; only the pure probe sampling
+// fans out over opt.Par, each (instance type, zone) pair on its own
+// seed-derived stream, so results match at every worker count. Under
+// opt.Chaos, region-scoped loss eats individual pings (a pair losing
+// all ten drops out of the table), brownouts inflate every sample, and
+// per-pair accounting lands in opt.Completeness under stage
+// "wanperf/rtt". The fault phase is the pair's index over the
+// benchmark, and probe values draw before the loss verdict, so
+// surviving samples equal the fault-free run's.
+func IntraCloudRTTs(c *cloud.Cloud, region string, opt Options) []RTTRow {
+	seed, eng, comp := opt.Seed, opt.Chaos, opt.Completeness
 	acct := c.NewAccount("rtt-bench")
 	labels := acct.ZoneLabels(region)
 	src := acct.Launch(region, labels[0], "t1.micro")
@@ -233,7 +247,7 @@ func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt paral
 		row RTTRow
 		ok  bool
 	}
-	rows, err := parallel.Map(opt, pairs, func(pi int, p pair) (rowResult, error) {
+	rows, err := parallel.Map(opt.Par, pairs, func(pi int, p pair) (rowResult, error) {
 		rng := xrand.SplitSeeded(seed, "wanperf/rtt/"+p.itype+"/"+p.label)
 		phase := float64(pi) / float64(len(pairs))
 		extraMs := eng.RegionExtraMs(region, phase)
@@ -275,6 +289,22 @@ func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt paral
 	return out
 }
 
+// IntraCloudRTTsPar runs IntraCloudRTTs with a positional seed and
+// fan-out.
+//
+// Deprecated: use IntraCloudRTTs with Options.
+func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.Options) []RTTRow {
+	return IntraCloudRTTs(c, region, Options{Seed: seed, Par: opt})
+}
+
+// IntraCloudRTTsObserved runs IntraCloudRTTs with positional
+// fault-injection handles.
+//
+// Deprecated: use IntraCloudRTTs with Options.
+func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []RTTRow {
+	return IntraCloudRTTs(c, region, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
+}
+
 // --- Table 16: downstream-ISP diversity -------------------------------
 
 // ISPRow is one region's downstream-ISP counts per zone.
@@ -287,24 +317,16 @@ type ISPRow struct {
 // ISPDiversity runs the paper's §5.2 experiment: instances in every
 // zone traceroute to every client; the first non-cloud AS is the
 // downstream ISP. Counts are observed lower bounds, like the paper's.
-func ISPDiversity(m *wan.Model, zoneCounts map[string]int, seed int64) []ISPRow {
-	return ISPDiversityPar(m, zoneCounts, seed, parallel.Options{Workers: 1})
-}
-
-// ISPDiversityPar is ISPDiversity with the (region, zone) traceroute
-// sweeps fanned out over opt. Each pair draws from its own seed-derived
-// stream and results fold back in sorted-region order, so the table is
-// identical at every worker count.
-func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options) []ISPRow {
-	return ISPDiversityObserved(m, zoneCounts, seed, opt, nil, nil)
-}
-
-// ISPDiversityObserved is ISPDiversityPar under fault injection:
-// chaos-dark clients contribute no traceroutes (phase = the pair's
-// index over the sweep), so observed ISP counts are lower bounds of the
-// fault-free run's, and per-zone accounting lands in comp under stage
-// "wanperf/isp".
-func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []ISPRow {
+//
+// The (region, zone) traceroute sweeps fan out over opt.Par; each pair
+// draws from its own seed-derived stream and results fold back in
+// sorted-region order, so the table is identical at every worker
+// count. Under opt.Chaos, chaos-dark clients contribute no traceroutes
+// (phase = the pair's index over the sweep), so observed ISP counts
+// are lower bounds of the fault-free run's, and per-zone accounting
+// lands in opt.Completeness under stage "wanperf/isp".
+func ISPDiversity(m *wan.Model, zoneCounts map[string]int, opt Options) []ISPRow {
+	seed, eng, comp := opt.Seed, opt.Chaos, opt.Completeness
 	regions := make([]string, 0, len(zoneCounts))
 	for r := range zoneCounts {
 		regions = append(regions, r)
@@ -324,7 +346,7 @@ func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, o
 		nISPs    int
 		topShare float64 // meaningful for zone 0 only
 	}
-	zstats, err := parallel.Map(opt, pairs, func(pi int, p zoneKey) (zoneStat, error) {
+	zstats, err := parallel.Map(opt.Par, pairs, func(pi int, p zoneKey) (zoneStat, error) {
 		rng := xrand.SplitSeeded(seed, fmt.Sprintf("wanperf/isp/%s/%d", p.region, p.zone))
 		phase := float64(pi) / float64(len(pairs))
 		seen := map[int]bool{}
@@ -377,6 +399,21 @@ func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, o
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// ISPDiversityPar runs ISPDiversity with a positional seed and fan-out.
+//
+// Deprecated: use ISPDiversity with Options.
+func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options) []ISPRow {
+	return ISPDiversity(m, zoneCounts, Options{Seed: seed, Par: opt})
+}
+
+// ISPDiversityObserved runs ISPDiversity with positional
+// fault-injection handles.
+//
+// Deprecated: use ISPDiversity with Options.
+func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []ISPRow {
+	return ISPDiversity(m, zoneCounts, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
 }
 
 // Outages wraps the wan outage simulation using the latency-optimal

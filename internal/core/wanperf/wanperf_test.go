@@ -6,6 +6,7 @@ import (
 
 	"cloudscope/internal/cloud"
 	"cloudscope/internal/ipranges"
+	"cloudscope/internal/parallel"
 	"cloudscope/internal/wan"
 )
 
@@ -105,7 +106,7 @@ func TestOptimalKFigure12(t *testing.T) {
 
 func TestIntraCloudRTTTable11(t *testing.T) {
 	ec2 := cloud.NewEC2(33)
-	rows := IntraCloudRTTs(ec2, "ec2.us-east-1", 7)
+	rows := IntraCloudRTTs(ec2, "ec2.us-east-1", Options{Seed: 7, Par: parallel.Options{Workers: 1}})
 	if len(rows) != len(cloud.InstanceTypes)*3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -131,7 +132,7 @@ func TestISPDiversityTable16(t *testing.T) {
 	zoneCounts := map[string]int{
 		"ec2.us-east-1": 3, "ec2.us-west-1": 2, "ec2.sa-east-1": 2,
 	}
-	rows := ISPDiversity(m, zoneCounts, 9)
+	rows := ISPDiversity(m, zoneCounts, Options{Seed: 9, Par: parallel.Options{Workers: 1}})
 	byRegion := map[string]ISPRow{}
 	for _, r := range rows {
 		byRegion[r.Region] = r

@@ -105,11 +105,10 @@ func Run(ds *dataset.Dataset, det *patterns.Result, ec2 *cloud.Cloud, cfg Config
 
 	// Cartography.
 	s.Ref = ec2.NewAccount("zones-reference")
-	s.Samples = cartography.SampleAccountsObserved(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, cfg.Seed, cfg.Par, cfg.Chaos, cfg.Completeness)
-	s.PM = cartography.MergeAccountsPar(s.Samples, s.Ref.Name, cfg.Par)
-	cfg.Latency.Chaos = cfg.Chaos
-	cfg.Latency.Completeness = cfg.Completeness
-	s.Lat = cartography.IdentifyByLatencyPar(ec2, s.Ref, s.Targets, cfg.Latency, cfg.Seed, cfg.Par)
+	copt := cartography.Options{Seed: cfg.Seed, Par: cfg.Par, Chaos: cfg.Chaos, Completeness: cfg.Completeness}
+	s.Samples = cartography.SampleAccounts(ec2, s.Ref, cfg.Accounts-1, cfg.SamplesPerZone, copt)
+	s.PM = cartography.MergeAccounts(s.Samples, s.Ref.Name, copt)
+	s.Lat = cartography.IdentifyByLatency(ec2, s.Ref, s.Targets, cfg.Latency, copt)
 	s.Combined = cartography.IdentifyCombined(s.Targets, s.PM, s.Lat)
 
 	// Subdomain zone sets from combined identifications.

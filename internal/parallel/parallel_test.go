@@ -21,7 +21,7 @@ func TestShardsLayout(t *testing.T) {
 		{0, 0, 0},
 		{1, 0, 1},
 		{16, 0, 1},
-		{17, 0, 2},   // default size 16 for small n
+		{17, 0, 2},    // default size 16 for small n
 		{1024, 0, 64}, // 1024/64 = 16 per shard
 		{1025, 0, 61}, // ceil(1025/64)=17 per shard -> ceil(1025/17)
 		{100, 7, 15},

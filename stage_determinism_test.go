@@ -91,8 +91,8 @@ func stageHashes(t *testing.T, seed int64, workers int) map[string]string {
 
 	// Stage 4: cartography sampling and the proximity-map merge.
 	ref := world.EC2.NewAccount("stage-ref")
-	samples := cartography.SampleAccountsPar(world.EC2, ref, 3, 3, seed, opt)
-	pm := cartography.MergeAccountsPar(samples, ref.Name, opt)
+	samples := cartography.SampleAccounts(world.EC2, ref, 3, 3, cartography.Options{Seed: seed, Par: opt})
+	pm := cartography.MergeAccounts(samples, ref.Name, cartography.Options{Par: opt})
 	digest("cartography", func(h *sha256Writer) {
 		for _, s := range samples {
 			fmt.Fprintf(h, "S %s %s %s %s\n", s.Account, s.Region, s.Label, s.InternalIP)
