@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench experiments world chaos bisect-smoke fuzz-chaos fuzz-trace clean
+.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace clean
 
 all: build check test
 
@@ -26,6 +26,7 @@ check:
 		./internal/deploy ./internal/core/dataset ./internal/capture ./internal/cartography
 	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
+	$(MAKE) bench-smoke
 
 test:
 	$(GO) test ./...
@@ -35,6 +36,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The most recent committed perf snapshot (BENCH_*.json sorts by date).
+BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
+
+# Tiny matrix under the race detector, compared against the committed
+# snapshot. Advisory: -race skews timings far beyond the regression
+# threshold, so this run proves the harness end to end (matrix, chaos
+# leg, snapshot write, compare) without gating on noisy numbers — the
+# hard regression gate is exercised hermetically by the bench package's
+# synthetic-regression test.
+bench-smoke:
+	$(GO) run -race ./cmd/cloudbench -sizes 1000 -workers 1 -reps 1 \
+		-chaos flaky-internet -out $(or $(TMPDIR),/tmp)/cloudscope-bench-smoke.json \
+		$(if $(BENCH_BASELINE),-compare $(BENCH_BASELINE) -advisory)
+
+# Full benchmark matrix; commit the refreshed BENCH_<date>.json to
+# extend the repo's perf trajectory.
+bench-snapshot:
+	$(GO) run ./cmd/cloudbench
 
 # Regenerate every table and figure of the paper.
 experiments:

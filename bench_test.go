@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"cloudscope/internal/capture"
 	"cloudscope/internal/cartography"
@@ -25,6 +26,7 @@ import (
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
+	"cloudscope/internal/telemetry/runtimeprof"
 	"cloudscope/internal/wan"
 	"cloudscope/internal/wordlist"
 )
@@ -554,23 +556,31 @@ func BenchmarkExtensionOutage(b *testing.B) {
 // --- Telemetry overhead ------------------------------------------------
 
 // BenchmarkTelemetryOverhead measures the full discovery pipeline with
-// telemetry on (the default) and off. The instrumented hot paths pay
-// atomic increments when enabled and a nil check when disabled; the two
-// sub-benchmarks should stay within a few percent of each other.
+// telemetry on (the default), on with the runtime sampler running, and
+// off. The instrumented hot paths pay atomic increments when enabled
+// and a nil check when disabled; the sampler adds one ReadMemStats per
+// interval on its own goroutine. All three sub-benchmarks should stay
+// within a few percent of each other.
 func BenchmarkTelemetryOverhead(b *testing.B) {
-	run := func(b *testing.B, noTel bool) {
+	run := func(b *testing.B, noTel, sample bool) {
 		b.Helper()
 		for i := 0; i < b.N; i++ {
 			s := NewStudy(Config{
 				Seed: 11, Domains: 200, Vantages: 10,
 				CaptureFlows: 100, WANClients: 8, NoTelemetry: noTel,
 			})
+			var smp *runtimeprof.Sampler
+			if sample {
+				smp = runtimeprof.Start(s.Telemetry().Registry(), 10*time.Millisecond)
+			}
 			ds := s.Dataset()
+			smp.Stop()
 			if ds.Stats.QueriesIssued == 0 {
 				b.Fatal("pipeline produced no queries")
 			}
 		}
 	}
-	b.Run("instrumented", func(b *testing.B) { run(b, false) })
-	b.Run("noop", func(b *testing.B) { run(b, true) })
+	b.Run("instrumented", func(b *testing.B) { run(b, false, false) })
+	b.Run("instrumented+sampler", func(b *testing.B) { run(b, false, true) })
+	b.Run("noop", func(b *testing.B) { run(b, true, false) })
 }

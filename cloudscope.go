@@ -243,7 +243,7 @@ func (s *Study) Completeness() *telemetry.Completeness { return s.tel.Completene
 func (s *Study) Par(stage string) parallel.Options {
 	return parallel.Options{
 		Workers: s.Cfg.Workers,
-		Metrics: parallel.NewMetrics(s.tel.Registry(), stage),
+		Metrics: parallel.NewMetrics(s.tel.Registry(), stage).WithSpans(s.tel.Tracer()),
 	}
 }
 
@@ -296,7 +296,7 @@ func (s *Study) Dataset() *dataset.Dataset {
 			Vantages:     s.Cfg.Vantages,
 			Metrics:      s.dnsMetrics,
 			Workers:      s.Cfg.Workers,
-			ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset"),
+			ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset").WithSpans(s.tel.Tracer()),
 			Completeness: s.tel.Completeness(),
 		}
 		if s.eng != nil {

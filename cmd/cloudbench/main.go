@@ -1,0 +1,130 @@
+// Command cloudbench runs cloudscope's standardized benchmark matrix —
+// world synthesis, DNS discovery, and border-capture generation and
+// analysis across world sizes and worker counts, plus a chaos-overhead
+// leg — and writes a schema-versioned BENCH_<date>.json snapshot.
+//
+// Committing the snapshot at the repo root turns perf into a tracked
+// trajectory: the next change runs
+//
+//	cloudbench -compare BENCH_2026-08-08.json
+//
+// and gets a per-metric delta table, exiting nonzero when any metric
+// regressed beyond the threshold (default 10%). Use -advisory in noisy
+// environments (CI under -race) to print the table without gating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudscope/internal/bench"
+)
+
+func main() {
+	var (
+		sizes        = flag.String("sizes", "1000,10000,100000", "comma-separated world sizes")
+		workers      = flag.String("workers", "1,4,0", "comma-separated worker bounds (0 = GOMAXPROCS, reported as \"max\")")
+		reps         = flag.Int("reps", 1, "repetitions per cell; best value kept")
+		seed         = flag.Int64("seed", 1, "world seed")
+		vantages     = flag.Int("vantages", 10, "discovery vantage count")
+		discoveryMax = flag.Int("discovery-max", 10000, "largest world size to run the discovery and chaos legs at")
+		chaosName    = flag.String("chaos", "flaky-internet", "fault scenario for the chaos-overhead leg (empty = skip)")
+		out          = flag.String("out", "", "snapshot output path (default BENCH_<today>.json; \"-\" = stdout only)")
+		compare      = flag.String("compare", "", "old snapshot to compare this run against")
+		threshold    = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
+		advisory     = flag.Bool("advisory", false, "with -compare, report regressions but exit 0")
+		quiet        = flag.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: cloudbench [flags]   (see cloudbench -help)")
+		os.Exit(2)
+	}
+
+	cfg := bench.MatrixConfig{
+		Reps:         *reps,
+		Seed:         *seed,
+		Vantages:     *vantages,
+		DiscoveryMax: *discoveryMax,
+		Chaos:        *chaosName,
+	}
+	var err error
+	if cfg.Sizes, err = csvInts(*sizes); err != nil {
+		fatal(fmt.Errorf("-sizes: %w", err))
+	}
+	if cfg.Workers, err = csvInts(*workers); err != nil {
+		fatal(fmt.Errorf("-workers: %w", err))
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+
+	// Read the baseline before spending minutes on the matrix.
+	var oldSnap *bench.Snapshot
+	if *compare != "" {
+		if oldSnap, err = bench.ReadFile(*compare); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	snap, err := bench.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	snap.CreatedAt = start.UTC().Format(time.RFC3339)
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + start.UTC().Format("2006-01-02") + ".json"
+	}
+	if path == "-" {
+		if _, err := snap.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := snap.WriteFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d metrics, %s)\n", path, len(snap.Metrics), time.Since(start).Round(time.Millisecond))
+	}
+
+	if oldSnap != nil {
+		cmp := bench.Compare(oldSnap, snap, *threshold)
+		fmt.Printf("\ncomparing against %s:\n\n%s", *compare, cmp.Table())
+		if len(cmp.Regressions()) > 0 && !*advisory {
+			os.Exit(1)
+		}
+	}
+}
+
+func csvInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative value %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudbench:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,9 @@ func main() {
 		fatal(err)
 	}
 	study := cloudscope.NewStudy(cfg)
+	if err := shared.Start(study.Telemetry()); err != nil {
+		fatal(err)
+	}
 	ds := study.Dataset()
 	fmt.Printf("scanned %d domains, %d queries, %d AXFR successes (%.1f simulated probe-days serial)\n",
 		ds.Stats.DomainsScanned, ds.Stats.QueriesIssued, ds.Stats.AXFRSuccesses,

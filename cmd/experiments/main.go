@@ -55,6 +55,9 @@ func main() {
 	}
 
 	study := cloudscope.NewStudy(cfg)
+	if err := shared.Start(study.Telemetry()); err != nil {
+		fatal(err)
+	}
 	ran := 0
 	for _, e := range cloudscope.Experiments() {
 		if len(want) > 0 && !want[e.ID] {

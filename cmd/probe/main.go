@@ -39,6 +39,7 @@ func main() {
 	cfg := cloudscope.Config{Seed: *seed, Domains: *domains}
 	check(shared.Apply(&cfg))
 	study := cloudscope.NewStudy(cfg)
+	check(shared.Start(study.Telemetry()))
 	world := study.World()
 	p := probes.New(probes.Config{
 		Fabric:       world.Fabric,

@@ -19,13 +19,17 @@ func main() {
 	flag.Parse()
 	// The flags are registered identically across all commands, but this
 	// one analyzes an existing capture and runs no study — say so rather
-	// than silently ignoring a chaos or telemetry request.
+	// than silently ignoring a chaos or telemetry request. The pprof
+	// flags still apply: profiling the analyzer is their point here.
 	if err := shared.RejectStudyFlags("traceanalyze"); err != nil {
 		fatal(err)
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-workers n] <capture.pcap>")
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-workers n] [-cpuprofile f] [-memprofile f] <capture.pcap>")
 		os.Exit(2)
+	}
+	if err := shared.Start(nil); err != nil {
+		fatal(err)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -41,6 +45,9 @@ func main() {
 	fmt.Println(traffic.Table2(an))
 	fmt.Println(traffic.Table5(an, 15))
 	fmt.Println(traffic.Table6(an, 10))
+	if err := shared.FinishProfiles(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,9 @@ func main() {
 		fatal(err)
 	}
 	study := cloudscope.NewStudy(cfg)
+	if err := shared.Start(study.Telemetry()); err != nil {
+		fatal(err)
+	}
 	for _, id := range []string{"figure9", "figure10", "figure11", "figure12", "table11", "table16"} {
 		out, err := study.RunExperiment(id)
 		if err != nil {

@@ -30,6 +30,9 @@ func main() {
 		fatal(err)
 	}
 	study := cloudscope.NewStudy(cfg)
+	if err := shared.Start(study.Telemetry()); err != nil {
+		fatal(err)
+	}
 	world := study.World()
 
 	// Published IP ranges.

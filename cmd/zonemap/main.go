@@ -23,6 +23,9 @@ func main() {
 		fatal(err)
 	}
 	study := cloudscope.NewStudy(cfg)
+	if err := shared.Start(study.Telemetry()); err != nil {
+		fatal(err)
+	}
 	z := study.Zones()
 	fmt.Printf("targets: %d physical EC2 instances; combined coverage %.1f%%\n\n",
 		len(z.Targets), 100*z.Combined.Coverage())

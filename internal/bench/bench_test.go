@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snapWith(metrics ...Metric) *Snapshot {
+	return &Snapshot{Schema: Schema, CreatedAt: "2026-08-08T00:00:00Z", Host: CurrentHost(), Metrics: metrics}
+}
+
+// TestCompareDetectsSyntheticRegression is the harness's reason to
+// exist: a 10%+ move in the worse direction must be flagged, for both
+// metric polarities.
+func TestCompareDetectsSyntheticRegression(t *testing.T) {
+	oldSnap := snapWith(
+		Metric{Name: "capture_gen_mb_per_s/world=1000/workers=1", Value: 100, Unit: "MB/s", Better: Higher},
+		Metric{Name: "peak_heap_mb/world=1000/workers=1", Value: 50, Unit: "MB", Better: Lower},
+		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 300, Unit: "domains/s", Better: Higher},
+	)
+	newSnap := snapWith(
+		// 11% slower: regression for a higher-better metric.
+		Metric{Name: "capture_gen_mb_per_s/world=1000/workers=1", Value: 89, Unit: "MB/s", Better: Higher},
+		// 20% more heap: regression for a lower-better metric.
+		Metric{Name: "peak_heap_mb/world=1000/workers=1", Value: 60, Unit: "MB", Better: Lower},
+		// 15% faster: improvement, not a regression.
+		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 345, Unit: "domains/s", Better: Higher},
+	)
+	c := Compare(oldSnap, newSnap, 10)
+	regs := c.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	}
+	names := map[string]bool{}
+	for _, d := range regs {
+		names[d.Name] = true
+	}
+	if !names["capture_gen_mb_per_s/world=1000/workers=1"] || !names["peak_heap_mb/world=1000/workers=1"] {
+		t.Fatalf("wrong regressions flagged: %+v", regs)
+	}
+	var improved int
+	for _, d := range c.Deltas {
+		if d.Improved {
+			improved++
+			if d.Name != "discovery_domains_per_s/world=1000/workers=1" {
+				t.Fatalf("unexpected improvement flag on %s", d.Name)
+			}
+		}
+	}
+	if improved != 1 {
+		t.Fatalf("got %d improvements, want 1", improved)
+	}
+	table := c.Table()
+	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "2 metric(s) regressed") {
+		t.Fatalf("table missing regression summary:\n%s", table)
+	}
+}
+
+func TestCompareWithinThresholdIsQuiet(t *testing.T) {
+	oldSnap := snapWith(Metric{Name: "m", Value: 100, Unit: "MB/s", Better: Higher})
+	newSnap := snapWith(Metric{Name: "m", Value: 95, Unit: "MB/s", Better: Higher}) // -5% < threshold
+	c := Compare(oldSnap, newSnap, 10)
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("5%% move flagged as regression: %+v", c.Regressions())
+	}
+	if c.Deltas[0].Improved {
+		t.Fatal("5% move flagged as improvement")
+	}
+	if !strings.Contains(c.Table(), "no regressions beyond 10%") {
+		t.Fatalf("table missing all-clear line:\n%s", c.Table())
+	}
+}
+
+func TestCompareReportsAppearedAndVanishedMetrics(t *testing.T) {
+	oldSnap := snapWith(
+		Metric{Name: "common", Value: 1, Better: Higher},
+		Metric{Name: "vanished", Value: 2, Better: Higher},
+	)
+	newSnap := snapWith(
+		Metric{Name: "appeared", Value: 3, Better: Higher},
+		Metric{Name: "common", Value: 1, Better: Higher},
+	)
+	c := Compare(oldSnap, newSnap, 10)
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "vanished" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "appeared" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+	if len(c.Deltas) != 1 || c.Deltas[0].Name != "common" {
+		t.Fatalf("Deltas = %+v", c.Deltas)
+	}
+}
+
+func TestCompareZeroBaselineNeverRegresses(t *testing.T) {
+	oldSnap := snapWith(Metric{Name: "m", Value: 0, Better: Higher})
+	newSnap := snapWith(Metric{Name: "m", Value: 5, Better: Higher})
+	c := Compare(oldSnap, newSnap, 10)
+	if c.Deltas[0].Regressed || c.Deltas[0].Improved {
+		t.Fatalf("zero baseline produced a verdict: %+v", c.Deltas[0])
+	}
+}
+
+func TestSnapshotRoundTripSortsAndValidates(t *testing.T) {
+	s := snapWith(
+		Metric{Name: "zzz", Value: 1, Unit: "u", Better: Higher},
+		Metric{Name: "aaa", Value: 2, Unit: "u", Better: Lower},
+	)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics[0].Name != "aaa" || got.Metrics[1].Name != "zzz" {
+		t.Fatalf("metrics not sorted: %+v", got.Metrics)
+	}
+	if m, ok := got.Metric("aaa"); !ok || m.Value != 2 || m.Better != Lower {
+		t.Fatalf("Metric lookup = %+v, %v", m, ok)
+	}
+
+	// Writing twice must be byte-identical — snapshots are committed
+	// files, and diff noise would bury real movement.
+	var buf2 bytes.Buffer
+	if _, err := s.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteTo is not deterministic")
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	_, err := Read(strings.NewReader(`{"schema": 99, "metrics": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestWorkerLabel(t *testing.T) {
+	if got := WorkerLabel(0); got != "max" {
+		t.Fatalf("WorkerLabel(0) = %q", got)
+	}
+	if got := WorkerLabel(4); got != "4" {
+		t.Fatalf("WorkerLabel(4) = %q", got)
+	}
+}
+
+// TestRunTinyMatrix exercises the real measurement path end to end on
+// a deliberately tiny world: every expected metric shows up, rates are
+// finite and positive, and the snapshot survives a round trip.
+func TestRunTinyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (tiny) study")
+	}
+	var logBuf bytes.Buffer
+	snap, err := Run(MatrixConfig{
+		Sizes:        []int{300},
+		Workers:      []int{1},
+		Vantages:     2,
+		DiscoveryMax: 300,
+		Log:          &logBuf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"worldgen_domains_per_s/world=300/workers=1",
+		"capture_gen_mb_per_s/world=300/workers=1",
+		"capture_gen_allocs_per_packet/world=300/workers=1",
+		"capture_analyze_mb_per_s/world=300/workers=1",
+		"capture_analyze_allocs_per_packet/world=300/workers=1",
+		"discovery_domains_per_s/world=300/workers=1",
+		"peak_heap_mb/world=300/workers=1",
+	}
+	for _, name := range want {
+		m, ok := snap.Metric(name)
+		if !ok {
+			t.Fatalf("metric %s missing; have %+v", name, snap.Metrics)
+		}
+		if m.Value <= 0 || m.Value != m.Value /* NaN */ {
+			t.Fatalf("metric %s has non-positive value %v", name, m.Value)
+		}
+	}
+	if len(snap.Metrics) != len(want) {
+		t.Fatalf("got %d metrics, want %d: %+v", len(snap.Metrics), len(want), snap.Metrics)
+	}
+	if !strings.Contains(logBuf.String(), "world=300 workers=1 done") {
+		t.Fatalf("progress log missing: %q", logBuf.String())
+	}
+}

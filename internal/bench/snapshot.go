@@ -1,0 +1,277 @@
+// Package bench is cloudscope's perf-trajectory harness: it runs a
+// standardized benchmark matrix over the pipeline's heaviest stages
+// (world synthesis, DNS discovery, border-capture generation and
+// analysis) across world sizes and worker counts, records the rates
+// into a schema-versioned snapshot, and compares snapshots across
+// commits so scale wins — and regressions — are proven by numbers in
+// the repository instead of anecdotes in commit messages.
+//
+// The committed BENCH_<date>.json files at the repo root are this
+// package's output; cmd/cloudbench is the CLI over it.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Schema is the snapshot format version. Bump it when Metric or
+// Snapshot fields change incompatibly; Compare refuses mismatched
+// schemas rather than reporting nonsense deltas.
+const Schema = 1
+
+// Direction says which way a metric should move.
+const (
+	Higher = "higher" // throughput-style: bigger is better
+	Lower  = "lower"  // cost-style: smaller is better
+)
+
+// Metric is one measured value of the matrix, e.g.
+// "capture_gen_mb_per_s/world=10000/workers=4".
+type Metric struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Better string  `json:"better"`
+}
+
+// Host describes the machine a snapshot was taken on — context for a
+// human comparing numbers, never part of metric identity.
+type Host struct {
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentHost captures the running machine.
+func CurrentHost() Host {
+	return Host{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Params records the matrix a snapshot ran, for provenance.
+type Params struct {
+	Sizes        []int    `json:"sizes"`
+	Workers      []string `json:"workers"`
+	Reps         int      `json:"reps"`
+	Seed         int64    `json:"seed"`
+	Vantages     int      `json:"vantages"`
+	DiscoveryMax int      `json:"discovery_max"`
+	Chaos        string   `json:"chaos,omitempty"`
+}
+
+// Snapshot is one benchmark run: the full matrix's metrics, sorted by
+// name, plus the context needed to interpret them later.
+type Snapshot struct {
+	Schema    int      `json:"schema"`
+	CreatedAt string   `json:"created_at"` // RFC3339; caller-supplied
+	Host      Host     `json:"host"`
+	Params    Params   `json:"params"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, if present.
+func (s *Snapshot) Metric(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// sortMetrics orders metrics by name so the JSON bytes are a pure
+// function of the measured values.
+func (s *Snapshot) sortMetrics() {
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+}
+
+// WriteTo writes the snapshot as indented JSON, metrics sorted.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	s.sortMetrics()
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// WriteFile writes the snapshot to path.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a snapshot and validates its schema.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bench: decoding snapshot: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("bench: snapshot schema %d, this binary speaks %d", s.Schema, Schema)
+	}
+	s.sortMetrics()
+	return &s, nil
+}
+
+// ReadFile reads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Delta is one metric's old-vs-new movement.
+type Delta struct {
+	Name     string
+	Unit     string
+	Better   string
+	Old, New float64
+	// Pct is the signed relative change of New vs Old in percent;
+	// positive means the value grew.
+	Pct float64
+	// Regressed/Improved report whether the move crossed the
+	// comparison threshold in the worse/better direction.
+	Regressed bool
+	Improved  bool
+}
+
+// Comparison is the metric-by-metric delta of two snapshots.
+type Comparison struct {
+	ThresholdPct float64
+	Deltas       []Delta  // metrics present in both, sorted by name
+	OnlyOld      []string // metrics that disappeared
+	OnlyNew      []string // metrics that appeared
+}
+
+// Compare matches old and new snapshots metric-by-metric. A move
+// larger than thresholdPct percent in a metric's worse direction is a
+// regression; in the better direction, an improvement.
+func Compare(oldSnap, newSnap *Snapshot, thresholdPct float64) *Comparison {
+	c := &Comparison{ThresholdPct: thresholdPct}
+	oldBy := map[string]Metric{}
+	for _, m := range oldSnap.Metrics {
+		oldBy[m.Name] = m
+	}
+	seen := map[string]bool{}
+	for _, n := range newSnap.Metrics {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, n.Name)
+			continue
+		}
+		seen[n.Name] = true
+		d := Delta{Name: n.Name, Unit: n.Unit, Better: n.Better, Old: o.Value, New: n.Value}
+		if o.Value != 0 {
+			d.Pct = 100 * (n.Value - o.Value) / o.Value
+			worse := d.Pct < -thresholdPct // value fell
+			better := d.Pct > thresholdPct // value grew
+			if n.Better == Lower {
+				worse, better = better, worse
+			}
+			d.Regressed, d.Improved = worse, better
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, o := range oldSnap.Metrics {
+		if !seen[o.Name] {
+			if _, stillThere := oldBy[o.Name]; stillThere {
+				if _, inNew := findMetric(newSnap, o.Name); !inNew {
+					c.OnlyOld = append(c.OnlyOld, o.Name)
+				}
+			}
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c
+}
+
+func findMetric(s *Snapshot, name string) (Metric, bool) { return s.Metric(name) }
+
+// Regressions returns the deltas that crossed the threshold in the
+// worse direction.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table renders the comparison as an aligned text table: one row per
+// common metric, flagged ▼ for regressions and ▲ for improvements
+// beyond the threshold.
+func (c *Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-58s %12s %12s %8s\n", "metric", "old", "new", "delta")
+	for _, d := range c.Deltas {
+		flag := ""
+		switch {
+		case d.Regressed:
+			flag = "  ▼ REGRESSION"
+		case d.Improved:
+			flag = "  ▲ improved"
+		}
+		fmt.Fprintf(&b, "%-58s %12.3f %12.3f %+7.1f%%%s\n", d.Name, d.Old, d.New, d.Pct, flag)
+	}
+	// A smoke run compares a small matrix against a full snapshot;
+	// listing every absent cell would drown the deltas, so long lists
+	// collapse to a count.
+	const listCap = 5
+	if len(c.OnlyOld) <= listCap {
+		for _, name := range c.OnlyOld {
+			fmt.Fprintf(&b, "%-58s %12s %12s   (metric gone)\n", name, "-", "-")
+		}
+	} else {
+		fmt.Fprintf(&b, "(%d metrics in old snapshot only — smaller matrix this run)\n", len(c.OnlyOld))
+	}
+	if len(c.OnlyNew) <= listCap {
+		for _, name := range c.OnlyNew {
+			fmt.Fprintf(&b, "%-58s %12s %12s   (new metric)\n", name, "-", "-")
+		}
+	} else {
+		fmt.Fprintf(&b, "(%d new metrics not in old snapshot)\n", len(c.OnlyNew))
+	}
+	regs := c.Regressions()
+	if len(regs) > 0 {
+		fmt.Fprintf(&b, "\n%d metric(s) regressed more than %.0f%%\n", len(regs), c.ThresholdPct)
+	} else if len(c.Deltas) > 0 {
+		fmt.Fprintf(&b, "\nno regressions beyond %.0f%% across %d common metric(s)\n", c.ThresholdPct, len(c.Deltas))
+	} else {
+		b.WriteString("\nno common metrics to compare\n")
+	}
+	return b.String()
+}

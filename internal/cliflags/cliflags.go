@@ -1,7 +1,9 @@
 // Package cliflags registers the measurement flags every cloudscope
-// command shares, so -workers, -chaos, -telemetry[-json], and the
-// fault-trace flags have one name, one help string, and one meaning
-// across all seven binaries instead of seven drifting copies.
+// command shares, so -workers, -chaos, -telemetry[-json], the
+// fault-trace flags, and the profiling flags (-cpuprofile,
+// -memprofile, -trace-out, -runtime-sample) have one name, one help
+// string, and one meaning across all seven binaries instead of seven
+// drifting copies.
 //
 // Usage from a main:
 //
@@ -10,13 +12,17 @@
 //	cfg := cloudscope.Config{Seed: *seed, Domains: *domains}
 //	if err := shared.Apply(&cfg); err != nil { ... }
 //	study := cloudscope.NewStudy(cfg)
+//	if err := shared.Start(study.Telemetry()); err != nil { ... }
 //	... run ...
-//	if err := shared.Finish(study); err != nil { ... }
+//	if err := shared.Finish(os.Stdout, study); err != nil { ... }
 //
 // Apply validates flag combinations and fills the Config fields the
-// shared flags control; Finish handles the post-run obligations
-// (writing the recorded fault trace, printing the telemetry report,
-// dumping telemetry JSON).
+// shared flags control; Start arms the run-scoped observability (the
+// pprof CPU profile and the runtime sampler); Finish handles the
+// post-run obligations (writing the recorded fault trace, printing the
+// telemetry report, dumping telemetry JSON, writing the Chrome trace
+// and the pprof profiles). Commands that run no study (traceanalyze)
+// call Start(nil) and FinishProfiles instead of Finish.
 package cliflags
 
 import (
@@ -24,11 +30,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"cloudscope"
 	"cloudscope/internal/chaos"
 	"cloudscope/internal/chaos/trace"
+	"cloudscope/internal/telemetry"
+	"cloudscope/internal/telemetry/runtimeprof"
 )
 
 // Set holds the parsed values of the shared measurement flags.
@@ -39,6 +50,15 @@ type Set struct {
 	TelemetryJSON string
 	ChaosRecord   string
 	ChaosReplay   string
+	CPUProfile    string
+	MemProfile    string
+	TraceOut      string
+	RuntimeSample time.Duration
+
+	// Run-scoped observability state armed by Start and released by
+	// Finish/FinishProfiles.
+	cpuFile *os.File
+	sampler *runtimeprof.Sampler
 }
 
 // Register installs the shared flags on fs (flag.CommandLine from a
@@ -58,6 +78,14 @@ func Register(fs *flag.FlagSet) *Set {
 		"write this run's fault trace to this file for later -chaos-replay (requires -chaos)")
 	fs.StringVar(&s.ChaosReplay, "chaos-replay", "",
 		"re-inject the fault trace recorded in this file instead of drawing faults (excludes -chaos)")
+	fs.StringVar(&s.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the whole run to this file")
+	fs.StringVar(&s.MemProfile, "memprofile", "",
+		"write a pprof heap profile (after a final GC) to this file at exit")
+	fs.StringVar(&s.TraceOut, "trace-out", "",
+		"write the study's span tree as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
+	fs.DurationVar(&s.RuntimeSample, "runtime-sample", 0,
+		"sample Go runtime heap/GC/goroutine gauges into telemetry at this interval (e.g. 50ms; 0 = off)")
 	return s
 }
 
@@ -72,6 +100,9 @@ func (s *Set) validate() error {
 	}
 	if s.ChaosRecord != "" && s.Chaos == "" {
 		return fmt.Errorf("-chaos-record needs a fault scenario to record; add -chaos")
+	}
+	if s.RuntimeSample < 0 {
+		return fmt.Errorf("-runtime-sample must be a positive interval (or 0 for off), got %v", s.RuntimeSample)
 	}
 	return nil
 }
@@ -107,10 +138,65 @@ func (s *Set) Faulting() bool {
 	return s.Chaos != "" || s.ChaosReplay != ""
 }
 
-// Finish performs the post-run obligations of the shared flags:
-// writes the recorded fault trace, prints the telemetry report, and
-// dumps telemetry JSON. Progress lines go to w (a main's os.Stdout).
+// Start arms the run-scoped observability: the pprof CPU profile and
+// the runtime sampler (which records into tel's registry — a nil tel,
+// e.g. a NoTelemetry study, leaves the sampler off). Call it after
+// constructing the study and pair it with Finish, or with
+// FinishProfiles for commands that run no study.
+func (s *Set) Start(tel *telemetry.Telemetry) error {
+	if s.CPUProfile != "" {
+		f, err := os.Create(s.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		s.cpuFile = f
+	}
+	if s.RuntimeSample > 0 {
+		s.sampler = runtimeprof.Start(tel.Registry(), s.RuntimeSample)
+	}
+	return nil
+}
+
+// FinishProfiles closes out the pprof flags armed by Start: stops the
+// CPU profile and writes the heap profile. Finish calls it; commands
+// without a study call it directly.
+func (s *Set) FinishProfiles() error {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := s.cpuFile.Close()
+		s.cpuFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if s.MemProfile != "" {
+		f, err := os.Create(s.MemProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish performs the post-run obligations of the shared flags: stops
+// the runtime sampler (final reading included), writes the recorded
+// fault trace, prints the telemetry report, dumps telemetry JSON,
+// writes the Chrome span trace, and closes out the pprof profiles.
+// Progress lines go to w (a main's os.Stdout).
 func (s *Set) Finish(w io.Writer, study *cloudscope.Study) error {
+	if s.sampler != nil {
+		s.sampler.Stop() // before the report, so final runtime gauges are in it
+		s.sampler = nil
+	}
 	if s.ChaosRecord != "" {
 		if err := study.WriteFaultTrace(s.ChaosRecord); err != nil {
 			return err
@@ -134,7 +220,21 @@ func (s *Set) Finish(w io.Writer, study *cloudscope.Study) error {
 			return err
 		}
 	}
-	return nil
+	if s.TraceOut != "" {
+		f, err := os.Create(s.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := study.Telemetry().WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "span trace: %s (open in chrome://tracing or https://ui.perfetto.dev)\n", s.TraceOut)
+	}
+	return s.FinishProfiles()
 }
 
 // RejectStudyFlags errors when a flag that needs a full measurement
@@ -157,6 +257,12 @@ func (s *Set) RejectStudyFlags(cmd string) error {
 	}
 	if s.TelemetryJSON != "" {
 		set = append(set, "-telemetry-json")
+	}
+	if s.TraceOut != "" {
+		set = append(set, "-trace-out")
+	}
+	if s.RuntimeSample != 0 {
+		set = append(set, "-runtime-sample")
 	}
 	if len(set) > 0 {
 		return fmt.Errorf("%s runs no measurement study, so %s cannot apply here", cmd, strings.Join(set, ", "))

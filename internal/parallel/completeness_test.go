@@ -1,0 +1,70 @@
+package parallel_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cloudscope/internal/parallel"
+	"cloudscope/internal/telemetry"
+)
+
+// TestCompletenessInvariantUnderWorkers drives telemetry.Completeness
+// from inside parallel.Run at the worker counts the matrix sweeps and
+// demands byte-identical reports: the accounting is a commutative
+// multiset, so scheduling order must not show through in Report or
+// Snapshot output.
+func TestCompletenessInvariantUnderWorkers(t *testing.T) {
+	const items = 1000
+
+	build := func(workers int) *telemetry.Completeness {
+		comp := telemetry.NewCompleteness()
+		err := parallel.Run(parallel.Options{Workers: workers}, items, func(sh parallel.Shard) error {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				stage := fmt.Sprintf("stage-%d", i%3)
+				vantage := fmt.Sprintf("vantage-%02d", i%7)
+				c := telemetry.Counts{Attempted: 1, Succeeded: 1}
+				if i%11 == 0 {
+					c.Retried, c.Succeeded = 1, 0
+				}
+				if i%13 == 0 {
+					c.Abandoned = 1
+				}
+				comp.Merge(stage, vantage, c)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return comp
+	}
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	baseline := build(workerCounts[0])
+	baseReport := baseline.Report()
+	if baseReport == "" {
+		t.Fatal("baseline report is empty")
+	}
+	baseSnap := fmt.Sprintf("%+v", baseline.Snapshot())
+	for _, w := range workerCounts[1:] {
+		comp := build(w)
+		if got := comp.Report(); got != baseReport {
+			t.Errorf("Report at workers=%d diverges from workers=1:\n--- workers=1 ---\n%s--- workers=%d ---\n%s", w, baseReport, w, got)
+		}
+		if got := fmt.Sprintf("%+v", comp.Snapshot()); got != baseSnap {
+			t.Errorf("Snapshot at workers=%d diverges from workers=1", w)
+		}
+	}
+
+	// Sanity on the totals themselves: every item accounted exactly once.
+	for s := 0; s < 3; s++ {
+		c, ok := baseline.Stage(fmt.Sprintf("stage-%d", s))
+		if !ok {
+			t.Fatalf("stage-%d missing", s)
+		}
+		if c.Attempted == 0 || c.Attempted != c.Succeeded+c.Retried {
+			t.Fatalf("stage-%d counts inconsistent: %+v", s, c)
+		}
+	}
+}

@@ -271,13 +271,20 @@ func Map[T, R any](opt Options, in []T, fn func(i int, item T) (R, error)) ([]R,
 // on an idle pool up to tens of milliseconds behind a long stage.
 var QueueWaitBucketsMs = []float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50}
 
-// Metrics reports a stage's fan-out shape into a telemetry registry.
-// A nil *Metrics (and nil instruments inside) is a no-op, matching
-// the registry's conventions.
+// Metrics reports a stage's fan-out shape into a telemetry registry
+// and, when a tracer is attached, into whatever stage span covers the
+// run. A nil *Metrics (and nil instruments inside) is a no-op,
+// matching the registry's conventions.
 type Metrics struct {
 	Workers     *telemetry.Gauge     // workers used by the last run
 	Shards      *telemetry.Gauge     // shards in the last run's layout
 	QueueWaitMs *telemetry.Histogram // per-shard wait from enqueue to pickup
+	// Tracer, when non-nil, charges the pool's fan-out shape to the
+	// innermost open span as span stats: par.workers (max across runs),
+	// par.runs and par.shards (accumulated), and par.queue_wait_ms
+	// (total shard queue delay). The stats ride into the flame summary
+	// and the Chrome trace export.
+	Tracer *telemetry.Tracer
 }
 
 // NewMetrics registers the stage's instruments as
@@ -294,12 +301,27 @@ func NewMetrics(r *telemetry.Registry, stage string) *Metrics {
 	}
 }
 
+// WithSpans attaches a tracer so the pool's runs feed span stats; it
+// returns m for call chaining and is nil-safe on both sides.
+func (m *Metrics) WithSpans(tr *telemetry.Tracer) *Metrics {
+	if m == nil {
+		return nil
+	}
+	m.Tracer = tr
+	return m
+}
+
 func (m *Metrics) observeStart(workers, shards int) {
 	if m == nil {
 		return
 	}
 	m.Workers.Set(int64(workers))
 	m.Shards.Set(int64(shards))
+	if sp := m.Tracer.Current(); sp != nil {
+		sp.MaxStat("par.workers", float64(workers))
+		sp.AddStat("par.runs", 1)
+		sp.AddStat("par.shards", float64(shards))
+	}
 }
 
 func (m *Metrics) observeQueueWait(d time.Duration) {
@@ -307,4 +329,5 @@ func (m *Metrics) observeQueueWait(d time.Duration) {
 		return
 	}
 	m.QueueWaitMs.Observe(float64(d) / float64(time.Millisecond))
+	m.Tracer.Current().AddStat("par.queue_wait_ms", float64(d)/float64(time.Millisecond))
 }

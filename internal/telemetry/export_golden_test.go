@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenState builds a fully deterministic telemetry state: fake wall
+// clock (10ms per reading), fake simulated clock (30s per reading),
+// fake allocation counters (4KiB / 32 objects per reading), metric
+// names deliberately inserted out of order, and span stats with
+// unsorted names — everything the sorted-export guarantee has to hold
+// against.
+func goldenState() (*Registry, *Tracer, *Completeness) {
+	wall := time.Unix(1000, 0).UTC()
+	sim := time.Date(2013, 4, 5, 0, 0, 0, 0, time.UTC)
+	var allocB, allocO uint64
+	tr := &Tracer{
+		now: func() time.Time { wall = wall.Add(10 * time.Millisecond); return wall },
+		mem: func() (uint64, uint64) { allocB += 4096; allocO += 32; return allocB, allocO },
+	}
+	tr.SetSimClock(func() time.Time { sim = sim.Add(30 * time.Second); return sim })
+
+	root := tr.StartSpan("study/dataset")
+	root.AddStat("zz.queue_wait_ms", 12.5)
+	root.MaxStat("aa.workers", 4)
+	child := tr.StartSpan("study/world")
+	child.End()
+	tr.StartSpan("study/detect").End()
+	root.End()
+
+	reg := NewRegistry()
+	reg.Counter("zebra.count").Add(5)
+	reg.Counter("alpha.count").Add(2)
+	reg.Gauge("mid.gauge").Set(7)
+	h := reg.Histogram("rtt.ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100) // overflow bucket
+
+	comp := NewCompleteness()
+	comp.Merge("dns", "vantage-b", Counts{Attempted: 4, Succeeded: 4})
+	comp.Merge("dns", "vantage-a", Counts{Attempted: 10, Succeeded: 9, Retried: 1, Abandoned: 1})
+	return reg, tr, comp
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/telemetry -run Golden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+// TestExportGoldenJSON pins the telemetry JSON dump byte-for-byte:
+// sorted metric keys, stable histogram bucket order, span allocs and
+// sorted stats, completeness block. Identical telemetry state must
+// always produce identical bytes — diffable dumps are the contract.
+func TestExportGoldenJSON(t *testing.T) {
+	reg, tr, comp := goldenState()
+	var buf bytes.Buffer
+	if err := writeDump(&buf, reg.Snapshot(), tr, comp); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "export_golden.json", buf.Bytes())
+
+	var again bytes.Buffer
+	if err := writeDump(&again, reg.Snapshot(), tr, comp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("writeDump is not deterministic across repeated calls")
+	}
+}
+
+// TestTraceEventsGolden pins the Chrome trace_event export the same
+// way: depth-first order, epoch-relative microsecond timestamps, args
+// carrying sim time, alloc deltas, and span stats.
+func TestTraceEventsGolden(t *testing.T) {
+	_, tr, _ := goldenState()
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_golden.json", buf.Bytes())
+}

@@ -1,0 +1,36 @@
+package telemetry
+
+import "testing"
+
+// TestDisabledTelemetryAllocatesNothing pins the "free when off"
+// contract: with telemetry disabled every handle is nil, and the nil
+// paths the pipeline's hot loops hit — spans, stats, counters,
+// completeness — must not allocate at all.
+func TestDisabledTelemetryAllocatesNothing(t *testing.T) {
+	var tel *Telemetry
+	if n := testing.AllocsPerRun(200, func() {
+		sp := tel.StartSpan("stage")
+		sp.AddStat("par.queue_wait_ms", 1.5)
+		sp.MaxStat("par.workers", 4)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("nil span lifecycle allocates %.1f objects/op", n)
+	}
+
+	var tr *Tracer
+	if n := testing.AllocsPerRun(200, func() {
+		if tr.Current() != nil {
+			t.Fatal("nil tracer has a current span")
+		}
+		tr.StartSpan("x").End()
+	}); n != 0 {
+		t.Errorf("nil tracer allocates %.1f objects/op", n)
+	}
+
+	var comp *Completeness
+	if n := testing.AllocsPerRun(200, func() {
+		comp.Merge("stage", "vantage", Counts{Attempted: 1, Succeeded: 1})
+	}); n != 0 {
+		t.Errorf("nil completeness allocates %.1f objects/op", n)
+	}
+}

@@ -1,0 +1,142 @@
+// Package runtimeprof samples the Go runtime's memory, GC, and
+// scheduler state into a telemetry registry, so a study's metric dump
+// carries the process-level story (heap growth, GC pressure, goroutine
+// count, peak footprint) next to the measurement metrics.
+//
+// A Sampler records the gauges below every interval and once more on
+// Stop, so even a short run gets a final reading. Peaks are tracked
+// across samples. Following the telemetry package's conventions,
+// a nil registry yields a nil *Sampler and every method on a nil
+// Sampler is a no-op.
+//
+//	runtime.heap_alloc_bytes       live heap (MemStats.HeapAlloc)
+//	runtime.heap_sys_bytes         heap reserved from the OS (HeapSys)
+//	runtime.heap_objects           live objects
+//	runtime.total_alloc_bytes      cumulative allocated bytes
+//	runtime.mallocs                cumulative allocations
+//	runtime.gc_count               completed GC cycles (NumGC)
+//	runtime.gc_pause_total_us      cumulative stop-the-world pause
+//	runtime.goroutines             current goroutine count
+//	runtime.peak_heap_alloc_bytes  max HeapAlloc seen by this sampler
+//	runtime.peak_heap_sys_bytes    max HeapSys seen by this sampler
+//	runtime.peak_goroutines        max goroutine count seen
+package runtimeprof
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"cloudscope/internal/telemetry"
+)
+
+// gauges bundles the registered instruments so each sample is a few
+// atomic stores, not registry lookups.
+type gauges struct {
+	heapAlloc, heapSys, heapObjects *telemetry.Gauge
+	totalAlloc, mallocs             *telemetry.Gauge
+	gcCount, gcPauseUs              *telemetry.Gauge
+	goroutines                      *telemetry.Gauge
+	peakHeapAlloc, peakHeapSys      *telemetry.Gauge
+	peakGoroutines                  *telemetry.Gauge
+}
+
+func newGauges(r *telemetry.Registry) gauges {
+	return gauges{
+		heapAlloc:      r.Gauge("runtime.heap_alloc_bytes"),
+		heapSys:        r.Gauge("runtime.heap_sys_bytes"),
+		heapObjects:    r.Gauge("runtime.heap_objects"),
+		totalAlloc:     r.Gauge("runtime.total_alloc_bytes"),
+		mallocs:        r.Gauge("runtime.mallocs"),
+		gcCount:        r.Gauge("runtime.gc_count"),
+		gcPauseUs:      r.Gauge("runtime.gc_pause_total_us"),
+		goroutines:     r.Gauge("runtime.goroutines"),
+		peakHeapAlloc:  r.Gauge("runtime.peak_heap_alloc_bytes"),
+		peakHeapSys:    r.Gauge("runtime.peak_heap_sys_bytes"),
+		peakGoroutines: r.Gauge("runtime.peak_goroutines"),
+	}
+}
+
+// record takes one reading. Peak gauges only ratchet upward.
+func (g gauges) record() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := int64(runtime.NumGoroutine())
+	g.heapAlloc.Set(int64(ms.HeapAlloc))
+	g.heapSys.Set(int64(ms.HeapSys))
+	g.heapObjects.Set(int64(ms.HeapObjects))
+	g.totalAlloc.Set(int64(ms.TotalAlloc))
+	g.mallocs.Set(int64(ms.Mallocs))
+	g.gcCount.Set(int64(ms.NumGC))
+	g.gcPauseUs.Set(int64(ms.PauseTotalNs / 1000))
+	g.goroutines.Set(n)
+	ratchet(g.peakHeapAlloc, int64(ms.HeapAlloc))
+	ratchet(g.peakHeapSys, int64(ms.HeapSys))
+	ratchet(g.peakGoroutines, n)
+}
+
+func ratchet(g *telemetry.Gauge, v int64) {
+	if v > g.Value() {
+		g.Set(v)
+	}
+}
+
+// Sample takes one immediate reading into r's runtime gauges, without
+// a running sampler. A nil registry is a no-op.
+func Sample(r *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	newGauges(r).record()
+}
+
+// Sampler periodically records runtime gauges until stopped.
+type Sampler struct {
+	g        gauges
+	interval time.Duration
+	done     chan struct{}
+	wg       sync.WaitGroup
+	once     sync.Once
+}
+
+// Start samples r's runtime gauges every interval until Stop. It takes
+// an immediate first reading, so gauges are live before the first
+// tick. A nil registry or non-positive interval returns a nil Sampler
+// (a no-op).
+func Start(r *telemetry.Registry, interval time.Duration) *Sampler {
+	if r == nil || interval <= 0 {
+		return nil
+	}
+	s := &Sampler{g: newGauges(r), interval: interval, done: make(chan struct{})}
+	s.g.record()
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.g.record()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Stop halts the sampler after one final reading, so the registry's
+// last values cover the run's end. Stop is idempotent and nil-safe.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		s.g.record()
+	})
+}

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -9,16 +11,19 @@ import (
 
 // Tracer records a tree of timed spans. Spans nest by call order: a
 // span started while another is open becomes its child. Each span
-// measures wall-clock time and, when a simulated clock is installed,
-// simulated time — the two diverge wildly in this codebase (a
+// measures wall-clock time, allocation deltas (bytes and objects, via
+// runtime.ReadMemStats), and, when a simulated clock is installed,
+// simulated time — wall and sim diverge wildly in this codebase (a
 // three-day measurement campaign runs in milliseconds of wall time),
 // so both are worth seeing.
 //
 // A nil *Tracer (and the nil *Span it returns) is a no-op.
 type Tracer struct {
 	mu     sync.Mutex
-	now    func() time.Time // wall clock; swappable for tests
-	simNow func() time.Time // simulated clock; zero time when absent
+	now    func() time.Time            // wall clock; swappable for tests
+	simNow func() time.Time            // simulated clock; zero time when absent
+	mem    func() (bytes, objs uint64) // alloc source; swappable for tests
+	epoch  time.Time                   // start of the first span; trace-export origin
 	roots  []*Span
 	stack  []*Span
 }
@@ -26,6 +31,18 @@ type Tracer struct {
 // NewTracer returns an empty tracer on the real wall clock.
 func NewTracer() *Tracer {
 	return &Tracer{now: time.Now}
+}
+
+// readMem samples cumulative allocation counters. The default source
+// is runtime.ReadMemStats — a stop-the-world read, affordable because
+// spans are stage-grained, not probe-grained.
+func (t *Tracer) readMem() (uint64, uint64) {
+	if t.mem != nil {
+		return t.mem()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc, ms.Mallocs
 }
 
 // SetSimClock installs the simulated-time source. fn may return the
@@ -50,6 +67,18 @@ type Span struct {
 	sim      time.Duration
 	children []*Span
 	ended    bool
+
+	// Cumulative allocation counters at start, and the fixed deltas
+	// after End. The counters are process-global, so deltas are exact
+	// for the sequential stage spans and approximate when spans overlap
+	// across goroutines.
+	startAllocB, startAllocO uint64
+	allocB, allocO           uint64
+
+	// stats are named accumulators fed by instrumented layers while the
+	// span is open (e.g. the worker pool's shard counts and queue
+	// waits); they ride into the flame summary and trace export.
+	stats map[string]float64
 }
 
 // sampleSim reads the simulated clock and, on the first non-zero
@@ -82,6 +111,10 @@ func (t *Tracer) StartSpan(name string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sp := &Span{tr: t, name: name, start: t.now(), simStart: t.sampleSim()}
+	sp.startAllocB, sp.startAllocO = t.readMem()
+	if t.epoch.IsZero() {
+		t.epoch = sp.start
+	}
 	if n := len(t.stack); n > 0 {
 		parent := t.stack[n-1]
 		parent.children = append(parent.children, sp)
@@ -109,6 +142,9 @@ func (s *Span) End() {
 	s.wall = t.now().Sub(s.start)
 	if end := t.sampleSim(); !end.IsZero() && !s.simStart.IsZero() {
 		s.sim = end.Sub(s.simStart)
+	}
+	if b, o := t.readMem(); b >= s.startAllocB && o >= s.startAllocO {
+		s.allocB, s.allocO = b-s.startAllocB, o-s.startAllocO
 	}
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == s {
@@ -147,6 +183,103 @@ func (s *Span) Sim() time.Duration {
 	return s.sim
 }
 
+// AllocBytes returns the bytes allocated while the span was open
+// (zero until End). The measurement is a process-global delta: exact
+// for sequential stage spans, approximate under concurrent spans.
+func (s *Span) AllocBytes() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.allocB
+}
+
+// AllocObjects returns the heap objects allocated while the span was
+// open (zero until End); same caveats as AllocBytes.
+func (s *Span) AllocObjects() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.allocO
+}
+
+// StartOffset returns the span's start relative to the tracer's epoch
+// (the first span's start) — the trace-export timestamp origin.
+func (s *Span) StartOffset() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.start.Sub(s.tr.epoch)
+}
+
+// AddStat accumulates delta into the span's named statistic.
+// Instrumented layers use it to charge per-stage facts (shard counts,
+// queue waits) to the span that covers them; stats appear in the flame
+// summary and the Chrome trace export.
+func (s *Span) AddStat(name string, delta float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.stats == nil {
+		s.stats = map[string]float64{}
+	}
+	s.stats[name] += delta
+}
+
+// MaxStat keeps the maximum of v and the current value of the span's
+// named statistic.
+func (s *Span) MaxStat(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.stats == nil {
+		s.stats = map[string]float64{}
+	}
+	if cur, ok := s.stats[name]; !ok || v > cur {
+		s.stats[name] = v
+	}
+}
+
+// Stats returns a copy of the span's named statistics (nil when none
+// were recorded).
+func (s *Span) Stats() map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if len(s.stats) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// statNames returns the span's stat names sorted. Callers hold tr.mu.
+func (s *Span) statNames() []string {
+	if len(s.stats) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.stats))
+	for k := range s.stats {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Children returns the span's direct children.
 func (s *Span) Children() []*Span {
 	if s == nil {
@@ -165,6 +298,22 @@ func (t *Tracer) Roots() []*Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]*Span(nil), t.roots...)
+}
+
+// Current returns the innermost open span, or nil when the stack is
+// empty. Layers that cannot be handed a span explicitly (the worker
+// pool under a stage) use it to charge stats to whatever stage span
+// covers them.
+func (t *Tracer) Current() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.stack); n > 0 {
+		return t.stack[n-1]
+	}
+	return nil
 }
 
 // Find returns the first span named name in depth-first order, or nil.

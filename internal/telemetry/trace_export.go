@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceEvent is one Chrome trace_event "complete" record. Timestamps
+// and durations are microseconds, per the trace-event format spec;
+// chrome://tracing and Perfetto load the document directly.
+type traceEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	TS   float64            `json:"ts"`
+	Dur  float64            `json:"dur"`
+	PID  int                `json:"pid"`
+	TID  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents writes the span forest as a Chrome trace_event JSON
+// document: one complete ("ph":"X") event per ended span, timestamped
+// relative to the tracer's epoch, with simulated time, allocation
+// deltas, and accumulated span stats in args. Open spans are omitted
+// (their durations are not fixed yet). Events are emitted in
+// depth-first tree order, so the output is deterministic for a
+// sequential pipeline.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	doc := traceDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	if t != nil {
+		t.mu.Lock()
+		var walk func(spans []*Span)
+		walk = func(spans []*Span) {
+			for _, sp := range spans {
+				if sp.ended {
+					ev := traceEvent{
+						Name: sp.name,
+						Ph:   "X",
+						TS:   float64(sp.start.Sub(t.epoch).Microseconds()),
+						Dur:  float64(sp.wall.Microseconds()),
+						PID:  1,
+						TID:  1,
+						Args: map[string]float64{
+							"sim_ms":        float64(sp.sim.Microseconds()) / 1000,
+							"alloc_bytes":   float64(sp.allocB),
+							"alloc_objects": float64(sp.allocO),
+						},
+					}
+					for _, name := range sp.statNames() {
+						ev.Args[name] = sp.stats[name]
+					}
+					doc.TraceEvents = append(doc.TraceEvents, ev)
+				}
+				walk(sp.children)
+			}
+		}
+		walk(t.roots)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTrace writes the study's span tree in Chrome trace_event format
+// (see Tracer.WriteTraceEvents). A nil Telemetry writes an empty
+// document.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	return t.Tracer().WriteTraceEvents(w)
+}
+
+// flameRow aggregates every span sharing one root-to-node name path.
+type flameRow struct {
+	path       string
+	count      int
+	wall, self time.Duration
+	sim        time.Duration
+	allocB     uint64
+}
+
+// Flame renders an aggregated text flame summary: one row per unique
+// root-to-node span path, with cumulative wall time, self time (wall
+// minus children), simulated time, and allocated bytes. Rows sort by
+// cumulative wall descending (ties by path), so the hottest stage
+// chain reads first.
+func (t *Tracer) Flame() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	rows := map[string]*flameRow{}
+	var walk func(spans []*Span, prefix string)
+	walk = func(spans []*Span, prefix string) {
+		for _, sp := range spans {
+			path := sp.name
+			if prefix != "" {
+				path = prefix + ";" + sp.name
+			}
+			row := rows[path]
+			if row == nil {
+				row = &flameRow{path: path}
+				rows[path] = row
+			}
+			var kids time.Duration
+			for _, c := range sp.children {
+				kids += c.wall
+			}
+			row.count++
+			row.wall += sp.wall
+			row.self += sp.wall - kids
+			row.sim += sp.sim
+			row.allocB += sp.allocB
+			walk(sp.children, path)
+		}
+	}
+	walk(t.roots, "")
+	t.mu.Unlock()
+
+	if len(rows) == 0 {
+		return ""
+	}
+	list := make([]*flameRow, 0, len(rows))
+	for _, r := range rows {
+		list = append(list, r)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].wall != list[j].wall {
+			return list[i].wall > list[j].wall
+		}
+		return list[i].path < list[j].path
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-12s %-12s %-10s %5s  %s\n", "total", "self", "sim", "alloc", "n", "path")
+	for _, r := range list {
+		fmt.Fprintf(&b, "%-12s %-12s %-12s %-10s %5d  %s\n",
+			fmtDur(r.wall), fmtDur(r.self), fmtDur(r.sim), fmtBytes(r.allocB), r.count, r.path)
+	}
+	return b.String()
+}
+
+// Flame renders the tracer's flame summary (see Tracer.Flame).
+func (t *Telemetry) Flame() string {
+	if t == nil {
+		return ""
+	}
+	return t.tr.Flame()
+}
+
+// fmtBytes humanizes a byte count for the flame table.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

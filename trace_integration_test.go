@@ -1,0 +1,130 @@
+package cloudscope
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// studyStageSpans is every span the Study pipeline opens; the trace
+// export must cover all of them.
+var studyStageSpans = []string{
+	"study/world", "study/dataset", "study/detect", "study/classify",
+	"study/regions", "study/zones", "study/nameservers", "study/capture",
+	"study/wanperf",
+}
+
+// TestStudyTraceExport runs the full pipeline and checks the Chrome
+// trace_event export: one complete event per stage span, well-formed
+// per the trace-event format (ph "X", µs timestamps, pid/tid set), and
+// carrying the span's sim-time/allocation/worker-pool args.
+func TestStudyTraceExport(t *testing.T) {
+	s := NewStudy(Config{Seed: 7, Domains: 300, Vantages: 10, CaptureFlows: 400, WANClients: 16})
+	s.World()
+	s.Dataset()
+	s.Detection()
+	s.Breakdown()
+	s.Regions()
+	s.Zones()
+	s.NameServers()
+	s.Capture()
+	if _, err := s.RunExperiment("figure10"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Telemetry().WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			TS   float64            `json:"ts"`
+			Dur  float64            `json:"dur"`
+			PID  int                `json:"pid"`
+			TID  int                `json:"tid"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name]++
+		if ev.Ph != "X" {
+			t.Errorf("event %s has ph %q, want complete event \"X\"", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %s has negative ts/dur: %v/%v", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.PID != 1 || ev.TID != 1 {
+			t.Errorf("event %s pid/tid = %d/%d", ev.Name, ev.PID, ev.TID)
+		}
+		for _, arg := range []string{"sim_ms", "alloc_bytes", "alloc_objects"} {
+			if _, ok := ev.Args[arg]; !ok {
+				t.Errorf("event %s missing arg %s", ev.Name, arg)
+			}
+		}
+	}
+	for _, name := range append(append([]string{}, studyStageSpans...), "experiment/figure10") {
+		if byName[name] == 0 {
+			t.Errorf("trace has no event for %s; events: %v", name, byName)
+		}
+	}
+
+	// The worker pool charges its fan-out shape to the covering stage
+	// span, and the stage allocates visibly.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "study/dataset" {
+			continue
+		}
+		if ev.Args["par.runs"] <= 0 || ev.Args["par.workers"] <= 0 {
+			t.Errorf("study/dataset missing worker-pool stats: %v", ev.Args)
+		}
+		if ev.Args["alloc_bytes"] <= 0 {
+			t.Errorf("study/dataset alloc_bytes = %v, want > 0", ev.Args["alloc_bytes"])
+		}
+		if ev.Args["sim_ms"] <= 0 {
+			t.Errorf("study/dataset sim_ms = %v, want > 0", ev.Args["sim_ms"])
+		}
+	}
+
+	// The flame summary aggregates the same tree.
+	flame := s.Telemetry().Flame()
+	for _, frag := range []string{"study/dataset", "total", "self", "alloc"} {
+		if !strings.Contains(flame, frag) {
+			t.Errorf("flame summary missing %q:\n%s", frag, flame)
+		}
+	}
+}
+
+// TestTraceExportNilAndEmpty pins the degenerate outputs: a nil
+// telemetry handle and a span-less tracer both emit a valid, empty
+// trace document.
+func TestTraceExportNilAndEmpty(t *testing.T) {
+	var nilTel = NewStudy(Config{Domains: 300, NoTelemetry: true}).Telemetry()
+	var buf bytes.Buffer
+	if err := nilTel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-telemetry trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil telemetry produced %d events", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents must be [] (not null) for chrome://tracing")
+	}
+}
