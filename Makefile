@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace clean
+.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace fuzz-packet fuzz-pcap clean
 
 all: build check test
 
@@ -16,6 +16,8 @@ build:
 # interleavings in the pool.
 check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@if grep -rn --include='*.go' '"unsafe"' . ; then \
+		echo 'the zero-copy hot path stays honest: no unsafe imports'; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./internal/telemetry ./internal/simnet ./internal/dnssrv \
 		./internal/parallel ./internal/core/patterns ./internal/core/regions \
@@ -26,6 +28,7 @@ check:
 		./internal/deploy ./internal/core/dataset ./internal/capture ./internal/cartography
 	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
+	$(GO) test -race -count=2 -run 'TestAnalyzeRetainsNoPooledBuffers' ./internal/capture
 	$(MAKE) bench-smoke
 
 test:
@@ -84,6 +87,18 @@ fuzz-chaos:
 # error, never panic).
 fuzz-trace:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/chaos/trace
+
+# Fuzz the packet header decoder (truncated headers and lying length
+# fields must error, never panic or over-read, and the allocating
+# Decode must agree with the in-place DecodeHeaders).
+fuzz-packet:
+	$(GO) test -fuzz=FuzzDecodePacket -fuzztime=10s ./internal/packet
+
+# Fuzz both pcap read paths (malformed or truncated streams must error,
+# never panic, and the zero-copy ReadBlock path must parse
+# byte-identically with the record-at-a-time Next path).
+fuzz-pcap:
+	$(GO) test -fuzz=FuzzPcapRead -fuzztime=10s ./internal/pcapio
 
 # Generate a world with shareable artifacts (pcap, zone files, CSVs).
 world:

@@ -18,6 +18,7 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		Metric{Name: "capture_gen_mb_per_s/world=1000/workers=1", Value: 100, Unit: "MB/s", Better: Higher},
 		Metric{Name: "peak_heap_mb/world=1000/workers=1", Value: 50, Unit: "MB", Better: Lower},
 		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 300, Unit: "domains/s", Better: Higher},
+		Metric{Name: "capture_bytes_per_packet/world=1000/workers=1", Value: 400, Unit: "B/pkt", Better: Lower},
 	)
 	newSnap := snapWith(
 		// 11% slower: regression for a higher-better metric.
@@ -26,17 +27,20 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		Metric{Name: "peak_heap_mb/world=1000/workers=1", Value: 60, Unit: "MB", Better: Lower},
 		// 15% faster: improvement, not a regression.
 		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 345, Unit: "domains/s", Better: Higher},
+		// 25% fatter records: regression in the new wire-density cell.
+		Metric{Name: "capture_bytes_per_packet/world=1000/workers=1", Value: 500, Unit: "B/pkt", Better: Lower},
 	)
 	c := Compare(oldSnap, newSnap, 10)
 	regs := c.Regressions()
-	if len(regs) != 2 {
-		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %+v", len(regs), regs)
 	}
 	names := map[string]bool{}
 	for _, d := range regs {
 		names[d.Name] = true
 	}
-	if !names["capture_gen_mb_per_s/world=1000/workers=1"] || !names["peak_heap_mb/world=1000/workers=1"] {
+	if !names["capture_gen_mb_per_s/world=1000/workers=1"] || !names["peak_heap_mb/world=1000/workers=1"] ||
+		!names["capture_bytes_per_packet/world=1000/workers=1"] {
 		t.Fatalf("wrong regressions flagged: %+v", regs)
 	}
 	var improved int
@@ -52,7 +56,7 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		t.Fatalf("got %d improvements, want 1", improved)
 	}
 	table := c.Table()
-	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "2 metric(s) regressed") {
+	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "3 metric(s) regressed") {
 		t.Fatalf("table missing regression summary:\n%s", table)
 	}
 }
@@ -173,6 +177,7 @@ func TestRunTinyMatrix(t *testing.T) {
 		"capture_gen_allocs_per_packet/world=300/workers=1",
 		"capture_analyze_mb_per_s/world=300/workers=1",
 		"capture_analyze_allocs_per_packet/world=300/workers=1",
+		"capture_bytes_per_packet/world=300/workers=1",
 		"discovery_domains_per_s/world=300/workers=1",
 		"peak_heap_mb/world=300/workers=1",
 	}

@@ -224,6 +224,9 @@ func runCell(cfg MatrixConfig, size, w int, c *cell) (time.Duration, error) {
 	if packets > 0 {
 		c.keep("capture_gen_allocs_per_packet"+suffix, float64(genAllocs)/float64(packets), "allocs/pkt", Lower)
 		c.keep("capture_analyze_allocs_per_packet"+suffix, float64(ms1.Mallocs-ms0.Mallocs)/float64(packets), "allocs/pkt", Lower)
+		// Wire density of the pcap: creeping per-packet overhead (frame
+		// padding, record bloat) shows up here before it moves MB/s.
+		c.keep("capture_bytes_per_packet"+suffix, float64(buf.Len())/float64(packets), "B/pkt", Lower)
 	}
 	buf = bytes.Buffer{} // release the pcap before the discovery leg
 

@@ -103,169 +103,171 @@ func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
 
 // predecode is the parallel phase's per-packet result: everything the
 // sequential assembly step needs that is computable from one packet
-// alone. App-layer extractions are speculative — computed for every
-// payload-bearing TCP packet, used only when assembly decides the
-// packet is the first payload in its direction. The extraction
-// functions are pure on the payload, so the speculative result equals
-// what the streaming analyzer computed in-line.
+// alone, distilled from a stack-local header decode (no *Packet
+// allocation; payload is a view into the block's buffer). The full
+// Packet is not retained — assembly only ever reads the flow key, the
+// TCP sequence bookkeeping, and the payload, and dropping the rest
+// keeps the flat pre-decode slab small enough that peak heap tracks
+// the pcap, not the packet count. Decode stops at the transport layer;
+// app-layer parsing is deferred to assembly, which knows whether a
+// packet is the first payload in its direction and parses exactly
+// those. The extraction functions are pure on the payload, so
+// deferring them changes no output: the old speculative per-packet
+// parses were only ever read for first-payload packets anyway.
 type predecode struct {
-	p              *packet.Packet
+	payload        []byte // view into the block buffer; not retained past assembly
+	key            flowKey
+	kind           Kind
+	cloud          ipranges.Provider
+	seq            uint32 // TCP sequence number (undefined otherwise)
+	tcpFlags       uint8
 	bad            bool // decode failure, counted and skipped
 	unknown        bool // packet.ErrUnknownTransport
 	clientToServer bool
-	client, server netaddr.IP
-	cport, sport   uint16
-	cloud          ipranges.Provider
 	inRange        bool
-	key            flowKey
-	kind           Kind
-
-	sni    string
-	sniOK  bool
-	host   string
-	hostOK bool
-	certCN string
-	certOK bool
-	ctype  string
-	clen   int64
-	respOK bool
 }
 
-func predecodeRecord(ranges *ipranges.List, rec pcapio.Record) (d predecode) {
-	p, derr := packet.Decode(rec.Data)
-	if p == nil {
-		d.bad = true
-		return d
-	}
-	d.p = p
+func predecodeRecord(d *predecode, ranges *ipranges.List, data []byte) {
+	var p packet.Packet
+	derr := packet.DecodeHeaders(&p, data)
 	d.unknown = errors.Is(derr, packet.ErrUnknownTransport)
+	if derr != nil && !d.unknown {
+		d.bad = true
+		return
+	}
 	d.clientToServer = InCampus(p.IPv4.Src)
 	fl := p.Flow()
+	var client, server netaddr.IP
+	var cport, sport uint16
 	if d.clientToServer {
-		d.client, d.server, d.cport, d.sport = fl.Src, fl.Dst, fl.SrcPort, fl.DstPort
+		client, server, cport, sport = fl.Src, fl.Dst, fl.SrcPort, fl.DstPort
 	} else {
-		d.client, d.server, d.cport, d.sport = fl.Dst, fl.Src, fl.DstPort, fl.SrcPort
+		client, server, cport, sport = fl.Dst, fl.Src, fl.DstPort, fl.SrcPort
 	}
-	entry, okRange := ranges.Lookup(d.server)
+	entry, okRange := ranges.Lookup(server)
 	if !okRange {
-		return d // not cloud traffic; the tap would not have kept it
+		return // not cloud traffic; the tap would not have kept it
 	}
 	d.inRange = true
 	d.cloud = entry.Provider
 	if d.cloud == ipranges.CloudFront {
 		d.cloud = ipranges.EC2
 	}
-	d.key = flowKey{client: d.client, server: d.server, cport: d.cport, sport: d.sport, proto: p.IPv4.Protocol}
-	// The per-packet kind matches the flow's for branch selection: a
-	// flow is KindHTTPS iff its server port is 443, and the only
-	// in-flight reclassification (OtherTCP → HTTP on a nonstandard
-	// port) keeps both sides in the non-HTTPS branches.
-	d.kind = classify(p.IPv4.Protocol, d.sport)
-	if d.unknown || p.IPv4.Protocol != packet.ProtoTCP || len(p.Payload) == 0 {
-		return d
-	}
-	if d.clientToServer {
-		if d.kind == KindHTTPS {
-			d.sni, d.sniOK = tlswire.SNI(p.Payload)
-		} else if req, ok := httpwire.ParseRequest(p.Payload); ok {
-			d.host, d.hostOK = req.Host, true
-		}
-	} else {
-		if d.kind == KindHTTPS {
-			// Walk the server's handshake flight looking for the
-			// certificate.
-			rest := p.Payload
-			for len(rest) > 5 {
-				if cn, ok := tlswire.CertificateCN(rest); ok {
-					d.certCN, d.certOK = cn, true
-					break
-				}
-				_, _, next, err := tlswire.ParseRecord(rest)
-				if err != nil || next == nil {
-					break
-				}
-				rest = next
-			}
-		} else if resp, ok := httpwire.ParseResponse(p.Payload); ok {
-			d.ctype, d.clen, d.respOK = resp.ContentType, resp.ContentLength, true
-		}
-	}
-	return d
+	d.key = flowKey{client: client, server: server, cport: cport, sport: sport, proto: p.IPv4.Protocol}
+	d.kind = classify(p.IPv4.Protocol, sport)
+	d.seq = p.TCP.Seq
+	d.tcpFlags = p.TCP.Flags
+	d.payload = p.Payload
 }
 
-// AnalyzePar is Analyze with the per-packet work fanned out over opt:
-// packet decode, range lookup, and speculative app-layer parsing are
-// pure, so they shard freely; flow assembly — the only stateful step —
-// stays sequential in capture order. The result is byte-identical to
-// the sequential analyzer at every worker count.
+// AnalyzePar is Analyze with the per-packet work fanned out over opt.
+// The pcap stream is read block-wise into pooled buffers (no per-record
+// allocation), header decode and range lookup shard freely over blocks,
+// and flow assembly — the only stateful step — stays sequential in
+// capture order, releasing each block back to the pool as soon as its
+// records are folded in. The result is byte-identical to the
+// sequential analyzer at every worker count and shard layout.
 func AnalyzePar(r io.Reader, ranges *ipranges.List, opt parallel.Options) (*Analysis, error) {
 	rd, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, err
 	}
-	var recs []pcapio.Record
+	var blocks []*pcapio.Block
+	release := func() {
+		for _, b := range blocks {
+			if b != nil {
+				b.Release()
+			}
+		}
+	}
+	total := 0
 	for {
-		rec, err := rd.Next()
-		if err == io.EOF {
+		b := pcapio.GetBlock()
+		n, rerr := rd.ReadBlock(b, 0)
+		if n > 0 {
+			blocks = append(blocks, b)
+			total += n
+		} else {
+			b.Release()
+		}
+		if rerr == io.EOF {
 			break
 		}
-		if err != nil {
-			return nil, err
+		if rerr != nil {
+			release()
+			return nil, rerr
 		}
-		recs = append(recs, rec)
 	}
 
-	pre := make([]predecode, len(recs))
-	if err := parallel.Run(opt, len(recs), func(sh parallel.Shard) error {
-		for i := sh.Lo; i < sh.Hi; i++ {
-			pre[i] = predecodeRecord(ranges, recs[i])
+	// offs[i] is the packet index of blocks[i]'s first record, so the
+	// parallel phase can write results straight into one flat slice.
+	offs := make([]int, len(blocks)+1)
+	for i, b := range blocks {
+		offs[i+1] = offs[i] + b.Len()
+	}
+	pre := make([]predecode, total)
+	if err := parallel.Run(opt, len(blocks), func(sh parallel.Shard) error {
+		for bi := sh.Lo; bi < sh.Hi; bi++ {
+			b, base := blocks[bi], offs[bi]
+			for ri := 0; ri < b.Len(); ri++ {
+				predecodeRecord(&pre[base+ri], ranges, b.Data(ri))
+			}
 		}
 		return nil
 	}); err != nil {
+		release()
 		return nil, err // only worker panics land here
 	}
 
 	a := &Analysis{}
 	table := map[flowKey]*FlowRecord{}
-	for i := range recs {
-		rec, d := recs[i], &pre[i]
-		if d.bad {
-			a.DecodeErrs++
-			continue
-		}
-		if !d.inRange {
-			continue
-		}
-		fr := table[d.key]
-		if fr == nil {
-			fr = &FlowRecord{
-				Client: d.client, Server: d.server, ServerPort: d.sport,
-				Proto: d.p.IPv4.Protocol, Cloud: d.cloud,
-				First: rec.Time, Last: rec.Time,
-				ContentLength: -1,
+	for bi, b := range blocks {
+		base := offs[bi]
+		for ri := 0; ri < b.Len(); ri++ {
+			d := &pre[base+ri]
+			if d.bad {
+				a.DecodeErrs++
+				continue
 			}
-			fr.Kind = d.kind
-			table[d.key] = fr
-			a.Flows = append(a.Flows, fr)
+			if !d.inRange {
+				continue
+			}
+			t := b.Time(ri)
+			fr := table[d.key]
+			if fr == nil {
+				fr = &FlowRecord{
+					Client: d.key.client, Server: d.key.server, ServerPort: d.key.sport,
+					Proto: d.key.proto, Cloud: d.cloud,
+					First: t, Last: t,
+					ContentLength: -1,
+				}
+				fr.Kind = d.kind
+				table[d.key] = fr
+				a.Flows = append(a.Flows, fr)
+			}
+			if t.Before(fr.First) {
+				fr.First = t
+			}
+			if t.After(fr.Last) {
+				fr.Last = t
+			}
+			fr.Packets++
+			if d.unknown {
+				a.UnknownIP++
+				fr.udpBytes += int64(b.OrigLen(ri))
+				continue
+			}
+			switch d.key.proto {
+			case packet.ProtoTCP:
+				analyzeTCP(fr, d)
+			default:
+				fr.udpBytes += int64(b.OrigLen(ri))
+			}
 		}
-		if rec.Time.Before(fr.First) {
-			fr.First = rec.Time
-		}
-		if rec.Time.After(fr.Last) {
-			fr.Last = rec.Time
-		}
-		fr.Packets++
-		if d.unknown {
-			a.UnknownIP++
-			fr.udpBytes += int64(rec.OrigLen)
-			continue
-		}
-		switch d.p.IPv4.Protocol {
-		case packet.ProtoTCP:
-			analyzeTCP(fr, d)
-		default:
-			fr.udpBytes += int64(rec.OrigLen)
-		}
+		// This block's payload views have been parsed into owned
+		// strings; nothing downstream aliases its buffer.
+		b.Release()
+		blocks[bi] = nil
 	}
 	return a, nil
 }
@@ -292,36 +294,39 @@ func classify(proto uint8, serverPort uint16) Kind {
 	return KindOtherUDP
 }
 
-// analyzeTCP folds one pre-decoded TCP packet into its flow record,
-// committing the speculative extractions when the packet turns out to
-// be the first payload in its direction.
+// analyzeTCP folds one pre-decoded TCP packet into its flow record.
+// App-layer parsing happens here, lazily: only the first payload packet
+// in each direction is parsed — at most two parses per flow instead of
+// one per payload packet. The parsers are pure functions of the payload
+// and every extraction they return is an owned copy, so nothing here
+// retains a view into the packet's (pooled) block buffer.
 func analyzeTCP(fr *FlowRecord, d *predecode) {
-	t := d.p.TCP
-	if t.Flags&packet.FlagSYN != 0 {
+	if d.tcpFlags&packet.FlagSYN != 0 {
 		if d.clientToServer {
-			fr.isnC, fr.haveSynC = t.Seq, true
+			fr.isnC, fr.haveSynC = d.seq, true
 		} else {
-			fr.isnS, fr.haveSynS = t.Seq, true
+			fr.isnS, fr.haveSynS = d.seq, true
 		}
 	}
-	if t.Flags&packet.FlagFIN != 0 {
+	if d.tcpFlags&packet.FlagFIN != 0 {
 		if d.clientToServer {
-			fr.finC, fr.haveFinC = t.Seq, true
+			fr.finC, fr.haveFinC = d.seq, true
 		} else {
-			fr.finS, fr.haveFinS = t.Seq, true
+			fr.finS, fr.haveFinS = d.seq, true
 		}
 	}
-	if len(d.p.Payload) == 0 {
+	payload := d.payload
+	if len(payload) == 0 {
 		return
 	}
 	if d.clientToServer && !fr.sawClientPayload {
 		fr.sawClientPayload = true
 		if fr.Kind == KindHTTPS {
-			if d.sniOK {
-				fr.Host = d.sni
+			if sni, ok := tlswire.SNI(payload); ok {
+				fr.Host = sni
 			}
-		} else if d.hostOK {
-			fr.Host = d.host
+		} else if req, ok := httpwire.ParseRequest(payload); ok {
+			fr.Host = req.Host
 			if fr.Kind == KindOtherTCP {
 				fr.Kind = KindHTTP // HTTP on a nonstandard port
 			}
@@ -331,13 +336,24 @@ func analyzeTCP(fr *FlowRecord, d *predecode) {
 		fr.sawServerPayload = true
 		switch fr.Kind {
 		case KindHTTPS:
-			if d.certOK {
-				fr.CertCN = d.certCN
+			// Walk the server's handshake flight looking for the
+			// certificate.
+			rest := payload
+			for len(rest) > 5 {
+				if cn, ok := tlswire.CertificateCN(rest); ok {
+					fr.CertCN = cn
+					break
+				}
+				_, _, next, err := tlswire.ParseRecord(rest)
+				if err != nil || next == nil {
+					break
+				}
+				rest = next
 			}
 		default:
-			if d.respOK {
-				fr.ContentType = d.ctype
-				fr.ContentLength = d.clen
+			if resp, ok := httpwire.ParseResponse(payload); ok {
+				fr.ContentType = resp.ContentType
+				fr.ContentLength = resp.ContentLength
 			}
 		}
 	}

@@ -77,10 +77,12 @@ type Config struct {
 	// Start is the capture start time.
 	Start time.Time
 	// Par bounds and instruments the generator's and analyzer's
-	// fan-outs. The capture is bit-identical at every worker count:
-	// flow shards draw from per-shard split streams and merge in shard
-	// order, and the analyzer's parallel phase is a pure per-packet
-	// pre-decode ahead of sequential flow assembly.
+	// fan-outs. The capture is bit-identical at every worker count and
+	// every shard layout: each flow draws from a sub-stream keyed by
+	// (Seed, flow index) and packets sort under a strict total order,
+	// so the pcap is a pure function of Seed and the world; the
+	// analyzer's parallel phase is a pure per-block header pre-decode
+	// ahead of sequential flow assembly.
 	Par parallel.Options
 }
 

@@ -37,6 +37,8 @@ type Generator struct {
 	anchorHosts map[string][]host // anchor domain → hosts
 	background  map[ipranges.Provider][]host
 	bgZipf      map[ipranges.Provider]*xrand.Zipf
+	ctPick      *xrand.Weighted // shared content-type CDF (NextR draws)
+	diurnal     *xrand.Weighted // shared hour-of-day CDF (NextR draws)
 
 	// synthetic server-IP allocation cursors per cloud
 	ipCursor map[ipranges.Provider]uint64
@@ -60,31 +62,65 @@ func NewGenerator(cfg Config, world *deploy.World) *Generator {
 	}
 	g.truth = *newTruth()
 	g.buildCatalog()
+	g.ctPick = xrand.NewWeighted(g.rng, contentCountWeights())
+	// Campus traffic peaks mid-afternoon.
+	hours := make([]float64, 24)
+	for h := 0; h < 24; h++ {
+		hours[h] = 1 + 0.8*math.Sin(float64(h-8)/24*2*math.Pi)
+	}
+	g.diurnal = xrand.NewWeighted(g.rng, hours)
 	return g
 }
 
-// flowgen is one shard's flow factory: a per-shard split stream plus a
-// private Truth, so concurrent shards never contend on the generator.
-// The stream is derived from the shard's position in the deterministic
-// layout, never from the worker that runs it, so the capture is
-// bit-identical at every worker count.
+// flowgen is one shard's flow factory: a reusable random stream that is
+// reseeded per flow, a private Truth, and a pooled packet block the
+// shard's frames are serialized into in place. Every draw a flow makes
+// comes from a stream derived from (capture seed, flow index) alone —
+// never from the shard that runs it or the worker that schedules it —
+// so the capture is a pure function of seed + world, bit-identical at
+// every worker count AND every shard layout.
 type flowgen struct {
-	g     *Generator
-	rng   *xrand.Rand
-	truth *Truth
+	g      *Generator
+	rng    *xrand.Rand
+	truth  *Truth
+	blk    *pcapio.Block
+	events []event
+
+	flowIdx int
+	pktSeq  uint16
 }
 
-// shardGen derives the flow factory for one labeled shard.
-func (g *Generator) shardGen(label string) *flowgen {
-	return &flowgen{
-		g:     g,
-		rng:   xrand.SplitSeeded(g.cfg.Seed, "capture/"+label),
-		truth: newTruth(),
-	}
+// newFlowgen builds one shard's flow factory. The stream is a NewFast
+// source: it is reseeded once per flow, and math/rand's default source
+// would rebuild its 607-word state table on every flow boundary.
+func (g *Generator) newFlowgen() *flowgen {
+	return &flowgen{g: g, rng: xrand.NewFast(0), truth: newTruth(), blk: pcapio.GetBlock()}
+}
+
+// beginFlow rewinds the stream onto flow idx's private sub-stream.
+func (fg *flowgen) beginFlow(idx int) {
+	fg.rng.Reseed(xrand.SubSeed(fg.g.cfg.Seed, "capture/flow", idx))
+	fg.flowIdx = idx
+	fg.pktSeq = 0
+}
+
+// put reserves one packet record in the shard's block and logs the
+// event with its total-order key. The returned slice is the zeroed
+// frame buffer to serialize into.
+func (fg *flowgen) put(t time.Time, orig, n int) []byte {
+	data := fg.blk.AppendRecord(t, orig, n)
+	fg.events = append(fg.events, event{
+		nano: t.UnixNano(),
+		ord:  uint64(fg.flowIdx)<<16 | uint64(fg.pktSeq),
+		blk:  fg.blk,
+		rec:  int32(fg.blk.Len() - 1),
+	})
+	fg.pktSeq++
+	return data
 }
 
 // syntheticIP draws a stable address inside a provider's published
-// ranges from the shard's stream. (The catalog builder keeps the
+// ranges from the flow's stream. (The catalog builder keeps the
 // sequential cursor allocator; flows cannot share a cursor without
 // contending across shards.)
 func (fg *flowgen) syntheticIP(p ipranges.Provider) netaddr.IP {
@@ -192,11 +228,16 @@ func (g *Generator) buildCatalog() {
 	}
 }
 
-// event is one packet scheduled for the pcap.
+// event is one packet scheduled for the pcap: its timestamp, a total-
+// order tie-break (flow index and packet sequence — unique per packet,
+// so the emission order is a pure function of the flow population, not
+// of how shards happened to arrange the events before the sort), and
+// the block record holding the frame bytes.
 type event struct {
-	t    time.Time
-	data []byte
-	orig int
+	nano int64
+	ord  uint64
+	blk  *pcapio.Block
+	rec  int32
 }
 
 // anchorShareTotal is the fraction of HTTP(S) bytes Table 5's anchor
@@ -218,15 +259,18 @@ func anchorShareTotal() float64 {
 // anchors jointly holding fraction S of all HTTP(S) bytes, the anchor
 // byte pool is B_bg * S / (1 - S).
 //
-// Both passes shard their flow ranges over cfg.Par. Each shard draws
-// from its own split stream and accounts into a private Truth; event
-// slices and truths merge in shard order, so the pcap's pre-sort event
-// order — and with it the whole capture — is independent of worker
-// count and scheduling. The pass-B barrier (anchor sizing needs the
-// full background HTTP mass) is inherent to the calibration, not an
-// artifact of the fan-out.
+// Both passes shard their flow ranges over cfg.Par, but every flow
+// draws from its own sub-stream keyed by (seed, flow index) and frames
+// are serialized into per-shard pooled blocks, so the pcap bytes are a
+// pure function of seed + world: identical at every worker count and
+// every shard layout. The final emission order is (timestamp, flow,
+// packet) — a strict total order, so the sort result cannot depend on
+// how the shards arranged events. The pass-B barrier (anchor sizing
+// needs the full background HTTP mass) is inherent to the calibration,
+// not an artifact of the fan-out.
 func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 	var events []event
+	var blocks []*pcapio.Block
 	shareS := anchorShareTotal()
 
 	// Anchors get a fixed ~6% of the flow budget, split ∝ √share so
@@ -257,23 +301,35 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 		}
 	}
 
+	// collect folds one pass's shard results in shard order. (Truth
+	// merge is a sum and events get a total-order sort, so the fold
+	// order is cosmetic; the blocks just need to live until written.)
+	collect := func(fgs []*flowgen) {
+		for _, fg := range fgs {
+			if fg == nil {
+				continue
+			}
+			events = append(events, fg.events...)
+			g.truth.merge(fg.truth)
+			blocks = append(blocks, fg.blk)
+		}
+	}
+
 	// Pass A: background flows fill the protocol mix. The per-cloud
 	// kind CDF is precomputed once and shared read-only across shards
-	// (NextR draws from the shard's stream, like the Zipf samplers).
-	ctWeights := contentCountWeights()
+	// (NextR draws from the flow's stream, like the Zipf samplers).
 	base := 0
 	for _, cloud := range clouds {
 		cloud := cloud
 		kindPick := xrand.NewWeighted(g.rng, flowKindWeights[cloud])
 		shards := parallel.Shards(bgBudget[cloud], g.cfg.Par.ShardSize)
-		evs := make([][]event, len(shards))
-		truths := make([]*Truth, len(shards))
+		fgs := make([]*flowgen, len(shards))
 		cloudBase := base
 		if err := parallel.Run(g.cfg.Par, bgBudget[cloud], func(sh parallel.Shard) error {
-			fg := g.shardGen(fmt.Sprintf("bg/%s/shard%d", cloud, sh.Index))
-			var out []event
+			fg := g.newFlowgen()
 			for i := sh.Lo; i < sh.Hi; i++ {
 				idx := cloudBase + i + 1
+				fg.beginFlow(idx)
 				kind := Kinds[kindPick.NextR(fg.rng)]
 				switch kind {
 				case KindHTTP, KindHTTPS:
@@ -281,7 +337,7 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 					var size int64
 					var ctype string
 					if kind == KindHTTP {
-						ct := contentTypes[xrand.NewWeighted(fg.rng, ctWeights).Next()]
+						ct := contentTypes[g.ctPick.NextR(fg.rng)]
 						size = fg.lognormalMean(ct.meanBytes, 1.2, ct.maxBytes)
 						ctype = ct.name
 					} else {
@@ -291,30 +347,26 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 						}
 						size = fg.lognormalMedian(float64(median), 1.4, 500_000_000)
 					}
-					out = append(out, fg.tcpFlowTyped(idx, kind, h, size, ctype)...)
+					fg.tcpFlowTyped(idx, kind, h, size, ctype)
 				case KindDNS:
 					h := g.background[cloud][g.bgZipf[cloud].NextR(fg.rng)]
-					out = append(out, fg.dnsFlow(idx, cloud, h)...)
+					fg.dnsFlow(idx, cloud, h)
 				case KindICMP:
-					out = append(out, fg.icmpFlow(idx, cloud)...)
+					fg.icmpFlow(idx, cloud)
 				case KindOtherTCP:
 					h := g.background[cloud][g.bgZipf[cloud].NextR(fg.rng)]
 					size := fg.lognormalMedian(30_000, 1.5, 100_000_000)
-					out = append(out, fg.otherTCPFlow(idx, cloud, h, size)...)
+					fg.otherTCPFlow(idx, cloud, h, size)
 				case KindOtherUDP:
-					out = append(out, fg.otherUDPFlow(idx, cloud)...)
+					fg.otherUDPFlow(idx, cloud)
 				}
 			}
-			evs[sh.Index] = out
-			truths[sh.Index] = fg.truth
+			fgs[sh.Index] = fg
 			return nil
 		}); err != nil {
 			return nil, err
 		}
-		for i := range evs {
-			events = append(events, evs[i]...)
-			g.truth.merge(truths[i])
-		}
+		collect(fgs)
 		base += bgBudget[cloud]
 	}
 
@@ -324,8 +376,8 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 		bgHTTPBytes += float64(g.truth.BytesByKind[c][KindHTTP] + g.truth.BytesByKind[c][KindHTTPS])
 	}
 	anchorPool := bgHTTPBytes * shareS / (1 - shareS)
-	// Flatten the anchors into one flow list so the shard layout is a
-	// pure function of the total anchor flow count.
+	// Flatten the anchors into one flow list so flow indexes are a pure
+	// function of the total anchor flow count.
 	var anchorOf []int
 	per := make([]float64, len(trafficAnchors))
 	for ai, a := range trafficAnchors {
@@ -335,13 +387,12 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 		}
 	}
 	shards := parallel.Shards(len(anchorOf), g.cfg.Par.ShardSize)
-	evs := make([][]event, len(shards))
-	truths := make([]*Truth, len(shards))
+	fgs := make([]*flowgen, len(shards))
 	if err := parallel.Run(g.cfg.Par, len(anchorOf), func(sh parallel.Shard) error {
-		fg := g.shardGen(fmt.Sprintf("anchor/shard%d", sh.Index))
-		var out []event
+		fg := g.newFlowgen()
 		for j := sh.Lo; j < sh.Hi; j++ {
 			idx := base + j + 1
+			fg.beginFlow(idx)
 			a := trafficAnchors[anchorOf[j]]
 			kind := KindHTTP
 			if fg.rng.Bool(a.httpsBias) {
@@ -349,27 +400,31 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 			}
 			h := xrand.PickUniform(fg.rng, g.anchorHosts[a.domain])
 			size := fg.lognormalMean(per[anchorOf[j]], 1.1, 2_000_000_000)
-			out = append(out, fg.tcpFlow(idx, kind, h, size)...)
+			fg.tcpFlow(idx, kind, h, size)
 		}
-		evs[sh.Index] = out
-		truths[sh.Index] = fg.truth
+		fgs[sh.Index] = fg
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	for i := range evs {
-		events = append(events, evs[i]...)
-		g.truth.merge(truths[i])
-	}
+	collect(fgs)
 
-	sort.Slice(events, func(i, j int) bool { return events[i].t.Before(events[j].t) })
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].nano != events[j].nano {
+			return events[i].nano < events[j].nano
+		}
+		return events[i].ord < events[j].ord
+	})
 	for _, ev := range events {
-		if err := w.WriteRecord(pcapio.Record{Time: ev.t, Data: ev.data, OrigLen: ev.orig}); err != nil {
+		if err := w.WriteRecord(ev.blk.Record(int(ev.rec))); err != nil {
 			return nil, err
 		}
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
+	}
+	for _, b := range blocks {
+		b.Release()
 	}
 	t := g.truth
 	return &t, nil
@@ -403,7 +458,7 @@ func (fg *flowgen) lognormalMedian(median, sigma float64, max int64) int64 {
 // flowTiming picks a diurnal start time and a transfer duration.
 func (fg *flowgen) flowTiming(bytes int64) (start time.Time, dur time.Duration) {
 	day := fg.rng.Intn(fg.g.cfg.Days)
-	hour := fg.diurnalHour()
+	hour := fg.g.diurnal.NextR(fg.rng)
 	offset := time.Duration(day)*24*time.Hour +
 		time.Duration(hour)*time.Hour +
 		time.Duration(fg.rng.Intn(3600*1000))*time.Millisecond
@@ -423,15 +478,6 @@ func (fg *flowgen) flowTiming(bytes int64) (start time.Time, dur time.Duration) 
 		dur = 4 * time.Hour
 	}
 	return start, dur
-}
-
-func (fg *flowgen) diurnalHour() int {
-	// Campus traffic peaks mid-afternoon.
-	weights := make([]float64, 24)
-	for h := 0; h < 24; h++ {
-		weights[h] = 1 + 0.8*math.Sin(float64(h-8)/24*2*math.Pi)
-	}
-	return xrand.NewWeighted(fg.rng, weights).Next()
 }
 
 // clientEndpoint derives a unique campus client address/port per flow.
@@ -456,8 +502,8 @@ func (fg *flowgen) account(cloud ipranges.Provider, kind Kind, domain string, by
 // tcpFlow emits an HTTP or HTTPS flow, drawing a size-appropriate
 // content type (anchor flows carry calibrated sizes, so their type must
 // follow the size or Table 6's type/size correlations break).
-func (fg *flowgen) tcpFlow(idx int, kind Kind, h host, size int64) []event {
-	return fg.tcpFlowTyped(idx, kind, h, size, fg.contentTypeForSize(size))
+func (fg *flowgen) tcpFlow(idx int, kind Kind, h host, size int64) {
+	fg.tcpFlowTyped(idx, kind, h, size, fg.contentTypeForSize(size))
 }
 
 // contentTypeForSize picks a Content-Type for a transfer of the given
@@ -482,7 +528,7 @@ func (fg *flowgen) contentTypeForSize(size int64) string {
 // tcpFlowTyped emits a full TCP exchange: handshake, application heads,
 // representative data packets, and FINs whose sequence numbers encode
 // the transferred volume.
-func (fg *flowgen) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype string) []event {
+func (fg *flowgen) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype string) {
 	clientIP, clientPort := clientEndpoint(idx)
 	serverPort := uint16(80)
 	if kind == KindHTTPS {
@@ -504,21 +550,23 @@ func (fg *flowgen) tcpFlowTyped(idx int, kind Kind, h host, size int64, ctype st
 	reqBytes := int64(len(reqPayload)) + 300 // request head + client app data
 	respBytes := int64(len(respPayload)) + size
 	fg.account(h.cloud, kind, h.domain, reqBytes+respBytes)
-	return fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, reqPayload, respPayload, reqBytes, respBytes)
+	fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, reqPayload, respPayload, reqBytes, respBytes)
 }
 
 // otherTCPFlow emits a non-HTTP TCP exchange (SMTP/SSH/FTP-ish).
-func (fg *flowgen) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size int64) []event {
+func (fg *flowgen) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size int64) {
 	clientIP, clientPort := clientEndpoint(idx)
 	ports := []uint16{25, 22, 21, 6667, 8080}
 	serverPort := ports[fg.rng.Intn(len(ports))]
 	banner := []byte("220 service ready\r\n")
 	fg.account(cloud, KindOtherTCP, "", size)
-	return fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, []byte("EHLO campus\r\n"), banner, 200, size)
+	fg.emitTCP(idx, clientIP, clientPort, h.ip, serverPort, []byte("EHLO campus\r\n"), banner, 200, size)
 }
 
-// emitTCP produces the packet series for one connection.
-func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) []event {
+// emitTCP serializes the packet series for one connection straight into
+// the shard's block: each frame is built in place in the reserved
+// record slice, so a connection costs zero per-packet allocations.
+func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) {
 	start, dur := fg.flowTiming(respBytes)
 	isnC := uint32(fg.rng.Intn(1 << 30))
 	isnS := uint32(fg.rng.Intn(1 << 30))
@@ -526,53 +574,47 @@ func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP
 
 	mac := packet.MAC{0x00, 0x16, 0x3e, byte(idx >> 16), byte(idx >> 8), byte(idx)}
 	rmac := packet.MAC{0x00, 0x0c, 0x29, 1, 2, 3}
-	frame := func(src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) event {
-		seg := tcp.Serialize(src, dst, payload)
-		ip := &packet.IPv4{Protocol: packet.ProtoTCP, Src: src, Dst: dst, ID: uint16(idx)}
+	frame := func(d time.Duration, src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) {
+		n := packet.TCPFrameLen(len(payload))
+		orig := n
+		if origTotal > 0 && origTotal+14 > n {
+			orig = origTotal + 14
+		}
+		buf := fg.put(start.Add(d), orig, n)
+		ip := packet.IPv4{Src: src, Dst: dst, ID: uint16(idx)}
 		if origTotal > 0 {
 			ip.TotalLength = uint16(min64(int64(origTotal), 65535))
 		}
-		eth := &packet.Ethernet{Src: mac, Dst: rmac, EtherType: packet.EtherTypeIPv4}
-		data := eth.Serialize(ip.Serialize(seg))
-		orig := len(data)
-		if origTotal > 0 && origTotal+14 > orig {
-			orig = origTotal + 14
-		}
-		return event{data: data, orig: orig}
+		eth := packet.Ethernet{Src: mac, Dst: rmac, EtherType: packet.EtherTypeIPv4}
+		packet.PutTCPFrame(buf, &eth, &ip, tcp, payload)
 	}
 
-	var evs []event
-	at := func(d time.Duration, ev event) {
-		ev.t = start.Add(d)
-		evs = append(evs, ev)
-	}
 	// Handshake.
-	at(0, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC, Flags: packet.FlagSYN}, nil, 0))
-	at(rtt/2, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS, Ack: isnC + 1, Flags: packet.FlagSYN | packet.FlagACK}, nil, 0))
-	at(rtt, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK}, nil, 0))
+	frame(0, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC, Flags: packet.FlagSYN}, nil, 0)
+	frame(rtt/2, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS, Ack: isnC + 1, Flags: packet.FlagSYN | packet.FlagACK}, nil, 0)
+	frame(rtt, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK}, nil, 0)
 	// Application heads.
-	at(rtt+time.Millisecond, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK | packet.FlagPSH}, reqPayload, 0))
-	at(rtt*3/2+time.Millisecond, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS + 1, Ack: isnC + 1 + uint32(len(reqPayload)), Flags: packet.FlagACK | packet.FlagPSH}, respPayload, 0))
+	frame(rtt+time.Millisecond, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: isnC + 1, Ack: isnS + 1, Flags: packet.FlagACK | packet.FlagPSH}, reqPayload, 0)
+	frame(rtt*3/2+time.Millisecond, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: isnS + 1, Ack: isnC + 1 + uint32(len(reqPayload)), Flags: packet.FlagACK | packet.FlagPSH}, respPayload, 0)
 	// Representative data packets (full-size on the wire; snap applies).
 	remaining := respBytes - int64(len(respPayload))
 	dataSeq := isnS + 1 + uint32(len(respPayload))
 	for i := 0; i < 2 && remaining > 1460; i++ {
-		at(rtt*2+dur*time.Duration(i+1)/4,
-			frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: dataSeq, Ack: isnC + 1 + uint32(reqBytes), Flags: packet.FlagACK}, nil, 1500))
+		frame(rtt*2+dur*time.Duration(i+1)/4,
+			sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: dataSeq, Ack: isnC + 1 + uint32(reqBytes), Flags: packet.FlagACK}, nil, 1500)
 		dataSeq += 1460
 		remaining -= 1460
 	}
 	// Teardown carrying final sequence numbers.
 	finS := isnS + 1 + uint32(respBytes)
 	finC := isnC + 1 + uint32(reqBytes)
-	at(rtt+dur, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS, Ack: finC, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0))
-	at(rtt+dur+time.Millisecond, frame(cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: finC, Ack: finS + 1, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0))
-	at(rtt+dur+2*time.Millisecond, frame(sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS + 1, Ack: finC + 1, Flags: packet.FlagACK}, nil, 0))
-	return evs
+	frame(rtt+dur, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS, Ack: finC, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
+	frame(rtt+dur+time.Millisecond, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: finC, Ack: finS + 1, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
+	frame(rtt+dur+2*time.Millisecond, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS + 1, Ack: finC + 1, Flags: packet.FlagACK}, nil, 0)
 }
 
 // dnsFlow emits a UDP query/response pair to a cloud-hosted resolver.
-func (fg *flowgen) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
+func (fg *flowgen) dnsFlow(idx int, cloud ipranges.Provider, h host) {
 	clientIP, clientPort := clientEndpoint(idx)
 	serverIP := fg.syntheticIP(cloud)
 	q := dnswire.NewQuery(uint16(idx), h.name, dnswire.TypeA)
@@ -582,59 +624,61 @@ func (fg *flowgen) dnsFlow(idx int, cloud ipranges.Provider, h host) []event {
 	rbuf, _ := r.Pack()
 	start, _ := fg.flowTiming(int64(len(rbuf)))
 
-	build := func(src, dst netaddr.IP, sp, dp uint16, payload []byte) []byte {
-		udp := &packet.UDP{SrcPort: sp, DstPort: dp}
-		ip := &packet.IPv4{Protocol: packet.ProtoUDP, Src: src, Dst: dst}
-		eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
-		return eth.Serialize(ip.Serialize(udp.Serialize(src, dst, payload)))
+	build := func(d time.Duration, src, dst netaddr.IP, sp, dp uint16, payload []byte) int {
+		n := packet.UDPFrameLen(len(payload))
+		buf := fg.put(start.Add(d), n, n)
+		ip := packet.IPv4{Src: src, Dst: dst}
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		udp := packet.UDP{SrcPort: sp, DstPort: dp}
+		packet.PutUDPFrame(buf, &eth, &ip, &udp, payload)
+		return n
 	}
-	qf := build(clientIP, serverIP, clientPort, 53, qbuf)
-	rf := build(serverIP, clientIP, 53, clientPort, rbuf)
-	fg.account(cloud, KindDNS, "", int64(len(qf)+len(rf)))
-	return []event{
-		{t: start, data: qf, orig: len(qf)},
-		{t: start.Add(15 * time.Millisecond), data: rf, orig: len(rf)},
-	}
+	qn := build(0, clientIP, serverIP, clientPort, 53, qbuf)
+	rn := build(15*time.Millisecond, serverIP, clientIP, 53, clientPort, rbuf)
+	fg.account(cloud, KindDNS, "", int64(qn+rn))
 }
 
+// zeroPad backs all-zero payloads (ICMP echo padding, unclassified UDP
+// datagrams) so emitting one costs no allocation.
+var zeroPad [512]byte
+
 // icmpFlow emits an echo request/reply pair.
-func (fg *flowgen) icmpFlow(idx int, cloud ipranges.Provider) []event {
+func (fg *flowgen) icmpFlow(idx int, cloud ipranges.Provider) {
 	clientIP, _ := clientEndpoint(idx)
 	serverIP := fg.syntheticIP(cloud)
 	start, _ := fg.flowTiming(100)
-	build := func(src, dst netaddr.IP, typ uint8) []byte {
-		ic := &packet.ICMP{Type: typ}
-		ip := &packet.IPv4{Protocol: packet.ProtoICMP, Src: src, Dst: dst}
-		eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
-		return eth.Serialize(ip.Serialize(ic.Serialize(make([]byte, 56))))
+	build := func(d time.Duration, src, dst netaddr.IP, typ uint8) int {
+		n := packet.ICMPFrameLen(56)
+		buf := fg.put(start.Add(d), n, n)
+		ip := packet.IPv4{Src: src, Dst: dst}
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		ic := packet.ICMP{Type: typ}
+		packet.PutICMPFrame(buf, &eth, &ip, &ic, zeroPad[:56])
+		return n
 	}
-	req := build(clientIP, serverIP, 8)
-	rep := build(serverIP, clientIP, 0)
-	fg.account(cloud, KindICMP, "", int64(len(req)+len(rep)))
-	return []event{
-		{t: start, data: req, orig: len(req)},
-		{t: start.Add(30 * time.Millisecond), data: rep, orig: len(rep)},
-	}
+	reqN := build(0, clientIP, serverIP, 8)
+	repN := build(30*time.Millisecond, serverIP, clientIP, 0)
+	fg.account(cloud, KindICMP, "", int64(reqN+repN))
 }
 
 // otherUDPFlow emits a small unclassified UDP exchange.
-func (fg *flowgen) otherUDPFlow(idx int, cloud ipranges.Provider) []event {
+func (fg *flowgen) otherUDPFlow(idx int, cloud ipranges.Provider) {
 	clientIP, clientPort := clientEndpoint(idx)
 	serverIP := fg.syntheticIP(cloud)
 	start, _ := fg.flowTiming(500)
-	payload := make([]byte, 48+fg.rng.Intn(400))
-	udp := &packet.UDP{SrcPort: clientPort, DstPort: 3544}
-	ip := &packet.IPv4{Protocol: packet.ProtoUDP, Src: clientIP, Dst: serverIP}
-	eth := &packet.Ethernet{EtherType: packet.EtherTypeIPv4}
-	f1 := eth.Serialize(ip.Serialize(udp.Serialize(clientIP, serverIP, payload)))
-	udp2 := &packet.UDP{SrcPort: 3544, DstPort: clientPort}
-	ip2 := &packet.IPv4{Protocol: packet.ProtoUDP, Src: serverIP, Dst: clientIP}
-	f2 := eth.Serialize(ip2.Serialize(udp2.Serialize(serverIP, clientIP, payload[:32])))
-	fg.account(cloud, KindOtherUDP, "", int64(len(f1)+len(f2)))
-	return []event{
-		{t: start, data: f1, orig: len(f1)},
-		{t: start.Add(40 * time.Millisecond), data: f2, orig: len(f2)},
+	payLen := 48 + fg.rng.Intn(400)
+	build := func(d time.Duration, src, dst netaddr.IP, sp, dp uint16, payload []byte) int {
+		n := packet.UDPFrameLen(len(payload))
+		buf := fg.put(start.Add(d), n, n)
+		ip := packet.IPv4{Src: src, Dst: dst}
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		udp := packet.UDP{SrcPort: sp, DstPort: dp}
+		packet.PutUDPFrame(buf, &eth, &ip, &udp, payload)
+		return n
 	}
+	f1 := build(0, clientIP, serverIP, clientPort, 3544, zeroPad[:payLen])
+	f2 := build(40*time.Millisecond, serverIP, clientIP, 3544, clientPort, zeroPad[:32])
+	fg.account(cloud, KindOtherUDP, "", int64(f1+f2))
 }
 
 func min64(a, b int64) int64 {

@@ -23,21 +23,28 @@ func genBytes(t testing.TB, cfg Config) ([]byte, *Truth) {
 }
 
 // TestGenerateWorkerCountInvariant checks the emitted pcap and ground
-// truth are byte-identical at every worker bound. Flow shards draw from
-// per-shard split streams, so the capture is a function of the shard
-// layout — each layout (including a deliberately tiny one that cuts
-// through both generation passes) must be reproduced exactly by every
-// worker count. Run under -race this doubles as the generator's
-// concurrency stress test.
+// truth are byte-identical at every worker bound AND every shard
+// layout. Flows draw from per-flow sub-streams keyed by (seed, flow
+// index) and events sort under a strict total order, so the capture is
+// a pure function of seed + world; the golden here is the sequential
+// default-layout run and every other (workers, shard-size) combination
+// must reproduce it exactly. This replaces the earlier weaker golden
+// that compared worker counts only within a fixed shard layout —
+// per-shard streams made each layout its own universe, which this test
+// would have caught as a difference. Run under -race this doubles as
+// the generator's concurrency stress test.
 func TestGenerateWorkerCountInvariant(t *testing.T) {
-	for _, shard := range []int{0, 1, 23} {
-		cfg := testCfg(900)
-		cfg.Par = parallel.Options{Workers: 1, ShardSize: shard}
-		golden, goldenTruth := genBytes(t, cfg)
-		goldenSum := sha256.Sum256(golden)
-		for _, workers := range []int{2, 4} {
+	cfg := testCfg(900)
+	cfg.Par = parallel.Options{Workers: 1, ShardSize: 0}
+	golden, goldenTruth := genBytes(t, cfg)
+	goldenSum := sha256.Sum256(golden)
+	for _, workers := range []int{1, 2, 4} {
+		for _, shard := range []int{0, 1, 23, 64} {
+			if workers == 1 && shard == 0 {
+				continue
+			}
 			pcfg := cfg
-			pcfg.Par.Workers = workers
+			pcfg.Par = parallel.Options{Workers: workers, ShardSize: shard}
 			got, truth := genBytes(t, pcfg)
 			if sha256.Sum256(got) != goldenSum {
 				t.Errorf("pcap bytes differ at Workers=%d ShardSize=%d", workers, shard)

@@ -347,16 +347,33 @@ type Packet struct {
 // unknown transports yield an error identifying what was unsupported.
 func Decode(frame []byte) (*Packet, error) {
 	p := &Packet{}
-	rest, err := p.Ethernet.Decode(frame)
-	if err != nil {
+	if err := DecodeHeaders(p, frame); err != nil {
+		if errors.Is(err, ErrUnknownTransport) {
+			return p, err
+		}
 		return nil, err
 	}
+	return p, nil
+}
+
+// DecodeHeaders decodes frame's link, network, and transport headers
+// into p without heap-allocating: p can live on the caller's stack or
+// in a reused slot, and p.Payload is a view into frame — the lazy half
+// of the decode, left for callers to parse on demand (most packets'
+// application bytes are never looked at). On ErrUnknownTransport the
+// Ethernet and IPv4 layers are valid and Payload carries the rest; on
+// any other error p is partially filled and must not be used.
+func DecodeHeaders(p *Packet, frame []byte) error {
+	rest, err := p.Ethernet.Decode(frame)
+	if err != nil {
+		return err
+	}
 	if p.Ethernet.EtherType != EtherTypeIPv4 {
-		return nil, fmt.Errorf("%w: ethertype %#04x", ErrBadField, p.Ethernet.EtherType)
+		return fmt.Errorf("%w: ethertype %#04x", ErrBadField, p.Ethernet.EtherType)
 	}
 	rest, err = p.IPv4.Decode(rest)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	switch p.IPv4.Protocol {
 	case ProtoTCP:
@@ -367,12 +384,9 @@ func Decode(frame []byte) (*Packet, error) {
 		p.Payload, err = p.ICMP.Decode(rest)
 	default:
 		p.Payload = rest
-		return p, ErrUnknownTransport
+		return ErrUnknownTransport
 	}
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
+	return err
 }
 
 // Flow is a comparable transport five-tuple.

@@ -1,0 +1,96 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// readAllNext drains a stream with the record-at-a-time reader,
+// treating a clean io.EOF as success.
+func readAllNext(data []byte) ([]Record, error) {
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// FuzzPcapRead throws arbitrary bytes at both read paths. The contract:
+// truncated global headers, mid-record EOF, and absurd captured lengths
+// must error — never panic or over-read — and the zero-copy ReadBlock
+// path must parse byte-for-byte the same records, and fail with the
+// same error, as the allocating Next path.
+func FuzzPcapRead(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 96)
+	_ = w.WriteRecord(Record{Time: time.Unix(5, 2000), Data: []byte("first frame bytes"), OrigLen: 1500})
+	_ = w.WriteRecord(Record{Time: time.Unix(6, 0), Data: bytes.Repeat([]byte{0xab}, 96)})
+	_ = w.WriteRecord(Record{Time: time.Unix(7, 999000), Data: nil})
+	_ = w.Flush()
+	full := buf.Bytes()
+
+	f.Add(full)
+	f.Add(full[:23])          // truncated global header
+	f.Add(full[:24])          // header only: a clean empty capture
+	f.Add(full[:len(full)-2]) // mid-record EOF
+	f.Add(full[:24+9])        // mid record-header EOF
+	huge := append([]byte{}, full...)
+	huge[24+8], huge[24+9], huge[24+10] = 0xff, 0xff, 0xff // implausible incl
+	f.Add(huge)
+	swapped := append([]byte{}, full...)
+	swapped[0], swapped[1], swapped[2], swapped[3] = 0xd4, 0xc3, 0xb2, 0xa1 // big-endian magic
+	f.Add(swapped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, nerr := readAllNext(data)
+
+		b := GetBlock()
+		defer b.Release()
+		var berr error
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			berr = err
+		} else {
+			for {
+				_, err := rd.ReadBlock(b, 3) // small batches hit block boundaries
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					berr = err
+					break
+				}
+			}
+		}
+
+		if (nerr == nil) != (berr == nil) {
+			t.Fatalf("paths disagree on failure: Next=%v ReadBlock=%v", nerr, berr)
+		}
+		if nerr != nil && nerr.Error() != berr.Error() {
+			t.Fatalf("paths fail differently: Next=%v ReadBlock=%v", nerr, berr)
+		}
+		// On a body-read failure ReadBlock has already reserved the
+		// failing record (the caller releases the block on error), so
+		// it may hold one record the Next path discarded.
+		if b.Len() != len(recs) && !(berr != nil && b.Len() == len(recs)+1) {
+			t.Fatalf("record counts differ: Next=%d ReadBlock=%d (err=%v)", len(recs), b.Len(), berr)
+		}
+		for i, rec := range recs {
+			if !b.Time(i).Equal(rec.Time) || b.OrigLen(i) != rec.OrigLen || !bytes.Equal(b.Data(i), rec.Data) {
+				t.Fatalf("record %d differs between Next and ReadBlock", i)
+			}
+		}
+	})
+}

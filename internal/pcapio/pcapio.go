@@ -119,6 +119,12 @@ var (
 	ErrBadMagic = errors.New("pcapio: bad magic")
 )
 
+// maxSnaplen bounds the snap length NewReader accepts. tcpdump caps
+// snaplen at 256 KiB; anything past 1 MiB is a forged header, and
+// accepting it would let a 24-byte file demand multi-gigabyte record
+// allocations (the per-record plausibility bound is snaplen-relative).
+const maxSnaplen = 1 << 20
+
 // NewReader parses the global header. Both byte orders are accepted.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -137,6 +143,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	order := rd.order()
 	rd.snaplen = int(order.Uint32(h[16:20]))
 	rd.linkType = order.Uint32(h[20:24])
+	if rd.snaplen > maxSnaplen {
+		return nil, fmt.Errorf("pcapio: implausible snap length %d", rd.snaplen)
+	}
 	return rd, nil
 }
 

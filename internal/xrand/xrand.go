@@ -47,6 +47,60 @@ func SplitSeeded(seed int64, label string) *Rand {
 	return New(int64(h))
 }
 
+// SubSeed derives the seed of the independent stream identified by
+// (label, n) under a parent seed, without allocating: the label hash
+// SplitSeeded uses with the integer mixed in afterwards, so hot loops
+// can give every item its own stream (Reseed into a reused Rand)
+// instead of formatting a label string per item.
+func SubSeed(seed int64, label string, n int) int64 {
+	h := uint64(seed) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(n)
+	h *= 1099511628211
+	h ^= h >> 29
+	return int64(h)
+}
+
+// Reseed rewinds the generator onto a fresh stream for seed, reusing
+// the underlying source — the alloc-free counterpart of constructing a
+// new Rand for code that needs one short-lived stream per item. Pair it
+// with NewFast: math/rand's default source rebuilds a 607-word state
+// array on every Seed, which defeats the point of reseeding in a hot
+// loop.
+func (rn *Rand) Reseed(seed int64) {
+	rn.seed = seed
+	rn.r.Seed(seed)
+}
+
+// fastSource is a splitmix64 rand.Source64: full 64-bit output period
+// 2^64, passes the usual avalanche tests, and — the property NewFast
+// exists for — seeding is a single word write.
+type fastSource struct{ state uint64 }
+
+func (s *fastSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *fastSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *fastSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// NewFast returns a Rand whose Reseed is O(1): a splitmix64 source
+// behind the same math/rand adapter (so every distribution helper —
+// NormFloat64, Perm, Shuffle — behaves identically in kind). Streams
+// from NewFast and New differ for the same seed; a subsystem must pick
+// one constructor and stay with it.
+func NewFast(seed int64) *Rand {
+	return &Rand{r: rand.New(&fastSource{state: uint64(seed)}), seed: seed}
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (rn *Rand) Intn(n int) int { return rn.r.Intn(n) }
 

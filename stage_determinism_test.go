@@ -114,6 +114,48 @@ func (w *sha256Writer) Write(p []byte) (int, error) {
 }
 func (w *sha256Writer) Sum() string { return fmt.Sprintf("%x", sha256.Sum256(w.data)) }
 
+// capturePcapHash generates the capture stage's pcap under one
+// parallelism layout and returns its content hash.
+func capturePcapHash(t *testing.T, world *deploy.World, seed int64, opt parallel.Options) string {
+	t.Helper()
+	ccfg := capture.DefaultConfig()
+	ccfg.Seed = seed
+	ccfg.Flows = 500
+	ccfg.Par = opt
+	var pcap bytes.Buffer
+	g := capture.NewGenerator(ccfg, world)
+	if _, err := g.Generate(pcapio.NewWriter(&pcap, ccfg.Snaplen)); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(pcap.Bytes()))
+}
+
+// TestCapturePcapLayoutDeterminism pins the capture's pcap bytes to be
+// identical not just at every worker bound (Workers=1, 4, GOMAXPROCS —
+// TestStageDeterminism's axis) but across shard layouts too: per-flow
+// random sub-streams and the total event order make the pcap a pure
+// function of seed + world, with the worker/shard machinery invisible
+// in the output. A layout-dependent draw anywhere in the generator
+// shows up here as a hash mismatch.
+func TestCapturePcapLayoutDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the capture under many layouts")
+	}
+	const seed = 3
+	wcfg := deploy.DefaultConfig().Scaled(400)
+	wcfg.Seed = seed
+	world := deploy.Generate(wcfg)
+	golden := capturePcapHash(t, world, seed, parallel.Options{Workers: 1})
+	for _, workers := range stageWorkerCounts() {
+		for _, shard := range []int{0, 1, 19, 128} {
+			got := capturePcapHash(t, world, seed, parallel.Options{Workers: workers, ShardSize: shard})
+			if got != golden {
+				t.Errorf("pcap bytes differ from sequential default layout at Workers=%d ShardSize=%d", workers, shard)
+			}
+		}
+	}
+}
+
 // TestStageDeterminism pins each pipeline stage individually — world
 // synthesis, discovery, capture generation and analysis, and the
 // cartography merge — to be bit-identical at Workers=1, Workers=4, and
