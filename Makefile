@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace fuzz-packet fuzz-pcap clean
+.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace fuzz-packet fuzz-pcap fuzz-diskfmt clean
 
 all: build check test
 
@@ -29,6 +29,7 @@ check:
 	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
 	$(GO) test -race -count=2 -run 'TestAnalyzeRetainsNoPooledBuffers' ./internal/capture
+	$(GO) test -race -count=2 -run 'TestStreamingSmallChunkInvariance' .
 	$(MAKE) bench-smoke
 
 test:
@@ -99,6 +100,12 @@ fuzz-packet:
 # byte-identically with the record-at-a-time Next path).
 fuzz-pcap:
 	$(GO) test -fuzz=FuzzPcapRead -fuzztime=10s ./internal/pcapio
+
+# Fuzz the spill-file decoder (arbitrary bytes must decode cleanly or
+# error — never panic or over-read — and whatever decodes must survive
+# an encode/decode round trip).
+fuzz-diskfmt:
+	$(GO) test -fuzz=FuzzDiskFmtRoundTrip -fuzztime=10s ./internal/core/dataset/diskfmt
 
 # Generate a world with shareable artifacts (pcap, zone files, CSVs).
 world:

@@ -33,6 +33,8 @@ func main() {
 		vantages     = flag.Int("vantages", 10, "discovery vantage count")
 		discoveryMax = flag.Int("discovery-max", 10000, "largest world size to run the discovery and chaos legs at")
 		chaosName    = flag.String("chaos", "flaky-internet", "fault scenario for the chaos-overhead leg (empty = skip)")
+		streamSizes  = flag.String("stream-sizes", "", "comma-separated world sizes for the streaming world-build leg (peak_rss_vs_world_size cells; empty = skip)")
+		streamChunk  = flag.Int("stream-chunk", 4096, "chunk size for the streaming leg")
 		out          = flag.String("out", "", "snapshot output path (default BENCH_<today>.json; \"-\" = stdout only)")
 		compare      = flag.String("compare", "", "old snapshot to compare this run against")
 		threshold    = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
@@ -51,10 +53,16 @@ func main() {
 		Vantages:     *vantages,
 		DiscoveryMax: *discoveryMax,
 		Chaos:        *chaosName,
+		StreamChunk:  *streamChunk,
 	}
 	var err error
 	if cfg.Sizes, err = csvInts(*sizes); err != nil {
 		fatal(fmt.Errorf("-sizes: %w", err))
+	}
+	if *streamSizes != "" {
+		if cfg.StreamSizes, err = csvInts(*streamSizes); err != nil {
+			fatal(fmt.Errorf("-stream-sizes: %w", err))
+		}
 	}
 	if cfg.Workers, err = csvInts(*workers); err != nil {
 		fatal(fmt.Errorf("-workers: %w", err))

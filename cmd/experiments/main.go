@@ -31,12 +31,51 @@ func main() {
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
 	bisect := flag.String("chaos-bisect", "",
 		"delta-debug the fault trace in this file to a minimal sub-trace that still changes the selected experiments' output from the fault-free run; prints the culprits and writes <file>.min")
+	streamOut := flag.String("stream-out", "dataset.txt",
+		"dataset output path for -stream (- for stdout)")
 	shared := cliflags.Register(flag.CommandLine)
+	streaming := cliflags.RegisterStreaming(flag.CommandLine)
 	flag.Parse()
 
+	if err := streaming.Validate(); err != nil {
+		fatal(err)
+	}
 	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages}
 	if err := shared.Apply(&cfg); err != nil {
 		fatal(err)
+	}
+
+	if streaming.Stream {
+		// The streaming data path produces the released-dataset artifact
+		// in bounded memory — the Alexa-1M-scale run the in-memory study
+		// cannot hold. The tables and figures need the memoized study, so
+		// they run without -stream at a size that fits.
+		if *only != "" {
+			fatal(fmt.Errorf("-stream writes the dataset artifact and runs no experiments; drop -only or -stream"))
+		}
+		if err := shared.RejectStudyFlags("experiments -stream"); err != nil {
+			fatal(err)
+		}
+		out := os.Stdout
+		if *streamOut != "-" {
+			f, err := os.Create(*streamOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		start := time.Now()
+		st, err := cloudscope.StreamDataset(cfg, streaming.ChunkSize, streaming.SpillDir, out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed dataset: %d domains scanned, %d cloud subdomains, %d queries -> %s (%.1fs wall, chunks of %d)\n",
+			st.DomainsScanned, st.CloudSubdomains, st.QueriesIssued, *streamOut, time.Since(start).Seconds(), streaming.ChunkSize)
+		if err := shared.FinishProfiles(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	want := map[string]bool{}

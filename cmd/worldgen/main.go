@@ -12,6 +12,8 @@ import (
 
 	"cloudscope"
 	"cloudscope/internal/cliflags"
+	"cloudscope/internal/deploy"
+	"cloudscope/internal/parallel"
 )
 
 func main() {
@@ -20,10 +22,32 @@ func main() {
 	flows := flag.Int("flows", 20000, "capture flows")
 	outDir := flag.String("out", "world", "output directory")
 	shared := cliflags.Register(flag.CommandLine)
+	streaming := cliflags.RegisterStreaming(flag.CommandLine)
 	flag.Parse()
 
+	if err := streaming.Validate(); err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
+	}
+	if streaming.Stream {
+		// The streaming path holds one chunk of world at a time, so a
+		// 1M-domain list fits in flat memory; the capture and the zone
+		// samples need the whole world live at once and are skipped.
+		if err := shared.RejectStudyFlags("worldgen -stream"); err != nil {
+			fatal(err)
+		}
+		if streaming.SpillDir != "" {
+			fatal(fmt.Errorf("worldgen streams its CSVs directly and spills nothing; drop -spill-dir"))
+		}
+		if err := streamWorld(*outDir, *seed, *domains, shared.Workers, streaming.ChunkSize); err != nil {
+			fatal(err)
+		}
+		if err := shared.FinishProfiles(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows}
 	if err := shared.Apply(&cfg); err != nil {
@@ -105,6 +129,62 @@ func main() {
 	if err := shared.Finish(os.Stdout, study); err != nil {
 		fatal(err)
 	}
+}
+
+// streamWorld writes ipranges.txt, domains.csv, and subdomains.csv
+// chunk-by-chunk: each chunk of domains is deployed, its CSV rows
+// written, and its zones and subdomains released before the next chunk
+// starts, so peak memory is one chunk — not the ranked list's size.
+func streamWorld(outDir string, seed int64, domains, workers, chunkSize int) error {
+	wcfg := deploy.DefaultConfig().Scaled(domains)
+	wcfg.Seed = seed
+	wcfg.Par = parallel.Options{Workers: workers}
+	ws := deploy.GenerateStream(wcfg, chunkSize)
+
+	f, err := os.Create(filepath.Join(outDir, "ipranges.txt"))
+	if err != nil {
+		return err
+	}
+	if _, err := ws.World().Ranges.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	df, err := os.Create(filepath.Join(outDir, "domains.csv"))
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	sf, err := os.Create(filepath.Join(outDir, "subdomains.csv"))
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	fmt.Fprintln(df, "rank,domain,cloud_using,home_region,customer_country,cloud_subdomains")
+	fmt.Fprintln(sf, "fqdn,pattern,provider,regions")
+	total := 0
+	for {
+		chunk := ws.Next()
+		if chunk == nil {
+			break
+		}
+		for _, d := range chunk.Domains {
+			subs := d.CloudSubdomains()
+			fmt.Fprintf(df, "%d,%s,%t,%s,%s,%d\n",
+				d.Rank, d.Name, d.CloudUsing(), d.HomeRegion, d.CustomerCountry, len(subs))
+			for _, s := range subs {
+				fmt.Fprintf(sf, "%s,%s,%s,%s\n", s.FQDN, s.Pattern, s.Provider, join(s.Regions))
+			}
+		}
+		total += len(chunk.Domains)
+		ws.Release(chunk)
+	}
+	fmt.Printf("wrote %s: %d domains (%d cloud-using), streamed in chunks of %d (capture and zone samples need the whole world; rerun without -stream for those)\n",
+		outDir, total, ws.NumCloudDomains(), chunkSize)
+	return nil
 }
 
 func join(ss []string) string {

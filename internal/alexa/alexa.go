@@ -84,45 +84,21 @@ var syllables = []string{
 }
 
 // Generate builds an n-domain list with anchors pinned at their ranks.
-// Synthetic names are deterministic in seed.
+// Synthetic names are deterministic in seed. It is exactly a drain of
+// NewStream — chunked and whole-list generation cannot disagree.
 func Generate(n int, seed int64, anchors []Anchor) *List {
-	rng := xrand.SplitSeeded(seed, "alexa")
-	nameRNG := rng.Split("names")
-	geoRNG := rng.Split("geo")
-	pop := xrand.NewWeighted(geoRNG, shares(globalWebPopulation))
-	tldPick := xrand.NewWeighted(nameRNG, tldWeights)
-
+	s := NewStream(n, seed, anchors)
 	l := &List{byName: make(map[string]*Domain, n)}
-	anchored := make(map[int]string)
-	for _, a := range anchors {
-		if a.Rank >= 1 && a.Rank <= n {
-			anchored[a.Rank] = a.Name
+	for {
+		ds := s.Next(1 << 16)
+		if len(ds) == 0 {
+			return l
+		}
+		for _, d := range ds {
+			l.Domains = append(l.Domains, d)
+			l.byName[d.Name] = d
 		}
 	}
-	used := make(map[string]bool, n)
-	for rank := 1; rank <= n; rank++ {
-		name, isAnchor := anchored[rank]
-		if !isAnchor {
-			for tries := 0; ; tries++ {
-				name = synthName(nameRNG, tldPick)
-				if tries >= 4 {
-					// The syllable space is finite; guarantee progress
-					// at large list sizes.
-					dot := strings.IndexByte(name, '.')
-					name = fmt.Sprintf("%s%d%s", name[:dot], rank, name[dot:])
-				}
-				if !used[name] {
-					break
-				}
-			}
-		}
-		used[name] = true
-		d := &Domain{Rank: rank, Name: name}
-		d.Clients = clientMix(geoRNG, pop)
-		l.Domains = append(l.Domains, d)
-		l.byName[name] = d
-	}
-	return l
 }
 
 func shares(cs []CountryShare) []float64 {

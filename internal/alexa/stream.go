@@ -1,0 +1,155 @@
+package alexa
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudscope/internal/xrand"
+)
+
+// Stream generates the ranked list incrementally, in rank order, so a
+// 1M-domain study never holds the whole population at once. Generate
+// is a drain of a Stream, so the two paths produce identical domains
+// by construction.
+type Stream struct {
+	n        int
+	next     int // next 1-based rank to emit
+	nameRNG  *xrand.Rand
+	geoRNG   *xrand.Rand
+	pop      *xrand.Weighted
+	tldPick  *xrand.Weighted
+	anchored map[int]string
+	used     *nameSet
+}
+
+// NewStream prepares an n-domain stream with anchors pinned at their
+// ranks, deterministic in seed.
+func NewStream(n int, seed int64, anchors []Anchor) *Stream {
+	rng := xrand.SplitSeeded(seed, "alexa")
+	s := &Stream{
+		n:        n,
+		next:     1,
+		nameRNG:  rng.Split("names"),
+		geoRNG:   rng.Split("geo"),
+		anchored: make(map[int]string),
+		used:     newNameSet(n),
+	}
+	s.pop = xrand.NewWeighted(s.geoRNG, shares(globalWebPopulation))
+	s.tldPick = xrand.NewWeighted(s.nameRNG, tldWeights)
+	for _, a := range anchors {
+		if a.Rank >= 1 && a.Rank <= n {
+			s.anchored[a.Rank] = a.Name
+		}
+	}
+	return s
+}
+
+// Total returns the stream's full list size.
+func (s *Stream) Total() int { return s.n }
+
+// Remaining returns how many domains are still to be emitted.
+func (s *Stream) Remaining() int { return s.n - s.next + 1 }
+
+// Next emits the next min(k, Remaining) domains in rank order; nil once
+// the stream is exhausted. k <= 0 drains the stream.
+func (s *Stream) Next(k int) []*Domain {
+	rem := s.Remaining()
+	if rem <= 0 {
+		return nil
+	}
+	if k <= 0 || k > rem {
+		k = rem
+	}
+	out := make([]*Domain, 0, k)
+	for i := 0; i < k; i++ {
+		rank := s.next
+		s.next++
+		name, isAnchor := s.anchored[rank]
+		if isAnchor {
+			s.used.add(name)
+		} else {
+			for tries := 0; ; tries++ {
+				name = synthName(s.nameRNG, s.tldPick)
+				if tries >= 4 {
+					// The syllable space is finite; guarantee progress
+					// at large list sizes.
+					dot := strings.IndexByte(name, '.')
+					name = fmt.Sprintf("%s%d%s", name[:dot], rank, name[dot:])
+				}
+				if s.used.add(name) {
+					break
+				}
+			}
+		}
+		d := &Domain{Rank: rank, Name: name}
+		d.Clients = clientMix(s.geoRNG, s.pop)
+		out = append(out, d)
+	}
+	return out
+}
+
+// nameSet is a compact dedup set over generated names: open-addressed
+// 64-bit FNV-1a hashes, 8 bytes per entry instead of a retained string
+// plus map overhead — the difference between ~16MB and ~80MB of
+// permanent residue at 1M domains. A hash collision between distinct
+// names only causes one extra (deterministic) retry draw.
+type nameSet struct {
+	slots []uint64
+	n     int
+}
+
+func newNameSet(hint int) *nameSet {
+	size := 64
+	for size < 2*hint {
+		size <<= 1
+	}
+	return &nameSet{slots: make([]uint64, size)}
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1 // 0 marks an empty slot
+	}
+	return h
+}
+
+// add inserts name and reports whether it was absent.
+func (ns *nameSet) add(name string) bool {
+	if 2*ns.n >= len(ns.slots) {
+		ns.grow()
+	}
+	h := hashName(name)
+	mask := uint64(len(ns.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		switch ns.slots[i] {
+		case 0:
+			ns.slots[i] = h
+			ns.n++
+			return true
+		case h:
+			return false
+		}
+	}
+}
+
+func (ns *nameSet) grow() {
+	old := ns.slots
+	ns.slots = make([]uint64, 2*len(old))
+	mask := uint64(len(ns.slots) - 1)
+	for _, h := range old {
+		if h == 0 {
+			continue
+		}
+		for i := h & mask; ; i = (i + 1) & mask {
+			if ns.slots[i] == 0 {
+				ns.slots[i] = h
+				break
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		Metric{Name: "peak_heap_mb/world=1000/workers=1", Value: 50, Unit: "MB", Better: Lower},
 		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 300, Unit: "domains/s", Better: Higher},
 		Metric{Name: "capture_bytes_per_packet/world=1000/workers=1", Value: 400, Unit: "B/pkt", Better: Lower},
+		Metric{Name: "peak_rss_vs_world_size/world=100000", Value: 80, Unit: "MB", Better: Lower},
 	)
 	newSnap := snapWith(
 		// 11% slower: regression for a higher-better metric.
@@ -29,18 +30,20 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		Metric{Name: "discovery_domains_per_s/world=1000/workers=1", Value: 345, Unit: "domains/s", Better: Higher},
 		// 25% fatter records: regression in the new wire-density cell.
 		Metric{Name: "capture_bytes_per_packet/world=1000/workers=1", Value: 500, Unit: "B/pkt", Better: Lower},
+		// 50% more streaming peak heap: the bounded-memory ceiling broke.
+		Metric{Name: "peak_rss_vs_world_size/world=100000", Value: 120, Unit: "MB", Better: Lower},
 	)
 	c := Compare(oldSnap, newSnap, 10)
 	regs := c.Regressions()
-	if len(regs) != 3 {
-		t.Fatalf("got %d regressions, want 3: %+v", len(regs), regs)
+	if len(regs) != 4 {
+		t.Fatalf("got %d regressions, want 4: %+v", len(regs), regs)
 	}
 	names := map[string]bool{}
 	for _, d := range regs {
 		names[d.Name] = true
 	}
 	if !names["capture_gen_mb_per_s/world=1000/workers=1"] || !names["peak_heap_mb/world=1000/workers=1"] ||
-		!names["capture_bytes_per_packet/world=1000/workers=1"] {
+		!names["capture_bytes_per_packet/world=1000/workers=1"] || !names["peak_rss_vs_world_size/world=100000"] {
 		t.Fatalf("wrong regressions flagged: %+v", regs)
 	}
 	var improved int
@@ -56,7 +59,7 @@ func TestCompareDetectsSyntheticRegression(t *testing.T) {
 		t.Fatalf("got %d improvements, want 1", improved)
 	}
 	table := c.Table()
-	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "3 metric(s) regressed") {
+	if !strings.Contains(table, "REGRESSION") || !strings.Contains(table, "4 metric(s) regressed") {
 		t.Fatalf("table missing regression summary:\n%s", table)
 	}
 }
@@ -166,6 +169,8 @@ func TestRunTinyMatrix(t *testing.T) {
 		Workers:      []int{1},
 		Vantages:     2,
 		DiscoveryMax: 300,
+		StreamSizes:  []int{300},
+		StreamChunk:  64,
 		Log:          &logBuf,
 	})
 	if err != nil {
@@ -180,6 +185,7 @@ func TestRunTinyMatrix(t *testing.T) {
 		"capture_bytes_per_packet/world=300/workers=1",
 		"discovery_domains_per_s/world=300/workers=1",
 		"peak_heap_mb/world=300/workers=1",
+		"peak_rss_vs_world_size/world=300",
 	}
 	for _, name := range want {
 		m, ok := snap.Metric(name)
@@ -195,5 +201,34 @@ func TestRunTinyMatrix(t *testing.T) {
 	}
 	if !strings.Contains(logBuf.String(), "world=300 workers=1 done") {
 		t.Fatalf("progress log missing: %q", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "stream world=300 done") {
+		t.Fatalf("streaming-leg progress missing: %q", logBuf.String())
+	}
+}
+
+// TestStreamingPeakHeapBudget is the bounded-memory claim as a hard
+// number: streaming a 100K-domain world chunk-by-chunk must fit a
+// fixed heap budget far below the in-memory build (the committed
+// snapshots put the in-memory 100K cell at ~1.2 GB; the streamed
+// build measures ~50 MB). The budget leaves ~4x headroom for GC
+// timing noise — blowing it means chunks are no longer being released.
+func TestStreamingPeakHeapBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams a 100K-domain world")
+	}
+	const budgetMB = 200
+	cfg := MatrixConfig{StreamSizes: []int{100000}}
+	cfg.fill()
+	c := &cell{}
+	if err := runStreamCell(cfg, 100000, c); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := c.vals["peak_rss_vs_world_size/world=100000"]
+	if !ok {
+		t.Fatalf("peak metric missing: %+v", c.vals)
+	}
+	if m.Value <= 0 || m.Value > budgetMB {
+		t.Fatalf("streaming 100K world peaked at %.1f MB, budget %d MB", m.Value, budgetMB)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"cloudscope"
 	"cloudscope/internal/capture"
 	"cloudscope/internal/chaos"
+	"cloudscope/internal/deploy"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/telemetry"
 	"cloudscope/internal/telemetry/runtimeprof"
@@ -39,6 +40,16 @@ type MatrixConfig struct {
 	// Chaos names a fault scenario for the chaos-overhead leg; empty
 	// skips the leg.
 	Chaos string
+	// StreamSizes are world sizes for the streaming world-build leg:
+	// each world is generated chunk-by-chunk via deploy.GenerateStream
+	// with chunks released as soon as they are counted, and the cell
+	// records peak heap as peak_rss_vs_world_size/world=N. Flat values
+	// across sizes — 100K vs 1M in the committed snapshots — are the
+	// proof the streaming data path runs in bounded memory. Empty skips
+	// the leg.
+	StreamSizes []int
+	// StreamChunk is the streaming leg's chunk size. Default 4096.
+	StreamChunk int
 	// Log receives one progress line per cell; nil is quiet.
 	Log io.Writer
 }
@@ -61,6 +72,9 @@ func (c *MatrixConfig) fill() {
 	}
 	if c.DiscoveryMax == 0 {
 		c.DiscoveryMax = 10000
+	}
+	if c.StreamChunk <= 0 {
+		c.StreamChunk = 4096
 	}
 }
 
@@ -122,6 +136,7 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 		DiscoveryMax: cfg.DiscoveryMax, Chaos: cfg.Chaos,
 	}
 	snap.Params.Sizes = append(snap.Params.Sizes, cfg.Sizes...)
+	snap.Params.StreamSizes = append(snap.Params.StreamSizes, cfg.StreamSizes...)
 	for _, w := range cfg.Workers {
 		snap.Params.Workers = append(snap.Params.Workers, WorkerLabel(w))
 	}
@@ -162,7 +177,56 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 			logf(cfg.Log, "bench: world=%d chaos leg done (%.2fx)", size, ratio)
 		}
 	}
+	for _, size := range cfg.StreamSizes {
+		c := &cell{}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			if err := runStreamCell(cfg, size, c); err != nil {
+				return nil, err
+			}
+		}
+		for _, m := range c.vals {
+			snap.Metrics = append(snap.Metrics, m)
+		}
+		logf(cfg.Log, "bench: stream world=%d done", size)
+	}
 	return snap, nil
+}
+
+// runStreamCell measures the streaming world-build leg: generate the
+// world chunk-by-chunk, releasing each chunk once counted, and record
+// the peak heap the sweep ever needed. Unlike the main matrix there is
+// no workers axis — the metric is a memory ceiling, not a rate, and
+// one name per size keeps the trajectory across snapshots legible.
+func runStreamCell(cfg MatrixConfig, size int, c *cell) error {
+	// Drop the previous cells' dead heap first — the sampler ratchets
+	// absolute HeapAlloc, and the claim here is the streaming build's
+	// own footprint, not whatever the in-memory matrix left uncollected.
+	// Two collections, not one: sync.Pool contents (the capture cells'
+	// pooled packet blocks) survive a single GC in the victim cache.
+	runtime.GC()
+	runtime.GC()
+	reg := telemetry.NewRegistry()
+	sampler := runtimeprof.Start(reg, 10*time.Millisecond)
+
+	dcfg := deploy.DefaultConfig().Scaled(size)
+	dcfg.Seed = cfg.Seed
+	ws := deploy.GenerateStream(dcfg, cfg.StreamChunk)
+	n := 0
+	for {
+		chunk := ws.Next()
+		if chunk == nil {
+			break
+		}
+		n += len(chunk.Domains)
+		ws.Release(chunk)
+	}
+	sampler.Stop()
+	if n != size {
+		return fmt.Errorf("bench: streaming leg generated %d domains, want %d", n, size)
+	}
+	peak := reg.Gauge("runtime.peak_heap_alloc_bytes").Value()
+	c.keep(fmt.Sprintf("peak_rss_vs_world_size/world=%d", size), float64(peak)/1e6, "MB", Lower)
+	return nil
 }
 
 // runCell measures one rep of one matrix cell, folding results into c.

@@ -64,6 +64,7 @@ func CurrentHost() Host {
 // Params records the matrix a snapshot ran, for provenance.
 type Params struct {
 	Sizes        []int    `json:"sizes"`
+	StreamSizes  []int    `json:"stream_sizes,omitempty"`
 	Workers      []string `json:"workers"`
 	Reps         int      `json:"reps"`
 	Seed         int64    `json:"seed"`

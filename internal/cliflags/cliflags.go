@@ -89,6 +89,38 @@ func Register(fs *flag.FlagSet) *Set {
 	return s
 }
 
+// StreamSet holds the parsed streaming data-path flags. Only the
+// commands with a bounded-memory mode (worldgen, experiments) register
+// these; the other binaries always hold their world in memory.
+type StreamSet struct {
+	Stream    bool
+	ChunkSize int
+	SpillDir  string
+}
+
+// RegisterStreaming installs the streaming data-path flags on fs.
+func RegisterStreaming(fs *flag.FlagSet) *StreamSet {
+	s := &StreamSet{}
+	fs.BoolVar(&s.Stream, "stream", false,
+		"run the bounded-memory streaming data path: generate (and scan) the world chunk-by-chunk, releasing each chunk when done — output is byte-identical to the in-memory path")
+	fs.IntVar(&s.ChunkSize, "chunk-size", 4096,
+		"domains per streaming chunk (with -stream; smaller = less memory, more merge files)")
+	fs.StringVar(&s.SpillDir, "spill-dir", "",
+		"directory per-chunk partial datasets spill under (with -stream; default: the system temp dir)")
+	return s
+}
+
+// Validate rejects contradictory streaming flag combinations.
+func (s *StreamSet) Validate() error {
+	if s.ChunkSize <= 0 {
+		return fmt.Errorf("-chunk-size must be positive, got %d", s.ChunkSize)
+	}
+	if !s.Stream && s.SpillDir != "" {
+		return fmt.Errorf("-spill-dir only applies with -stream")
+	}
+	return nil
+}
+
 // validate rejects contradictory flag combinations with errors that
 // say what to change.
 func (s *Set) validate() error {

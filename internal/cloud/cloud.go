@@ -84,11 +84,57 @@ type Region struct {
 	ID     string
 	Zones  []*Zone
 	cidrs  []netaddr.CIDR
+	taken  *ipBitmap
 	cursor int    // index into cidrs
 	offset uint64 // next address within cidrs[cursor]
 	// dense is set after the scattered first pass exhausts the ranges;
 	// a second pass walks every remaining address before giving up.
 	dense bool
+}
+
+// ipBitmap is a one-bit-per-address allocation map over a list of
+// disjoint CIDRs. It is the collision-check backbone that lets the
+// allocator run without retaining *Instance records: the published
+// lists guarantee ranges never overlap across regions or providers, so
+// a per-region bitmap answers "is this IP taken" exactly as the global
+// instance map did, in size/8 bytes instead of O(instances) heap.
+type ipBitmap struct {
+	cidrs []netaddr.CIDR
+	offs  []uint64 // cumulative bit offset of each cidr
+	bits  []uint64
+}
+
+func newIPBitmap(cidrs []netaddr.CIDR) *ipBitmap {
+	b := &ipBitmap{cidrs: cidrs}
+	total := uint64(0)
+	for _, c := range cidrs {
+		b.offs = append(b.offs, total)
+		total += c.Size()
+	}
+	b.bits = make([]uint64, (total+63)/64)
+	return b
+}
+
+// index maps ip to its bit position, or ok=false when ip is outside
+// every covered CIDR.
+func (b *ipBitmap) index(ip netaddr.IP) (uint64, bool) {
+	for i, c := range b.cidrs {
+		if c.Contains(ip) {
+			return b.offs[i] + uint64(ip-c.Base), true
+		}
+	}
+	return 0, false
+}
+
+func (b *ipBitmap) taken(ip netaddr.IP) bool {
+	i, ok := b.index(ip)
+	return ok && b.bits[i/64]&(1<<(i%64)) != 0
+}
+
+func (b *ipBitmap) set(ip netaddr.IP) {
+	if i, ok := b.index(ip); ok {
+		b.bits[i/64] |= 1 << (i % 64)
+	}
 }
 
 // Cloud is one provider's infrastructure.
@@ -99,13 +145,22 @@ type Cloud struct {
 	mu         sync.Mutex
 	regions    map[string]*Region
 	regionIDs  []string
-	instances  map[netaddr.IP]*Instance // by public IP
+	instances  map[netaddr.IP]*Instance // by public IP (retain mode only)
 	byInternal map[netaddr.IP]*Instance
 	nextID     int
+	numAlloc   int
 	rng        *xrand.Rand
+	// retain keeps per-instance records for the reverse lookups
+	// (InstanceAt, InternalFor, Instances). Streaming world generation
+	// turns it off so instance count no longer drives heap: collision
+	// checks then run purely on the allocation bitmaps, which are
+	// maintained in both modes and — because published ranges are
+	// disjoint — decide exactly as the maps did.
+	retain bool
 
 	// cfCursor allocates CloudFront edge IPs (EC2 cloud only).
 	cfCIDRs  []netaddr.CIDR
+	cfTaken  *ipBitmap
 	cfCursor uint64
 
 	feats *features
@@ -125,6 +180,7 @@ func New(provider ipranges.Provider, ranges *ipranges.List, seed int64) *Cloud {
 		regions:    make(map[string]*Region),
 		instances:  make(map[netaddr.IP]*Instance),
 		byInternal: make(map[netaddr.IP]*Instance),
+		retain:     true,
 		rng:        xrand.SplitSeeded(seed, "cloud/"+string(provider)),
 	}
 	regionIDs := ranges.Regions(provider)
@@ -167,6 +223,7 @@ func New(provider ipranges.Provider, ranges *ipranges.List, seed int64) *Cloud {
 			zc = 1
 		}
 		r := &Region{ID: rid, cidrs: ranges.RegionCIDRs(rid)}
+		r.taken = newIPBitmap(r.cidrs)
 		for z := 0; z < zc; z++ {
 			blocks := assignments[owner{rid, z}]
 			r.Zones = append(r.Zones, &Zone{
@@ -181,6 +238,7 @@ func New(provider ipranges.Provider, ranges *ipranges.List, seed int64) *Cloud {
 	}
 	if provider == ipranges.EC2 {
 		c.cfCIDRs = ranges.RegionCIDRs("cloudfront.global")
+		c.cfTaken = newIPBitmap(c.cfCIDRs)
 	}
 	c.feats = newFeatures(provider)
 	return c
@@ -237,9 +295,10 @@ func (c *Cloud) allocPublicLocked(r *Region) netaddr.IP {
 			continue
 		}
 		ip := cidr.Nth(r.offset)
-		if _, taken := c.instances[ip]; taken {
+		if r.taken.taken(ip) {
 			continue
 		}
+		r.taken.set(ip)
 		return ip
 	}
 }
@@ -255,10 +314,10 @@ func (c *Cloud) allocInternalLocked(z *Zone) netaddr.IP {
 		if z.nextInternal[b] >= z.internalBlocks[b].Size()-1 {
 			continue
 		}
-		ip := z.internalBlocks[b].Nth(z.nextInternal[b])
-		if _, taken := c.byInternal[ip]; !taken {
-			return ip
-		}
+		// Per-block cursors only ever advance and each /16 belongs to
+		// exactly one zone, so two internal allocations can never land on
+		// the same address; no occupancy check is needed.
+		return z.internalBlocks[b].Nth(z.nextInternal[b])
 	}
 }
 
@@ -290,10 +349,27 @@ func (c *Cloud) Launch(region string, zoneIndex int, itype string, kind Kind) *I
 	}
 	if c.Provider == ipranges.EC2 {
 		inst.InternalIP = c.allocInternalLocked(z)
-		c.byInternal[inst.InternalIP] = inst
+		if c.retain {
+			c.byInternal[inst.InternalIP] = inst
+		}
 	}
-	c.instances[inst.PublicIP] = inst
+	c.numAlloc++
+	if c.retain {
+		c.instances[inst.PublicIP] = inst
+	}
 	return inst
+}
+
+// SetRetain controls whether the cloud keeps per-instance records for
+// reverse lookups (InstanceAt, InternalFor, Instances). Streaming
+// world generation disables it before the first Launch so heap stays
+// flat at any world size; with retain off those lookups report
+// nothing. Allocation behaviour — the address sequence handed out —
+// is identical in both modes.
+func (c *Cloud) SetRetain(retain bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retain = retain
 }
 
 func shortProvider(p ipranges.Provider) string {
@@ -320,8 +396,12 @@ func (c *Cloud) AllocCloudFrontIP() netaddr.IP {
 		for _, cidr := range c.cfCIDRs {
 			if off < cidr.Size() {
 				ip := cidr.Nth(off)
-				if _, taken := c.instances[ip]; !taken {
-					c.instances[ip] = &Instance{ID: fmt.Sprintf("cf-%07x", c.cfCursor), Kind: KindEdge, Region: "cloudfront.global", ZoneIndex: -1, PublicIP: ip}
+				if !c.cfTaken.taken(ip) {
+					c.cfTaken.set(ip)
+					c.numAlloc++
+					if c.retain {
+						c.instances[ip] = &Instance{ID: fmt.Sprintf("cf-%07x", c.cfCursor), Kind: KindEdge, Region: "cloudfront.global", ZoneIndex: -1, PublicIP: ip}
+					}
 					return ip
 				}
 				break
@@ -362,11 +442,12 @@ func (c *Cloud) Instances() []*Instance {
 	return out
 }
 
-// NumInstances returns the number of allocated instances.
+// NumInstances returns the number of allocations made, counted in both
+// retain modes.
 func (c *Cloud) NumInstances() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.instances)
+	return c.numAlloc
 }
 
 // Account models a tenant account. EC2 presents zone labels ('a', 'b',

@@ -1,0 +1,174 @@
+// Package diskfmt is the compact length-prefixed binary format the
+// dataset spill-to-disk path uses for per-chunk partial datasets. A
+// file is the magic "CSD1" followed by records:
+//
+//	tag      1 byte      'D' (domain summary) or 'S' (subdomain block)
+//	keyLen   uvarint     sort key length
+//	key      keyLen      domain name (D) or FQDN (S)
+//	plLen    uvarint     payload length
+//	payload  plLen       the record's pre-rendered text-format bytes
+//
+// Records carry the dataset text format's own rendering as payload, so
+// the k-way merge that combines spill files is a pure byte
+// concatenation in (tag, key) order — no re-parsing, and the merged
+// output is byte-identical to the in-memory serializer's.
+//
+// The decoder is hardened the way the pcap reader is: it never panics,
+// never trusts a length prefix (lengths are capped before allocation),
+// and distinguishes a clean end-of-stream (io.EOF from Next) from a
+// record truncated mid-way (an error wrapping io.ErrUnexpectedEOF).
+package diskfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a spill file.
+const Magic = "CSD1"
+
+// MaxLen caps a record's key and payload lengths. Real payloads are
+// rendered text blocks of at most a few hundred KB; the cap exists so
+// a forged length prefix cannot force a multi-gigabyte allocation.
+const MaxLen = 1 << 24
+
+// Record tags: 'D' sorts before 'S', matching the text format's layout
+// (all domain lines, then all subdomain blocks).
+const (
+	TagDomain byte = 'D'
+	TagSub    byte = 'S'
+)
+
+// Record is one spill entry: a sort key and its pre-rendered payload.
+type Record struct {
+	Tag     byte
+	Key     string
+	Payload []byte
+}
+
+// Less orders records by (tag, key) — the global output order.
+func (r Record) Less(o Record) bool {
+	if r.Tag != o.Tag {
+		return r.Tag < o.Tag
+	}
+	return r.Key < o.Key
+}
+
+// Writer encodes records to a spill file.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter starts a spill stream on w, emitting the magic.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if r.Tag != TagDomain && r.Tag != TagSub {
+		return fmt.Errorf("diskfmt: bad tag 0x%02x", r.Tag)
+	}
+	if len(r.Key) > MaxLen {
+		return fmt.Errorf("diskfmt: key length %d exceeds cap %d", len(r.Key), MaxLen)
+	}
+	if len(r.Payload) > MaxLen {
+		return fmt.Errorf("diskfmt: payload length %d exceeds cap %d", len(r.Payload), MaxLen)
+	}
+	if err := w.bw.WriteByte(r.Tag); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(r.Key)))
+	if _, err := w.bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(r.Key); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(tmp[:], uint64(len(r.Payload)))
+	if _, err := w.bw.Write(tmp[:n]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(r.Payload)
+	return err
+}
+
+// Flush commits buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader decodes a spill stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the magic and prepares to decode records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("diskfmt: reading magic: %w", noEOF(err))
+	}
+	if string(magic) != Magic {
+		return nil, errors.New("diskfmt: bad magic")
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next decodes the next record. It returns io.EOF exactly at a clean
+// record boundary; a stream that ends inside a record yields an error
+// wrapping io.ErrUnexpectedEOF instead.
+func (r *Reader) Next() (Record, error) {
+	tag, err := r.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	if tag != TagDomain && tag != TagSub {
+		return Record{}, fmt.Errorf("diskfmt: bad tag 0x%02x", tag)
+	}
+	key, err := r.readBlob("key")
+	if err != nil {
+		return Record{}, err
+	}
+	payload, err := r.readBlob("payload")
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Tag: tag, Key: string(key), Payload: payload}, nil
+}
+
+// readBlob reads one uvarint-length-prefixed field, rejecting lengths
+// beyond MaxLen before allocating anything.
+func (r *Reader) readBlob(what string) ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("diskfmt: reading %s length: %w", what, noEOF(err))
+	}
+	if n > MaxLen {
+		return nil, fmt.Errorf("diskfmt: %s length %d exceeds cap %d (forged or corrupt length prefix)", what, n, MaxLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("diskfmt: reading %s: %w", what, noEOF(err))
+	}
+	return buf, nil
+}
+
+// noEOF converts a mid-record EOF into io.ErrUnexpectedEOF so clean
+// end-of-stream stays distinguishable.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

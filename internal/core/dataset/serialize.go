@@ -25,6 +25,46 @@ import (
 //
 // Lines starting with '#' are comments.
 
+// renderHeader renders the leading comment line from final stats.
+func renderHeader(st Stats) string {
+	return fmt.Sprintf("# cloudscope alexa-subdomains dataset: %d domains, %d cloud subdomains\n",
+		st.DomainsScanned, st.CloudSubdomains)
+}
+
+// renderDomainLine renders one D record. Shared by WriteTo and the
+// spill path, so the streamed file is byte-identical by construction.
+func renderDomainLine(s *DomainSummary) string {
+	axfr := 0
+	if s.AXFRWorked {
+		axfr = 1
+	}
+	return fmt.Sprintf("D %s %d %d %d\n", s.Domain, axfr, s.SubdomainsSeen, s.CloudUsing)
+}
+
+// renderObservation renders one subdomain's S/R.../E block.
+func renderObservation(o *Observation) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "S %s %s\n", o.FQDN, o.Domain)
+	for _, rr := range o.RRs {
+		var line string
+		switch rr.Type {
+		case dnswire.TypeA:
+			line = fmt.Sprintf("R %s A %d %s", o.FQDN, rr.TTL, rr.IP)
+		case dnswire.TypeCNAME:
+			line = fmt.Sprintf("R %s CNAME %d %s", o.FQDN, rr.TTL, rr.Target)
+		default:
+			continue
+		}
+		// Records in a chain may be owned by CNAME targets, not the
+		// subdomain itself; keep the owner.
+		line = strings.Replace(line, "R "+o.FQDN, "R "+rr.Name, 1)
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("E\n")
+	return sb.String()
+}
+
 // WriteTo serializes the dataset (deterministic ordering).
 func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
@@ -33,8 +73,7 @@ func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	if err := count(fmt.Fprintf(bw, "# cloudscope alexa-subdomains dataset: %d domains, %d cloud subdomains\n",
-		d.Stats.DomainsScanned, d.Stats.CloudSubdomains)); err != nil {
+	if err := count(bw.WriteString(renderHeader(d.Stats))); err != nil {
 		return n, err
 	}
 	domains := make([]string, 0, len(d.Domains))
@@ -43,12 +82,7 @@ func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(domains)
 	for _, name := range domains {
-		s := d.Domains[name]
-		axfr := 0
-		if s.AXFRWorked {
-			axfr = 1
-		}
-		if err := count(fmt.Fprintf(bw, "D %s %d %d %d\n", name, axfr, s.SubdomainsSeen, s.CloudUsing)); err != nil {
+		if err := count(bw.WriteString(renderDomainLine(d.Domains[name]))); err != nil {
 			return n, err
 		}
 	}
@@ -58,28 +92,7 @@ func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(fqdns)
 	for _, f := range fqdns {
-		o := d.Subdomains[f]
-		if err := count(fmt.Fprintf(bw, "S %s %s\n", o.FQDN, o.Domain)); err != nil {
-			return n, err
-		}
-		for _, rr := range o.RRs {
-			var line string
-			switch rr.Type {
-			case dnswire.TypeA:
-				line = fmt.Sprintf("R %s A %d %s", o.FQDN, rr.TTL, rr.IP)
-			case dnswire.TypeCNAME:
-				line = fmt.Sprintf("R %s CNAME %d %s", o.FQDN, rr.TTL, rr.Target)
-			default:
-				continue
-			}
-			// Records in a chain may be owned by CNAME targets, not the
-			// subdomain itself; keep the owner.
-			line = strings.Replace(line, "R "+o.FQDN, "R "+rr.Name, 1)
-			if err := count(fmt.Fprintln(bw, line)); err != nil {
-				return n, err
-			}
-		}
-		if err := count(fmt.Fprintln(bw, "E")); err != nil {
+		if err := count(bw.WriteString(renderObservation(d.Subdomains[f]))); err != nil {
 			return n, err
 		}
 	}

@@ -274,6 +274,7 @@ func (w *World) deployAnchorSub(p *domainPlan, rng *xrand.Rand, d *Domain, label
 		s.Zones[region] = zs
 		if as.otherCDN {
 			vanity := fmt.Sprintf("%s-%s.edgekey-cdn.net", sanitize(label), sanitize(d.Name))
+			s.vanity = vanity
 			// Non-CloudFront CDN serves from outside the clouds: the
 			// subdomain is not itself cloud-using.
 			s.Provider = ""
@@ -290,6 +291,7 @@ func (w *World) deployAnchorSub(p *domainPlan, rng *xrand.Rand, d *Domain, label
 			})
 		} else {
 			vanity := fmt.Sprintf("edge-%s-%s.ghs-hosting.net", sanitize(label), sanitize(d.Name))
+			s.vanity = vanity
 			p.op(func() {
 				for i := 0; i < len(zs); i++ {
 					inst := w.EC2.Launch(region, zs[i], "m1.medium", "vm")

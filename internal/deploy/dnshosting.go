@@ -180,7 +180,12 @@ func (w *World) selfHostedProvider(d *Domain, c *cloud.Cloud) *DNSProvider {
 		w.registerSubdomain(s)
 	}
 	dnssrv.Deploy(w.Fabric, w.Registry, p.Server, p.NSIPs...)
-	w.DNSProviders = append(w.DNSProviders, p)
+	// The pool only serves inspection (plan-time lookups filter out
+	// "ec2-vm" entries); a streaming world drops per-domain providers
+	// with their chunk instead of accumulating one per self-hoster.
+	if !w.streaming {
+		w.DNSProviders = append(w.DNSProviders, p)
+	}
 	return p
 }
 

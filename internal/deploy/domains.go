@@ -47,21 +47,9 @@ func (p *domainPlan) commit() {
 	}
 }
 
-// deployDomains walks the ranked list, decides who is cloud-using, and
-// deploys every domain's zone and subdomains: domains are planned in
-// parallel, then committed sequentially in rank order.
-func (w *World) deployDomains() {
-	rng := w.rng.Split("domains")
-	cfg := w.Cfg
-
-	// Rank-skewed cloud adoption: probability in the top quarter vs the
-	// rest chosen so the overall fraction and top-quarter share match.
-	quarter := cfg.NumDomains / 4
-	pTop := cfg.CloudFraction * cfg.TopQuarterShare / 0.25
-	pRest := cfg.CloudFraction * (1 - cfg.TopQuarterShare) / 0.75
-
-	forced := anchorNames()
-
+// deploySharedZones publishes the shared vanity zones every chunk's
+// opaque subdomains write into.
+func (w *World) deploySharedZones() {
 	// Shared vanity zone for opaque CNAME targets.
 	w.opaqueZone = dnssrv.NewZone("ghs-hosting.net")
 	opaqueSrv := dnssrv.NewServer(w.opaqueZone)
@@ -71,33 +59,63 @@ func (w *World) deployDomains() {
 	w.otherCDNZone = dnssrv.NewZone("edgekey-cdn.net")
 	cdnSrv := dnssrv.NewServer(w.otherCDNZone)
 	dnssrv.Deploy(w.Fabric, w.Registry, cdnSrv, netaddr.MustParseIP("204.14.81.2"))
+}
 
-	// The only draws on the shared "domains" stream are the per-domain
-	// AXFR flags; consume them here in rank order so the stream stays
-	// byte-compatible with the sequential generator.
-	doms := w.List.Domains
-	axfr := make([]bool, len(doms))
-	for i := range doms {
-		axfr[i] = rng.Bool(cfg.AXFRFraction)
+// genParams are the rank-skew constants shared by every chunk of one
+// generation run.
+type genParams struct {
+	quarter     int
+	pTop, pRest float64
+	forced      map[string]bool
+}
+
+func newGenParams(cfg Config) genParams {
+	// Rank-skewed cloud adoption: probability in the top quarter vs the
+	// rest chosen so the overall fraction and top-quarter share match.
+	return genParams{
+		quarter: cfg.NumDomains / 4,
+		pTop:    cfg.CloudFraction * cfg.TopQuarterShare / 0.25,
+		pRest:   cfg.CloudFraction * (1 - cfg.TopQuarterShare) / 0.75,
+		forced:  anchorNames(),
+	}
+}
+
+// deployChunk decides who is cloud-using and deploys one rank-contiguous
+// run of the ranked list: domains are planned in parallel, then
+// committed sequentially in rank order. rng must be the generation's
+// shared "domains" stream; its only draws are the per-domain AXFR
+// flags, consumed here in rank order, so cutting the list into chunks
+// of any size replays the exact flag sequence the whole-list path
+// draws. Per-domain draws live on split streams keyed by name, which
+// are position-independent, and commit order across chunks equals rank
+// order — so the world is bit-for-bit identical at any chunk size and
+// worker count.
+func (w *World) deployChunk(rng *xrand.Rand, ads []*alexa.Domain, gp genParams) []*Domain {
+	if len(ads) == 0 {
+		return nil
+	}
+	axfr := make([]bool, len(ads))
+	for i := range ads {
+		axfr[i] = rng.Bool(w.Cfg.AXFRFraction)
 	}
 
-	plans := make([]*domainPlan, len(doms))
-	if err := parallel.Run(cfg.Par, len(doms), func(sh parallel.Shard) error {
+	base := ads[0].Rank - 1
+	plans := make([]*domainPlan, len(ads))
+	if err := parallel.RunAt(w.Cfg.Par, base, len(ads), func(sh parallel.Shard) error {
 		for i := sh.Lo; i < sh.Hi; i++ {
-			plans[i] = w.planDomain(rng, doms[i], axfr[i], quarter, pTop, pRest, forced)
+			plans[i-base] = w.planDomain(rng, ads[i-base], axfr[i-base], gp.quarter, gp.pTop, gp.pRest, gp.forced)
 		}
 		return nil
 	}); err != nil {
 		panic(err) // plan fns return nil errors; only worker panics land here
 	}
 
-	for _, p := range plans {
+	out := make([]*Domain, len(plans))
+	for i, p := range plans {
 		p.commit()
-		w.Domains = append(w.Domains, p.d)
-		if p.d.CloudUsing() {
-			w.CloudDomains = append(w.CloudDomains, p.d)
-		}
+		out[i] = p.d
 	}
+	return out
 }
 
 // planDomain decides one domain's fate on its private stream and plans
@@ -376,7 +394,8 @@ func (w *World) deploySubdomain(p *domainPlan, rng *xrand.Rand, d *Domain, label
 		p.op(func() {
 			cs := w.Azure.CreateCloudService(sanitize(label), region, contents)
 			s.CS = cs
-			vanity := fmt.Sprintf("az-%s-%d.ghs-hosting.net", sanitize(label), len(w.bySub))
+			vanity := fmt.Sprintf("az-%s-%d.ghs-hosting.net", sanitize(label), w.subCount)
+			s.vanity = vanity
 			w.opaqueZone.MustAdd(dnswire.RR{Name: vanity, Type: dnswire.TypeA, TTL: 300, IP: cs.Node.PublicIP})
 			d.Zone.MustAdd(dnswire.RR{Name: s.FQDN, Type: dnswire.TypeCNAME, TTL: 300, Target: vanity})
 		})
@@ -511,7 +530,7 @@ func (w *World) deployBackends(p *domainPlan, rng *xrand.Rand, s *Subdomain, hom
 // deployOpaque hides EC2 VMs behind a vanity CNAME in a third-party
 // zone — the 16% of EC2-using subdomains the paper's filters could not
 // classify. The vanity name embeds the registration counter, so it is
-// computed at commit when len(w.bySub) matches the sequential order.
+// computed at commit when w.subCount matches the sequential order.
 func (w *World) deployOpaque(p *domainPlan, rng *xrand.Rand, d *Domain, s *Subdomain, regions []string) {
 	s.Regions = regions
 	region := regions[0]
@@ -522,7 +541,8 @@ func (w *World) deployOpaque(p *domainPlan, rng *xrand.Rand, d *Domain, s *Subdo
 		types[i] = xrand.PickUniform(rng, cloud.InstanceTypes)
 	}
 	p.op(func() {
-		vanity := fmt.Sprintf("edge-%s-%d.ghs-hosting.net", sanitize(s.Label), len(w.bySub))
+		vanity := fmt.Sprintf("edge-%s-%d.ghs-hosting.net", sanitize(s.Label), w.subCount)
+		s.vanity = vanity
 		for i := 0; i < len(zones); i++ {
 			inst := w.EC2.Launch(region, zones[i], types[i], cloud.KindVM)
 			s.VMs = append(s.VMs, inst)

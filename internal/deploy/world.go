@@ -45,6 +45,11 @@ type Subdomain struct {
 	AzureCDN      *cloud.AzureCDNEndpoint
 	OtherCDN      bool // uses a non-CloudFront CDN
 	OtherIPs      []netaddr.IP
+
+	// vanity is the CNAME target this subdomain owns in the shared
+	// opaque (or third-party CDN) zone, recorded so streaming release
+	// can remove the records; "" when the pattern has none.
+	vanity string
 }
 
 // CloudUsing reports whether the subdomain resolves into EC2 or Azure.
@@ -108,10 +113,16 @@ type World struct {
 	DNSProviders []*DNSProvider
 
 	bySub        map[string]*Subdomain
+	subCount     int // distinct FQDNs ever registered; survives release
 	otherIPs     *otherAllocator
 	rng          *xrand.Rand
 	opaqueZone   *dnssrv.Zone // shared vanity zone hiding cloud IPs behind CNAMEs
 	otherCDNZone *dnssrv.Zone // shared third-party CDN zone
+	// streaming marks a world built by GenerateStream: released chunks
+	// are reclaimed, per-domain state (Domains, CloudDomains, AWIS, the
+	// self-hosted DNSProviders appends, cloud instance records) is not
+	// retained, and bySub only covers live chunks.
+	streaming bool
 }
 
 // DumpTruth writes a deterministic plain-text rendering of the world's
@@ -120,56 +131,64 @@ type World struct {
 // match, which is what the worker-count-invariance goldens hash.
 func (w *World) DumpTruth(dst io.Writer) {
 	for _, d := range w.Domains {
-		fmt.Fprintf(dst, "D %s rank=%d cat=%v cc=%s home=%s axfr=%v", d.Name, d.Rank, d.Category, d.CustomerCountry, d.HomeRegion, d.Zone.AllowAXFR)
-		if d.DNS != nil {
-			fmt.Fprintf(dst, " dns=%s/%s ns=%v ips=%v", d.DNS.Name, d.DNS.Kind, d.DNS.NSNames, d.DNS.NSIPs)
-		}
-		fmt.Fprintln(dst)
-		for _, s := range d.Subdomains {
-			fmt.Fprintf(dst, "  S %s pat=%s prov=%s regs=%v wl=%v bp=%s ocdn=%v", s.FQDN, s.Pattern, s.Provider, s.Regions, s.InWordlist, s.BackendPolicy, s.OtherCDN)
-			regs := make([]string, 0, len(s.Zones))
-			for r := range s.Zones {
-				regs = append(regs, r)
-			}
-			sort.Strings(regs)
-			for _, r := range regs {
-				zs := append([]int(nil), s.Zones[r]...)
-				sort.Ints(zs)
-				fmt.Fprintf(dst, " z[%s]=%v", r, zs)
-			}
-			for _, vm := range s.VMs {
-				fmt.Fprintf(dst, " vm=%s/%d/%s/%s", vm.Region, vm.ZoneIndex, vm.Type, vm.PublicIP)
-			}
-			for _, b := range s.Backends {
-				fmt.Fprintf(dst, " be=%s/%d/%s/%s", b.Region, b.ZoneIndex, b.Type, b.PublicIP)
-			}
-			if s.ELB != nil {
-				fmt.Fprintf(dst, " elb=%s", s.ELB.Name)
-			}
-			if s.Heroku != nil {
-				fmt.Fprintf(dst, " heroku=%s", s.Heroku.Name)
-			}
-			if s.Beanstalk != nil {
-				fmt.Fprintf(dst, " bean=%s", s.Beanstalk.Name)
-			}
-			if s.CS != nil {
-				fmt.Fprintf(dst, " cs=%s/%s", s.CS.Name, s.CS.Node.PublicIP)
-			}
-			if s.TM != nil {
-				fmt.Fprintf(dst, " tm=%s", s.TM.Name)
-			}
-			if s.CDN != nil {
-				fmt.Fprintf(dst, " cdn=%s", s.CDN.Name)
-			}
-			if s.AzureCDN != nil {
-				fmt.Fprintf(dst, " azcdn=%s", s.AzureCDN.Name)
-			}
-			fmt.Fprintf(dst, " oips=%v\n", s.OtherIPs)
-		}
-		// Full zone content as seen from a fixed client.
-		d.Zone.WriteTo(dst, netaddr.MustParseIP("8.8.8.8"))
+		d.DumpTo(dst)
 	}
 	fmt.Fprintf(dst, "cloudDomains=%d subs=%d\n", len(w.CloudDomains), w.NumSubdomains())
+}
+
+// DumpTo writes one domain's ground-truth block — the per-domain unit
+// of DumpTruth. A domain's block is complete as soon as its chunk
+// commits, so streaming consumers can dump chunk by chunk and obtain
+// exactly the whole-world dump.
+func (d *Domain) DumpTo(dst io.Writer) {
+	fmt.Fprintf(dst, "D %s rank=%d cat=%v cc=%s home=%s axfr=%v", d.Name, d.Rank, d.Category, d.CustomerCountry, d.HomeRegion, d.Zone.AllowAXFR)
+	if d.DNS != nil {
+		fmt.Fprintf(dst, " dns=%s/%s ns=%v ips=%v", d.DNS.Name, d.DNS.Kind, d.DNS.NSNames, d.DNS.NSIPs)
+	}
+	fmt.Fprintln(dst)
+	for _, s := range d.Subdomains {
+		fmt.Fprintf(dst, "  S %s pat=%s prov=%s regs=%v wl=%v bp=%s ocdn=%v", s.FQDN, s.Pattern, s.Provider, s.Regions, s.InWordlist, s.BackendPolicy, s.OtherCDN)
+		regs := make([]string, 0, len(s.Zones))
+		for r := range s.Zones {
+			regs = append(regs, r)
+		}
+		sort.Strings(regs)
+		for _, r := range regs {
+			zs := append([]int(nil), s.Zones[r]...)
+			sort.Ints(zs)
+			fmt.Fprintf(dst, " z[%s]=%v", r, zs)
+		}
+		for _, vm := range s.VMs {
+			fmt.Fprintf(dst, " vm=%s/%d/%s/%s", vm.Region, vm.ZoneIndex, vm.Type, vm.PublicIP)
+		}
+		for _, b := range s.Backends {
+			fmt.Fprintf(dst, " be=%s/%d/%s/%s", b.Region, b.ZoneIndex, b.Type, b.PublicIP)
+		}
+		if s.ELB != nil {
+			fmt.Fprintf(dst, " elb=%s", s.ELB.Name)
+		}
+		if s.Heroku != nil {
+			fmt.Fprintf(dst, " heroku=%s", s.Heroku.Name)
+		}
+		if s.Beanstalk != nil {
+			fmt.Fprintf(dst, " bean=%s", s.Beanstalk.Name)
+		}
+		if s.CS != nil {
+			fmt.Fprintf(dst, " cs=%s/%s", s.CS.Name, s.CS.Node.PublicIP)
+		}
+		if s.TM != nil {
+			fmt.Fprintf(dst, " tm=%s", s.TM.Name)
+		}
+		if s.CDN != nil {
+			fmt.Fprintf(dst, " cdn=%s", s.CDN.Name)
+		}
+		if s.AzureCDN != nil {
+			fmt.Fprintf(dst, " azcdn=%s", s.AzureCDN.Name)
+		}
+		fmt.Fprintf(dst, " oips=%v\n", s.OtherIPs)
+	}
+	// Full zone content as seen from a fixed client.
+	d.Zone.WriteTo(dst, netaddr.MustParseIP("8.8.8.8"))
 }
 
 // Subdomain returns ground truth for an FQDN.
@@ -178,8 +197,9 @@ func (w *World) Subdomain(fqdn string) (*Subdomain, bool) {
 	return s, ok
 }
 
-// NumSubdomains returns the total deployed subdomain count.
-func (w *World) NumSubdomains() int { return len(w.bySub) }
+// NumSubdomains returns the total deployed subdomain count, counting
+// streamed-and-released subdomains too.
+func (w *World) NumSubdomains() int { return w.subCount }
 
 // otherAllocator hands out non-cloud hosting addresses from realistic
 // hoster blocks, never colliding with the published cloud ranges.
@@ -225,22 +245,47 @@ func (o *otherAllocator) next() netaddr.IP {
 	}
 }
 
-// Generate builds a world from cfg. It is deterministic in cfg.Seed.
+// Generate builds a world from cfg. It is deterministic in cfg.Seed,
+// and — because it is exactly one all-domain chunk of the streaming
+// path — byte-identical to GenerateStream at any chunk size.
 func Generate(cfg Config) *World {
+	w := newWorld(cfg, false)
+	w.List = alexa.Generate(cfg.NumDomains, cfg.Seed, alexa.DefaultAnchors)
+	w.AWIS = alexa.NewWebInfoService(w.List, 0.75, cfg.Seed)
+	rng := w.rng.Split("domains")
+	gp := newGenParams(cfg)
+	for _, d := range w.deployChunk(rng, w.List.Domains, gp) {
+		w.Domains = append(w.Domains, d)
+		if d.CloudUsing() {
+			w.CloudDomains = append(w.CloudDomains, d)
+		}
+	}
+	return w
+}
+
+// newWorld builds the shared substrate both generators start from: the
+// clouds, fabric, registry, provider zones, DNS-provider pool, and the
+// shared vanity zones — everything that is not per-ranked-domain. In
+// streaming mode the clouds skip instance-record retention (collision
+// bitmaps still guarantee allocation behavior is unchanged).
+func newWorld(cfg Config, streaming bool) *World {
 	rng := xrand.SplitSeeded(cfg.Seed, "deploy")
 	ranges := ipranges.Published()
 	w := &World{
-		Cfg:      cfg,
-		List:     alexa.Generate(cfg.NumDomains, cfg.Seed, alexa.DefaultAnchors),
-		EC2:      cloud.New(ipranges.EC2, ranges, cfg.Seed),
-		Azure:    cloud.New(ipranges.Azure, ranges, cfg.Seed),
-		Fabric:   simnet.NewFabric(nil),
-		Registry: dnssrv.NewRegistry(),
-		Ranges:   ranges,
-		bySub:    make(map[string]*Subdomain),
-		rng:      rng,
+		Cfg:       cfg,
+		EC2:       cloud.New(ipranges.EC2, ranges, cfg.Seed),
+		Azure:     cloud.New(ipranges.Azure, ranges, cfg.Seed),
+		Fabric:    simnet.NewFabric(nil),
+		Registry:  dnssrv.NewRegistry(),
+		Ranges:    ranges,
+		bySub:     make(map[string]*Subdomain),
+		rng:       rng,
+		streaming: streaming,
 	}
-	w.AWIS = alexa.NewWebInfoService(w.List, 0.75, cfg.Seed)
+	if streaming {
+		w.EC2.SetRetain(false)
+		w.Azure.SetRetain(false)
+	}
 	w.otherIPs = newOtherAllocator(ranges)
 	w.Heroku = cloud.NewHeroku(w.EC2, cfg.HerokuPoolSize)
 
@@ -255,7 +300,7 @@ func Generate(cfg Config) *World {
 
 	w.deployProviderZones()
 	w.buildDNSProviders()
-	w.deployDomains()
+	w.deploySharedZones()
 	return w
 }
 
@@ -357,9 +402,14 @@ func (w *World) cloudFor(p ipranges.Provider) *cloud.Cloud {
 	return w.EC2
 }
 
-// registerSubdomain records ground truth and indexes the FQDN.
+// registerSubdomain records ground truth and indexes the FQDN. The
+// registration counter feeds the opaque vanity names; it only ever
+// grows, so releasing chunks never shifts later names.
 func (w *World) registerSubdomain(s *Subdomain) {
 	s.Domain.Subdomains = append(s.Domain.Subdomains, s)
+	if _, dup := w.bySub[s.FQDN]; !dup {
+		w.subCount++
+	}
 	w.bySub[s.FQDN] = s
 }
 

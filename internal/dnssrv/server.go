@@ -33,6 +33,15 @@ func (s *Server) AddZone(z *Zone) {
 	s.zones[z.Origin] = z
 }
 
+// RemoveZone drops the zone with the given origin; unknown origins are
+// a no-op. Streaming world generation uses it to detach released
+// domains' zones from shared hosting servers.
+func (s *Server) RemoveZone(origin string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, dnswire.CanonicalName(origin))
+}
+
 // Zone returns the hosted zone with the given origin, or nil.
 func (s *Server) Zone(origin string) *Zone {
 	s.mu.RLock()
@@ -124,6 +133,13 @@ func (r *Registry) Delegate(origin string, ips ...netaddr.IP) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.delegations[dnswire.CanonicalName(origin)] = append([]netaddr.IP(nil), ips...)
+}
+
+// Undelegate removes origin's delegation; unknown origins are a no-op.
+func (r *Registry) Undelegate(origin string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.delegations, dnswire.CanonicalName(origin))
 }
 
 // Authoritative returns the origin and server IPs for the longest

@@ -85,6 +85,18 @@ func (z *Zone) SetDynamic(name string, fn DynamicFunc) {
 	z.dynamic[dnswire.CanonicalName(name)] = fn
 }
 
+// Remove deletes every record — static and dynamic — owned by name.
+// Unknown names are a no-op. Streaming world generation uses it to
+// return provider-zone entries (ELB rotations, CDN edge names, PaaS
+// CNAMEs) once a released domain chunk no longer needs them.
+func (z *Zone) Remove(name string) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	name = dnswire.CanonicalName(name)
+	delete(z.records, name)
+	delete(z.dynamic, name)
+}
+
 // Names returns all record owner names, sorted; dynamic names included.
 func (z *Zone) Names() []string {
 	z.mu.RLock()

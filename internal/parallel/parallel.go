@@ -84,6 +84,16 @@ func DefaultShardSize(n int) int {
 // Shards computes the deterministic layout for n items. shardSize <= 0
 // selects DefaultShardSize(n).
 func Shards(n, shardSize int) []Shard {
+	return ShardsAt(0, n, shardSize)
+}
+
+// ShardsAt computes the layout for the n items [base, base+n): shard
+// Lo/Hi are global indices, while Index and the shard boundaries are
+// the same pure function of n as Shards. Chunked stages use it so a
+// chunk's items keep their global positions (rank-indexed resolver
+// assignment, phase computation) regardless of how the stream was cut
+// into chunks.
+func ShardsAt(base, n, shardSize int) []Shard {
 	if n <= 0 {
 		return nil
 	}
@@ -96,7 +106,7 @@ func Shards(n, shardSize int) []Shard {
 		if hi > n {
 			hi = n
 		}
-		shards = append(shards, Shard{Index: len(shards), Lo: lo, Hi: hi})
+		shards = append(shards, Shard{Index: len(shards), Lo: base + lo, Hi: base + hi})
 	}
 	return shards
 }
@@ -120,7 +130,15 @@ func (e *PanicError) Error() string {
 // depend on scheduling. Remaining shards are abandoned after the
 // first failure or when opt.Ctx is cancelled.
 func Run(opt Options, n int, fn func(Shard) error) error {
-	shards := Shards(n, opt.ShardSize)
+	return RunAt(opt, 0, n, fn)
+}
+
+// RunAt is Run over the global index range [base, base+n): the shard
+// layout is the same pure function of n as Run's, but each shard's
+// Lo/Hi carry the global offset. It is the chunk-granular entry point
+// for streaming stages that process a window of a larger logical input.
+func RunAt(opt Options, base, n int, fn func(Shard) error) error {
+	shards := ShardsAt(base, n, opt.ShardSize)
 	workers := opt.workers()
 	if workers > len(shards) {
 		workers = len(shards)

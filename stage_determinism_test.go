@@ -105,6 +105,126 @@ func stageHashes(t *testing.T, seed int64, workers int) map[string]string {
 	return hashes
 }
 
+// streamChunkSizes are the chunk sizes every streaming golden is
+// checked at: degenerate one-domain chunks, a small odd size that cuts
+// through every boundary, a size larger than the world (one full
+// chunk), and 0 — the explicit whole-world-in-one-chunk spelling.
+var streamChunkSizes = []int{1, 7, 1000, 0}
+
+// streamedWorldHash generates the world chunk-by-chunk, hashing each
+// chunk's ground-truth dump and releasing it before the next, then
+// appends the stream's trailer — the same byte stream DumpTruth writes
+// for the in-memory world.
+func streamedWorldHash(t *testing.T, seed int64, workers, chunk int) string {
+	t.Helper()
+	wcfg := deploy.DefaultConfig().Scaled(400)
+	wcfg.Seed = seed
+	wcfg.Par = parallel.Options{Workers: workers, ShardSize: 19}
+	ws := deploy.GenerateStream(wcfg, chunk)
+	h := &sha256Writer{}
+	for {
+		c := ws.Next()
+		if c == nil {
+			break
+		}
+		for _, d := range c.Domains {
+			d.DumpTo(h)
+		}
+		ws.Release(c)
+	}
+	ws.DumpTrailer(h)
+	return h.Sum()
+}
+
+// streamedDatasetHash runs the spill-to-disk discovery pipeline over a
+// chunk-streamed world and hashes the merged text dataset.
+func streamedDatasetHash(t *testing.T, seed int64, workers, chunk int) string {
+	t.Helper()
+	wcfg := deploy.DefaultConfig().Scaled(400)
+	wcfg.Seed = seed
+	wcfg.Par = parallel.Options{Workers: workers, ShardSize: 19}
+	ws := deploy.GenerateStream(wcfg, chunk)
+	w := ws.World()
+	sb, err := dataset.NewStreamBuilder(dataset.StreamConfig{
+		Config: dataset.Config{
+			Fabric:   w.Fabric,
+			Registry: w.Registry,
+			Ranges:   w.Ranges,
+			Vantages: 8,
+			Workers:  workers,
+		},
+		Total: wcfg.NumDomains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+	for {
+		c := ws.Next()
+		if c == nil {
+			break
+		}
+		names := make([]string, len(c.Domains))
+		for i, d := range c.Domains {
+			names[i] = d.Name
+		}
+		if err := sb.AddChunk(names); err != nil {
+			t.Fatal(err)
+		}
+		ws.Release(c)
+	}
+	h := &sha256Writer{}
+	if _, err := sb.Finish(h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum()
+}
+
+// TestStreamingStageDeterminism pins the bounded-memory data path to
+// the in-memory goldens: the chunk-streamed world's ground-truth dump
+// and the spill-to-disk dataset must hash identically to
+// deploy.Generate's DumpTruth and dataset.Build's WriteTo at every
+// chunk size × worker bound × seed. This is the oracle that lets the
+// 1M-domain streaming run stand in for the in-memory study.
+func TestStreamingStageDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the world and discovery stages many times")
+	}
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			golden := stageHashes(t, seed, 1)
+			for _, workers := range stageWorkerCounts() {
+				for _, chunk := range streamChunkSizes {
+					if got := streamedWorldHash(t, seed, workers, chunk); got != golden["world"] {
+						t.Errorf("streamed world differs from in-memory at Workers=%d chunk=%d seed=%d", workers, chunk, seed)
+					}
+					if got := streamedDatasetHash(t, seed, workers, chunk); got != golden["dataset"] {
+						t.Errorf("streamed dataset differs from in-memory at Workers=%d chunk=%d seed=%d", workers, chunk, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingSmallChunkInvariance is the cheap slice of the
+// streaming golden that `make check` runs under -race: one seed,
+// GOMAXPROCS workers, pathological one-domain chunks against the
+// whole-world chunk. Any cross-chunk data race or order dependence in
+// the release bookkeeping shows up here.
+func TestStreamingSmallChunkInvariance(t *testing.T) {
+	const seed = 3
+	tiny := streamedDatasetHash(t, seed, 0, 1)
+	whole := streamedDatasetHash(t, seed, 0, 0)
+	if tiny != whole {
+		t.Fatalf("dataset bytes differ between chunk=1 and one-chunk streaming at seed %d", seed)
+	}
+	if streamedWorldHash(t, seed, 0, 1) != streamedWorldHash(t, seed, 0, 0) {
+		t.Fatalf("world dump differs between chunk=1 and one-chunk streaming at seed %d", seed)
+	}
+}
+
 // sha256Writer hashes everything written through it.
 type sha256Writer struct{ data []byte }
 
