@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-trace fuzz-packet fuzz-pcap fuzz-diskfmt clean
+.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-chaos-v3 fuzz-trace fuzz-packet fuzz-pcap fuzz-diskfmt clean
 
 all: build check test
 
@@ -29,6 +29,7 @@ check:
 	$(GO) test -race -count=2 -run 'UnderLossWorkerInvariant|ChaosWorkerInvariant' \
 		./internal/core/dataset ./internal/cartography ./internal/core/wanperf
 	$(GO) test -race -count=2 -run 'TestAnalyzeRetainsNoPooledBuffers' ./internal/capture
+	$(GO) test -race -count=2 -run 'TestCaptureChaosRace' ./internal/capture
 	$(GO) test -race -count=2 -run 'TestStreamingSmallChunkInvariance' .
 	$(MAKE) bench-smoke
 
@@ -47,7 +48,8 @@ BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 # Tiny matrix under the race detector, compared against the committed
 # snapshot. Advisory: -race skews timings far beyond the regression
 # threshold, so this run proves the harness end to end (matrix, chaos
-# leg, snapshot write, compare) without gating on noisy numbers — the
+# and capture-chaos legs, snapshot write, compare) without gating on
+# noisy numbers — the
 # hard regression gate is exercised hermetically by the bench package's
 # synthetic-regression test.
 bench-smoke:
@@ -83,6 +85,15 @@ bisect-smoke:
 # round-trip, and drive the engine without panicking).
 fuzz-chaos:
 	$(GO) test -fuzz=FuzzParseScenario -fuzztime=10s ./internal/chaos
+
+# Fuzz the chaos-v3 surfaces: the multi-hop trigger-path clause
+# (accepted paths must round-trip and answer wire, vantage, and
+# capture boost queries without panicking) and the fault-trace differ
+# (never panics, empty exactly on self-comparison, magnitude-symmetric
+# under operand swap).
+fuzz-chaos-v3:
+	$(GO) test -fuzz=FuzzParseTriggerPath -fuzztime=10s ./internal/chaos
+	$(GO) test -fuzz=FuzzTraceDiff -fuzztime=10s ./internal/chaos/trace
 
 # Fuzz the fault-trace decoder (malformed or truncated traces must
 # error, never panic).

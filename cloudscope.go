@@ -67,7 +67,10 @@ type Config struct {
 	NoTelemetry bool
 	// Chaos, when non-nil, runs the whole study under that fault
 	// scenario: the fabric drops and forges datagrams, vantages and
-	// accounts go dark mid-campaign, and regions brown out. Outputs stay
+	// accounts go dark mid-campaign, regions brown out, and the border
+	// capture suffers truncated flows, forged mid-stream resets,
+	// re-ordered segments, corrupted frames, and dropped records
+	// (cap-* fault kinds). Outputs stay
 	// bit-identical at every worker count; Completeness reports what the
 	// faults cost. See internal/chaos.
 	Chaos *chaos.Scenario
@@ -376,13 +379,17 @@ func (s *Study) Capture() (*capture.Truth, *capture.Analysis) {
 		ccfg.Seed = s.Cfg.Seed
 		ccfg.Flows = s.Cfg.CaptureFlows
 		ccfg.Par = s.par("capture")
+		ccfg.Chaos = s.eng
 		var buf bytes.Buffer
 		g := capture.NewGenerator(ccfg, w)
 		truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
 		if err != nil {
 			panic(err) // bytes.Buffer writes cannot fail
 		}
-		an, err := capture.AnalyzePar(&buf, w.Ranges, s.par("capture_analyze"))
+		an, err := capture.AnalyzeOpts(&buf, w.Ranges, capture.AnalyzeOptions{
+			Par:          s.par("capture_analyze"),
+			Completeness: s.tel.Completeness(),
+		})
 		if err != nil {
 			panic(err)
 		}
@@ -400,6 +407,7 @@ func (s *Study) WriteCapture(w pcapWriter) (*capture.Truth, error) {
 	ccfg.Seed = s.Cfg.Seed
 	ccfg.Flows = s.Cfg.CaptureFlows
 	ccfg.Par = s.par("capture")
+	ccfg.Chaos = s.eng
 	g := capture.NewGenerator(ccfg, s.World())
 	return g.Generate(pcapio.NewWriter(w, ccfg.Snaplen))
 }

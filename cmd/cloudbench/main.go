@@ -33,6 +33,7 @@ func main() {
 		vantages     = flag.Int("vantages", 10, "discovery vantage count")
 		discoveryMax = flag.Int("discovery-max", 10000, "largest world size to run the discovery and chaos legs at")
 		chaosName    = flag.String("chaos", "flaky-internet", "fault scenario for the chaos-overhead leg (empty = skip)")
+		captureChaos = flag.String("capture-chaos", "hostile-capture", "fault scenario for the capture-fault leg: pcap generation + analysis under capture-layer faults vs clean (empty = skip)")
 		streamSizes  = flag.String("stream-sizes", "", "comma-separated world sizes for the streaming world-build leg (peak_rss_vs_world_size cells; empty = skip)")
 		streamChunk  = flag.Int("stream-chunk", 4096, "chunk size for the streaming leg")
 		out          = flag.String("out", "", "snapshot output path (default BENCH_<today>.json; \"-\" = stdout only)")
@@ -53,6 +54,7 @@ func main() {
 		Vantages:     *vantages,
 		DiscoveryMax: *discoveryMax,
 		Chaos:        *chaosName,
+		CaptureChaos: *captureChaos,
 		StreamChunk:  *streamChunk,
 	}
 	var err error

@@ -7,6 +7,7 @@
 //	experiments -chaos hostile -chaos-record trace.jsonl
 //	experiments -chaos-replay trace.jsonl
 //	experiments -chaos-bisect trace.jsonl -only table9
+//	experiments -chaos-diff A.jsonl B.jsonl
 package main
 
 import (
@@ -31,6 +32,8 @@ func main() {
 	plotdata := flag.String("plotdata", "", "directory to write per-figure TSV series into")
 	bisect := flag.String("chaos-bisect", "",
 		"delta-debug the fault trace in this file to a minimal sub-trace that still changes the selected experiments' output from the fault-free run; prints the culprits and writes <file>.min")
+	chaosDiff := flag.String("chaos-diff", "",
+		"compare the fault trace in this file against a second trace (the positional argument, or 'A.jsonl,B.jsonl') and print the verdict delta; exits 1 when they differ")
 	streamOut := flag.String("stream-out", "dataset.txt",
 		"dataset output path for -stream (- for stdout)")
 	shared := cliflags.Register(flag.CommandLine)
@@ -40,6 +43,23 @@ func main() {
 	if err := streaming.Validate(); err != nil {
 		fatal(err)
 	}
+
+	if *chaosDiff != "" {
+		// Diffing two recorded traces runs no study; the shared study
+		// flags would be inert, so reject them loudly.
+		if err := shared.RejectStudyFlags("experiments -chaos-diff"); err != nil {
+			fatal(err)
+		}
+		identical, err := cliflags.DiffTraces(*chaosDiff, flag.Arg(0), os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		if !identical {
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := cloudscope.Config{Seed: *seed, Domains: *domains, CaptureFlows: *flows, Vantages: *vantages}
 	if err := shared.Apply(&cfg); err != nil {
 		fatal(err)

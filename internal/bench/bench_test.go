@@ -169,6 +169,7 @@ func TestRunTinyMatrix(t *testing.T) {
 		Workers:      []int{1},
 		Vantages:     2,
 		DiscoveryMax: 300,
+		CaptureChaos: "lossy-capture",
 		StreamSizes:  []int{300},
 		StreamChunk:  64,
 		Log:          &logBuf,
@@ -185,6 +186,9 @@ func TestRunTinyMatrix(t *testing.T) {
 		"capture_bytes_per_packet/world=300/workers=1",
 		"discovery_domains_per_s/world=300/workers=1",
 		"peak_heap_mb/world=300/workers=1",
+		"capture_chaos_gen_mb_per_s/world=300",
+		"capture_chaos_analyze_mb_per_s/world=300",
+		"capture_chaos_overhead_ratio/world=300",
 		"peak_rss_vs_world_size/world=300",
 	}
 	for _, name := range want {
@@ -204,6 +208,12 @@ func TestRunTinyMatrix(t *testing.T) {
 	}
 	if !strings.Contains(logBuf.String(), "stream world=300 done") {
 		t.Fatalf("streaming-leg progress missing: %q", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "world=300 capture-chaos leg done") {
+		t.Fatalf("capture-chaos-leg progress missing: %q", logBuf.String())
+	}
+	if snap.Params.CaptureChaos != "lossy-capture" {
+		t.Fatalf("Params.CaptureChaos = %q", snap.Params.CaptureChaos)
 	}
 }
 

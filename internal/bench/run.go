@@ -40,6 +40,11 @@ type MatrixConfig struct {
 	// Chaos names a fault scenario for the chaos-overhead leg; empty
 	// skips the leg.
 	Chaos string
+	// CaptureChaos names a fault scenario for the capture-fault leg: the
+	// capture data path (pcap generation + analysis) timed under
+	// capture-layer fault injection against a clean run of the same
+	// world. Empty skips the leg.
+	CaptureChaos string
 	// StreamSizes are world sizes for the streaming world-build leg:
 	// each world is generated chunk-by-chunk via deploy.GenerateStream
 	// with chunks released as soon as they are counted, and the cell
@@ -129,11 +134,20 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 			return nil, err
 		}
 	}
+	var capScenario *chaos.Scenario
+	if cfg.CaptureChaos != "" {
+		var err error
+		capScenario, err = chaos.Load(cfg.CaptureChaos)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	snap := &Snapshot{Schema: Schema, Host: CurrentHost()}
 	snap.Params = Params{
 		Reps: cfg.Reps, Seed: cfg.Seed, Vantages: cfg.Vantages,
 		DiscoveryMax: cfg.DiscoveryMax, Chaos: cfg.Chaos,
+		CaptureChaos: cfg.CaptureChaos,
 	}
 	snap.Params.Sizes = append(snap.Params.Sizes, cfg.Sizes...)
 	snap.Params.StreamSizes = append(snap.Params.StreamSizes, cfg.StreamSizes...)
@@ -175,6 +189,17 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 				Better: Lower,
 			})
 			logf(cfg.Log, "bench: world=%d chaos leg done (%.2fx)", size, ratio)
+		}
+		if capScenario != nil {
+			c := &cell{}
+			ratio, err := captureChaosLeg(cfg, capScenario, size, c)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range c.vals {
+				snap.Metrics = append(snap.Metrics, m)
+			}
+			logf(cfg.Log, "bench: world=%d capture-chaos leg done (%.2fx)", size, ratio)
 		}
 	}
 	for _, size := range cfg.StreamSizes {
@@ -307,6 +332,70 @@ func runCell(cfg MatrixConfig, size, w int, c *cell) (time.Duration, error) {
 	peak := reg.Gauge("runtime.peak_heap_alloc_bytes").Value()
 	c.keep("peak_heap_mb"+suffix, float64(peak)/1e6, "MB", Lower)
 	return dsTime, nil
+}
+
+// captureChaosLeg times the capture data path — pcap generation plus
+// flow analysis — under capture-layer fault injection against a clean
+// run of the same world, folding faulted throughput and the wall-time
+// overhead ratio into c. The capture-fault draws are per-flow hashes,
+// so the leg measures the cost of the injection machinery and of the
+// analyzer's partial-flow fallbacks, not a different workload.
+func captureChaosLeg(cfg MatrixConfig, sc *chaos.Scenario, size int, c *cell) (float64, error) {
+	w := cfg.Workers[len(cfg.Workers)-1]
+	suffix := fmt.Sprintf("/world=%d", size)
+
+	runOnce := func(faulted bool) (wall time.Duration, genMBs, anMBs float64, err error) {
+		ccfg := cloudscope.Config{
+			Seed:         cfg.Seed,
+			Domains:      size,
+			Vantages:     cfg.Vantages,
+			CaptureFlows: flowsFor(size),
+			Workers:      w,
+			NoTelemetry:  true,
+		}
+		if faulted {
+			ccfg.Chaos = sc
+		}
+		study := cloudscope.NewStudy(ccfg)
+		world := study.World()
+		var buf bytes.Buffer
+		t0 := time.Now()
+		if _, err := study.WriteCapture(&buf); err != nil {
+			return 0, 0, 0, err
+		}
+		genDt := time.Since(t0)
+		mb := float64(buf.Len()) / 1e6
+		t0 = time.Now()
+		_, err = capture.AnalyzePar(bytes.NewReader(buf.Bytes()), world.Ranges, parallel.Options{Workers: w})
+		anDt := time.Since(t0)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return genDt + anDt, mb / secs(genDt), mb / secs(anDt), nil
+	}
+
+	bestClean, bestFaulted := time.Duration(0), time.Duration(0)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		clean, _, _, err := runOnce(false)
+		if err != nil {
+			return 0, err
+		}
+		faulted, genMBs, anMBs, err := runOnce(true)
+		if err != nil {
+			return 0, err
+		}
+		c.keep("capture_chaos_gen_mb_per_s"+suffix, genMBs, "MB/s", Higher)
+		c.keep("capture_chaos_analyze_mb_per_s"+suffix, anMBs, "MB/s", Higher)
+		if bestClean == 0 || clean < bestClean {
+			bestClean = clean
+		}
+		if bestFaulted == 0 || faulted < bestFaulted {
+			bestFaulted = faulted
+		}
+	}
+	ratio := secs(bestFaulted) / secs(bestClean)
+	c.keep("capture_chaos_overhead_ratio"+suffix, ratio, "ratio", Lower)
+	return ratio, nil
 }
 
 // chaosOverhead times the discovery pipeline under the fault scenario

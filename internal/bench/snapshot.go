@@ -71,6 +71,7 @@ type Params struct {
 	Vantages     int      `json:"vantages"`
 	DiscoveryMax int      `json:"discovery_max"`
 	Chaos        string   `json:"chaos,omitempty"`
+	CaptureChaos string   `json:"capture_chaos,omitempty"`
 }
 
 // Snapshot is one benchmark run: the full matrix's metrics, sorted by

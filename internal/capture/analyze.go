@@ -12,6 +12,7 @@ import (
 	"cloudscope/internal/packet"
 	"cloudscope/internal/parallel"
 	"cloudscope/internal/pcapio"
+	"cloudscope/internal/telemetry"
 	"cloudscope/internal/tlswire"
 )
 
@@ -26,6 +27,15 @@ type FlowRecord struct {
 	First, Last    time.Time
 	Packets        int
 
+	// RST reports a reset seen on the connection — the capture-fault
+	// engine forges these mid-stream, and real captures are full of
+	// them.
+	RST bool
+	// OutOfOrder reports an observable segment re-ordering: a payload
+	// segment arrived behind the furthest sequence point already seen
+	// in its direction.
+	OutOfOrder bool
+
 	// Sequence-number bookkeeping for TCP volume recovery.
 	isnC, isnS uint32
 	haveSynC   bool
@@ -33,6 +43,11 @@ type FlowRecord struct {
 	finC, finS uint32
 	haveFinC   bool
 	haveFinS   bool
+	// Furthest sequence end observed per direction (seq + payload),
+	// the volume basis when the teardown was never captured.
+	endC, endS uint32
+	haveEndC   bool
+	haveEndS   bool
 
 	udpBytes int64 // orig-len accounting for non-TCP
 
@@ -48,16 +63,63 @@ type FlowRecord struct {
 
 // Bytes returns the connection's application byte volume: for TCP the
 // SYN/FIN sequence delta per direction (Bro's method), otherwise the
-// wire bytes observed.
+// wire bytes observed. A partial TCP flow — teardown truncated, reset
+// mid-stream, or tail records dropped — falls back to the furthest
+// sequence point seen past each SYN, the best lower bound a chopped
+// capture supports.
 func (f *FlowRecord) Bytes() int64 {
-	if f.Proto == packet.ProtoTCP && f.haveSynC && f.haveFinC && f.haveSynS && f.haveFinS {
+	if f.Proto != packet.ProtoTCP {
+		return f.udpBytes
+	}
+	if f.haveSynC && f.haveFinC && f.haveSynS && f.haveFinS {
 		up := int64(f.finC - f.isnC - 1) // uint32 arithmetic handles wrap
 		down := int64(f.finS - f.isnS - 1)
 		if up >= 0 && down >= 0 {
 			return up + down
 		}
 	}
-	return f.udpBytes
+	var total int64
+	if f.haveSynC && f.haveEndC {
+		if rel := int64(int32(f.endC - f.isnC - 1)); rel > 0 {
+			total += rel
+		}
+	}
+	if f.haveSynS && f.haveEndS {
+		if rel := int64(int32(f.endS - f.isnS - 1)); rel > 0 {
+			total += rel
+		}
+	}
+	return total
+}
+
+// Complete reports whether the flow's volume is exactly recoverable:
+// for TCP, that both SYNs and both FINs were captured (Bro's "SF"
+// connection state); other transports are byte-accounted per record
+// and always complete.
+func (f *FlowRecord) Complete() bool {
+	if f.Proto != packet.ProtoTCP {
+		return true
+	}
+	return f.haveSynC && f.haveFinC && f.haveSynS && f.haveFinS
+}
+
+// Symptom classifies how the capture observed the flow, in fault
+// priority order: a reset outranks re-ordering outranks a missing
+// endpoint. Healthy flows (and non-TCP, always exactly accounted)
+// report "complete".
+func (f *FlowRecord) Symptom() string {
+	if f.Proto != packet.ProtoTCP {
+		return "complete"
+	}
+	switch {
+	case f.RST:
+		return "rst"
+	case f.OutOfOrder:
+		return "reordered"
+	case !f.Complete():
+		return "partial"
+	}
+	return "complete"
 }
 
 // Duration returns the observed flow duration.
@@ -85,6 +147,14 @@ type Analysis struct {
 	NonIPv4    int
 	UnknownIP  int // unknown transports (Bro's "other")
 	DecodeErrs int
+	Records    int // pcap records read (decode failures included)
+
+	// Fault-symptom flow counts, priority-exclusive per flow in the
+	// same order as FlowRecord.Symptom: a reset flow counts only as
+	// RSTFlows even though its teardown is also missing.
+	RSTFlows   int
+	Reordered  int
+	PartialTCP int
 }
 
 // flowKey identifies a connection with the client side first.
@@ -98,7 +168,20 @@ type flowKey struct {
 // whose non-campus endpoint is inside the published cloud ranges are
 // kept — the same filter the border tap applied.
 func Analyze(r io.Reader, ranges *ipranges.List) (*Analysis, error) {
-	return AnalyzePar(r, ranges, parallel.Options{Workers: 1})
+	return AnalyzeOpts(r, ranges, AnalyzeOptions{Par: parallel.Options{Workers: 1}})
+}
+
+// AnalyzeOptions parameterizes AnalyzeOpts beyond the stream itself.
+type AnalyzeOptions struct {
+	// Par bounds the parallel pre-decode phase.
+	Par parallel.Options
+	// Completeness, when non-nil, receives capture accounting: stage
+	// "capture/flows" counts one attempt per flow under its symptom
+	// vantage (complete/partial/rst/reordered) — partial flows whose
+	// volume was recovered from sequence bookkeeping count as
+	// succeeded-with-retry, volume-less ones as abandoned — and stage
+	// "capture/frames" counts records against decode failures.
+	Completeness *telemetry.Completeness
 }
 
 // predecode is the parallel phase's per-packet result: everything the
@@ -161,13 +244,21 @@ func predecodeRecord(d *predecode, ranges *ipranges.List, data []byte) {
 }
 
 // AnalyzePar is Analyze with the per-packet work fanned out over opt.
-// The pcap stream is read block-wise into pooled buffers (no per-record
+func AnalyzePar(r io.Reader, ranges *ipranges.List, opt parallel.Options) (*Analysis, error) {
+	return AnalyzeOpts(r, ranges, AnalyzeOptions{Par: opt})
+}
+
+// AnalyzeOpts is the full-control analyzer entry point. The pcap
+// stream is read block-wise into pooled buffers (no per-record
 // allocation), header decode and range lookup shard freely over blocks,
 // and flow assembly — the only stateful step — stays sequential in
 // capture order, releasing each block back to the pool as soon as its
 // records are folded in. The result is byte-identical to the
-// sequential analyzer at every worker count and shard layout.
-func AnalyzePar(r io.Reader, ranges *ipranges.List, opt parallel.Options) (*Analysis, error) {
+// sequential analyzer at every worker count and shard layout, and
+// completeness accounting (flows iterated in capture order) inherits
+// the same invariance.
+func AnalyzeOpts(r io.Reader, ranges *ipranges.List, aopt AnalyzeOptions) (*Analysis, error) {
+	opt := aopt.Par
 	rd, err := pcapio.NewReader(r)
 	if err != nil {
 		return nil, err
@@ -269,6 +360,34 @@ func AnalyzePar(r io.Reader, ranges *ipranges.List, opt parallel.Options) (*Anal
 		b.Release()
 		blocks[bi] = nil
 	}
+	a.Records = total
+	for _, fr := range a.Flows {
+		sym := fr.Symptom()
+		switch sym {
+		case "rst":
+			a.RSTFlows++
+		case "reordered":
+			a.Reordered++
+		case "partial":
+			a.PartialTCP++
+		}
+		if tel := aopt.Completeness; tel != nil {
+			c := telemetry.Counts{Attempted: 1}
+			if fr.Complete() {
+				c.Succeeded = 1
+			} else if fr.Bytes() > 0 {
+				c.Succeeded, c.Retried = 1, 1 // recovered from seq bookkeeping
+			} else {
+				c.Abandoned = 1 // no volume basis survived the faults
+			}
+			tel.Merge("capture/flows", sym, c)
+		}
+	}
+	aopt.Completeness.Merge("capture/frames", "decode", telemetry.Counts{
+		Attempted: int64(total),
+		Succeeded: int64(total - a.DecodeErrs),
+		Abandoned: int64(a.DecodeErrs),
+	})
 	return a, nil
 }
 
@@ -313,6 +432,28 @@ func analyzeTCP(fr *FlowRecord, d *predecode) {
 			fr.finC, fr.haveFinC = d.seq, true
 		} else {
 			fr.finS, fr.haveFinS = d.seq, true
+		}
+	}
+	if d.tcpFlags&packet.FlagRST != 0 {
+		fr.RST = true
+	}
+	// Track the furthest sequence point per direction (sequence-space
+	// comparison, wrap-safe). A payload segment landing at or behind
+	// the high-water mark is an observable re-ordering.
+	end := d.seq + uint32(len(d.payload))
+	if d.clientToServer {
+		if fr.haveEndC && len(d.payload) > 0 && int32(end-fr.endC) <= 0 {
+			fr.OutOfOrder = true
+		}
+		if !fr.haveEndC || int32(end-fr.endC) > 0 {
+			fr.endC, fr.haveEndC = end, true
+		}
+	} else {
+		if fr.haveEndS && len(d.payload) > 0 && int32(end-fr.endS) <= 0 {
+			fr.OutOfOrder = true
+		}
+		if !fr.haveEndS || int32(end-fr.endS) > 0 {
+			fr.endS, fr.haveEndS = end, true
 		}
 	}
 	payload := d.payload

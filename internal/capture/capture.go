@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/ipranges"
 	"cloudscope/internal/netaddr"
 	"cloudscope/internal/parallel"
@@ -84,6 +85,12 @@ type Config struct {
 	// analyzer's parallel phase is a pure per-block header pre-decode
 	// ahead of sequential flow assembly.
 	Par parallel.Options
+	// Chaos, when non-nil, injects capture-layer faults (truncated
+	// flows, forged mid-stream RSTs, re-ordered segments, corrupted
+	// frames, dropped records) into the generated pcap. Verdicts are
+	// pure hash draws over flow identity, so the faulted capture keeps
+	// every layout-invariance guarantee above.
+	Chaos *chaos.Engine
 }
 
 // DefaultConfig returns a capture config matching the paper's June
@@ -109,8 +116,11 @@ type Truth struct {
 	HTTPVolumeByDomain map[string]int64
 	// ContentTypeBytes aggregates HTTP object bytes by content type.
 	ContentTypeBytes map[string]int64
-	TotalFlows       int
-	TotalBytes       int64
+	// Faults counts injected capture faults by chaos kind name
+	// ("cap-truncate", ...); empty without a chaos engine.
+	Faults     map[string]int64
+	TotalFlows int
+	TotalBytes int64
 }
 
 // newTruth returns a Truth with every map allocated.
@@ -122,6 +132,7 @@ func newTruth() *Truth {
 		FlowsByKind:        map[ipranges.Provider]map[Kind]int{ipranges.EC2: {}, ipranges.Azure: {}},
 		HTTPVolumeByDomain: map[string]int64{},
 		ContentTypeBytes:   map[string]int64{},
+		Faults:             map[string]int64{},
 	}
 }
 
@@ -158,6 +169,9 @@ func (t *Truth) merge(o *Truth) {
 	}
 	for ct, v := range o.ContentTypeBytes {
 		t.ContentTypeBytes[ct] += v
+	}
+	for k, v := range o.Faults {
+		t.Faults[k] += v
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"cloudscope/internal/chaos"
 	"cloudscope/internal/deploy"
 	"cloudscope/internal/dnswire"
 	"cloudscope/internal/httpwire"
@@ -78,7 +79,10 @@ func NewGenerator(cfg Config, world *deploy.World) *Generator {
 // comes from a stream derived from (capture seed, flow index) alone —
 // never from the shard that runs it or the worker that schedules it —
 // so the capture is a pure function of seed + world, bit-identical at
-// every worker count AND every shard layout.
+// every worker count AND every shard layout. The same holds with a
+// chaos engine attached: every capture-fault verdict is a pure hash of
+// (flow index, packet sequence), so a faulted pcap is just as layout-
+// invariant as a clean one.
 type flowgen struct {
 	g      *Generator
 	rng    *xrand.Rand
@@ -88,6 +92,22 @@ type flowgen struct {
 
 	flowIdx int
 	pktSeq  uint16
+
+	// Capture-fault state for the flow in progress: its per-flow
+	// verdict, where its events start (so truncation and reordering can
+	// edit just this flow's tail), and frame corruptions deferred until
+	// the frames are actually serialized.
+	verdict  chaos.CaptureFlowVerdict
+	evStart  int
+	corrupts []pendingCorrupt
+}
+
+// pendingCorrupt is one frame-damage verdict waiting for finishFlow —
+// put reserves the record before the caller serializes the frame into
+// it, so the damage must land after the flow finishes writing.
+type pendingCorrupt struct {
+	rec  int32
+	draw float64
 }
 
 // newFlowgen builds one shard's flow factory. The stream is a NewFast
@@ -97,25 +117,107 @@ func (g *Generator) newFlowgen() *flowgen {
 	return &flowgen{g: g, rng: xrand.NewFast(0), truth: newTruth(), blk: pcapio.GetBlock()}
 }
 
-// beginFlow rewinds the stream onto flow idx's private sub-stream.
+// beginFlow rewinds the stream onto flow idx's private sub-stream,
+// settling the previous flow's capture faults first.
 func (fg *flowgen) beginFlow(idx int) {
+	fg.finishFlow()
 	fg.rng.Reseed(xrand.SubSeed(fg.g.cfg.Seed, "capture/flow", idx))
 	fg.flowIdx = idx
 	fg.pktSeq = 0
+	fg.verdict = fg.g.cfg.Chaos.CaptureFlow(idx)
+}
+
+// finishFlow applies the in-progress flow's capture faults: deferred
+// frame corruption, flow truncation, and segment reordering. beginFlow
+// calls it between flows and the shard loop once more at its end.
+func (fg *flowgen) finishFlow() {
+	for _, c := range fg.corrupts {
+		fg.corruptRecord(c.rec, c.draw)
+	}
+	fg.corrupts = fg.corrupts[:0]
+	n := len(fg.events) - fg.evStart
+	// Truncation: the capture lost the flow's tail. A reset flow is
+	// already cut at the RST, so the reset supersedes.
+	if v := fg.verdict; v.KeepFrac > 0 && v.RSTFrac == 0 && n > 1 {
+		keep := int(float64(n)*v.KeepFrac + 0.5)
+		if keep < 1 {
+			keep = 1
+		}
+		if keep < n {
+			fg.events = fg.events[:fg.evStart+keep]
+			fg.truth.Faults[string(chaos.CapTruncate)]++
+			n = keep
+		}
+	}
+	// Reordering: swap the capture timestamps of one adjacent packet
+	// pair, so the two records genuinely trade places in the pcap's
+	// global time order.
+	if v := fg.verdict; v.Reorder > 0 && n >= 2 {
+		i := fg.evStart + int(v.Reorder*float64(n-1))
+		if i > fg.evStart+n-2 {
+			i = fg.evStart + n - 2
+		}
+		a, b := &fg.events[i], &fg.events[i+1]
+		if a.nano != b.nano {
+			a.nano, b.nano = b.nano, a.nano
+			fg.truth.Faults[string(chaos.CapReorder)]++
+		}
+	}
+	fg.verdict = chaos.CaptureFlowVerdict{}
+	fg.evStart = len(fg.events)
+}
+
+// corruptRecord damages one reserved frame the way real taps do: half
+// the draws shorten the captured length (a cut-off frame with its wire
+// length intact), the rest flip one byte in place.
+func (fg *flowgen) corruptRecord(rec int32, draw float64) {
+	data := fg.blk.Data(int(rec))
+	if len(data) == 0 {
+		return
+	}
+	if draw < 0.5 {
+		keep := 1 + int(draw*2*float64(len(data)-1))
+		if keep >= len(data) {
+			keep = len(data) - 1
+		}
+		if keep < 1 {
+			return
+		}
+		fg.blk.TruncateRecord(int(rec), keep)
+	} else {
+		off := int((draw - 0.5) * 2 * float64(len(data)))
+		if off >= len(data) {
+			off = len(data) - 1
+		}
+		data[off] ^= 0xff
+	}
+	fg.truth.Faults[string(chaos.CapCorrupt)]++
 }
 
 // put reserves one packet record in the shard's block and logs the
 // event with its total-order key. The returned slice is the zeroed
-// frame buffer to serialize into.
+// frame buffer to serialize into. A cap-drop verdict reserves the
+// record but never schedules it — the pcap simply lacks the packet —
+// and a cap-corrupt verdict is deferred until the flow finishes
+// serializing.
 func (fg *flowgen) put(t time.Time, orig, n int) []byte {
 	data := fg.blk.AppendRecord(t, orig, n)
+	rec := int32(fg.blk.Len() - 1)
+	seq := fg.pktSeq
+	fg.pktSeq++
+	if pv := fg.g.cfg.Chaos.CapturePacket(fg.flowIdx, int(seq)); pv.Drop || pv.Corrupt > 0 {
+		if pv.Drop {
+			fg.truth.Faults[string(chaos.CapDrop)]++
+			return data
+		}
+		fg.corrupts = append(fg.corrupts, pendingCorrupt{rec: rec, draw: pv.Corrupt})
+	}
 	fg.events = append(fg.events, event{
 		nano: t.UnixNano(),
-		ord:  uint64(fg.flowIdx)<<16 | uint64(fg.pktSeq),
+		ord:  uint64(fg.flowIdx)<<16 | uint64(seq),
 		blk:  fg.blk,
-		rec:  int32(fg.blk.Len() - 1),
+		rec:  rec,
 	})
-	fg.pktSeq++
 	return data
 }
 
@@ -361,6 +463,7 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 					fg.otherUDPFlow(idx, cloud)
 				}
 			}
+			fg.finishFlow()
 			fgs[sh.Index] = fg
 			return nil
 		}); err != nil {
@@ -402,6 +505,7 @@ func (g *Generator) Generate(w *pcapio.Writer) (*Truth, error) {
 			size := fg.lognormalMean(per[anchorOf[j]], 1.1, 2_000_000_000)
 			fg.tcpFlow(idx, kind, h, size)
 		}
+		fg.finishFlow()
 		fgs[sh.Index] = fg
 		return nil
 	}); err != nil {
@@ -566,15 +670,39 @@ func (fg *flowgen) otherTCPFlow(idx int, cloud ipranges.Provider, h host, size i
 // emitTCP serializes the packet series for one connection straight into
 // the shard's block: each frame is built in place in the reserved
 // record slice, so a connection costs zero per-packet allocations.
+//
+// A cap-rst verdict plans the same packet series, then stops capturing
+// at a deterministic cut and appends a forged server-side RST: the
+// analyzer sees a half-closed flow ending in a reset, exactly what a
+// border tap records when a middlebox kills a connection.
 func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP, sPort uint16, reqPayload, respPayload []byte, reqBytes, respBytes int64) {
 	start, dur := fg.flowTiming(respBytes)
 	isnC := uint32(fg.rng.Intn(1 << 30))
 	isnS := uint32(fg.rng.Intn(1 << 30))
 	rtt := time.Duration(20+fg.rng.Intn(60)) * time.Millisecond
 
+	planned := 8 // handshake + app heads + teardown
+	for rem, i := respBytes-int64(len(respPayload)), 0; i < 2 && rem > 1460; i++ {
+		planned++
+		rem -= 1460
+	}
+	cut := planned
+	if fg.verdict.RSTFrac > 0 {
+		cut = int(float64(planned)*fg.verdict.RSTFrac + 0.5)
+		if cut < 3 {
+			cut = 3 // the handshake was on the wire before the reset
+		}
+		if cut >= planned {
+			cut = planned - 1
+		}
+	}
+	emitted := 0
+	var lastD time.Duration
+	rstSeq, rstAck := isnS+1, isnC+1
+
 	mac := packet.MAC{0x00, 0x16, 0x3e, byte(idx >> 16), byte(idx >> 8), byte(idx)}
 	rmac := packet.MAC{0x00, 0x0c, 0x29, 1, 2, 3}
-	frame := func(d time.Duration, src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) {
+	emit := func(d time.Duration, src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) {
 		n := packet.TCPFrameLen(len(payload))
 		orig := n
 		if origTotal > 0 && origTotal+14 > n {
@@ -587,6 +715,18 @@ func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP
 		}
 		eth := packet.Ethernet{Src: mac, Dst: rmac, EtherType: packet.EtherTypeIPv4}
 		packet.PutTCPFrame(buf, &eth, &ip, tcp, payload)
+	}
+	frame := func(d time.Duration, src, dst netaddr.IP, tcp *packet.TCP, payload []byte, origTotal int) {
+		if emitted >= cut {
+			emitted++
+			return
+		}
+		emitted++
+		lastD = d
+		if src == sIP {
+			rstSeq, rstAck = tcp.Seq+uint32(len(payload)), tcp.Ack
+		}
+		emit(d, src, dst, tcp, payload, origTotal)
 	}
 
 	// Handshake.
@@ -605,12 +745,28 @@ func (fg *flowgen) emitTCP(idx int, cIP netaddr.IP, cPort uint16, sIP netaddr.IP
 		dataSeq += 1460
 		remaining -= 1460
 	}
-	// Teardown carrying final sequence numbers.
+	// Teardown carrying final sequence numbers. The schedule is causal:
+	// the close follows every frame already on the wire even when the
+	// transfer duration is shorter than the handshake RTT, so a clean
+	// capture never time-sorts a FIN ahead of the data it acknowledges
+	// (the analyzer would read that as a re-ordered segment).
 	finS := isnS + 1 + uint32(respBytes)
 	finC := isnC + 1 + uint32(reqBytes)
-	frame(rtt+dur, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS, Ack: finC, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
-	frame(rtt+dur+time.Millisecond, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: finC, Ack: finS + 1, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
-	frame(rtt+dur+2*time.Millisecond, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS + 1, Ack: finC + 1, Flags: packet.FlagACK}, nil, 0)
+	tear := rtt + dur
+	if tear <= lastD {
+		tear = lastD + time.Millisecond
+	}
+	frame(tear, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS, Ack: finC, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
+	frame(tear+time.Millisecond, cIP, sIP, &packet.TCP{SrcPort: cPort, DstPort: sPort, Seq: finC, Ack: finS + 1, Flags: packet.FlagFIN | packet.FlagACK}, nil, 0)
+	frame(tear+2*time.Millisecond, sIP, cIP, &packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: finS + 1, Ack: finC + 1, Flags: packet.FlagACK}, nil, 0)
+
+	if fg.verdict.RSTFrac > 0 {
+		// The forged reset carries the server's conversation state at
+		// the cut; nothing after it was captured.
+		emit(lastD+time.Millisecond, sIP, cIP,
+			&packet.TCP{SrcPort: sPort, DstPort: cPort, Seq: rstSeq, Ack: rstAck, Flags: packet.FlagRST | packet.FlagACK}, nil, 0)
+		fg.truth.Faults[string(chaos.CapRST)]++
+	}
 }
 
 // dnsFlow emits a UDP query/response pair to a cloud-hosted resolver.

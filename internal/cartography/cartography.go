@@ -260,14 +260,6 @@ func IdentifyByLatency(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Ins
 	return results
 }
 
-// IdentifyByLatencyPar runs IdentifyByLatency with a positional seed
-// and fan-out.
-//
-// Deprecated: use IdentifyByLatency with Options.
-func IdentifyByLatencyPar(c *cloud.Cloud, acct *cloud.Account, targets []*cloud.Instance, cfg LatencyConfig, seed int64, opt parallel.Options) map[string]*LatencyRegionResult {
-	return IdentifyByLatency(c, acct, targets, cfg, Options{Seed: seed, Par: opt})
-}
-
 // identifyOne applies the paper's decision rule to one target. extraMs
 // is chaos brownout latency added to every probe's floor; it shifts all
 // of a target's zone minima equally, so it can push verdicts to
@@ -407,22 +399,6 @@ func SampleAccounts(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, opt
 		}
 	}
 	return samples
-}
-
-// SampleAccountsPar runs SampleAccounts with a positional seed and
-// fan-out.
-//
-// Deprecated: use SampleAccounts with Options.
-func SampleAccountsPar(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options) []Sample {
-	return SampleAccounts(c, ref, nExtra, perZone, Options{Seed: seed, Par: opt})
-}
-
-// SampleAccountsObserved runs SampleAccounts with positional
-// fault-injection handles.
-//
-// Deprecated: use SampleAccounts with Options.
-func SampleAccountsObserved(c *cloud.Cloud, ref *cloud.Account, nExtra, perZone int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []Sample {
-	return SampleAccounts(c, ref, nExtra, perZone, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
 }
 
 // refSample is one sample with its zone resolved into the reference
@@ -607,13 +583,6 @@ func (a *MergeAccumulator) Finish(ref string, opt Options) *ProximityMap {
 		}
 	}
 	return pm
-}
-
-// MergeAccountsPar runs MergeAccounts with a positional fan-out.
-//
-// Deprecated: use MergeAccounts with Options.
-func MergeAccountsPar(samples []Sample, ref string, opt parallel.Options) *ProximityMap {
-	return MergeAccounts(samples, ref, Options{Par: opt})
 }
 
 // mergeRegion runs the label-permutation merge for one region. It only

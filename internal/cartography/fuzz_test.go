@@ -41,7 +41,7 @@ func pmEqual(t *testing.T, a, b *ProximityMap) {
 }
 
 // FuzzMergeAccountsOrder fuzzes the commit-step ordering contract: with
-// an explicit reference account, MergeAccountsPar must build the same
+// an explicit reference account, MergeAccounts must build the same
 // proximity map from any arrival order of the same sample set, at any
 // worker count and shard layout.
 func FuzzMergeAccountsOrder(f *testing.F) {

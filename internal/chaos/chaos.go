@@ -73,7 +73,40 @@ const (
 	// Blackout silently drops every datagram to a hash-chosen fraction
 	// of destination hosts, for the whole run (a dead prefix).
 	Blackout Kind = "blackout"
+
+	// Capture-layer faults, injected inside capture.Generator. Verdicts
+	// are pure hash draws over flow identity (global flow index, packet
+	// sequence), so a faulted pcap is still byte-identical at every
+	// worker count and shard layout.
+
+	// CapTruncate cuts a hash-chosen fraction (frac) of flows short:
+	// only the leading packets of the flow reach the capture, as when a
+	// tap starts late or a flow outlives the capture window.
+	CapTruncate Kind = "cap-truncate"
+	// CapRST ends a hash-chosen fraction (frac) of TCP flows with a
+	// forged mid-stream RST; nothing after the reset is captured.
+	CapRST Kind = "cap-rst"
+	// CapReorder swaps one adjacent packet pair of a hash-chosen
+	// fraction (frac) of flows in capture-time order.
+	CapReorder Kind = "cap-reorder"
+	// CapCorrupt damages captured frames with probability p: half the
+	// draws shorten the captured length (a cut-off frame), the rest
+	// flip a byte in place.
+	CapCorrupt Kind = "cap-corrupt"
+	// CapDrop silently drops pcap records with probability p — the
+	// classic overloaded-capture symptom.
+	CapDrop Kind = "cap-drop"
 )
+
+// validKind reports whether k names a declared fault kind.
+func validKind(k Kind) bool {
+	switch k {
+	case Loss, Brownout, VantageDown, AccountDown, ServFail, Refused, AXFRRefuse, Blackout,
+		CapTruncate, CapRST, CapReorder, CapCorrupt, CapDrop:
+		return true
+	}
+	return false
+}
 
 // Fault is one fault clause of a scenario.
 type Fault struct {
@@ -126,39 +159,62 @@ func (f *Fault) frac() float64 {
 	return f.Frac
 }
 
+// Hop is one link of a trigger chain: the fault kind whose draws are
+// boosted and the additive probability raise, in (0, 1].
+type Hop struct {
+	Target Kind
+	Boost  float64
+}
+
 // Trigger is a correlated-failure clause: while any cause fault is
-// active, the target kind's decision draws run against a raised
-// threshold. Spec form: "cause[:region]=>target+boost".
+// active, the chained target kinds' decision draws run against raised
+// thresholds. Spec form: "cause[:region]=>t1+b1=>t2+b2=>…".
 type Trigger struct {
 	// CauseKind selects the cause fault clauses by kind; CauseRegion,
 	// when non-empty, restricts them to clauses whose Region scope
 	// contains it.
 	CauseKind   Kind
 	CauseRegion string
-	// Target is the fault kind whose draws the trigger boosts: the
-	// decision probability (loss, servfail, refused) or the selection
+	// Hops is the boost chain. Hop 0's target draws — the decision
+	// probability (loss, servfail, refused, cap-*) or the selection
 	// fraction (vantage-down, account-down) of every target-kind clause
-	// is raised by Boost while a cause is active. A trigger amplifies
-	// existing clauses; it cannot conjure a fault kind the scenario
-	// does not declare.
-	Target Kind
-	// Boost is the additive probability raise, in (0, 1].
-	Boost float64
+	// — are raised by its Boost while a cause fault is window-active.
+	// Hop k>0's draws are raised only while, additionally, some
+	// declared clause of hop k-1's target kind is window-active: a
+	// cascade conducts hop by hop through live fault kinds and is
+	// severed at the first dormant one. A trigger amplifies existing
+	// clauses; it cannot conjure a fault kind the scenario does not
+	// declare.
+	Hops []Hop
 }
 
 // String renders the trigger in spec form.
 func (tr *Trigger) String() string {
-	cause := string(tr.CauseKind)
+	return tr.prefix(len(tr.Hops) - 1)
+}
+
+// prefix renders the causal path through hop hi — the cause and every
+// hop up to and including hi, in spec syntax. This is the Cause label
+// recorded with verdicts the chain induces, so a deep cascade's
+// culprits name the whole path that fired them.
+func (tr *Trigger) prefix(hi int) string {
+	var b strings.Builder
+	b.WriteString(string(tr.CauseKind))
 	if tr.CauseRegion != "" {
-		cause += ":" + tr.CauseRegion
+		b.WriteString(":")
+		b.WriteString(tr.CauseRegion)
 	}
-	return fmt.Sprintf("%s=>%s+%g", cause, tr.Target, tr.Boost)
+	for i := 0; i <= hi && i < len(tr.Hops); i++ {
+		fmt.Fprintf(&b, "=>%s+%g", tr.Hops[i].Target, tr.Hops[i].Boost)
+	}
+	return b.String()
 }
 
 // triggerTargets lists the kinds whose draws a trigger may boost.
 func triggerTarget(k Kind) bool {
 	switch k {
-	case Loss, ServFail, Refused, VantageDown, AccountDown:
+	case Loss, ServFail, Refused, VantageDown, AccountDown,
+		CapTruncate, CapRST, CapReorder, CapCorrupt, CapDrop:
 		return true
 	}
 	return false
@@ -178,9 +234,7 @@ func (s *Scenario) Validate() error {
 	}
 	for i := range s.Faults {
 		f := &s.Faults[i]
-		switch f.Kind {
-		case Loss, Brownout, VantageDown, AccountDown, ServFail, Refused, AXFRRefuse, Blackout:
-		default:
+		if !validKind(f.Kind) {
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
 		}
 		if f.Prob < 0 || f.Prob > 1 {
@@ -201,16 +255,20 @@ func (s *Scenario) Validate() error {
 	}
 	for i := range s.Triggers {
 		tr := &s.Triggers[i]
-		switch tr.CauseKind {
-		case Loss, Brownout, VantageDown, AccountDown, ServFail, Refused, AXFRRefuse, Blackout:
-		default:
+		if !validKind(tr.CauseKind) {
 			return fmt.Errorf("chaos: trigger %d: unknown cause kind %q", i, tr.CauseKind)
 		}
-		if !triggerTarget(tr.Target) {
-			return fmt.Errorf("chaos: trigger %d: kind %q cannot be a trigger target", i, tr.Target)
+		if len(tr.Hops) == 0 {
+			return fmt.Errorf("chaos: trigger %d: no hops", i)
 		}
-		if tr.Boost <= 0 || tr.Boost > 1 {
-			return fmt.Errorf("chaos: trigger %d: boost %g out of (0,1]", i, tr.Boost)
+		for hi := range tr.Hops {
+			hop := &tr.Hops[hi]
+			if !triggerTarget(hop.Target) {
+				return fmt.Errorf("chaos: trigger %d hop %d: kind %q cannot be a trigger target", i, hi, hop.Target)
+			}
+			if hop.Boost <= 0 || hop.Boost > 1 {
+				return fmt.Errorf("chaos: trigger %d hop %d: boost %g out of (0,1]", i, hi, hop.Boost)
+			}
 		}
 	}
 	return nil
@@ -233,6 +291,12 @@ type Engine struct {
 	h0 uint64   // scenario hash root
 	fh []uint64 // per-fault sub-stream roots
 
+	// hasCapFlow/hasCapPkt note whether any capture-layer clause is
+	// declared, so the capture hot path pays one bool check per flow or
+	// packet under scenarios without capture faults.
+	hasCapFlow bool
+	hasCapPkt  bool
+
 	rec *trace.Recorder // armed via SetRecorder (live mode only)
 	rp  *trace.Lookup   // replay mode: verdicts come from here
 }
@@ -247,6 +311,12 @@ func New(sc *Scenario, seed int64) *Engine {
 	e := &Engine{sc: sc, h0: h0, fh: make([]uint64, len(sc.Faults))}
 	for i := range sc.Faults {
 		e.fh[i] = xrand.Hash64(h0, uint64(i)+1)
+		switch sc.Faults[i].Kind {
+		case CapTruncate, CapRST, CapReorder:
+			e.hasCapFlow = true
+		case CapCorrupt, CapDrop:
+			e.hasCapPkt = true
+		}
 	}
 	return e
 }
@@ -294,9 +364,10 @@ func (e *Engine) Scenario() *Scenario {
 
 // salts keep the independent draw families uncorrelated.
 const (
-	saltPhase  = 0x7068   // pseudo-phase of a wire datagram
-	saltSelect = 0x73656c // stable subset selection
-	saltDraw   = 0x6472   // per-decision probability draw
+	saltPhase    = 0x7068   // pseudo-phase of a wire datagram
+	saltSelect   = 0x73656c // stable subset selection
+	saltDraw     = 0x6472   // per-decision probability draw
+	saltCapPhase = 0x636170 // pseudo-phase of a capture flow
 )
 
 // scopeMatch reports whether the fault's CIDR scopes cover (src, dst).
@@ -344,10 +415,13 @@ func (e *Engine) domainMatch(i int, name string) bool {
 }
 
 // boostFor returns the total probability boost active for target-kind
-// draws at phase, plus the spec label of the first contributing
-// trigger (the causal edge recorded with induced verdicts). A trigger
-// contributes while at least one cause fault of its cause kind (and
-// region scope) is window-active.
+// draws at phase, plus the causal-path label of the first contributing
+// trigger hop (the causal edge recorded with induced verdicts). A
+// trigger's hop 0 contributes while at least one cause fault of its
+// cause kind (and region scope) is window-active; hop k>0 contributes
+// only while every earlier hop's target kind also has a window-active
+// declared clause — the cascade conducts through live kinds and is
+// severed at the first dormant one.
 func (e *Engine) boostFor(target Kind, phase float64) (float64, string) {
 	if len(e.sc.Triggers) == 0 {
 		return 0, ""
@@ -356,25 +430,53 @@ func (e *Engine) boostFor(target Kind, phase float64) (float64, string) {
 	var label string
 	for ti := range e.sc.Triggers {
 		tg := &e.sc.Triggers[ti]
-		if tg.Target != target {
+		if !e.causeActive(tg.CauseKind, tg.CauseRegion, phase) {
 			continue
 		}
-		for i := range e.sc.Faults {
-			f := &e.sc.Faults[i]
-			if f.Kind != tg.CauseKind || !f.active(phase) {
+		for hi := range tg.Hops {
+			if hi > 0 && !e.kindActive(tg.Hops[hi-1].Target, phase) {
+				break // chain severed: the intermediate kind is dormant
+			}
+			if tg.Hops[hi].Target != target {
 				continue
 			}
-			if tg.CauseRegion != "" && !strings.Contains(f.Region, tg.CauseRegion) {
-				continue
-			}
-			total += tg.Boost
+			total += tg.Hops[hi].Boost
 			if label == "" {
-				label = tg.String()
+				label = tg.prefix(hi)
 			}
-			break // one active cause per trigger
 		}
 	}
 	return total, label
+}
+
+// causeActive reports whether any declared fault clause of the cause
+// kind (restricted by region scope when non-empty) is window-active at
+// phase.
+func (e *Engine) causeActive(kind Kind, region string, phase float64) bool {
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		if f.Kind != kind || !f.active(phase) {
+			continue
+		}
+		if region != "" && !strings.Contains(f.Region, region) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// kindActive reports whether any declared clause of kind is
+// window-active at phase — the condition for a cascade to conduct
+// through an intermediate hop.
+func (e *Engine) kindActive(kind Kind, phase float64) bool {
+	for i := range e.sc.Faults {
+		f := &e.sc.Faults[i]
+		if f.Kind == kind && f.active(phase) {
+			return true
+		}
+	}
+	return false
 }
 
 // forge builds a response to q with the given rcode, or nil if the

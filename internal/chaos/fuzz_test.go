@@ -38,3 +38,51 @@ func FuzzParseScenario(f *testing.F) {
 		e.ProbeLost("r", "k", 0.5)
 	})
 }
+
+// FuzzParseTriggerPath fuzzes the multi-hop trigger clause specifically:
+// a spec built around an arbitrary trigger path must never panic the
+// parser, anything accepted must round-trip through String, and the
+// engine must answer boost queries (including capture verdicts, the
+// newest boost targets) without panicking at any phase.
+func FuzzParseTriggerPath(f *testing.F) {
+	f.Add("brownout:us-east=>servfail+0.2")
+	f.Add("brownout:us-east=>servfail+0.3=>vantage-down+0.2=>loss+0.15")
+	f.Add("brownout=>loss+0.1=>cap-drop+0.1")
+	f.Add("loss=>cap-truncate+0.5")
+	f.Add("servfail=>vantage-down")
+	f.Add("=>+")
+	f.Add("a:b=>c+d=>e+f")
+	f.Add("brownout:us-east=>servfail+0.3=>servfail+0.3")
+	f.Fuzz(func(t *testing.T, path string) {
+		spec := "brownout,region=us-east,add=50ms;servfail,p=0.05;vantage-down,frac=0.1;" +
+			"loss,p=0.03;cap-truncate,frac=0.1;cap-drop,p=0.01;" + path
+		sc, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejected: %v", path, err)
+		}
+		rt, err := Parse(sc.String())
+		if err != nil {
+			t.Fatalf("String() of accepted trigger %q does not re-parse: %v", path, err)
+		}
+		if rt.String() != sc.String() {
+			t.Fatalf("String round trip unstable: %q vs %q", rt.String(), sc.String())
+		}
+		for _, tr := range sc.Triggers {
+			if len(tr.Hops) == 0 {
+				t.Fatalf("accepted trigger %q has no hops", path)
+			}
+		}
+		e := New(sc, 1)
+		for _, phase := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			e.VantageOut("v", phase)
+			e.ProbeLost("r", "k", phase)
+		}
+		for flow := 0; flow < 4; flow++ {
+			e.CaptureFlow(flow)
+			e.CapturePacket(flow, 0)
+		}
+	})
+}

@@ -40,24 +40,38 @@ func TestTriggerParse(t *testing.T) {
 		t.Fatalf("faults=%d triggers=%d", len(sc.Faults), len(sc.Triggers))
 	}
 	tr := sc.Triggers[0]
-	want := Trigger{CauseKind: Brownout, CauseRegion: "us-east", Target: ServFail, Boost: 0.2}
-	if tr != want {
+	want := Trigger{CauseKind: Brownout, CauseRegion: "us-east", Hops: []Hop{{Target: ServFail, Boost: 0.2}}}
+	if !reflect.DeepEqual(tr, want) {
 		t.Fatalf("trigger = %+v, want %+v", tr, want)
 	}
 	// Unscoped cause.
 	sc = mustParse(t, "loss,p=0.1;vantage-down,frac=0.2;loss=>vantage-down+0.3")
-	if tr := sc.Triggers[0]; tr.CauseRegion != "" || tr.Target != VantageDown || tr.Boost != 0.3 {
+	if tr := sc.Triggers[0]; tr.CauseRegion != "" ||
+		!reflect.DeepEqual(tr.Hops, []Hop{{Target: VantageDown, Boost: 0.3}}) {
 		t.Fatalf("trigger = %+v", tr)
+	}
+	// Multi-hop chain.
+	sc = mustParse(t, "brownout,region=us-east,add=50ms;servfail,p=0.05;vantage-down,frac=0.1;"+
+		"brownout:us-east=>servfail+0.3=>vantage-down+0.2")
+	wantDeep := Trigger{CauseKind: Brownout, CauseRegion: "us-east",
+		Hops: []Hop{{Target: ServFail, Boost: 0.3}, {Target: VantageDown, Boost: 0.2}}}
+	if !reflect.DeepEqual(sc.Triggers[0], wantDeep) {
+		t.Fatalf("deep trigger = %+v, want %+v", sc.Triggers[0], wantDeep)
+	}
+	if got := sc.Triggers[0].String(); got != "brownout:us-east=>servfail+0.3=>vantage-down+0.2" {
+		t.Fatalf("deep trigger String() = %q", got)
 	}
 
 	for _, bad := range []string{
-		"loss,p=0.1;loss=>servfail",        // no boost
-		"loss,p=0.1;loss=>servfail+2",      // boost out of range
-		"loss,p=0.1;loss=>servfail+0",      // zero boost
-		"loss,p=0.1;loss=>brownout+0.2",    // brownout cannot be a target
-		"loss,p=0.1;meteor=>servfail+0.2",  // unknown cause kind
-		"loss,p=0.1;loss:=>servfail+0.2",   // empty cause region
-		"loss,p=0.1;loss=>axfr-refuse+0.2", // policy faults cannot be boosted
+		"loss,p=0.1;loss=>servfail",                                  // no boost
+		"loss,p=0.1;loss=>servfail+2",                                // boost out of range
+		"loss,p=0.1;loss=>servfail+0",                                // zero boost
+		"loss,p=0.1;loss=>brownout+0.2",                              // brownout cannot be a target
+		"loss,p=0.1;meteor=>servfail+0.2",                            // unknown cause kind
+		"loss,p=0.1;loss:=>servfail+0.2",                             // empty cause region
+		"loss,p=0.1;loss=>axfr-refuse+0.2",                           // policy faults cannot be boosted
+		"loss,p=0.1;servfail,p=0.1;loss=>servfail+0.2=>brownout+0.1", // chain hop cannot target brownout
+		"loss,p=0.1;servfail,p=0.1;loss=>servfail+0.2=>vantage-down", // chain hop without boost
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)

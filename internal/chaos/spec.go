@@ -15,7 +15,7 @@ import (
 //	clause[;clause...]
 //	clause  = fault | trigger
 //	fault   = kind[,key=value...]
-//	trigger = cause[:region]=>target+boost
+//	trigger = cause[:region]=>target+boost[=>target+boost...]
 //
 // Fault keys: p=<prob> window=<from>-<to> src=<cidr> dst=<cidr>
 // region=<substr> domains=<suffix> dfrac=<frac> frac=<frac> add=<dur>.
@@ -23,7 +23,10 @@ import (
 // A trigger clause declares a correlated failure: while any fault of
 // the cause kind (optionally region-scoped) is window-active, the
 // target kind's decision draws run with their probability raised by
-// boost — a regional brownout dragging SERVFAIL rates up with it.
+// boost — a regional brownout dragging SERVFAIL rates up with it. A
+// chain of hops ("a=>b+0.3=>c+0.2") cascades hop by hop: each later
+// hop's boost applies only while the previous hop's target kind also
+// has a window-active clause.
 //
 // Examples: "loss,p=0.1,window=0.2-0.8;axfr-refuse,dfrac=0.9",
 // "brownout,region=us-east,add=100ms;servfail,p=0.05;brownout:us-east=>servfail+0.2".
@@ -100,11 +103,12 @@ func Parse(spec string) (*Scenario, error) {
 	return sc, nil
 }
 
-// parseTrigger parses one "cause[:region]=>target+boost" clause.
+// parseTrigger parses one "cause[:region]=>target+boost[=>...]"
+// clause; every "=>" past the first extends the hop chain.
 func parseTrigger(clause string) (Trigger, error) {
-	lhs, rhs, _ := strings.Cut(clause, "=>")
+	parts := strings.Split(clause, "=>")
 	var tr Trigger
-	cause, region, scoped := strings.Cut(strings.TrimSpace(lhs), ":")
+	cause, region, scoped := strings.Cut(strings.TrimSpace(parts[0]), ":")
 	tr.CauseKind = Kind(strings.TrimSpace(cause))
 	if scoped {
 		tr.CauseRegion = strings.TrimSpace(region)
@@ -112,17 +116,18 @@ func parseTrigger(clause string) (Trigger, error) {
 			return tr, fmt.Errorf("trigger %q: empty cause region", clause)
 		}
 	}
-	rhs = strings.TrimSpace(rhs)
-	plus := strings.LastIndexByte(rhs, '+')
-	if plus < 0 {
-		return tr, fmt.Errorf("trigger %q: want target+boost after \"=>\"", clause)
+	for _, hopSpec := range parts[1:] {
+		hopSpec = strings.TrimSpace(hopSpec)
+		plus := strings.LastIndexByte(hopSpec, '+')
+		if plus < 0 {
+			return tr, fmt.Errorf("trigger %q: want target+boost after \"=>\"", clause)
+		}
+		boost, err := parseFrac(hopSpec[plus+1:])
+		if err != nil {
+			return tr, fmt.Errorf("trigger %q: boost: %v", clause, err)
+		}
+		tr.Hops = append(tr.Hops, Hop{Target: Kind(strings.TrimSpace(hopSpec[:plus])), Boost: boost})
 	}
-	tr.Target = Kind(strings.TrimSpace(rhs[:plus]))
-	boost, err := parseFrac(rhs[plus+1:])
-	if err != nil {
-		return tr, fmt.Errorf("trigger %q: boost: %v", clause, err)
-	}
-	tr.Boost = boost
 	return tr, nil
 }
 
@@ -210,6 +215,25 @@ var library = map[string]string{
 	"cascade": "brownout,region=us-east,add=100ms,window=0.25-0.65;servfail,p=0.05;" +
 		"vantage-down,frac=0.1,window=0.2-0.9;loss,p=0.03;" +
 		"brownout:us-east=>servfail+0.35;brownout:us-east=>vantage-down+0.25",
+	// cascade-deep: a multi-hop chain — the brownout drags the
+	// authoritative layer down, which drags the vantage fleet, which
+	// drags the wire — severed outside each intermediate kind's window.
+	"cascade-deep": "brownout,region=us-east,add=100ms,window=0.2-0.7;servfail,p=0.05,window=0.2-0.8;" +
+		"vantage-down,frac=0.1,window=0.25-0.9;loss,p=0.03;" +
+		"brownout:us-east=>servfail+0.3=>vantage-down+0.2=>loss+0.15",
+	// lossy-capture: every capture-layer fault kind at once — the
+	// border tap truncating, resetting, reordering, corrupting, and
+	// dropping what it records.
+	"lossy-capture": "cap-truncate,frac=0.12;cap-rst,frac=0.06;cap-reorder,frac=0.08;" +
+		"cap-corrupt,p=0.015;cap-drop,p=0.02",
+	// hostile-capture: the hostile stress scenario with the lossy
+	// capture tap on top — what the capture-fault bench leg and the
+	// capture chaos goldens run.
+	"hostile-capture": "loss,p=0.08;servfail,p=0.25,window=0.1-0.9;refused,p=0.05,window=0.5-0.6;" +
+		"axfr-refuse,dfrac=0.9;vantage-down,frac=0.25,window=0.3-0.8;account-down,frac=0.25,window=0.4-0.9;" +
+		"brownout,region=us-east,add=80ms,window=0.2-0.7;brownout,add=5ms,window=0.6-0.9;blackout,frac=0.02;" +
+		"cap-truncate,frac=0.12;cap-rst,frac=0.06;cap-reorder,frac=0.08;cap-corrupt,p=0.015;cap-drop,p=0.02;" +
+		"brownout:us-east=>loss+0.1=>cap-drop+0.1",
 }
 
 // Library returns the names of the built-in scenarios, sorted.

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is the structured difference between two fault traces: verdicts
+// present only in the second trace (Added), only in the first
+// (Removed), and present in both under the same (Point, ID) identity
+// but with different verdicts (Changed). Two runs of the same scenario
+// and seed record identical verdict sets, so their Delta is empty; a
+// seed change, a scenario tweak, or an engine-logic change shows up as
+// a readable verdict delta instead of a wall of JSONL.
+type Delta struct {
+	Added   []Event
+	Removed []Event
+	Changed []Change
+}
+
+// Change pairs the two verdicts one decision identity received.
+type Change struct {
+	A, B Event
+}
+
+// Diff compares trace a against trace b (either may be nil, meaning
+// empty). Events are keyed by (Point, ID) — the same identity replay
+// uses — with later duplicates of a key ignored, mirroring Lookup. The
+// result is in canonical (Point, ID) order, so Diff is a pure function
+// of the two verdict sets.
+func Diff(a, b *Trace) *Delta {
+	am, bm := indexEvents(a), indexEvents(b)
+	d := &Delta{}
+	for k, ea := range am {
+		if eb, ok := bm[k]; !ok {
+			d.Removed = append(d.Removed, ea)
+		} else if ea != eb {
+			d.Changed = append(d.Changed, Change{A: ea, B: eb})
+		}
+	}
+	for k, eb := range bm {
+		if _, ok := am[k]; !ok {
+			d.Added = append(d.Added, eb)
+		}
+	}
+	sortEvents(d.Added)
+	sortEvents(d.Removed)
+	sort.Slice(d.Changed, func(i, j int) bool {
+		if d.Changed[i].A.Point != d.Changed[j].A.Point {
+			return d.Changed[i].A.Point < d.Changed[j].A.Point
+		}
+		return d.Changed[i].A.ID < d.Changed[j].A.ID
+	})
+	return d
+}
+
+func indexEvents(t *Trace) map[key]Event {
+	m := map[key]Event{}
+	if t == nil {
+		return m
+	}
+	for _, ev := range t.Events {
+		k := key{ev.Point, ev.ID}
+		if _, dup := m[k]; !dup {
+			m[k] = ev
+		}
+	}
+	return m
+}
+
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Point != evs[j].Point {
+			return evs[i].Point < evs[j].Point
+		}
+		return evs[i].ID < evs[j].ID
+	})
+}
+
+// Empty reports whether the two traces recorded identical verdict sets.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// maxDetail caps the per-category sample lines String renders; the
+// grouped counts above them are always complete.
+const maxDetail = 12
+
+// String renders the delta for humans: a one-line summary, per
+// (point, kind) group counts, then a capped sample of concrete verdict
+// lines per category. The rendering is deterministic.
+func (d *Delta) String() string {
+	if d.Empty() {
+		return "traces agree: no verdicts added, removed, or changed\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-trace delta: +%d added  -%d removed  ~%d changed\n",
+		len(d.Added), len(d.Removed), len(d.Changed))
+
+	type group struct {
+		pt   Point
+		kind string
+	}
+	counts := map[group]*[3]int{}
+	bump := func(pt Point, kind string, slot int) {
+		g := group{pt, kind}
+		c, ok := counts[g]
+		if !ok {
+			c = &[3]int{}
+			counts[g] = c
+		}
+		c[slot]++
+	}
+	for _, ev := range d.Added {
+		bump(ev.Point, ev.Kind, 0)
+	}
+	for _, ev := range d.Removed {
+		bump(ev.Point, ev.Kind, 1)
+	}
+	for _, ch := range d.Changed {
+		bump(ch.A.Point, ch.A.Kind, 2)
+	}
+	groups := make([]group, 0, len(counts))
+	for g := range counts {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].pt != groups[j].pt {
+			return groups[i].pt < groups[j].pt
+		}
+		return groups[i].kind < groups[j].kind
+	})
+	for _, g := range groups {
+		c := counts[g]
+		kind := g.kind
+		if kind == "" {
+			kind = "-"
+		}
+		fmt.Fprintf(&b, "  %-8s %-14s +%d  -%d  ~%d\n", g.pt, kind, c[0], c[1], c[2])
+	}
+
+	sample := func(tag string, evs []Event) {
+		for i, ev := range evs {
+			if i == maxDetail {
+				fmt.Fprintf(&b, "  %s … and %d more\n", tag, len(evs)-maxDetail)
+				break
+			}
+			fmt.Fprintf(&b, "  %s %s\n", tag, eventLine(ev))
+		}
+	}
+	sample("+", d.Added)
+	sample("-", d.Removed)
+	for i, ch := range d.Changed {
+		if i == maxDetail {
+			fmt.Fprintf(&b, "  ~ … and %d more\n", len(d.Changed)-maxDetail)
+			break
+		}
+		fmt.Fprintf(&b, "  ~ %s\n    was %s\n    now %s\n",
+			fmt.Sprintf("%s id=%016x", ch.A.Point, ch.A.ID), eventLine(ch.A), eventLine(ch.B))
+	}
+	return b.String()
+}
+
+// eventLine renders one verdict compactly for delta listings.
+func eventLine(e Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s id=%016x phase=%.3f", e.Point, orDash(e.Kind), e.ID, e.Phase)
+	if e.Name != "" {
+		b.WriteString(" " + e.Name)
+	}
+	if e.Drop {
+		b.WriteString(" drop")
+	}
+	if e.Forged {
+		fmt.Fprintf(&b, " forged-rcode=%d", e.RCode)
+	}
+	if e.ExtraNs > 0 {
+		fmt.Fprintf(&b, " +%dns", e.ExtraNs)
+	}
+	if e.ExtraMs > 0 {
+		fmt.Fprintf(&b, " +%gms", e.ExtraMs)
+	}
+	if e.Out {
+		b.WriteString(" out")
+	}
+	if e.KeepFrac > 0 {
+		fmt.Fprintf(&b, " keep=%.3f", e.KeepFrac)
+	}
+	if e.RSTFrac > 0 {
+		fmt.Fprintf(&b, " rst=%.3f", e.RSTFrac)
+	}
+	if e.Reorder > 0 {
+		fmt.Fprintf(&b, " reorder=%.3f", e.Reorder)
+	}
+	if e.Corrupt > 0 {
+		fmt.Fprintf(&b, " corrupt=%.3f", e.Corrupt)
+	}
+	if e.Cause != "" {
+		b.WriteString(" cause=" + e.Cause)
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

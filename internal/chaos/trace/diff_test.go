@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffFixture() *Trace {
+	return &Trace{
+		Header: Header{Scenario: "t", Seed: 7},
+		Events: []Event{
+			{Point: PointWire, ID: 10, Kind: "loss", Phase: 0.2, Drop: true},
+			{Point: PointVantage, ID: 20, Kind: "vantage-down", Phase: 0.5, Name: "pl-03", Out: true},
+			{Point: PointCapFlow, ID: 30, Kind: "cap-truncate", Phase: 0.4, Name: "flow-12", KeepFrac: 0.4},
+			{Point: PointCapPacket, ID: 40, Kind: "cap-drop", Phase: 0.6, Name: "flow-3/pkt-2", Drop: true},
+		},
+	}
+}
+
+// TestDiffIdentical: a trace diffed against itself — or a structurally
+// equal copy — is empty, and says so.
+func TestDiffIdentical(t *testing.T) {
+	a, b := diffFixture(), diffFixture()
+	d := Diff(a, b)
+	if !d.Empty() {
+		t.Fatalf("Diff of equal traces not empty: %+v", d)
+	}
+	if !strings.Contains(d.String(), "traces agree") {
+		t.Fatalf("empty delta String() = %q", d.String())
+	}
+	if !Diff(nil, nil).Empty() {
+		t.Fatal("Diff(nil, nil) not empty")
+	}
+}
+
+// TestDiffAddedRemovedChanged: each divergence class lands in the right
+// bucket and shows up in the rendering.
+func TestDiffAddedRemovedChanged(t *testing.T) {
+	a, b := diffFixture(), diffFixture()
+	b.Events = b.Events[:3]    // drop the cappkt event: removed
+	b.Events[2].KeepFrac = 0.9 // reshape the capflow verdict: changed
+	extra := Event{Point: PointProbe, ID: 99, Kind: "loss", Phase: 0.1, Drop: true}
+	b.Events = append(b.Events, extra) // new probe verdict: added
+
+	d := Diff(a, b)
+	if len(d.Added) != 1 || d.Added[0].ID != 99 {
+		t.Fatalf("Added = %+v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0].Point != PointCapPacket {
+		t.Fatalf("Removed = %+v", d.Removed)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].B.KeepFrac != 0.9 {
+		t.Fatalf("Changed = %+v", d.Changed)
+	}
+	out := d.String()
+	for _, want := range []string{"+1 added", "-1 removed", "~1 changed", "was ", "now ", "keep=0.900"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	// Diff is direction-sensitive but symmetric in magnitude.
+	rd := Diff(b, a)
+	if len(rd.Added) != 1 || len(rd.Removed) != 1 || len(rd.Changed) != 1 {
+		t.Fatalf("reverse diff = %+v", rd)
+	}
+}
+
+// TestDiffOrderInsensitive: event order within a trace does not matter —
+// verdicts are keyed by (point, id).
+func TestDiffOrderInsensitive(t *testing.T) {
+	a, b := diffFixture(), diffFixture()
+	b.Events[0], b.Events[3] = b.Events[3], b.Events[0]
+	if d := Diff(a, b); !d.Empty() {
+		t.Fatalf("permuted trace diffs non-empty: %+v", d)
+	}
+}
+
+// TestDiffDetailCap: sample rendering is capped, counts are not.
+func TestDiffDetailCap(t *testing.T) {
+	a := &Trace{}
+	b := &Trace{}
+	for i := 0; i < 3*maxDetail; i++ {
+		b.Events = append(b.Events, Event{Point: PointWire, ID: uint64(i + 1), Kind: "loss", Drop: true})
+	}
+	d := Diff(a, b)
+	if len(d.Added) != 3*maxDetail {
+		t.Fatalf("Added = %d", len(d.Added))
+	}
+	out := d.String()
+	if !strings.Contains(out, "+36 added") {
+		t.Fatalf("rendering lost the count:\n%s", out)
+	}
+	if n := strings.Count(out, "\n  + wire"); n > maxDetail {
+		t.Fatalf("%d sample lines rendered, cap is %d", n, maxDetail)
+	}
+	if !strings.Contains(out, "and 24 more") {
+		t.Fatalf("overflow line missing:\n%s", out)
+	}
+}

@@ -48,3 +48,56 @@ func FuzzRead(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTraceDiff: Diff over two arbitrary decoded traces must never
+// panic, must be empty exactly on self-comparison, must render, and
+// must be magnitude-symmetric under operand swap.
+func FuzzTraceDiff(f *testing.F) {
+	enc := func(tr *Trace) []byte {
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := &Trace{Header: Header{Version: 1, Seed: 3}, Events: []Event{
+		{Point: PointWire, ID: 12, Kind: "loss", Phase: 0.25, Drop: true},
+		{Point: PointCapFlow, ID: 9, Kind: "cap-truncate", Phase: 0.7, Name: "flow-9", KeepFrac: 0.5},
+	}}
+	b := &Trace{Header: Header{Version: 1, Seed: 4}, Events: []Event{
+		{Point: PointWire, ID: 12, Kind: "loss", Phase: 0.25, Drop: true},
+		{Point: PointCapPacket, ID: 2, Kind: "cap-drop", Phase: 0.1, Name: "flow-0/pkt-2", Drop: true},
+	}}
+	f.Add(enc(a), enc(b))
+	f.Add(enc(a), enc(a))
+	f.Add(enc(&Trace{Header: Header{Version: 1}}), enc(b))
+	f.Add([]byte("junk"), enc(a))
+
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		ta, errA := Read(bytes.NewReader(da))
+		tb, errB := Read(bytes.NewReader(db))
+		if errA != nil {
+			ta = nil
+		}
+		if errB != nil {
+			tb = nil
+		}
+		d := Diff(ta, tb)
+		if d.String() == "" {
+			t.Fatal("delta rendered empty string")
+		}
+		if self := Diff(ta, ta); !self.Empty() {
+			t.Fatalf("Diff(x, x) not empty: %+v", self)
+		}
+		rd := Diff(tb, ta)
+		if len(rd.Added) != len(d.Removed) || len(rd.Removed) != len(d.Added) ||
+			len(rd.Changed) != len(d.Changed) {
+			t.Fatalf("swap asymmetry: %d/%d/%d vs %d/%d/%d",
+				len(d.Added), len(d.Removed), len(d.Changed),
+				len(rd.Added), len(rd.Removed), len(rd.Changed))
+		}
+		if d.Empty() != rd.Empty() {
+			t.Fatal("Empty() differs under operand swap")
+		}
+	})
+}

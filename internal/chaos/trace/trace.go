@@ -52,12 +52,19 @@ const (
 	PointProbe Point = "probe"
 	// PointRegion is a region-scoped extra-latency verdict.
 	PointRegion Point = "region"
+	// PointCapFlow is a capture-layer per-flow verdict (truncation,
+	// mid-stream reset, segment reorder).
+	PointCapFlow Point = "capflow"
+	// PointCapPacket is a capture-layer per-packet verdict (dropped
+	// pcap record, corrupted frame).
+	PointCapPacket Point = "cappkt"
 )
 
 // validPoint reports whether p is a known decision family.
 func validPoint(p Point) bool {
 	switch p {
-	case PointWire, PointVantage, PointAccount, PointProbe, PointRegion:
+	case PointWire, PointVantage, PointAccount, PointProbe, PointRegion,
+		PointCapFlow, PointCapPacket:
 		return true
 	}
 	return false
@@ -88,6 +95,13 @@ type Event struct {
 	ExtraMs float64 `json:"xms,omitempty"` // region: injected extra round-trip, milliseconds
 	Out     bool    `json:"out,omitempty"` // vantage, account: unit dark
 
+	// Capture-layer verdicts (capflow, cappkt points). All fractions
+	// live in [0,1]; zero means "that fault did not fire".
+	KeepFrac float64 `json:"kf,omitempty"`   // capflow: fraction of the flow's packets kept (truncation)
+	RSTFrac  float64 `json:"rstf,omitempty"` // capflow: fraction of the flow captured before the forged reset
+	Reorder  float64 `json:"ro,omitempty"`   // capflow: adjacent-swap position draw (>0 = a swap happened)
+	Corrupt  float64 `json:"crp,omitempty"`  // cappkt: corruption-shape draw (>0 = frame damaged)
+
 	// Cause, when non-empty, names the correlated-failure trigger whose
 	// probability boost fired this verdict — the causal edge between a
 	// cause fault and its induced effect.
@@ -107,6 +121,11 @@ func (e *Event) validate() error {
 	}
 	if e.RCode < 0 || e.RCode > 15 {
 		return fmt.Errorf("trace: rcode %d out of range", e.RCode)
+	}
+	for _, fr := range [...]float64{e.KeepFrac, e.RSTFrac, e.Reorder, e.Corrupt} {
+		if math.IsNaN(fr) || math.IsInf(fr, 0) || fr < 0 || fr > 1 {
+			return fmt.Errorf("trace: capture fraction %v out of [0,1]", fr)
+		}
 	}
 	return nil
 }
@@ -261,6 +280,8 @@ const (
 	saltAccount = 0x74726163 // "trac"
 	saltProbe   = 0x74727072 // "trpr"
 	saltRegion  = 0x74727267 // "trrg"
+	saltCapFlow = 0x74726366 // "trcf"
+	saltCapPkt  = 0x74726370 // "trcp"
 )
 
 // WireID identifies one fabric datagram interception.
@@ -286,4 +307,14 @@ func ProbeID(region, key string, phase float64) uint64 {
 // RegionID identifies one region-latency decision at a campaign phase.
 func RegionID(region string, phase float64) uint64 {
 	return xrand.Hash64(xrand.HashString(saltRegion, region), math.Float64bits(phase))
+}
+
+// CapFlowID identifies one capture-flow verdict by global flow index.
+func CapFlowID(flow uint64) uint64 {
+	return xrand.Hash64(saltCapFlow, flow)
+}
+
+// CapPacketID identifies one capture-packet verdict by (flow, packet).
+func CapPacketID(flow, pkt uint64) uint64 {
+	return xrand.Hash64(saltCapPkt, flow, pkt)
 }

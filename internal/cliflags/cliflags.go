@@ -269,6 +269,38 @@ func (s *Set) Finish(w io.Writer, study *cloudscope.Study) error {
 	return s.FinishProfiles()
 }
 
+// DiffTraces resolves the -chaos-diff operands, reads both fault
+// traces, writes their human-readable verdict delta to w, and reports
+// whether the traces agree. The flag value names both files as
+// "A.jsonl,B.jsonl", or names the first with the second given as the
+// command's positional argument (extra).
+func DiffTraces(spec, extra string, w io.Writer) (identical bool, err error) {
+	pathA, pathB := spec, extra
+	if i := strings.IndexByte(spec, ','); i >= 0 {
+		if extra != "" {
+			return false, fmt.Errorf("-chaos-diff %q already names both traces; drop the extra argument %q", spec, extra)
+		}
+		pathA, pathB = spec[:i], spec[i+1:]
+	}
+	if pathA == "" || pathB == "" {
+		return false, fmt.Errorf("-chaos-diff compares two fault traces: -chaos-diff A.jsonl B.jsonl (or -chaos-diff A.jsonl,B.jsonl)")
+	}
+	a, err := trace.ReadFile(pathA)
+	if err != nil {
+		return false, err
+	}
+	b, err := trace.ReadFile(pathB)
+	if err != nil {
+		return false, err
+	}
+	d := trace.Diff(a, b)
+	fmt.Fprintf(w, "%s: %d events (scenario %q, seed %d)\n%s: %d events (scenario %q, seed %d)\n",
+		pathA, a.Len(), a.Header.Scenario, a.Header.Seed,
+		pathB, b.Len(), b.Header.Scenario, b.Header.Seed)
+	fmt.Fprint(w, d.String())
+	return d.Empty(), nil
+}
+
 // RejectStudyFlags errors when a flag that needs a full measurement
 // study is set. Commands that never build one (traceanalyze works on
 // an existing capture file) call it right after parsing so the user

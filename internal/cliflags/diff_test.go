@@ -1,0 +1,73 @@
+package cliflags
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudscope/internal/chaos/trace"
+)
+
+// writeTrace writes a small fault trace under dir and returns its path.
+func writeTrace(t *testing.T, dir, name string, events []trace.Event) string {
+	t.Helper()
+	tr := &trace.Trace{
+		Header: trace.Header{Version: 1, Scenario: "hostile-capture", Seed: 3},
+		Events: events,
+	}
+	path := filepath.Join(dir, name)
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffTraces covers the -chaos-diff operand forms and the
+// identical/differing verdicts the commands exit on.
+func TestDiffTraces(t *testing.T) {
+	dir := t.TempDir()
+	evs := []trace.Event{
+		{Point: trace.PointWire, ID: 12, Kind: "loss", Phase: 0.25, Drop: true},
+		{Point: trace.PointCapFlow, ID: 9, Kind: "cap-truncate", Phase: 0.7, Name: "flow-9", KeepFrac: 0.5},
+	}
+	a := writeTrace(t, dir, "a.jsonl", evs)
+	b := writeTrace(t, dir, "b.jsonl", evs)
+	c := writeTrace(t, dir, "c.jsonl", evs[:1])
+
+	var out strings.Builder
+	identical, err := DiffTraces(a, b, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Fatalf("identical traces reported as differing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "traces agree") {
+		t.Fatalf("agreeing diff output missing verdict line:\n%s", out.String())
+	}
+
+	// Combined "A,B" spec, differing traces.
+	out.Reset()
+	identical, err = DiffTraces(a+","+c, "", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identical {
+		t.Fatal("differing traces reported as identical")
+	}
+	if !strings.Contains(out.String(), "-1 removed") {
+		t.Fatalf("delta output missing removed count:\n%s", out.String())
+	}
+
+	// Operand errors: both forms at once, a missing operand, and an
+	// unreadable file.
+	if _, err := DiffTraces(a+","+b, c, &out); err == nil {
+		t.Fatal("comma spec plus positional arg accepted")
+	}
+	if _, err := DiffTraces(a, "", &out); err == nil {
+		t.Fatal("single operand accepted")
+	}
+	if _, err := DiffTraces(filepath.Join(dir, "missing.jsonl"), b, &out); err == nil {
+		t.Fatal("unreadable trace accepted")
+	}
+}

@@ -289,22 +289,6 @@ func IntraCloudRTTs(c *cloud.Cloud, region string, opt Options) []RTTRow {
 	return out
 }
 
-// IntraCloudRTTsPar runs IntraCloudRTTs with a positional seed and
-// fan-out.
-//
-// Deprecated: use IntraCloudRTTs with Options.
-func IntraCloudRTTsPar(c *cloud.Cloud, region string, seed int64, opt parallel.Options) []RTTRow {
-	return IntraCloudRTTs(c, region, Options{Seed: seed, Par: opt})
-}
-
-// IntraCloudRTTsObserved runs IntraCloudRTTs with positional
-// fault-injection handles.
-//
-// Deprecated: use IntraCloudRTTs with Options.
-func IntraCloudRTTsObserved(c *cloud.Cloud, region string, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []RTTRow {
-	return IntraCloudRTTs(c, region, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
-}
-
 // --- Table 16: downstream-ISP diversity -------------------------------
 
 // ISPRow is one region's downstream-ISP counts per zone.
@@ -399,21 +383,6 @@ func ISPDiversity(m *wan.Model, zoneCounts map[string]int, opt Options) []ISPRow
 		rows = append(rows, row)
 	}
 	return rows
-}
-
-// ISPDiversityPar runs ISPDiversity with a positional seed and fan-out.
-//
-// Deprecated: use ISPDiversity with Options.
-func ISPDiversityPar(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options) []ISPRow {
-	return ISPDiversity(m, zoneCounts, Options{Seed: seed, Par: opt})
-}
-
-// ISPDiversityObserved runs ISPDiversity with positional
-// fault-injection handles.
-//
-// Deprecated: use ISPDiversity with Options.
-func ISPDiversityObserved(m *wan.Model, zoneCounts map[string]int, seed int64, opt parallel.Options, eng *chaos.Engine, comp *telemetry.Completeness) []ISPRow {
-	return ISPDiversity(m, zoneCounts, Options{Seed: seed, Par: opt, Chaos: eng, Completeness: comp})
 }
 
 // Outages wraps the wan outage simulation using the latency-optimal

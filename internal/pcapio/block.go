@@ -118,6 +118,21 @@ func (b *Block) Append(r Record) {
 	copy(b.AppendRecord(r.Time, r.OrigLen, len(r.Data)), r.Data)
 }
 
+// TruncateRecord shrinks record i's captured length to n bytes; its
+// original (wire) length is untouched, so the record reads back as a
+// short frame — a capture that cut the packet off mid-write. n must
+// not exceed the record's current captured length. The bytes past the
+// cut stay reserved in the buffer and are simply never part of the
+// record again.
+func (b *Block) TruncateRecord(i, n int) {
+	off := b.offs[i]
+	cur := int(binary.LittleEndian.Uint32(b.buf[off+8 : off+12]))
+	if n < 0 || n > cur {
+		panic(fmt.Sprintf("pcapio: TruncateRecord(%d, %d) outside captured length %d", i, n, cur))
+	}
+	binary.LittleEndian.PutUint32(b.buf[off+8:off+12], uint32(n))
+}
+
 // ReadBlock reads up to maxRecords records from the stream into b,
 // appending to whatever the block already holds, and returns how many
 // were read. It reports io.EOF at a clean end of stream (possibly
@@ -137,7 +152,7 @@ func (r *Reader) ReadBlock(b *Block, maxRecords int) (int, error) {
 			if err == io.EOF {
 				return n, io.EOF
 			}
-			return n, fmt.Errorf("pcapio: record header: %w", err)
+			return n, readErr("record header", err)
 		}
 		sec := order.Uint32(h[0:4])
 		usec := order.Uint32(h[4:8])
@@ -148,7 +163,7 @@ func (r *Reader) ReadBlock(b *Block, maxRecords int) (int, error) {
 		}
 		dst := b.AppendRecord(time.Unix(int64(sec), int64(usec)*1000).UTC(), int(orig), int(incl))
 		if _, err := io.ReadFull(r.r, dst); err != nil {
-			return n, fmt.Errorf("pcapio: record body: %w", err)
+			return n, readErr("record body", err)
 		}
 		n++
 	}

@@ -114,10 +114,26 @@ type Reader struct {
 	linkType uint32
 }
 
-// Errors returned by NewReader/Next.
+// Errors returned by NewReader/Next/ReadBlock.
 var (
 	ErrBadMagic = errors.New("pcapio: bad magic")
+	// ErrTruncated marks a stream that ended inside a record header or
+	// body — a capture cut off mid-write. Both read paths (Next and
+	// ReadBlock) wrap it identically, so errors.Is(err, ErrTruncated)
+	// distinguishes a chopped capture from a malformed one.
+	ErrTruncated = errors.New("pcapio: truncated capture")
 )
+
+// readErr wraps a mid-record read failure: an unexpected EOF becomes
+// ErrTruncated (the stream ended inside a record), any other transport
+// error passes through with context. Next and ReadBlock share it so
+// both paths fail with identical error strings.
+func readErr(what string, err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %s cut short: %v", ErrTruncated, what, err)
+	}
+	return fmt.Errorf("pcapio: %s: %w", what, err)
+}
 
 // maxSnaplen bounds the snap length NewReader accepts. tcpdump caps
 // snaplen at 256 KiB; anything past 1 MiB is a forged header, and
@@ -169,7 +185,7 @@ func (r *Reader) Next() (Record, error) {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, fmt.Errorf("pcapio: record header: %w", err)
+		return Record{}, readErr("record header", err)
 	}
 	order := r.order()
 	sec := order.Uint32(h[0:4])
@@ -181,7 +197,7 @@ func (r *Reader) Next() (Record, error) {
 	}
 	data := make([]byte, incl)
 	if _, err := io.ReadFull(r.r, data); err != nil {
-		return Record{}, fmt.Errorf("pcapio: record body: %w", err)
+		return Record{}, readErr("record body", err)
 	}
 	return Record{
 		Time:    time.Unix(int64(sec), int64(usec)*1000).UTC(),
