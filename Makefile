@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build check test race bench bench-smoke bench-snapshot experiments world chaos bisect-smoke fuzz-chaos fuzz-chaos-v3 fuzz-trace fuzz-packet fuzz-pcap fuzz-diskfmt clean
+.PHONY: all build check test race bench bench-smoke bench-snapshot serve-smoke experiments world chaos bisect-smoke fuzz-chaos fuzz-chaos-v3 fuzz-trace fuzz-packet fuzz-pcap fuzz-diskfmt clean
 
 all: build check test
 
@@ -31,6 +31,7 @@ check:
 	$(GO) test -race -count=2 -run 'TestAnalyzeRetainsNoPooledBuffers' ./internal/capture
 	$(GO) test -race -count=2 -run 'TestCaptureChaosRace' ./internal/capture
 	$(GO) test -race -count=2 -run 'TestStreamingSmallChunkInvariance' .
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 
 test:
@@ -54,8 +55,15 @@ BENCH_BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 # synthetic-regression test.
 bench-smoke:
 	$(GO) run -race ./cmd/cloudbench -sizes 1000 -workers 1 -reps 1 \
-		-chaos flaky-internet -out $(or $(TMPDIR),/tmp)/cloudscope-bench-smoke.json \
+		-chaos flaky-internet -serve -serve-requests 300 \
+		-out $(or $(TMPDIR),/tmp)/cloudscope-bench-smoke.json \
 		$(if $(BENCH_BASELINE),-compare $(BENCH_BASELINE) -advisory)
+
+# The query daemon end to end under the race detector: a cloudscoped
+# server on a random port, a tiny seeded cloudload mix, zero request
+# errors, and a parseable /metrics document.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./internal/serve
 
 # Full benchmark matrix; commit the refreshed BENCH_<date>.json to
 # extend the repo's perf trajectory.

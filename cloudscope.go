@@ -12,12 +12,17 @@
 //	fmt.Print(study.Breakdown().Table3())
 //
 // Every numbered table and figure of the paper has a registered
-// experiment; see Experiments and cmd/experiments.
+// experiment; see Experiments and cmd/experiments. Long-running
+// consumers (the cloudscoped daemon) use the *Context accessor
+// variants, which abort stage compute when the request is cancelled.
 package cloudscope
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,8 +111,180 @@ func (c Config) WithWorkers(n int) Config { c.Workers = n; return c }
 // WithChaos returns the config running under a fault scenario.
 func (c Config) WithChaos(sc *chaos.Scenario) Config { c.Chaos = sc; return c }
 
+// FieldError reports one invalid Config field: which field, the value
+// it held, and what is wrong with it.
+type FieldError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("config.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// ValidationError aggregates every invalid Config field, so a caller
+// sees all problems at once instead of fixing them one run at a time.
+type ValidationError struct {
+	Fields []*FieldError
+}
+
+func (e *ValidationError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return "cloudscope: invalid config: " + strings.Join(msgs, "; ")
+}
+
+// Unwrap exposes the individual field errors to errors.Is/As.
+func (e *ValidationError) Unwrap() []error {
+	errs := make([]error, len(e.Fields))
+	for i, f := range e.Fields {
+		errs[i] = f
+	}
+	return errs
+}
+
+// Validate checks the config for impossible sizings and conflicting
+// option combinations, returning a *ValidationError naming every bad
+// field. Zero sizing values are valid — NewStudy fills them from
+// DefaultConfig — but negative ones never are. NewStudy panics on an
+// invalid config (a programmer error); commands validate first and
+// print the typed error instead.
+func (c Config) Validate() error {
+	var fields []*FieldError
+	add := func(field string, value any, reason string) {
+		fields = append(fields, &FieldError{Field: field, Value: value, Reason: reason})
+	}
+	if c.Domains < 0 {
+		add("Domains", c.Domains, "ranked-list size cannot be negative (0 selects the default)")
+	}
+	if c.Vantages < 0 {
+		add("Vantages", c.Vantages, "vantage count cannot be negative (0 selects the default)")
+	}
+	if c.CaptureFlows < 0 {
+		add("CaptureFlows", c.CaptureFlows, "capture flow count cannot be negative (0 selects the default)")
+	}
+	if c.WANClients < 0 {
+		add("WANClients", c.WANClients, "WAN client count cannot be negative (0 selects the default)")
+	}
+	if c.Workers < 0 {
+		add("Workers", c.Workers, "worker bound cannot be negative (0 means GOMAXPROCS)")
+	}
+	if c.Chaos != nil && c.ChaosReplay != nil {
+		add("ChaosReplay", "<trace>", "a replayed trace conflicts with a live Chaos scenario; set only one")
+	}
+	if c.ChaosRecord && c.Chaos == nil {
+		add("ChaosRecord", true, "recording needs a Chaos scenario to draw faults from")
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	return &ValidationError{Fields: fields}
+}
+
+// withDefaults fills zero sizing fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	if c.Domains == 0 {
+		c.Domains = def.Domains
+	}
+	if c.Vantages == 0 {
+		c.Vantages = def.Vantages
+	}
+	if c.CaptureFlows == 0 {
+		c.CaptureFlows = def.CaptureFlows
+	}
+	if c.WANClients == 0 {
+		c.WANClients = def.WANClients
+	}
+	return c
+}
+
+// stageCell memoizes one pipeline stage's result. Unlike sync.Once it
+// memoizes only success: a build aborted by context cancellation
+// leaves the cell empty, so the next caller retries under its own
+// context. The mutex doubles as single-flight — concurrent callers of
+// the same stage wait for the in-progress build instead of duplicating
+// it.
+type stageCell[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// get returns the memoized value, building it under ctx if needed.
+func (c *stageCell[T]) get(ctx context.Context, build func() (T, error)) (T, error) {
+	var zero T
+	if err := ctxErr(ctx); err != nil {
+		return zero, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return c.val, nil
+	}
+	// Re-check after the wait: the caller may have been cancelled while
+	// another request's build held the lock.
+	if err := ctxErr(ctx); err != nil {
+		return zero, err
+	}
+	v, err := build()
+	if err != nil {
+		return zero, err
+	}
+	c.val, c.done = v, true
+	return v, nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// recoverCancel runs fn, converting a context-cancellation panic — the
+// pipeline stages re-raise worker errors, and with a cancellable
+// parallel.Options.Ctx those errors are context errors — back into an
+// ordinary error return. Any other panic propagates.
+func recoverCancel[T any](fn func() T) (out T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := v.(error); ok && (errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded)) {
+				err = e
+				return
+			}
+			panic(v)
+		}
+	}()
+	return fn(), nil
+}
+
+// must unwraps a stage result whose build ran without a cancellable
+// context, where errors are impossible by construction.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// captureResult pairs the capture stage's two outputs in one cell.
+type captureResult struct {
+	truth *capture.Truth
+	an    *capture.Analysis
+}
+
 // Study runs the paper's pipeline over one generated world. All stages
 // are computed lazily and memoized; a Study is safe for concurrent use.
+// Each accessor has a *Context variant that aborts stage compute (via
+// internal/parallel's between-shard cancellation) when ctx is
+// cancelled; an aborted stage is retried by the next caller.
 type Study struct {
 	Cfg Config
 
@@ -124,50 +301,24 @@ type Study struct {
 	eng *chaos.Engine
 	rec *trace.Recorder
 
-	worldOnce sync.Once
-	world     *deploy.World
-
-	dsOnce sync.Once
-	ds     *dataset.Dataset
-
-	detOnce sync.Once
-	det     *patterns.Result
-
-	regOnce sync.Once
-	reg     *regions.Analysis
-
-	zoneOnce sync.Once
-	zone     *zones.Study
-
-	capOnce  sync.Once
-	capTruth *capture.Truth
-	capAn    *capture.Analysis
-
-	nsOnce sync.Once
-	ns     *patterns.NSAnalysis
-
-	campaignOnce sync.Once
-	campaign     *wanperf.Campaign
+	world    stageCell[*deploy.World]
+	ds       stageCell[*dataset.Dataset]
+	det      stageCell[*patterns.Result]
+	reg      stageCell[*regions.Analysis]
+	zone     stageCell[*zones.Study]
+	capt     stageCell[captureResult]
+	ns       stageCell[*patterns.NSAnalysis]
+	campaign stageCell[*wanperf.Campaign]
 }
 
-// NewStudy creates a Study; the world is generated on first use.
+// NewStudy creates a Study; the world is generated on first use. It
+// panics when cfg fails Validate — call Validate first to handle the
+// typed error.
 func NewStudy(cfg Config) *Study {
-	def := DefaultConfig()
-	if cfg.Seed == 0 {
-		cfg.Seed = def.Seed
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
-	if cfg.Domains == 0 {
-		cfg.Domains = def.Domains
-	}
-	if cfg.Vantages == 0 {
-		cfg.Vantages = def.Vantages
-	}
-	if cfg.CaptureFlows == 0 {
-		cfg.CaptureFlows = def.CaptureFlows
-	}
-	if cfg.WANClients == 0 {
-		cfg.WANClients = def.WANClients
-	}
+	cfg = cfg.withDefaults()
 	s := &Study{Cfg: cfg}
 	if !cfg.NoTelemetry {
 		s.tel = telemetry.New()
@@ -253,6 +404,14 @@ func (s *Study) Par(stage string) parallel.Options {
 // par is the internal shorthand for Par.
 func (s *Study) par(stage string) parallel.Options { return s.Par(stage) }
 
+// parCtx is Par bound to a request context: the stage's fan-out aborts
+// between shards once ctx is cancelled.
+func (s *Study) parCtx(ctx context.Context, stage string) parallel.Options {
+	opt := s.Par(stage)
+	opt.Ctx = ctx
+	return opt
+}
+
 // Telemetry returns the study's observability handle: the metric
 // registry every instrumented layer (fabric, resolvers, cloud and WAN
 // probing) reports into, and the tracer holding the per-stage span
@@ -260,143 +419,230 @@ func (s *Study) par(stage string) parallel.Options { return s.Par(stage) }
 func (s *Study) Telemetry() *telemetry.Telemetry { return s.tel }
 
 // World returns the generated ground-truth world.
-func (s *Study) World() *deploy.World {
-	s.worldOnce.Do(func() {
-		defer s.tel.StartSpan("study/world").End()
-		wcfg := deploy.DefaultConfig().Scaled(s.Cfg.Domains)
-		wcfg.Seed = s.Cfg.Seed
-		wcfg.Par = s.par("world")
-		s.world = deploy.Generate(wcfg)
-		s.simClock.Store(s.world.Fabric.Clock())
-		if s.eng != nil {
-			s.world.Fabric.SetInterceptor(s.eng)
-		}
-		if s.tel != nil {
-			reg := s.tel.Registry()
-			s.world.Fabric.SetMetrics(simnet.NewFabricMetrics(reg))
-			s.world.EC2.SetMetrics(cloud.NewProbeMetrics(reg, "ec2"))
-			s.world.Azure.SetMetrics(cloud.NewProbeMetrics(reg, "azure"))
-		}
+func (s *Study) World() *deploy.World { return must(s.WorldContext(context.Background())) }
+
+// WorldContext is World under a cancellable context: generation aborts
+// between shards when ctx is cancelled, and the next caller retries.
+func (s *Study) WorldContext(ctx context.Context) (*deploy.World, error) {
+	return s.world.get(ctx, func() (*deploy.World, error) {
+		return recoverCancel(func() *deploy.World {
+			defer s.tel.StartSpan("study/world").End()
+			wcfg := deploy.DefaultConfig().Scaled(s.Cfg.Domains)
+			wcfg.Seed = s.Cfg.Seed
+			wcfg.Par = s.parCtx(ctx, "world")
+			w := deploy.Generate(wcfg)
+			s.simClock.Store(w.Fabric.Clock())
+			if s.eng != nil {
+				w.Fabric.SetInterceptor(s.eng)
+			}
+			if s.tel != nil {
+				reg := s.tel.Registry()
+				w.Fabric.SetMetrics(simnet.NewFabricMetrics(reg))
+				w.EC2.SetMetrics(cloud.NewProbeMetrics(reg, "ec2"))
+				w.Azure.SetMetrics(cloud.NewProbeMetrics(reg, "azure"))
+			}
+			return w
+		})
 	})
-	return s.world
 }
 
 // Dataset runs the §2.1 discovery pipeline (memoized).
-func (s *Study) Dataset() *dataset.Dataset {
-	s.dsOnce.Do(func() {
-		w := s.World() // before the span, so the simulated clock is wired
-		sp := s.tel.StartSpan("study/dataset")
-		defer sp.End()
-		names := make([]string, 0, len(w.Domains))
-		for _, d := range w.Domains {
-			names = append(names, d.Name)
+func (s *Study) Dataset() *dataset.Dataset { return must(s.DatasetContext(context.Background())) }
+
+// DatasetContext is Dataset under a cancellable context.
+func (s *Study) DatasetContext(ctx context.Context) (*dataset.Dataset, error) {
+	return s.ds.get(ctx, func() (*dataset.Dataset, error) {
+		w, err := s.WorldContext(ctx) // before the span, so the simulated clock is wired
+		if err != nil {
+			return nil, err
 		}
-		dcfg := dataset.Config{
-			Fabric:       w.Fabric,
-			Registry:     w.Registry,
-			Ranges:       w.Ranges,
-			Domains:      names,
-			Vantages:     s.Cfg.Vantages,
-			Metrics:      s.dnsMetrics,
-			Workers:      s.Cfg.Workers,
-			ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset").WithSpans(s.tel.Tracer()),
-			Completeness: s.tel.Completeness(),
-		}
-		if s.eng != nil {
-			// Under chaos the pipeline hardens: retries with backoff,
-			// a generous per-domain budget so pathological domains
-			// cannot stall the crawl, and a per-vantage breaker.
-			dcfg.Chaos = s.eng
-			dcfg.Backoff = dnssrv.Backoff{MaxAttempts: 6, Base: 100 * time.Millisecond, Max: 2 * time.Second}
-			dcfg.MaxQueriesPerDomain = 4096
-			dcfg.DomainDeadline = 10 * time.Minute
-			dcfg.BreakerFailures = 4
-		}
-		s.ds = dataset.Build(dcfg)
+		return recoverCancel(func() *dataset.Dataset {
+			sp := s.tel.StartSpan("study/dataset")
+			defer sp.End()
+			names := make([]string, 0, len(w.Domains))
+			for _, d := range w.Domains {
+				names = append(names, d.Name)
+			}
+			dcfg := dataset.Config{
+				Fabric:       w.Fabric,
+				Registry:     w.Registry,
+				Ranges:       w.Ranges,
+				Domains:      names,
+				Vantages:     s.Cfg.Vantages,
+				Metrics:      s.dnsMetrics,
+				Workers:      s.Cfg.Workers,
+				Ctx:          ctx,
+				ParMetrics:   parallel.NewMetrics(s.tel.Registry(), "dataset").WithSpans(s.tel.Tracer()),
+				Completeness: s.tel.Completeness(),
+			}
+			if s.eng != nil {
+				// Under chaos the pipeline hardens: retries with backoff,
+				// a generous per-domain budget so pathological domains
+				// cannot stall the crawl, and a per-vantage breaker.
+				dcfg.Chaos = s.eng
+				dcfg.Backoff = dnssrv.Backoff{MaxAttempts: 6, Base: 100 * time.Millisecond, Max: 2 * time.Second}
+				dcfg.MaxQueriesPerDomain = 4096
+				dcfg.DomainDeadline = 10 * time.Minute
+				dcfg.BreakerFailures = 4
+			}
+			return dataset.Build(dcfg)
+		})
 	})
-	return s.ds
 }
 
 // Detection runs §4.1's pattern heuristics (memoized).
-func (s *Study) Detection() *patterns.Result {
-	s.detOnce.Do(func() {
-		ds := s.Dataset() // resolve dependencies outside the span
-		defer s.tel.StartSpan("study/detect").End()
-		s.det = patterns.DetectAllPar(ds, s.par("detect"))
+func (s *Study) Detection() *patterns.Result { return must(s.DetectionContext(context.Background())) }
+
+// DetectionContext is Detection under a cancellable context.
+func (s *Study) DetectionContext(ctx context.Context) (*patterns.Result, error) {
+	return s.det.get(ctx, func() (*patterns.Result, error) {
+		ds, err := s.DatasetContext(ctx) // resolve dependencies outside the span
+		if err != nil {
+			return nil, err
+		}
+		return recoverCancel(func() *patterns.Result {
+			defer s.tel.StartSpan("study/detect").End()
+			return patterns.DetectAllPar(ds, s.parCtx(ctx, "detect"))
+		})
 	})
-	return s.det
 }
 
 // Breakdown computes Table 3.
 func (s *Study) Breakdown() *classify.Breakdown {
-	ds := s.Dataset()
+	return must(s.BreakdownContext(context.Background()))
+}
+
+// BreakdownContext is Breakdown under a cancellable context.
+func (s *Study) BreakdownContext(ctx context.Context) (*classify.Breakdown, error) {
+	ds, err := s.DatasetContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer s.tel.StartSpan("study/classify").End()
-	return classify.Classify(ds)
+	return classify.Classify(ds), nil
 }
 
 // Regions runs §4.2's region mapping (memoized).
-func (s *Study) Regions() *regions.Analysis {
-	s.regOnce.Do(func() {
-		ds, det := s.Dataset(), s.Detection()
-		defer s.tel.StartSpan("study/regions").End()
-		s.reg = regions.AnalyzePar(ds, det, s.par("regions"))
+func (s *Study) Regions() *regions.Analysis { return must(s.RegionsContext(context.Background())) }
+
+// RegionsContext is Regions under a cancellable context.
+func (s *Study) RegionsContext(ctx context.Context) (*regions.Analysis, error) {
+	return s.reg.get(ctx, func() (*regions.Analysis, error) {
+		ds, err := s.DatasetContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		det, err := s.DetectionContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return recoverCancel(func() *regions.Analysis {
+			defer s.tel.StartSpan("study/regions").End()
+			return regions.AnalyzePar(ds, det, s.parCtx(ctx, "regions"))
+		})
 	})
-	return s.reg
 }
 
 // Zones runs §4.3's cartography study (memoized).
-func (s *Study) Zones() *zones.Study {
-	s.zoneOnce.Do(func() {
-		ds, det, ec2 := s.Dataset(), s.Detection(), s.World().EC2
-		defer s.tel.StartSpan("study/zones").End()
-		cfg := zones.DefaultConfig()
-		cfg.Seed = s.Cfg.Seed
-		cfg.Par = s.par("zones")
-		cfg.Chaos = s.eng
-		cfg.Completeness = s.tel.Completeness()
-		s.zone = zones.Run(ds, det, ec2, cfg)
+func (s *Study) Zones() *zones.Study { return must(s.ZonesContext(context.Background())) }
+
+// ZonesContext is Zones under a cancellable context.
+func (s *Study) ZonesContext(ctx context.Context) (*zones.Study, error) {
+	return s.zone.get(ctx, func() (*zones.Study, error) {
+		ds, err := s.DatasetContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		det, err := s.DetectionContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		w, err := s.WorldContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return recoverCancel(func() *zones.Study {
+			defer s.tel.StartSpan("study/zones").End()
+			cfg := zones.DefaultConfig()
+			cfg.Seed = s.Cfg.Seed
+			cfg.Par = s.parCtx(ctx, "zones")
+			cfg.Chaos = s.eng
+			cfg.Completeness = s.tel.Completeness()
+			return zones.Run(ds, det, w.EC2, cfg)
+		})
 	})
-	return s.zone
 }
 
 // NameServers runs §4.1's DNS-hosting analysis (memoized).
 func (s *Study) NameServers() *patterns.NSAnalysis {
-	s.nsOnce.Do(func() {
-		w, ds := s.World(), s.Dataset()
-		defer s.tel.StartSpan("study/nameservers").End()
-		s.ns = patterns.AnalyzeNSPar(ds, w.Fabric, w.Registry, 50, s.dnsMetrics, s.par("nameservers"))
+	return must(s.NameServersContext(context.Background()))
+}
+
+// NameServersContext is NameServers under a cancellable context.
+func (s *Study) NameServersContext(ctx context.Context) (*patterns.NSAnalysis, error) {
+	return s.ns.get(ctx, func() (*patterns.NSAnalysis, error) {
+		w, err := s.WorldContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := s.DatasetContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return recoverCancel(func() *patterns.NSAnalysis {
+			defer s.tel.StartSpan("study/nameservers").End()
+			return patterns.AnalyzeNSPar(ds, w.Fabric, w.Registry, 50, s.dnsMetrics, s.parCtx(ctx, "nameservers"))
+		})
 	})
-	return s.ns
 }
 
 // Capture generates and analyzes the border trace (memoized). The pcap
 // bytes are ephemeral; use WriteCapture to keep them.
 func (s *Study) Capture() (*capture.Truth, *capture.Analysis) {
-	s.capOnce.Do(func() {
-		w := s.World()
-		defer s.tel.StartSpan("study/capture").End()
-		ccfg := capture.DefaultConfig()
-		ccfg.Seed = s.Cfg.Seed
-		ccfg.Flows = s.Cfg.CaptureFlows
-		ccfg.Par = s.par("capture")
-		ccfg.Chaos = s.eng
-		var buf bytes.Buffer
-		g := capture.NewGenerator(ccfg, w)
-		truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
-		if err != nil {
-			panic(err) // bytes.Buffer writes cannot fail
-		}
-		an, err := capture.AnalyzeOpts(&buf, w.Ranges, capture.AnalyzeOptions{
-			Par:          s.par("capture_analyze"),
-			Completeness: s.tel.Completeness(),
-		})
-		if err != nil {
-			panic(err)
-		}
-		s.capTruth, s.capAn = truth, an
-	})
-	return s.capTruth, s.capAn
+	r, err := s.CaptureContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return r.truth, r.an
 }
+
+// CaptureContext is Capture under a cancellable context.
+func (s *Study) CaptureContext(ctx context.Context) (captureResult, error) {
+	return s.capt.get(ctx, func() (captureResult, error) {
+		w, err := s.WorldContext(ctx)
+		if err != nil {
+			return captureResult{}, err
+		}
+		return recoverCancel(func() captureResult {
+			defer s.tel.StartSpan("study/capture").End()
+			ccfg := capture.DefaultConfig()
+			ccfg.Seed = s.Cfg.Seed
+			ccfg.Flows = s.Cfg.CaptureFlows
+			ccfg.Par = s.parCtx(ctx, "capture")
+			ccfg.Chaos = s.eng
+			var buf bytes.Buffer
+			g := capture.NewGenerator(ccfg, w)
+			truth, err := g.Generate(pcapio.NewWriter(&buf, ccfg.Snaplen))
+			if err != nil {
+				panic(err) // bytes.Buffer writes cannot fail
+			}
+			an, err := capture.AnalyzeOpts(&buf, w.Ranges, capture.AnalyzeOptions{
+				Par:          s.parCtx(ctx, "capture_analyze"),
+				Completeness: s.tel.Completeness(),
+			})
+			if err != nil {
+				panic(err)
+			}
+			return captureResult{truth: truth, an: an}
+		})
+	})
+}
+
+// Truth returns the capture result's ground truth.
+func (r captureResult) Truth() *capture.Truth { return r.truth }
+
+// Analysis returns the capture result's analyzer output.
+func (r captureResult) Analysis() *capture.Analysis { return r.an }
 
 // WriteCapture streams a fresh pcap of the study's capture to w.
 type pcapWriter interface{ Write(p []byte) (int, error) }
@@ -414,23 +660,42 @@ func (s *Study) WriteCapture(w pcapWriter) (*capture.Truth, error) {
 
 // Campaign returns the §5 wide-area measurement campaign (memoized).
 func (s *Study) Campaign() *wanperf.Campaign {
-	s.campaignOnce.Do(func() {
+	return must(s.campaignBase(context.Background()))
+}
+
+// CampaignContext is Campaign under a cancellable context: the
+// returned value shares the memoized campaign's model and seeding but
+// carries its own fan-out options bound to ctx, so matrix and
+// time-series computation aborts between shards when the request is
+// cancelled. The memoized campaign itself stays context-free.
+func (s *Study) CampaignContext(ctx context.Context) (*wanperf.Campaign, error) {
+	c, err := s.campaignBase(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cc := *c
+	cc.Par.Ctx = ctx
+	return &cc, nil
+}
+
+func (s *Study) campaignBase(ctx context.Context) (*wanperf.Campaign, error) {
+	return s.campaign.get(ctx, func() (*wanperf.Campaign, error) {
 		defer s.tel.StartSpan("study/wanperf").End()
-		s.campaign = wanperf.NewCampaign(s.Cfg.Seed, s.Cfg.WANClients, ipranges.EC2Regions)
-		s.campaign.Par = s.par("wanperf")
-		s.campaign.Model.Par = s.par("wanperf")
+		c := wanperf.NewCampaign(s.Cfg.Seed, s.Cfg.WANClients, ipranges.EC2Regions)
+		c.Par = s.par("wanperf")
+		c.Model.Par = s.par("wanperf")
 		if s.tel != nil {
-			s.campaign.Model.SetMetrics(wan.NewMetrics(s.tel.Registry()))
+			c.Model.SetMetrics(wan.NewMetrics(s.tel.Registry()))
 		}
 		if s.eng != nil {
-			s.campaign.Chaos = s.eng
-			s.campaign.Completeness = s.tel.Completeness()
+			c.Chaos = s.eng
+			c.Completeness = s.tel.Completeness()
 			// Regional brownouts reach the WAN model as extra path
 			// delay; the fault phase is the campaign-time fraction, a
 			// pure function of t.
-			eng, start := s.eng, s.campaign.Start
-			span := s.campaign.Interval * time.Duration(s.campaign.Rounds)
-			s.campaign.Model.SetChaos(func(_, region string, t time.Time) float64 {
+			eng, start := s.eng, c.Start
+			span := c.Interval * time.Duration(c.Rounds)
+			c.Model.SetChaos(func(_, region string, t time.Time) float64 {
 				phase := float64(t.Sub(start)) / float64(span)
 				if phase < 0 {
 					phase = 0
@@ -440,8 +705,8 @@ func (s *Study) Campaign() *wanperf.Campaign {
 				return eng.RegionExtraMs(region, phase)
 			})
 		}
+		return c, nil
 	})
-	return s.campaign
 }
 
 // RankOf implements the classify and regions Ranker interfaces against

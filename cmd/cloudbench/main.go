@@ -36,6 +36,8 @@ func main() {
 		captureChaos = flag.String("capture-chaos", "hostile-capture", "fault scenario for the capture-fault leg: pcap generation + analysis under capture-layer faults vs clean (empty = skip)")
 		streamSizes  = flag.String("stream-sizes", "", "comma-separated world sizes for the streaming world-build leg (peak_rss_vs_world_size cells; empty = skip)")
 		streamChunk  = flag.Int("stream-chunk", 4096, "chunk size for the streaming leg")
+		serveLeg     = flag.Bool("serve", false, "run the query-daemon leg: cloudscoped over loopback, warmed, driven closed-loop (serve_req_per_s, serve_p50/p99_ms, cache hit ratio)")
+		serveReqs    = flag.Int("serve-requests", 2000, "request budget per rep for the -serve leg")
 		out          = flag.String("out", "", "snapshot output path (default BENCH_<today>.json; \"-\" = stdout only)")
 		compare      = flag.String("compare", "", "old snapshot to compare this run against")
 		threshold    = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
@@ -49,13 +51,15 @@ func main() {
 	}
 
 	cfg := bench.MatrixConfig{
-		Reps:         *reps,
-		Seed:         *seed,
-		Vantages:     *vantages,
-		DiscoveryMax: *discoveryMax,
-		Chaos:        *chaosName,
-		CaptureChaos: *captureChaos,
-		StreamChunk:  *streamChunk,
+		Reps:          *reps,
+		Seed:          *seed,
+		Vantages:      *vantages,
+		DiscoveryMax:  *discoveryMax,
+		Chaos:         *chaosName,
+		CaptureChaos:  *captureChaos,
+		StreamChunk:   *streamChunk,
+		Serve:         *serveLeg,
+		ServeRequests: *serveReqs,
 	}
 	var err error
 	if cfg.Sizes, err = csvInts(*sizes); err != nil {

@@ -1,0 +1,79 @@
+// Command cloudload drives a cloudscoped daemon with a seeded,
+// deterministic request mix and reports throughput, error counts, and
+// latency quantiles.
+//
+// Usage:
+//
+//	cloudload -target http://127.0.0.1:8080 -requests 5000
+//	cloudload -target ... -rate 2000 -mix "3:/v1/patterns,1:/v1/wanperf"
+//	cloudload -target ... -json report.json
+//
+// With -rate the generator is open-loop: arrivals follow a seeded
+// exponential schedule whatever the daemon's speed, and requests that
+// would exceed -concurrency in flight are counted as shed. Without
+// -rate it is closed-loop: exactly -concurrency requests in flight,
+// measuring saturated throughput.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudscope/internal/load"
+)
+
+const defaultMix = "4:/v1/patterns,3:/v1/regions,2:/v1/zones,2:/v1/outage?region=ec2.us-east-1,1:/v1/wanperf,1:/v1/completeness"
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "cloudscoped base URL")
+	requests := flag.Int("requests", 2000, "total request budget")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	concurrency := flag.Int("concurrency", 64, "max in-flight requests")
+	seed := flag.Int64("seed", 1, "plan seed: endpoint sequence and arrival schedule")
+	mixSpec := flag.String("mix", defaultMix, "weighted endpoint mix, 'weight:path,...'")
+	jsonOut := flag.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	flag.Parse()
+
+	mix, err := load.ParseMix(*mixSpec)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := load.Run(load.Config{
+		BaseURL:     *target,
+		Mix:         mix,
+		Requests:    *requests,
+		Rate:        *rate,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Report())
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cloudload:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-domains N] [-seed S] [-flows N] [-only table9,figure12]
+//	experiments -json study.json        # the daemon's V1 document, offline
 //	experiments -chaos hostile -chaos-record trace.jsonl
 //	experiments -chaos-replay trace.jsonl
 //	experiments -chaos-bisect trace.jsonl -only table9
@@ -11,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,7 @@ import (
 	"time"
 
 	"cloudscope"
+	"cloudscope/api"
 	"cloudscope/internal/chaos/trace"
 	"cloudscope/internal/cliflags"
 	"cloudscope/internal/stats"
@@ -36,6 +40,8 @@ func main() {
 		"compare the fault trace in this file against a second trace (the positional argument, or 'A.jsonl,B.jsonl') and print the verdict delta; exits 1 when they differ")
 	streamOut := flag.String("stream-out", "dataset.txt",
 		"dataset output path for -stream (- for stdout)")
+	jsonOut := flag.String("json", "",
+		"also write the study's answers as the versioned V1 JSON document cloudscoped serves (- for stdout)")
 	shared := cliflags.Register(flag.CommandLine)
 	streaming := cliflags.RegisterStreaming(flag.CommandLine)
 	flag.Parse()
@@ -72,6 +78,9 @@ func main() {
 		// they run without -stream at a size that fits.
 		if *only != "" {
 			fatal(fmt.Errorf("-stream writes the dataset artifact and runs no experiments; drop -only or -stream"))
+		}
+		if *jsonOut != "" {
+			fatal(fmt.Errorf("-json needs the memoized study; drop -stream"))
 		}
 		if err := shared.RejectStudyFlags("experiments -stream"); err != nil {
 			fatal(err)
@@ -144,6 +153,11 @@ func main() {
 	if shared.Faulting() {
 		fmt.Printf("==== completeness ====\n%s\n", study.Completeness().Report())
 	}
+	if *jsonOut != "" {
+		if err := writeStudyJSON(*jsonOut, study); err != nil {
+			fatal(err)
+		}
+	}
 	if err := shared.Finish(os.Stdout, study); err != nil {
 		fatal(err)
 	}
@@ -199,6 +213,28 @@ func outputs(s *cloudscope.Study, want map[string]bool) string {
 	}
 	b.WriteString(s.Completeness().Report())
 	return b.String()
+}
+
+// writeStudyJSON emits the same versioned document a cloudscoped
+// daemon would serve for this world: the V1 study DTO inside an
+// api.Envelope (epoch 0 — there is no serving epoch here), so offline
+// runs and the daemon are byte-compatible consumers of one schema.
+func writeStudyJSON(path string, study *cloudscope.Study) error {
+	doc, err := api.Study(context.Background(), study)
+	if err != nil {
+		return err
+	}
+	env := api.NewEnvelope("study", 0, study, doc)
+	b, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func writeTSV(dir, id string, series map[string][]stats.Point) error {

@@ -55,6 +55,14 @@ type MatrixConfig struct {
 	StreamSizes []int
 	// StreamChunk is the streaming leg's chunk size. Default 4096.
 	StreamChunk int
+	// Serve enables the query-daemon leg: a cloudscoped server over
+	// loopback HTTP, warmed, then driven closed-loop with a seeded mix.
+	// Gated to sizes <= DiscoveryMax (the zones endpoint needs the
+	// discovery crawl).
+	Serve bool
+	// ServeRequests is the serve leg's request budget per rep. Default
+	// 2000.
+	ServeRequests int
 	// Log receives one progress line per cell; nil is quiet.
 	Log io.Writer
 }
@@ -80,6 +88,9 @@ func (c *MatrixConfig) fill() {
 	}
 	if c.StreamChunk <= 0 {
 		c.StreamChunk = 4096
+	}
+	if c.ServeRequests <= 0 {
+		c.ServeRequests = 2000
 	}
 }
 
@@ -148,6 +159,10 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 		Reps: cfg.Reps, Seed: cfg.Seed, Vantages: cfg.Vantages,
 		DiscoveryMax: cfg.DiscoveryMax, Chaos: cfg.Chaos,
 		CaptureChaos: cfg.CaptureChaos,
+		Serve:        cfg.Serve,
+	}
+	if cfg.Serve {
+		snap.Params.ServeRequests = cfg.ServeRequests
 	}
 	snap.Params.Sizes = append(snap.Params.Sizes, cfg.Sizes...)
 	snap.Params.StreamSizes = append(snap.Params.StreamSizes, cfg.StreamSizes...)
@@ -200,6 +215,18 @@ func Run(cfg MatrixConfig) (*Snapshot, error) {
 				snap.Metrics = append(snap.Metrics, m)
 			}
 			logf(cfg.Log, "bench: world=%d capture-chaos leg done (%.2fx)", size, ratio)
+		}
+		if cfg.Serve && size <= cfg.DiscoveryMax {
+			c := &cell{}
+			for rep := 0; rep < cfg.Reps; rep++ {
+				if err := serveLeg(cfg, size, c); err != nil {
+					return nil, err
+				}
+			}
+			for _, m := range c.vals {
+				snap.Metrics = append(snap.Metrics, m)
+			}
+			logf(cfg.Log, "bench: world=%d serve leg done", size)
 		}
 	}
 	for _, size := range cfg.StreamSizes {

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"cloudscope"
+	"cloudscope/internal/load"
+	"cloudscope/internal/serve"
+)
+
+// serveMix is the request mix the serve leg drives: the cacheable
+// study endpoints weighted roughly like cmd/cloudload's default, minus
+// wanperf (whose first build is a full WAN campaign and would turn the
+// leg into a campaign benchmark).
+const serveMix = "4:/v1/patterns,3:/v1/regions,2:/v1/zones,2:/v1/outage?region=ec2.us-east-1,1:/v1/completeness"
+
+// serveLeg measures the query daemon end-to-end over loopback HTTP: a
+// cloudscoped server on a random port, every mix endpoint warmed once
+// (stage builds + cache fill), then a closed-loop seeded load run.
+// Cells record sustained req/s, p50/p99 latency of the cached path,
+// and the cache hit ratio.
+func serveLeg(cfg MatrixConfig, size int, c *cell) error {
+	w := cfg.Workers[len(cfg.Workers)-1]
+	suffix := fmt.Sprintf("/world=%d", size)
+
+	srv, err := serve.New(serve.Config{
+		Study: cloudscope.Config{
+			Seed:         cfg.Seed,
+			Domains:      size,
+			Vantages:     cfg.Vantages,
+			CaptureFlows: flowsFor(size),
+			Workers:      w,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	mix, err := load.ParseMix(serveMix)
+	if err != nil {
+		return err
+	}
+	// Warm sequentially so the load run measures the cached hot path,
+	// not one giant stage build racing 15 queued requests.
+	client := &http.Client{Timeout: 10 * time.Minute}
+	for _, m := range mix {
+		resp, err := client.Get(base + m.Path)
+		if err != nil {
+			return fmt.Errorf("bench: warming %s: %w", m.Path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("bench: warming %s: status %d", m.Path, resp.StatusCode)
+		}
+	}
+
+	res, err := load.Run(load.Config{
+		BaseURL:     base,
+		Mix:         mix,
+		Requests:    cfg.ServeRequests,
+		Concurrency: 16,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("bench: serve leg at world=%d had %d request errors", size, res.Errors)
+	}
+
+	c.keep("serve_req_per_s"+suffix, res.Throughput, "req/s", Higher)
+	c.keep("serve_p50_ms"+suffix, res.P50Ms, "ms", Lower)
+	c.keep("serve_p99_ms"+suffix, res.P99Ms, "ms", Lower)
+	reg := srv.Telemetry().Registry()
+	hits := float64(reg.Counter("serve.cache_hits").Value())
+	misses := float64(reg.Counter("serve.cache_misses").Value())
+	if hits+misses > 0 {
+		c.keep("serve_cache_hit_ratio"+suffix, hits/(hits+misses), "ratio", Higher)
+	}
+	return nil
+}

@@ -63,15 +63,17 @@ func CurrentHost() Host {
 
 // Params records the matrix a snapshot ran, for provenance.
 type Params struct {
-	Sizes        []int    `json:"sizes"`
-	StreamSizes  []int    `json:"stream_sizes,omitempty"`
-	Workers      []string `json:"workers"`
-	Reps         int      `json:"reps"`
-	Seed         int64    `json:"seed"`
-	Vantages     int      `json:"vantages"`
-	DiscoveryMax int      `json:"discovery_max"`
-	Chaos        string   `json:"chaos,omitempty"`
-	CaptureChaos string   `json:"capture_chaos,omitempty"`
+	Sizes         []int    `json:"sizes"`
+	StreamSizes   []int    `json:"stream_sizes,omitempty"`
+	Workers       []string `json:"workers"`
+	Reps          int      `json:"reps"`
+	Seed          int64    `json:"seed"`
+	Vantages      int      `json:"vantages"`
+	DiscoveryMax  int      `json:"discovery_max"`
+	Chaos         string   `json:"chaos,omitempty"`
+	CaptureChaos  string   `json:"capture_chaos,omitempty"`
+	Serve         bool     `json:"serve,omitempty"`
+	ServeRequests int      `json:"serve_requests,omitempty"`
 }
 
 // Snapshot is one benchmark run: the full matrix's metrics, sorted by

@@ -141,7 +141,10 @@ func (s *Set) validate() error {
 
 // Apply validates the shared flags and fills the Config fields they
 // control: Workers, Chaos, ChaosRecord, and ChaosReplay. The other
-// Config fields are the caller's.
+// Config fields are the caller's. The filled config then runs
+// cloudscope.Config.Validate, so every command reports the same typed
+// field errors instead of each main (or a NewStudy panic) inventing
+// its own.
 func (s *Set) Apply(cfg *cloudscope.Config) error {
 	if err := s.validate(); err != nil {
 		return err
@@ -160,7 +163,7 @@ func (s *Set) Apply(cfg *cloudscope.Config) error {
 		}
 		cfg.ChaosReplay = tr
 	}
-	return nil
+	return cfg.Validate()
 }
 
 // Faulting reports whether the study runs under injected faults —

@@ -16,6 +16,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -133,6 +134,10 @@ type Config struct {
 	// assigned by domain index, and the simulated clock sums probe time
 	// commutatively.
 	Workers int
+	// Ctx, when set, cancels the scan fan-out between shards; Build
+	// re-raises the context error as a panic, matching the other stage
+	// error paths.
+	Ctx context.Context
 	// ParMetrics, when set, receives the scan fan-out's worker/shard
 	// gauges and queue-wait histogram (parallel.dataset.*).
 	ParMetrics *parallel.Metrics
@@ -227,7 +232,7 @@ func Build(cfg Config) *Dataset {
 		queries int64
 	}
 	results := make([]domainResult, len(cfg.Domains))
-	opt := parallel.Options{Workers: cfg.Workers, Metrics: cfg.ParMetrics}
+	opt := parallel.Options{Workers: cfg.Workers, Metrics: cfg.ParMetrics, Ctx: cfg.Ctx}
 	if err := parallel.Run(opt, len(cfg.Domains), func(sh parallel.Shard) error {
 		for i := sh.Lo; i < sh.Hi; i++ {
 			// Brute-force resolver assignment stays a function of the
@@ -237,7 +242,7 @@ func Build(cfg Config) *Dataset {
 		}
 		return nil
 	}); err != nil {
-		panic(err) // scan fns return nil errors; only worker panics land here
+		panic(err) // only worker panics or Ctx cancellation land here
 	}
 
 	for _, r := range results {

@@ -1,0 +1,314 @@
+// Package load is cloudload's engine: a seeded, deterministic HTTP
+// load generator for cloudscoped. The request *plan* — which endpoint
+// each request hits and, in open-loop mode, when it is due — is a pure
+// function of (seed, mix, rate), so two runs against the same daemon
+// issue byte-identical request sequences; only wall-clock timing and
+// the daemon's answers vary.
+//
+// Open-loop mode (Rate > 0) fires requests at exponential
+// inter-arrivals regardless of completions, bounded by Concurrency:
+// requests that would exceed the in-flight cap are counted as shed —
+// the honest open-loop way to report an overloaded target. Closed-loop
+// mode (Rate <= 0) keeps exactly Concurrency requests in flight, which
+// measures the target's saturated throughput.
+package load
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudscope/internal/xrand"
+)
+
+// MixEntry weights one endpoint path in the request mix.
+type MixEntry struct {
+	Weight float64
+	Path   string // e.g. "/v1/patterns" or "/v1/domain?name=a.example"
+}
+
+// ParseMix parses "3:/v1/patterns,1:/v1/wanperf" into a mix.
+func ParseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		weight := 1.0
+		path := part
+		if i := strings.Index(part, ":"); i >= 0 && !strings.HasPrefix(part, "/") {
+			if _, err := fmt.Sscanf(part[:i], "%f", &weight); err != nil {
+				return nil, fmt.Errorf("load: bad mix weight %q", part[:i])
+			}
+			path = part[i+1:]
+		}
+		if !strings.HasPrefix(path, "/") {
+			return nil, fmt.Errorf("load: mix path %q must start with /", path)
+		}
+		mix = append(mix, MixEntry{Weight: weight, Path: path})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("load: empty mix")
+	}
+	return mix, nil
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	Mix     []MixEntry
+	// Requests is the total request budget.
+	Requests int
+	// Rate is the open-loop arrival rate in req/s; <= 0 selects
+	// closed-loop mode.
+	Rate float64
+	// Concurrency bounds in-flight requests (default 64).
+	Concurrency int
+	// Seed drives the endpoint sequence and arrival schedule.
+	Seed int64
+	// Client overrides the HTTP client (default: shared transport with
+	// generous connection reuse).
+	Client *http.Client
+}
+
+// EndpointStats aggregates one mix path's outcomes.
+type EndpointStats struct {
+	Path      string  `json:"path"`
+	Sent      int     `json:"sent"`
+	OK        int     `json:"ok"`
+	Errors    int     `json:"errors"`
+	MeanMs    float64 `json:"mean_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	latencies []float64
+}
+
+// Result is one run's report.
+type Result struct {
+	Requests int           `json:"requests"`
+	Sent     int           `json:"sent"`
+	OK       int           `json:"ok"`
+	Errors   int           `json:"errors"`
+	Shed     int           `json:"shed"`
+	Duration time.Duration `json:"duration_ns"`
+	// Throughput counts completed (OK + error) responses per second.
+	Throughput float64 `json:"throughput_rps"`
+	// Latency quantiles over completed requests, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// StatusCounts maps status code → count, sorted keys in Report.
+	StatusCounts map[int]int      `json:"status_counts"`
+	Endpoints    []*EndpointStats `json:"endpoints"`
+}
+
+// plan precomputes the deterministic request sequence.
+type plan struct {
+	paths []string        // request i → path
+	due   []time.Duration // open-loop: request i's offset from start (nil closed-loop)
+}
+
+func buildPlan(cfg Config) *plan {
+	rng := xrand.SplitSeeded(cfg.Seed, "load/plan")
+	weights := make([]float64, len(cfg.Mix))
+	for i, m := range cfg.Mix {
+		weights[i] = m.Weight
+	}
+	w := xrand.NewWeighted(rng.Split("mix"), weights)
+	p := &plan{paths: make([]string, cfg.Requests)}
+	for i := range p.paths {
+		p.paths[i] = cfg.Mix[w.Next()].Path
+	}
+	if cfg.Rate > 0 {
+		arr := rng.Split("arrivals")
+		p.due = make([]time.Duration, cfg.Requests)
+		var t float64 // seconds
+		for i := range p.due {
+			t += arr.ExpFloat64() / cfg.Rate
+			p.due[i] = time.Duration(t * float64(time.Second))
+		}
+	}
+	return p
+}
+
+// Run executes the load plan and aggregates the report.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("load: Requests must be positive")
+	}
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("load: empty mix")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		}}
+	}
+	p := buildPlan(cfg)
+
+	type outcome struct {
+		pathIdx int
+		status  int
+		ms      float64
+		err     bool
+		shed    bool
+	}
+	outcomes := make([]outcome, cfg.Requests)
+	pathIdx := map[string]int{}
+	for i, m := range cfg.Mix {
+		pathIdx[m.Path] = i
+	}
+
+	fire := func(i int) {
+		o := &outcomes[i]
+		o.pathIdx = pathIdx[p.paths[i]]
+		t0 := time.Now()
+		resp, err := client.Get(cfg.BaseURL + p.paths[i])
+		o.ms = float64(time.Since(t0)) / float64(time.Millisecond)
+		if err != nil {
+			o.err = true
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		o.status = resp.StatusCode
+		if resp.StatusCode >= 400 {
+			o.err = true
+		}
+	}
+
+	start := time.Now()
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	if p.due == nil {
+		// Closed loop: Concurrency requests always in flight.
+		for i := 0; i < cfg.Requests; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(i)
+			}(i)
+		}
+	} else {
+		// Open loop: fire on schedule; a full in-flight window sheds.
+		for i := 0; i < cfg.Requests; i++ {
+			if d := time.Until(start.Add(p.due[i])); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					fire(i)
+				}(i)
+			default:
+				outcomes[i].shed = true
+				outcomes[i].pathIdx = pathIdx[p.paths[i]]
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Requests:     cfg.Requests,
+		Duration:     elapsed,
+		StatusCounts: map[int]int{},
+	}
+	perPath := make([]*EndpointStats, len(cfg.Mix))
+	for i, m := range cfg.Mix {
+		perPath[i] = &EndpointStats{Path: m.Path}
+	}
+	var all []float64
+	for i := range outcomes {
+		o := &outcomes[i]
+		es := perPath[o.pathIdx]
+		if o.shed {
+			res.Shed++
+			continue
+		}
+		res.Sent++
+		es.Sent++
+		if o.err {
+			res.Errors++
+			es.Errors++
+		} else {
+			res.OK++
+			es.OK++
+		}
+		if o.status != 0 {
+			res.StatusCounts[o.status]++
+		}
+		all = append(all, o.ms)
+		es.latencies = append(es.latencies, o.ms)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.Throughput = float64(res.Sent) / secs
+	}
+	sort.Float64s(all)
+	res.P50Ms = quantile(all, 0.50)
+	res.P90Ms = quantile(all, 0.90)
+	res.P99Ms = quantile(all, 0.99)
+	if len(all) > 0 {
+		res.MaxMs = all[len(all)-1]
+	}
+	for _, es := range perPath {
+		sort.Float64s(es.latencies)
+		es.P99Ms = quantile(es.latencies, 0.99)
+		var sum float64
+		for _, v := range es.latencies {
+			sum += v
+		}
+		if len(es.latencies) > 0 {
+			es.MeanMs = sum / float64(len(es.latencies))
+		}
+		es.latencies = nil
+		res.Endpoints = append(res.Endpoints, es)
+	}
+	return res, nil
+}
+
+// quantile reads the q-th quantile from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Report renders the result for terminals.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d sent, %d ok, %d errors, %d shed\n", r.Sent, r.OK, r.Errors, r.Shed)
+	fmt.Fprintf(&b, "duration: %.2fs  throughput: %.1f req/s\n", r.Duration.Seconds(), r.Throughput)
+	fmt.Fprintf(&b, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n", r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	codes := make([]int, 0, len(r.StatusCounts))
+	for c := range r.StatusCounts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  status %d: %d\n", c, r.StatusCounts[c])
+	}
+	for _, es := range r.Endpoints {
+		fmt.Fprintf(&b, "  %-40s sent=%-6d ok=%-6d err=%-4d mean=%.2fms p99=%.2fms\n",
+			es.Path, es.Sent, es.OK, es.Errors, es.MeanMs, es.P99Ms)
+	}
+	return b.String()
+}

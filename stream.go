@@ -1,7 +1,6 @@
 package cloudscope
 
 import (
-	"fmt"
 	"io"
 
 	"cloudscope/internal/core/dataset"
@@ -25,19 +24,17 @@ import (
 // memoized Study; callers wanting a hardened or instrumented crawl use
 // NewStudy at a size that fits in memory.
 func StreamDataset(cfg Config, chunkSize int, spillDir string, out io.Writer) (dataset.Stats, error) {
-	def := DefaultConfig()
-	if cfg.Seed == 0 {
-		cfg.Seed = def.Seed
-	}
-	if cfg.Domains == 0 {
-		cfg.Domains = def.Domains
-	}
-	if cfg.Vantages == 0 {
-		cfg.Vantages = def.Vantages
+	if err := cfg.Validate(); err != nil {
+		return dataset.Stats{}, err
 	}
 	if cfg.Chaos != nil || cfg.ChaosReplay != nil {
-		return dataset.Stats{}, fmt.Errorf("cloudscope: the streaming data path does not run under chaos; use NewStudy")
+		return dataset.Stats{}, &ValidationError{Fields: []*FieldError{{
+			Field:  "Chaos",
+			Value:  "<scenario>",
+			Reason: "the streaming data path does not run under chaos; use NewStudy",
+		}}}
 	}
+	cfg = cfg.withDefaults()
 
 	wcfg := deploy.DefaultConfig().Scaled(cfg.Domains)
 	wcfg.Seed = cfg.Seed
